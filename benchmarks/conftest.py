@@ -1,0 +1,45 @@
+"""Shared state for the benchmark harness.
+
+One full-size :class:`ExperimentContext` is built per session and shared
+by every benchmark: the baseline is simulated and calibrated once per
+workload, and each figure's variants reuse those cached runs exactly as
+the paper's evaluation reuses its baseline. Benchmark timings therefore
+measure the *incremental* cost of each experiment given the shared state,
+and each benchmark prints the regenerated rows of its table/figure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentContext
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-seed", action="store", default=1, type=int,
+        help="trace synthesis seed for the reproduction benchmarks",
+    )
+
+
+@pytest.fixture(scope="session")
+def context(request):
+    seed = request.config.getoption("--repro-seed")
+    return ExperimentContext(seed=seed, n_phases=12, warmup_phases=4)
+
+
+@pytest.fixture
+def show(capsys):
+    """Print a table to the real terminal from inside a test."""
+
+    def _show(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _show
+
+
+def run_once(benchmark, func):
+    """Run an experiment exactly once under the benchmark clock."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

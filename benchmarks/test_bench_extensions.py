@@ -1,0 +1,71 @@
+"""Extension benches: replication (V-F quantified), 32-socket scaling
+(III-B), and the reproduction's own ablations.
+
+These go beyond the paper's tables: V-F argues replication and pooling
+are complementary without measuring the combination; III-B sketches
+32-socket scaling without evaluating it. The ablations stress-test the
+modeling decisions DESIGN.md calls out.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import ext_ablation, ext_replication, ext_scale
+
+
+def test_bench_ext_replication(context, benchmark, show):
+    result = run_once(benchmark, lambda: ext_replication.run(context))
+    show(result.table)
+
+    rows = result.row_map()
+    # Read-write sharing defeats replication (BFS, Masstree) -- the
+    # paper's software-coherence argument.
+    assert rows["bfs"][3] == pytest.approx(1.0, abs=0.05)
+    assert rows["masstree"][3] == pytest.approx(1.0, abs=0.05)
+    # Read-only TC gains from replication alone, at a large capacity cost.
+    assert rows["tc"][3] > 1.2
+    assert rows["tc"][2] > 0.3
+    # The combination at least matches pooling alone everywhere.
+    for name, row in rows.items():
+        assert row[5] >= row[4] * 0.98, name
+
+
+def test_bench_ext_scale32(context, benchmark, show):
+    result = run_once(benchmark, lambda: ext_scale.run(context))
+    show(result.table)
+
+    for row in result.rows:
+        workload, speedup16, speedup32, retention = row
+        assert speedup32 > 1.1, workload     # the pool still pays at 32S
+        assert retention > 0.6, workload     # most of the win survives
+        assert retention < 1.1, workload     # the switch is not free
+
+
+def test_bench_ext_ablation_layout(context, benchmark, show):
+    result = run_once(benchmark, lambda: ext_ablation.run_layout(context))
+    show(result.table)
+    rows = result.row_map()
+    # Region-granular migration depends on spatial hotness clustering.
+    assert rows["clustered"][1] > rows["interleaved"][1] + 0.2
+
+
+def test_bench_ext_ablation_migration_limit(context, benchmark, show):
+    result = run_once(
+        benchmark, lambda: ext_ablation.run_migration_limit(context)
+    )
+    show(result.table)
+    speedups = [row[2] for row in result.rows]
+    # Zero budget neutralizes StarNUMA; the sweep rises to a plateau.
+    assert speedups[0] == pytest.approx(1.0, abs=0.1)
+    assert max(speedups) > speedups[0] + 0.5
+    # The best budget is an interior point or the plateau, not the floor.
+    assert speedups.index(max(speedups)) >= 2
+
+
+def test_bench_ext_ablation_region_size(context, benchmark, show):
+    result = run_once(
+        benchmark, lambda: ext_ablation.run_region_size(context)
+    )
+    show(result.table)
+    for row in result.rows:
+        assert row[2] > 1.3  # StarNUMA wins at every swept region size

@@ -1,0 +1,31 @@
+"""Fig. 2: BFS page access characterization.
+
+Shape to hold (paper): 17% single-sharer pages, 78% with <=4 sharers,
+~7% with more than eight -- yet >8-sharer pages take ~68% of accesses and
+16-sharer pages ~36%.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig02
+
+
+def test_bench_fig02(context, benchmark, show):
+    result = run_once(benchmark, lambda: fig02.run(context))
+    show(result.table)
+
+    by_degree = {row[0]: row for row in result.rows}
+    page_fracs = {deg: row[1] for deg, row in by_degree.items()}
+    access_fracs = {deg: row[2] for deg, row in by_degree.items()}
+
+    assert page_fracs.get(1, 0) == pytest.approx(0.17, abs=0.02)
+    assert sum(frac for deg, frac in page_fracs.items()
+               if deg <= 4) == pytest.approx(0.78, abs=0.03)
+    assert sum(frac for deg, frac in access_fracs.items()
+               if deg > 8) == pytest.approx(0.68, abs=0.05)
+    assert access_fracs.get(16, 0) == pytest.approx(0.36, abs=0.04)
+    # Shared pages are read-write (the replication argument of V-F).
+    writes_on_wide = sum(row[4] for deg, row in by_degree.items()
+                         if deg > 8)
+    assert writes_on_wide > 0.1

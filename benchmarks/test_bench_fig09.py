@@ -1,0 +1,33 @@
+"""Fig. 9: oracular static placement vs dynamic migration.
+
+Shapes to hold (paper): the statically placed *baseline* gains nothing
+over the dynamic baseline (vagabond pages have no good socket home, no
+matter how oracular the placement), while static StarNUMA slightly beats
+dynamic StarNUMA (no migration overheads, stable sharing patterns).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig09
+
+
+def test_bench_fig09(context, benchmark, show):
+    result = run_once(benchmark, lambda: fig09.run(context))
+    show(result.table)
+
+    rows = result.row_map()
+    static_base = [row[1] for row in rows.values()]
+    # The key claim: oracular static placement cannot rescue the baseline.
+    assert float(np.mean(static_base)) == pytest.approx(1.0, abs=0.12)
+    assert max(static_base) < 1.25
+
+    for name, row in rows.items():
+        _, base_static, star_dynamic, star_static = row
+        if name == "poa":
+            continue
+        # Static StarNUMA is at least on par with dynamic StarNUMA.
+        assert star_static >= star_dynamic * 0.95, name
+        # Both StarNUMA variants beat any baseline placement.
+        assert star_dynamic > base_static, name

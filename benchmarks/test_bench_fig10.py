@@ -1,0 +1,38 @@
+"""Fig. 10: pool latency sensitivity (100 ns vs 190 ns CXL penalty).
+
+Shapes to hold (paper: mean 1.54x -> 1.34x): the extra switch latency
+costs every workload some speedup but StarNUMA stays clearly ahead of
+the baseline, and the latency-driven TC suffers the largest relative
+drop.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig10
+
+
+def test_bench_fig10(context, benchmark, show):
+    result = run_once(benchmark, lambda: fig10.run(context))
+    show(result.table)
+
+    rows = result.row_map()
+    fast = {name: row[1] for name, row in rows.items()}
+    slow = {name: row[2] for name, row in rows.items()}
+
+    mean_fast = float(np.mean(list(fast.values())))
+    mean_slow = float(np.mean(list(slow.values())))
+    assert mean_slow < mean_fast
+    assert mean_slow > 1.15  # still clearly worth having the pool
+
+    drops = {name: fast[name] - slow[name] for name in fast
+             if name != "poa"}
+    for name, drop in drops.items():
+        assert drop >= -0.03, name  # higher latency never helps
+    # TC's gains are almost purely latency-driven: it is among the
+    # workloads hit hardest in relative terms (paper: 1.63x -> 1.11x).
+    relative_drop = {name: drops[name] / (fast[name] - 1 + 1e-9)
+                     for name in drops if fast[name] > 1.05}
+    top_two = sorted(relative_drop, key=relative_drop.get)[-2:]
+    assert "tc" in top_two

@@ -1,0 +1,39 @@
+"""Fig. 11: bandwidth provisioning study.
+
+Shapes to hold (paper): Baseline ISO-BW helps modestly (1.14x mean);
+even the impractical Baseline 2xBW trails StarNUMA on average (paper:
+by 12%); StarNUMA at half CXL bandwidth still beats ISO-BW (paper: by
+11%). Bandwidth alone is neither necessary nor sufficient.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig11
+
+
+def test_bench_fig11(context, benchmark, show):
+    result = run_once(benchmark, lambda: fig11.run(context))
+    show(result.table)
+
+    rows = result.row_map()
+    iso = np.array([row[1] for row in rows.values()])
+    double = np.array([row[2] for row in rows.values()])
+    star = np.array([row[3] for row in rows.values()])
+    half = np.array([row[4] for row in rows.values()])
+
+    # ISO-BW gains are real but modest (paper 1.14x mean).
+    assert 1.0 <= iso.mean() <= 1.30
+    # More bandwidth helps the baseline monotonically.
+    assert double.mean() >= iso.mean()
+    # StarNUMA beats even the 2x-overprovisioned baseline on average.
+    assert star.mean() > double.mean()
+    # Half-bandwidth StarNUMA still beats ISO-BW on average.
+    assert half.mean() > iso.mean()
+    # ...but full CXL bandwidth matters for the bandwidth-bound kernels.
+    assert rows["bfs"][3] > rows["bfs"][4]
+    assert rows["sssp"][3] > rows["sssp"][4]
+    # The bandwidth-bound kernels are the big ISO-BW winners.
+    gains = {name: row[1] for name, row in rows.items()}
+    assert gains["sssp"] == max(gains.values())

@@ -1,0 +1,28 @@
+"""Fig. 13: TC page access characterization.
+
+Shapes to hold (paper): 60% of the dataset is touched by all 16 sockets
+and 80% by 8 or more -- coherence-free (read-only) but far too large to
+replicate per socket.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig13
+
+
+def test_bench_fig13(context, benchmark, show):
+    result = run_once(benchmark, lambda: fig13.run(context))
+    show(result.table)
+
+    by_degree = {row[0]: row for row in result.rows}
+    pages_16 = by_degree.get(16, (0, 0))[1]
+    pages_8_plus = sum(row[1] for deg, row in by_degree.items() if deg >= 8)
+    assert pages_16 == pytest.approx(0.60, abs=0.03)
+    assert pages_8_plus == pytest.approx(0.80, abs=0.03)
+
+    # TC's shared accesses are overwhelmingly reads (replication would be
+    # coherence-free, just capacity-infeasible).
+    wide_reads = sum(row[3] for deg, row in by_degree.items() if deg >= 8)
+    wide_writes = sum(row[4] for deg, row in by_degree.items() if deg >= 8)
+    assert wide_reads > 20 * wide_writes

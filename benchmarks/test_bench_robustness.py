@@ -1,0 +1,66 @@
+"""Robustness benches: seeds and the model's free constants.
+
+Not a paper artifact -- these validate that the reproduction's headline
+does not hinge on one trace draw (seed study) or on the two constants the
+analytic model introduces (arrival burstiness, coherence coupling).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis import (
+    burstiness_sensitivity,
+    coupling_sensitivity,
+    seed_robustness,
+)
+from repro.analysis.robustness import ordering_stable
+from repro.metrics import format_table
+
+
+def test_bench_seed_robustness(benchmark, show):
+    studies = run_once(
+        benchmark,
+        lambda: seed_robustness(("bfs", "tc", "poa"), seeds=(1, 2, 3),
+                                n_phases=8, warmup_phases=2),
+    )
+    rows = [(name, study.mean, study.std, study.spread)
+            for name, study in studies.items()]
+    show(format_table(("workload", "mean_speedup", "std", "spread"), rows,
+                      title="[robustness] speedup across trace seeds"))
+
+    for name, study in studies.items():
+        assert study.coefficient_of_variation < 0.06, name
+    assert ordering_stable(studies)
+    assert studies["poa"].mean == pytest.approx(1.0, abs=0.02)
+
+
+def test_bench_burstiness_sensitivity(benchmark, show):
+    sweep = run_once(
+        benchmark,
+        lambda: burstiness_sensitivity("bfs",
+                                       burstiness_values=(1, 3, 6, 12),
+                                       n_phases=8, warmup_phases=2),
+    )
+    rows = sorted(sweep.items())
+    show(format_table(("burstiness", "speedup"), rows,
+                      title="[sensitivity] BFS speedup vs queueing "
+                            "burstiness"))
+    values = [value for _, value in rows]
+    # A 12x swing of the constant moves the headline by far less.
+    assert max(values) / min(values) < 1.5
+    assert all(value > 1.3 for value in values)
+
+
+def test_bench_coupling_sensitivity(benchmark, show):
+    sweep = run_once(
+        benchmark,
+        lambda: coupling_sensitivity("bfs", coupling_values=(0.1, 0.3, 0.5),
+                                     n_phases=8, warmup_phases=2),
+    )
+    rows = sorted(sweep.items())
+    show(format_table(("coupling", "speedup"), rows,
+                      title="[sensitivity] BFS speedup vs coherence "
+                            "coupling"))
+    values = [value for _, value in rows]
+    assert max(values) / min(values) < 1.4
+    assert all(value > 1.3 for value in values)

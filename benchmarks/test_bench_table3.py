@@ -1,0 +1,26 @@
+"""Table III: workload anchors and model self-consistency.
+
+Shape to hold: the calibrated closed loop reproduces the published
+16-socket IPC of every workload on the baseline within a few percent.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import table3
+
+
+def test_bench_table3(context, benchmark, show):
+    result = run_once(benchmark, lambda: table3.run(context))
+    show(result.table)
+
+    for row in result.rows:
+        workload, _, _, ipc_paper, ipc_model, amat = row
+        assert ipc_model == pytest.approx(ipc_paper, rel=0.15), workload
+        assert amat >= 80.0, workload
+
+    # Memory-bound kernels suffer far higher baseline AMAT than
+    # compute-bound ones.
+    amat = {row[0]: row[5] for row in result.rows}
+    assert amat["sssp"] > amat["tc"]
+    assert amat["poa"] == min(amat.values())

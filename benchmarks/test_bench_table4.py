@@ -1,0 +1,31 @@
+"""Table IV: fraction of migrations to the pool.
+
+Shapes to hold (paper: SSSP 80%, BFS 100%, CC 99%, TC 80%, Masstree
+100%, TPCC 93%, FMI 47%, POA 0%): most demand migrations target the pool
+for every workload except FMI (whose index is partly chassis-local) and
+POA (which never migrates at all).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import table4
+
+
+def test_bench_table4(context, benchmark, show):
+    result = run_once(benchmark, lambda: table4.run(context))
+    show(result.table)
+
+    rows = result.row_map()
+    fractions = {name: row[1] for name, row in rows.items()}
+
+    assert fractions["poa"] == 0.0
+    assert rows["poa"][2] == 0          # no migrations at all
+    assert fractions["masstree"] > 0.9  # paper: 100%
+    assert fractions["fmi"] < 0.7       # paper: 47%, the outlier
+    for name in ("bfs", "cc", "tc", "tpcc"):
+        assert fractions[name] > 0.5, name
+    # Every migrating workload sends a nonzero share to the pool.
+    for name, fraction in fractions.items():
+        if name != "poa":
+            assert fraction > 0.2, name

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Where do the cycles go? Link-level bottleneck analysis.
+
+For one workload, prints the most-utilized link directions on the
+baseline and on StarNUMA at their respective operating points, showing
+the mechanism behind the speedup: the baseline saturates socket-to-ASIC
+UPI links with 2-hop traffic; StarNUMA drains that onto sixteen idle CXL
+links.
+
+Usage::
+
+    python examples/bottleneck_analysis.py [workload]
+"""
+
+import sys
+
+from repro.analysis import analyze_phase
+from repro.experiments import ExperimentContext
+from repro.metrics import format_table
+from repro.topology.model import LinkKind
+
+
+def report_for(context, system, workload, label):
+    simulator = context.simulator(system, workload)
+    result = context.run(system, workload)
+    phase_index = len(simulator.setup.traces) - 1
+    report = analyze_phase(simulator, phase_index, ipc=result.ipc)
+
+    rows = [(sample.link_id, "fwd" if sample.forward else "rev",
+             sample.utilization, sample.wait_ns)
+            for sample in report.critical(6)]
+    print(format_table(
+        ("link", "dir", "utilization", "wait_ns"), rows,
+        title=f"{label}: busiest link directions "
+              f"(IPC {result.ipc:.3f}, AMAT {result.amat_ns:.0f} ns)",
+    ))
+    print()
+    return report
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "bfs"
+    context = ExperimentContext(seed=1, n_phases=10, warmup_phases=3,
+                                workloads=(workload,))
+
+    base_report = report_for(context, context.baseline_system(), workload,
+                             "baseline")
+    star_report = report_for(context, context.starnuma_system(), workload,
+                             "starnuma")
+
+    print("peak utilization by link family:")
+    for kind in (LinkKind.UPI, LinkKind.NUMALINK, LinkKind.CXL,
+                 LinkKind.DRAM):
+        base_peak = base_report.by_kind.get(kind)
+        star_peak = star_report.by_kind.get(kind)
+        base_text = f"{base_peak:.2f}" if base_peak is not None else "--"
+        star_text = f"{star_peak:.2f}" if star_peak is not None else "--"
+        print(f"  {kind.value:9s} baseline {base_text:>6s}   "
+              f"starnuma {star_text:>6s}")
+    print()
+    print("The pool converts the baseline's hottest UPI/ASIC directions "
+          "into lightly loaded CXL star links\n-- extra bandwidth exactly "
+          "where the vagabond traffic is.")
+
+
+if __name__ == "__main__":
+    main()

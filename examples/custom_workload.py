@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Model your own workload: a parameter-server style training job.
+
+The catalog's eight workloads come from the paper, but the pipeline takes
+any :class:`WorkloadProfile`. This example models a synchronous
+data-parallel training job on a 16-socket machine: per-worker minibatch
+buffers are private, a hot read-write parameter shard is shared by every
+socket, and gradients bounce between chassis-local worker groups -- then
+asks whether such a job would benefit from a memory pool.
+
+Usage::
+
+    python examples/custom_workload.py
+"""
+
+from repro import baseline_config, starnuma_config
+from repro.metrics import format_table
+from repro.sim import SimulationSetup, Simulator
+from repro.topology import AccessType
+from repro.workloads import SharingClass, WorkloadProfile
+
+
+def parameter_server_profile() -> WorkloadProfile:
+    return WorkloadProfile(
+        name="param-server",
+        family="ml-training",
+        footprint_gb=40.0,
+        mpki=12.0,
+        # Anchors: measure (or estimate) per-core IPC alone vs at scale.
+        ipc_single=0.95,
+        ipc_16=0.22,
+        sharing=(
+            # Minibatch/activation buffers: private per worker socket.
+            SharingClass(1, 0.55, 0.30, write_fraction=0.45),
+            # Gradient exchange inside a chassis-local worker group.
+            SharingClass(4, 0.25, 0.20, write_fraction=0.50,
+                         chassis_affinity=0.8),
+            # The parameter shard: read-write, touched by every socket.
+            SharingClass(16, 0.20, 0.50, write_fraction=0.40),
+        ),
+        coupling=0.22,
+        weight_skew=0.7,  # embedding-style popularity skew
+    )
+
+
+def main() -> None:
+    profile = parameter_server_profile()
+    base_system = baseline_config()
+    star_system = starnuma_config()
+
+    setup = SimulationSetup.create(profile, base_system, n_phases=10, seed=2)
+    base_sim = Simulator(base_system, setup)
+    calibration = base_sim.calibrate()
+    base = base_sim.run(calibration=calibration, warmup_phases=3)
+    star = Simulator(star_system, setup).run(calibration=calibration,
+                                             warmup_phases=3)
+
+    rows = []
+    for label, result in (("baseline", base), ("starnuma", star)):
+        fractions = result.access_fractions()
+        rows.append((
+            label, result.ipc, result.amat_ns,
+            fractions.get(AccessType.LOCAL, 0.0),
+            fractions.get(AccessType.INTER_CHASSIS, 0.0),
+            fractions.get(AccessType.POOL, 0.0),
+            (fractions.get(AccessType.BLOCK_TRANSFER_SOCKET, 0.0)
+             + fractions.get(AccessType.BLOCK_TRANSFER_POOL, 0.0)),
+        ))
+    print(format_table(
+        ("system", "ipc", "amat_ns", "local", "2hop", "pool", "coherence"),
+        rows,
+        title="Parameter-server training job on 16 sockets",
+    ))
+    print()
+    print(f"speedup {star.speedup_over(base):.2f}x, "
+          f"AMAT -{star.amat_reduction_over(base):.0%}, "
+          f"{star.pool_migration_fraction:.0%} of migrations to the pool")
+    print()
+    print("The parameter shard is a textbook vagabond: half the accesses, "
+          "no good socket home.\nThe pool absorbs it; private minibatch "
+          "buffers stay local under first touch.")
+
+
+if __name__ == "__main__":
+    main()

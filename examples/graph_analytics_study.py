@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Graph analytics on big NUMA iron: where do the cycles go?
+
+The paper's motivating domain is irregular graph analytics (GAP kernels
+on a Kronecker graph). This example characterizes all four kernels:
+
+1. the vagabond-page structure (how many pages are widely shared, and
+   how concentrated accesses are on them -- Fig. 2's analysis);
+2. what that structure costs on a conventional 16-socket machine
+   (2-hop fraction, contention-dominated AMAT);
+3. what the memory pool recovers, under both the T16 and T0 trackers.
+
+Usage::
+
+    python examples/graph_analytics_study.py
+"""
+
+from repro import TrackerKind, baseline_config, starnuma_config
+from repro.experiments import ExperimentContext
+from repro.metrics import format_table
+from repro.topology import AccessType
+
+GRAPH_KERNELS = ("bfs", "cc", "sssp", "tc")
+
+
+def characterize(context: ExperimentContext) -> None:
+    rows = []
+    for name in GRAPH_KERNELS:
+        population = context.setup(name).population
+        degrees, pages = population.sharing_degree_histogram()
+        _, accesses = population.access_share_by_degree()
+        rows.append((
+            name,
+            float(pages[degrees == 1].sum()),
+            float(pages[degrees > 8].sum()),
+            float(accesses[degrees > 8].sum()),
+            float(accesses[degrees == 16].sum()),
+        ))
+    print(format_table(
+        ("kernel", "private_pages", "wide_pages(>8)", "wide_accesses(>8)",
+         "accesses(16-shared)"),
+        rows,
+        title="Vagabond structure: few widely shared pages, most accesses",
+    ))
+    print()
+
+
+def evaluate(context: ExperimentContext) -> None:
+    t16 = context.starnuma_system(tracker=TrackerKind.T16)
+    t0 = context.starnuma_system(tracker=TrackerKind.T0)
+    rows = []
+    for name in GRAPH_KERNELS:
+        base = context.baseline_result(name)
+        star = context.run(t16, name)
+        star_t0 = context.run(t0, name)
+        fractions = base.access_fractions()
+        rows.append((
+            name,
+            float(fractions.get(AccessType.INTER_CHASSIS, 0.0)),
+            base.amat_ns,
+            base.contention_ns / base.amat_ns,
+            star.amat_ns,
+            star.speedup_over(base),
+            star_t0.speedup_over(base),
+        ))
+    print(format_table(
+        ("kernel", "base_2hop", "base_amat_ns", "contention_share",
+         "star_amat_ns", "speedup_t16", "speedup_t0"),
+        rows,
+        title="Baseline cost and StarNUMA recovery",
+    ))
+
+
+def main() -> None:
+    context = ExperimentContext(seed=1, n_phases=10, warmup_phases=3,
+                                workloads=GRAPH_KERNELS)
+    characterize(context)
+    evaluate(context)
+    print()
+    print("Reading: bandwidth-bound kernels (SSSP, BFS) are rescued mostly "
+          "by the pool's extra bandwidth;\ncompute-bound TC mostly by its "
+          "lower latency. The simple T0 tracker already captures much of "
+          "the win.")
+
+
+if __name__ == "__main__":
+    main()

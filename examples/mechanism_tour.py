@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""A tour of StarNUMA's hardware mechanisms, one substrate at a time.
+
+The phase-level pipeline hides the functional substrates it is built on.
+This example drives each of them directly on a small synthetic trace:
+
+* the TLB annex + marker flush protocol (lossless access counting);
+* the per-region T16 tracker the metadata region stores;
+* the MESI directory, contrasting 3-hop socket-homed transfers with
+  4-hop pool-homed ones;
+* a DDR5 channel under a row-friendly vs row-hostile access stream;
+* metadata-region sizing for a real 16 TB machine.
+
+Usage::
+
+    python examples/mechanism_tour.py
+"""
+
+import numpy as np
+
+from repro.coherence import Directory, TransferKind
+from repro.config import MigrationConfig, TrackerKind, full_scale_config
+from repro.memory import DramChannel, RequestKind
+from repro.metrics import format_table
+from repro.tracking import MetadataRegion, RegionTrackerArray, TlbAnnex
+from repro.topology import POOL_LOCATION
+
+
+def tlb_annex_demo() -> None:
+    print("== TLB annex: hardware access counting without page faults ==")
+    tlb = TlbAnnex(capacity=4)
+    rng = np.random.default_rng(0)
+    direct = {}
+    for step in range(5000):
+        page = int(rng.zipf(1.5)) % 32
+        tlb.access(page, llc_miss=bool(rng.random() < 0.3))
+        if step % 1000 == 999:
+            tlb.set_markers()  # once per migration phase
+    flushed = sum(tlb.flushed_counts.values())
+    resident = sum(tlb.resident_counts().values())
+    print(f"  {tlb.stats.accesses} accesses through a 4-entry TLB: "
+          f"{flushed} counts flushed by the PTW, {resident} still in annex")
+    print(f"  evictions {tlb.stats.evictions}, marker flushes "
+          f"{tlb.stats.marker_flushes} -- flushed+resident is exact\n")
+
+
+def tracker_demo() -> None:
+    print("== T16 region tracker: sharer bits + saturating counter ==")
+    tracker = RegionTrackerArray(n_regions=4, n_sockets=16,
+                                 tracker=TrackerKind.T16)
+    counts = np.zeros((16, 4), dtype=np.int64)
+    counts[:, 0] = 3000          # region 0: touched by all 16 sockets
+    counts[2, 1] = 40_000        # region 1: hot but private to socket 2
+    counts[:2, 2] = 80_000       # region 2: saturates the 16-bit counter
+    tracker.update(counts)
+    rows = [(region, int(tracker.sharer_counts()[region]),
+             int(tracker.accesses()[region]))
+            for region in range(4)]
+    print(format_table(("region", "sharers", "accesses(sat 65535)"), rows))
+    print("  region 0 is a vagabond (16 sharers) -> pool candidate; "
+          "region 1 is hot but private.\n")
+
+
+def coherence_demo() -> None:
+    print("== Coherence: 3-hop socket home vs 4-hop pool home ==")
+    socket_home = Directory(home=3)
+    pool_home = Directory(home=POOL_LOCATION)
+    for directory in (socket_home, pool_home):
+        directory.write(block=7, requester=0)       # socket 0 dirties it
+        event = directory.read(block=7, requester=12)  # cross-chassis read
+        print(f"  home={'pool' if directory.is_pool_home else 'socket 3'}: "
+              f"read by socket 12 -> {event.transfer.value} from owner "
+              f"{event.owner}")
+    print("  the pool path crosses two CXL links (~200 ns of network) yet "
+          "beats the 333 ns\n  average of the 3-hop socket path "
+          "(Section III-C).\n")
+
+
+def dram_demo() -> None:
+    print("== DDR5 channel: row locality under two streams ==")
+    streaming = DramChannel()
+    done = 0.0
+    for block in range(512):
+        done = streaming.access(block * 64, RequestKind.READ, done)
+    random_channel = DramChannel()
+    rng = np.random.default_rng(1)
+    done = 0.0
+    for _ in range(512):
+        address = int(rng.integers(0, 1 << 26)) & ~63
+        done = random_channel.access(address, RequestKind.READ, done)
+    rows = [
+        ("sequential", streaming.stats.row_hit_rate,
+         streaming.stats.average_latency_ns),
+        ("random", random_channel.stats.row_hit_rate,
+         random_channel.stats.average_latency_ns),
+    ]
+    print(format_table(("stream", "row_hit_rate", "avg_latency_ns"), rows))
+    print()
+
+
+def metadata_demo() -> None:
+    print("== Metadata region sizing at full scale (Section III-D4) ==")
+    system = full_scale_config()
+    region = MetadataRegion.for_system(
+        total_memory_bytes=16 * 1024 ** 4,
+        n_sockets=system.n_sockets,
+        migration=MigrationConfig(),
+    )
+    print(f"  16 TB machine, 512 KB regions -> {region.n_entries / 1e6:.0f}M "
+          f"entries, {region.total_bytes >> 20} MB of metadata")
+    print(f"  Algorithm 1 scan: {region.scan_cost_cycles(2) / 1e6:.0f}M-"
+          f"{region.scan_cost_cycles(10) / 1e6:.0f}M cycles -- fits easily "
+          "in a 1B-cycle phase on one core")
+
+
+def main() -> None:
+    tlb_annex_demo()
+    tracker_demo()
+    coherence_demo()
+    dram_demo()
+    metadata_demo()
+
+
+if __name__ == "__main__":
+    main()

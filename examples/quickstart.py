@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate BFS on a baseline 16-socket system and StarNUMA.
+
+Runs the whole pipeline for one workload -- synthetic trace generation,
+the baseline's perfect-knowledge migration, calibration against the
+paper's published IPC anchors, Algorithm 1 on the StarNUMA side, and the
+closed-loop timing model -- then prints the headline comparison.
+
+Usage::
+
+    python examples/quickstart.py [workload]
+"""
+
+import sys
+
+from repro import baseline_config, starnuma_config
+from repro.metrics import format_table
+from repro.sim import SimulationSetup, Simulator
+from repro.topology import AccessType
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "bfs"
+    profile = get_workload(workload)
+    print(f"workload: {profile.name} ({profile.family}, "
+          f"{profile.footprint_gb:.0f} GB footprint, MPKI {profile.mpki})")
+
+    base_system = baseline_config()
+    star_system = starnuma_config()
+
+    # Step A: one trace set shared by both systems (like-for-like).
+    setup = SimulationSetup.create(profile, base_system, n_phases=10, seed=1)
+
+    # Baseline: simulate, then calibrate the CPI model at the paper's
+    # published 16-socket IPC.
+    base_sim = Simulator(base_system, setup)
+    calibration = base_sim.calibrate()
+    base = base_sim.run(calibration=calibration, warmup_phases=3)
+
+    # StarNUMA: same traces, same calibration, pool + Algorithm 1.
+    star = Simulator(star_system, setup).run(calibration=calibration,
+                                             warmup_phases=3)
+
+    print()
+    rows = []
+    for label, result in (("baseline", base), ("starnuma", star)):
+        fractions = result.access_fractions()
+        rows.append((
+            label, result.ipc, result.amat_ns, result.unloaded_amat_ns,
+            result.contention_ns,
+            fractions.get(AccessType.INTER_CHASSIS, 0.0),
+            fractions.get(AccessType.POOL, 0.0),
+        ))
+    print(format_table(
+        ("system", "ipc", "amat_ns", "unloaded_ns", "contention_ns",
+         "2hop_frac", "pool_frac"),
+        rows,
+    ))
+
+    print()
+    print(f"speedup:        {star.speedup_over(base):.2f}x")
+    print(f"AMAT reduction: {star.amat_reduction_over(base):.0%}")
+    print(f"migrations to pool: {star.pool_migration_fraction:.0%} "
+          f"of {star.pages_migrated} migrated pages")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""StarNUMA reproduction library.
+
+A trace-driven simulation of *StarNUMA: Mitigating NUMA Challenges with
+Memory Pooling* (MICRO 2024): a 16-socket hierarchical NUMA system
+extended with a CXL-attached, coherently shared memory pool that homes
+"vagabond" pages -- pages actively shared by many sockets that have no
+good socket-local placement.
+
+Quickstart::
+
+    from repro import ExperimentContext, baseline_config, starnuma_config
+
+    context = ExperimentContext(seed=1)
+    base = context.baseline_result("bfs")
+    star = context.run(starnuma_config(), "bfs")
+    print(star.speedup_over(base))
+
+See DESIGN.md for the system inventory, EXPERIMENTS.md for the
+paper-versus-measured record, and ``examples/`` for runnable scenarios.
+"""
+
+from repro.config import (
+    BandwidthConfig,
+    LatencyConfig,
+    MigrationConfig,
+    PoolConfig,
+    SystemConfig,
+    TrackerKind,
+    baseline_config,
+    full_scale_config,
+    scaled_config,
+    starnuma_config,
+    with_double_bandwidth,
+    with_half_pool_bandwidth,
+    with_iso_bandwidth,
+    with_pool_capacity_fraction,
+    with_pool_latency_penalty,
+)
+from repro.experiments import EXPERIMENTS, ExperimentContext, ExperimentResult
+from repro.sim import SimulationResult, SimulationSetup, Simulator
+from repro.topology import AccessType, Topology
+from repro.workloads import (
+    WORKLOADS,
+    WorkloadProfile,
+    all_workloads,
+    build_population,
+    get_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessType",
+    "BandwidthConfig",
+    "EXPERIMENTS",
+    "ExperimentContext",
+    "ExperimentResult",
+    "LatencyConfig",
+    "MigrationConfig",
+    "PoolConfig",
+    "SimulationResult",
+    "SimulationSetup",
+    "Simulator",
+    "SystemConfig",
+    "Topology",
+    "TrackerKind",
+    "WORKLOADS",
+    "WorkloadProfile",
+    "all_workloads",
+    "baseline_config",
+    "build_population",
+    "full_scale_config",
+    "get_workload",
+    "scaled_config",
+    "starnuma_config",
+    "with_double_bandwidth",
+    "with_half_pool_bandwidth",
+    "with_iso_bandwidth",
+    "with_pool_capacity_fraction",
+    "with_pool_latency_penalty",
+]

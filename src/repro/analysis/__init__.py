@@ -1,0 +1,29 @@
+"""Analysis utilities: robustness and model-sensitivity studies.
+
+The reproduction's conclusions should not hinge on one random trace draw
+or one fitted constant. This package provides:
+
+* :func:`seed_robustness` -- repeat a baseline/StarNUMA pair across
+  trace seeds and report the speedup spread and ordering stability;
+* :func:`burstiness_sensitivity` -- sweep the queueing model's
+  arrival-burstiness multiplier (the one global constant of the
+  contention model);
+* :func:`coupling_sensitivity` -- sweep a workload's coherence coupling
+  factor (the one fitted constant of the block-transfer model).
+"""
+
+from repro.analysis.bottleneck import BottleneckReport, analyze_phase
+from repro.analysis.robustness import SeedStudy, seed_robustness
+from repro.analysis.sensitivity import (
+    burstiness_sensitivity,
+    coupling_sensitivity,
+)
+
+__all__ = [
+    "BottleneckReport",
+    "SeedStudy",
+    "analyze_phase",
+    "burstiness_sensitivity",
+    "coupling_sensitivity",
+    "seed_robustness",
+]

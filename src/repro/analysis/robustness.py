@@ -1,0 +1,93 @@
+"""Seed-robustness study: is the headline stable across trace draws?"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.config import SystemConfig, baseline_config, starnuma_config
+from repro.sim import SimulationSetup, Simulator
+from repro.workloads import get_workload
+
+
+@dataclass
+class SeedStudy:
+    """Per-seed speedups of one workload."""
+
+    workload: str
+    seeds: List[int]
+    speedups: List[float]
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.speedups))
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.speedups))
+
+    @property
+    def spread(self) -> float:
+        return float(max(self.speedups) - min(self.speedups))
+
+    @property
+    def coefficient_of_variation(self) -> float:
+        if self.mean == 0:
+            return 0.0
+        return self.std / self.mean
+
+
+def pair_speedup(workload: str, seed: int, n_phases: int = 8,
+                 warmup_phases: int = 2,
+                 star_system: SystemConfig = None) -> float:
+    """One baseline/StarNUMA speedup at a given trace seed."""
+    base_system = baseline_config()
+    star_system = star_system or starnuma_config()
+    setup = SimulationSetup.create(get_workload(workload), base_system,
+                                   n_phases=n_phases, seed=seed)
+    base_sim = Simulator(base_system, setup)
+    calibration = base_sim.calibrate()
+    base = base_sim.run(calibration=calibration,
+                        warmup_phases=warmup_phases)
+    star = Simulator(star_system, setup).run(calibration=calibration,
+                                             warmup_phases=warmup_phases)
+    return star.speedup_over(base)
+
+
+def seed_robustness(workloads: Sequence[str],
+                    seeds: Sequence[int] = (1, 2, 3),
+                    n_phases: int = 8,
+                    warmup_phases: int = 2) -> Dict[str, SeedStudy]:
+    """Repeat the main experiment across seeds.
+
+    Returns one :class:`SeedStudy` per workload. A healthy reproduction
+    shows small coefficients of variation and a seed-stable ordering of
+    workloads by speedup.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    studies: Dict[str, SeedStudy] = {}
+    for workload in workloads:
+        speedups = [
+            pair_speedup(workload, seed, n_phases, warmup_phases)
+            for seed in seeds
+        ]
+        studies[workload] = SeedStudy(
+            workload=workload, seeds=list(seeds), speedups=speedups
+        )
+    return studies
+
+
+def ordering_stable(studies: Dict[str, SeedStudy]) -> bool:
+    """Whether the workload speedup ordering is identical for every seed."""
+    if not studies:
+        return True
+    n_seeds = len(next(iter(studies.values())).seeds)
+    orderings = []
+    for index in range(n_seeds):
+        ranked = sorted(studies,
+                        key=lambda name: studies[name].speedups[index])
+        orderings.append(tuple(ranked))
+    return len(set(orderings)) == 1

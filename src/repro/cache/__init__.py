@@ -1,0 +1,12 @@
+"""Cache substrate: the light-socket LLC filter of the methodology.
+
+The mixed-modality simulation (Section IV-B) gives every "light" socket an
+LLC-sized cache to filter its injected memory trace and to support
+coherence modeling. This package provides that filter as a classic
+set-associative write-back cache with LRU replacement, plus the statistics
+(misses, evictions, writebacks) the rest of the pipeline consumes.
+"""
+
+from repro.cache.llc import CacheStats, SetAssociativeCache
+
+__all__ = ["CacheStats", "SetAssociativeCache"]

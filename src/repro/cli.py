@@ -1,0 +1,172 @@
+"""Command-line interface: ``starnuma`` / ``python -m repro``.
+
+Examples::
+
+    starnuma list                      # available experiments & workloads
+    starnuma run fig8                  # reproduce the main results
+    starnuma run all --seed 2          # every table/figure, fresh seed
+    starnuma run fig10 --workloads bfs tc
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import EXPERIMENTS, ExperimentContext
+from repro.workloads import WORKLOADS
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="starnuma",
+        description="StarNUMA (MICRO 2024) reproduction harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments and workloads")
+
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment",
+                     choices=sorted(EXPERIMENTS) + ["all"],
+                     help="experiment id, or 'all'")
+    run.add_argument("--seed", type=int, default=1,
+                     help="RNG seed for trace synthesis (default 1)")
+    run.add_argument("--phases", type=int, default=12,
+                     help="simulated phases per run (default 12)")
+    run.add_argument("--warmup", type=int, default=4,
+                     help="phases excluded from aggregates (default 4)")
+    run.add_argument("--workloads", nargs="+", metavar="NAME",
+                     help="restrict to these workloads")
+
+    export = sub.add_parser("export",
+                            help="run experiments and write JSON/CSV")
+    export.add_argument("--out", required=True, metavar="DIR",
+                        help="output directory")
+    export.add_argument("--experiments", nargs="+", metavar="ID",
+                        help="subset of experiment ids (default: all)")
+    export.add_argument("--seed", type=int, default=1)
+    export.add_argument("--phases", type=int, default=12)
+    export.add_argument("--warmup", type=int, default=4)
+    export.add_argument("--workloads", nargs="+", metavar="NAME")
+
+    describe = sub.add_parser("describe",
+                              help="print a system configuration")
+    describe.add_argument("system", choices=["baseline", "starnuma",
+                                             "full-scale"],
+                          help="which preset to describe")
+    return parser
+
+
+def _cmd_list() -> int:
+    print("experiments:")
+    for name in sorted(EXPERIMENTS):
+        print(f"  {name}")
+    print("workloads:")
+    for name in WORKLOADS:
+        profile = WORKLOADS[name]
+        print(f"  {name:9s} {profile.family:13s} "
+              f"{profile.footprint_gb:6.0f} GB  MPKI {profile.mpki}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    for workload in args.workloads or []:
+        if workload not in WORKLOADS:
+            print(f"unknown workload {workload!r}", file=sys.stderr)
+            return 2
+    context = ExperimentContext(
+        seed=args.seed,
+        n_phases=args.phases,
+        warmup_phases=args.warmup,
+        workloads=args.workloads,
+    )
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [
+        args.experiment
+    ]
+    for name in names:
+        result = EXPERIMENTS[name](context)
+        print(result.table)
+        if name == "fig8":
+            from repro.metrics.ascii_chart import speedup_chart
+
+            items = [(str(row[0]), float(row[1]))
+                     for row in result.speedup.rows]
+            print()
+            print(speedup_chart(items,
+                                title="StarNUMA (T16) speedup over "
+                                      "baseline:"))
+        print()
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.experiments.export import export_all
+
+    context = ExperimentContext(
+        seed=args.seed, n_phases=args.phases, warmup_phases=args.warmup,
+        workloads=args.workloads,
+    )
+    written = export_all(args.out, context, args.experiments)
+    print(f"wrote {len(written)} result files to {args.out}")
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    from repro.config import baseline_config, full_scale_config, \
+        starnuma_config
+    from repro.topology import Topology
+    from repro.topology.model import LinkKind
+
+    config = {
+        "baseline": baseline_config,
+        "starnuma": starnuma_config,
+        "full-scale": full_scale_config,
+    }[args.system]()
+    topology = Topology(config)
+
+    print(f"system: {config.name}")
+    print(f"  {config.n_chassis} chassis x {config.sockets_per_chassis} "
+          f"sockets x {config.cores_per_socket} cores = "
+          f"{config.n_cores} cores")
+    print(f"  memory: {config.memory_per_socket_gb:.0f} GB/socket"
+          + (f" + {config.pool_memory_gb:.0f} GB pool"
+             if config.pool.enabled else " (no pool)"))
+    latency = config.latency
+    print(f"  latency ns: local {latency.local_ns:.0f} / 1-hop "
+          f"{latency.intra_chassis_ns:.0f} / 2-hop "
+          f"{latency.inter_chassis_ns:.0f}"
+          + (f" / pool {latency.pool_ns:.0f}" if config.pool.enabled
+             else ""))
+    counts = {}
+    for link in topology.links.values():
+        counts.setdefault(link.kind, [0, link.capacity_gbps])
+        counts[link.kind][0] += 1
+    print("  links:")
+    for kind in (LinkKind.UPI, LinkKind.NUMALINK, LinkKind.CXL,
+                 LinkKind.DRAM):
+        if kind in counts:
+            n, capacity = counts[kind]
+            print(f"    {kind.value:9s} x{n:<3d} "
+                  f"{capacity:.1f} GB/s per direction")
+    migration = config.migration
+    print(f"  migration: tracker {migration.tracker.name}, region "
+          f"{migration.region_bytes >> 10} KB, limit "
+          f"{migration.migration_limit_pages} pages/phase")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "export":
+        return _cmd_export(args)
+    if args.command == "describe":
+        return _cmd_describe(args)
+    return _cmd_run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,175 @@
+"""Functional directory-based MESI protocol model."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Set
+
+from repro.topology.model import POOL_LOCATION
+
+
+class CoherenceState(enum.Enum):
+    MODIFIED = "M"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+
+class TransferKind(enum.Enum):
+    """How a directory-visible miss was satisfied."""
+
+    MEMORY = "memory"            # fetched from the home's DRAM
+    CACHE_3HOP = "cache-3hop"    # owner -> requester (socket home)
+    CACHE_4HOP = "cache-4hop"    # owner -> pool -> requester (pool home)
+
+
+@dataclass(frozen=True)
+class CoherenceEvent:
+    """Outcome of one directory transaction."""
+
+    transfer: TransferKind
+    #: Socket that supplied the block from its cache, if any.
+    owner: Optional[int]
+    #: Sockets whose cached copies were invalidated by this transaction.
+    invalidated: FrozenSet[int]
+
+    @property
+    def is_block_transfer(self) -> bool:
+        return self.transfer is not TransferKind.MEMORY
+
+
+@dataclass
+class _Entry:
+    state: CoherenceState = CoherenceState.INVALID
+    owner: Optional[int] = None
+    sharers: Set[int] = field(default_factory=set)
+
+
+@dataclass
+class DirectoryStats:
+    """Transaction counters of one directory slice."""
+
+    transactions: int = 0
+    memory_fetches: int = 0
+    cache_transfers: int = 0
+    invalidations: int = 0
+
+
+class Directory:
+    """MESI directory slice homing a set of cache blocks.
+
+    ``home`` is a socket id or :data:`POOL_LOCATION`; it determines
+    whether cache-to-cache transfers complete via the 3-hop or the 4-hop
+    (pool) path. The directory tracks which sockets cache each block and in
+    which state; requesters are socket ids (per-socket LLCs are the
+    coherence endpoints, matching the paper's per-socket shared LLC).
+    """
+
+    def __init__(self, home: int):
+        self.home = home
+        self.stats = DirectoryStats()
+        self._entries: Dict[int, _Entry] = {}
+
+    @property
+    def is_pool_home(self) -> bool:
+        return self.home == POOL_LOCATION
+
+    def _cache_transfer_kind(self) -> TransferKind:
+        if self.is_pool_home:
+            return TransferKind.CACHE_4HOP
+        return TransferKind.CACHE_3HOP
+
+    def _entry(self, block: int) -> _Entry:
+        return self._entries.setdefault(block, _Entry())
+
+    def state_of(self, block: int) -> CoherenceState:
+        entry = self._entries.get(block)
+        return entry.state if entry else CoherenceState.INVALID
+
+    def sharers_of(self, block: int) -> FrozenSet[int]:
+        entry = self._entries.get(block)
+        return frozenset(entry.sharers) if entry else frozenset()
+
+    def read(self, block: int, requester: int) -> CoherenceEvent:
+        """Handle a read miss on ``block`` from ``requester``'s LLC."""
+        entry = self._entry(block)
+        self.stats.transactions += 1
+
+        if entry.state is CoherenceState.INVALID:
+            entry.state = CoherenceState.EXCLUSIVE
+            entry.owner = requester
+            entry.sharers = {requester}
+            self.stats.memory_fetches += 1
+            return CoherenceEvent(TransferKind.MEMORY, None, frozenset())
+
+        if requester in entry.sharers and entry.state in (
+            CoherenceState.SHARED, CoherenceState.EXCLUSIVE,
+            CoherenceState.MODIFIED,
+        ):
+            # The directory only sees LLC misses; a "read" for a block the
+            # requester already shares means its copy was silently dropped.
+            entry.sharers.discard(requester)
+
+        if entry.state in (CoherenceState.MODIFIED, CoherenceState.EXCLUSIVE):
+            owner = entry.owner
+            assert owner is not None
+            entry.state = CoherenceState.SHARED
+            entry.sharers.add(owner)
+            entry.sharers.add(requester)
+            entry.owner = None
+            if owner == requester:
+                self.stats.memory_fetches += 1
+                return CoherenceEvent(TransferKind.MEMORY, None, frozenset())
+            self.stats.cache_transfers += 1
+            return CoherenceEvent(self._cache_transfer_kind(), owner,
+                                  frozenset())
+
+        # SHARED: the home's memory copy is clean; fetch from memory.
+        entry.sharers.add(requester)
+        self.stats.memory_fetches += 1
+        return CoherenceEvent(TransferKind.MEMORY, None, frozenset())
+
+    def write(self, block: int, requester: int) -> CoherenceEvent:
+        """Handle a write (RFO) miss on ``block`` from ``requester``'s LLC."""
+        entry = self._entry(block)
+        self.stats.transactions += 1
+
+        if entry.state is CoherenceState.INVALID:
+            entry.state = CoherenceState.MODIFIED
+            entry.owner = requester
+            entry.sharers = {requester}
+            self.stats.memory_fetches += 1
+            return CoherenceEvent(TransferKind.MEMORY, None, frozenset())
+
+        invalidated = frozenset(entry.sharers - {requester})
+        self.stats.invalidations += len(invalidated)
+
+        supplied_by: Optional[int] = None
+        if entry.state in (CoherenceState.MODIFIED, CoherenceState.EXCLUSIVE):
+            if entry.owner != requester:
+                supplied_by = entry.owner
+
+        entry.state = CoherenceState.MODIFIED
+        entry.owner = requester
+        entry.sharers = {requester}
+
+        if supplied_by is not None:
+            self.stats.cache_transfers += 1
+            return CoherenceEvent(self._cache_transfer_kind(), supplied_by,
+                                  invalidated)
+        self.stats.memory_fetches += 1
+        return CoherenceEvent(TransferKind.MEMORY, None, invalidated)
+
+    def evict(self, block: int, socket: int) -> None:
+        """Note that ``socket`` dropped its copy of ``block``."""
+        entry = self._entries.get(block)
+        if entry is None:
+            return
+        entry.sharers.discard(socket)
+        if entry.owner == socket:
+            entry.owner = None
+            entry.state = (CoherenceState.SHARED if entry.sharers
+                           else CoherenceState.INVALID)
+        elif not entry.sharers:
+            entry.state = CoherenceState.INVALID

@@ -1,0 +1,75 @@
+"""Analytic estimate of coherence block-transfer activity.
+
+The phase-level timing model cannot replay every block's MESI state, so it
+estimates, per page class, what fraction of LLC misses are satisfied by a
+cache-to-cache transfer instead of a memory fetch. A transfer happens when
+the requested block is dirty in another socket's LLC, which requires (a)
+the page to be write-shared and (b) the last writer to be a different
+socket with the block still resident.
+
+For a page with ``k`` active sharers and per-access write fraction ``w``,
+the probability that the most recent write to a block came from a *other*
+socket is ``w_effective * (k - 1) / k`` under symmetric sharing, where
+``w_effective = w * (2 - w)`` captures that both read-after-remote-write
+and write-after-remote-anything interact with a dirty or owned copy. A
+workload-level ``coupling`` factor scales for block residency (the owner
+may have evicted the block) and for temporal clustering of accesses; it is
+the one fitted constant of the coherence model, chosen so that widely
+write-shared workloads see block transfers on roughly 10% of their misses,
+the level the paper reports (Section V-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Default residency/clustering factor; see module docstring.
+DEFAULT_COUPLING = 0.22
+
+
+@dataclass(frozen=True)
+class SharingModel:
+    """Block-transfer probability model for one workload."""
+
+    coupling: float = DEFAULT_COUPLING
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.coupling <= 1.0:
+            raise ValueError(f"coupling must be in [0, 1], got {self.coupling}")
+
+    def write_sharing_intensity(self, write_fraction: float) -> float:
+        """Probability an access interacts with dirty state, given writes."""
+        if not 0.0 <= write_fraction <= 1.0:
+            raise ValueError(
+                f"write fraction must be in [0, 1], got {write_fraction}"
+            )
+        return write_fraction * (2.0 - write_fraction)
+
+    def block_transfer_fraction(self, sharers: int,
+                                write_fraction: float) -> float:
+        """Fraction of misses to this page class served cache-to-cache.
+
+        Pages with a single sharer never trigger transfers; read-only pages
+        (``write_fraction == 0``) never create dirty remote copies.
+        """
+        if sharers < 1:
+            raise ValueError(f"sharers must be >= 1, got {sharers}")
+        if sharers == 1:
+            return 0.0
+        intensity = self.write_sharing_intensity(write_fraction)
+        remote_writer = (sharers - 1) / sharers
+        return min(1.0, self.coupling * intensity * remote_writer)
+
+    def directory_transaction_interval_ns(self, transfers_per_second: float) -> float:
+        """Mean time between coherence transactions at one directory.
+
+        The paper observes the pool directory handling a transaction every
+        ~100 ns on average (every ~50 cycles for BFS), which it uses to
+        argue software coherence is untenable. This helper inverts a rate
+        into that interval for reporting.
+        """
+        if transfers_per_second < 0:
+            raise ValueError("rate must be >= 0")
+        if transfers_per_second == 0:
+            return float("inf")
+        return 1e9 / transfers_per_second

@@ -1,0 +1,61 @@
+"""System configuration for the StarNUMA reproduction.
+
+This package provides the parameter sets of the paper's Table I (full-scale
+16-socket HPE Superdome FLEX class machine plus the CXL memory pool) and
+Table II (the scaled-down simulation configuration), together with the
+configuration variants used throughout the evaluation section:
+
+* ``baseline_config`` / ``starnuma_config`` -- the two architectures of
+  Fig. 8 (Section V-A).
+* ``with_iso_bandwidth`` / ``with_double_bandwidth`` /
+  ``with_half_pool_bandwidth`` -- the bandwidth-provisioning variants of
+  Fig. 11 (Section V-D).
+* ``with_pool_latency_penalty`` -- the CXL-switch latency variant of
+  Fig. 10 (Section V-C).
+* ``with_pool_capacity_fraction`` -- the pool-capacity variants of Fig. 12
+  (Section V-E).
+"""
+
+from repro.config.cxl import CxlPathModel
+from repro.config.latency import LatencyConfig
+from repro.config.bandwidth import BandwidthConfig
+from repro.config.parameters import (
+    CoreConfig,
+    MigrationConfig,
+    PoolConfig,
+    SystemConfig,
+    TrackerKind,
+)
+from repro.config.presets import (
+    baseline_config,
+    full_scale_config,
+    scaled_config,
+    starnuma_config,
+    with_double_bandwidth,
+    with_half_pool_bandwidth,
+    with_iso_bandwidth,
+    with_pool_capacity_fraction,
+    with_pool_latency_penalty,
+    with_scale_factor,
+)
+
+__all__ = [
+    "BandwidthConfig",
+    "CxlPathModel",
+    "CoreConfig",
+    "LatencyConfig",
+    "MigrationConfig",
+    "PoolConfig",
+    "SystemConfig",
+    "TrackerKind",
+    "baseline_config",
+    "full_scale_config",
+    "scaled_config",
+    "starnuma_config",
+    "with_double_bandwidth",
+    "with_half_pool_bandwidth",
+    "with_iso_bandwidth",
+    "with_pool_capacity_fraction",
+    "with_pool_latency_penalty",
+    "with_scale_factor",
+]

@@ -1,0 +1,116 @@
+"""Bandwidth parameters for links and memory channels.
+
+Values are per direction, in GB/s, and follow Tables I and II of the
+paper. The full-scale system uses 20.8 GB/s UPI links (four per socket),
+13 GB/s NUMALinks (twelve per chassis), 40 GB/s effective CXL bandwidth to
+the pool per socket, and DDR5-4800 channels. The scaled-down simulation
+configuration uses 3 GB/s coherent links, one DDR5 channel per socket, and
+6 GB/s CXL per socket to a two-channel pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+#: Peak transfer rate of a single DDR5-4800 channel, GB/s.
+DDR5_4800_CHANNEL_GBPS = 38.4
+
+
+@dataclass(frozen=True)
+class BandwidthConfig:
+    """Link and memory bandwidths (GB/s per direction)."""
+
+    upi_link_gbps: float = 20.8
+    numalink_gbps: float = 13.0
+    cxl_per_socket_gbps: float = 40.0
+    dram_channel_gbps: float = DDR5_4800_CHANNEL_GBPS
+    channels_per_socket: int = 6
+    pool_channels: int = 16
+    upi_links_per_socket: int = 4
+    numalinks_per_chassis: int = 12
+    #: Fraction of a coherent link's raw bandwidth realized as goodput
+    #: (headers, CRC, credits, snoop traffic). The CXL figure above is
+    #: already an effective rate (40 of 64 GB/s raw, ~62%), so the same
+    #: class of derating is applied to UPI/NUMALinks when links are built.
+    coherent_link_efficiency: float = 0.70
+
+    @property
+    def upi_effective_gbps(self) -> float:
+        return self.upi_link_gbps * self.coherent_link_efficiency
+
+    @property
+    def numalink_effective_gbps(self) -> float:
+        return self.numalink_gbps * self.coherent_link_efficiency
+
+    @property
+    def local_memory_gbps(self) -> float:
+        """Aggregate local DRAM bandwidth of one socket."""
+        return self.dram_channel_gbps * self.channels_per_socket
+
+    @property
+    def pool_memory_gbps(self) -> float:
+        """Aggregate DRAM bandwidth of the memory pool's MHD."""
+        return self.dram_channel_gbps * self.pool_channels
+
+    def scaled(self, link_gbps: float, channels_per_socket: int,
+               pool_channels: int, cxl_per_socket_gbps: float) -> "BandwidthConfig":
+        """Return the Table II scaled-down variant of this configuration.
+
+        Table II's link rates are the bandwidths the simulator should
+        realize, so no further protocol derating is applied to them.
+        """
+        return replace(
+            self,
+            upi_link_gbps=link_gbps,
+            numalink_gbps=link_gbps,
+            cxl_per_socket_gbps=cxl_per_socket_gbps,
+            channels_per_socket=channels_per_socket,
+            pool_channels=pool_channels,
+            coherent_link_efficiency=1.0,
+        )
+
+    def with_iso_bandwidth(self) -> "BandwidthConfig":
+        """Baseline ISO-BW variant of Fig. 11.
+
+        The coherent links absorb the 640 GB/s of aggregate effective
+        bandwidth StarNUMA's sixteen CXL links would add, pro-rated on
+        each link type's base bandwidth. For the full-scale numbers this
+        yields 26.4 GB/s UPI and 17 GB/s NUMALink; for any other base the
+        same ~1.27x pro-rating factor is applied.
+        """
+        factor = 26.4 / 20.8
+        return replace(
+            self,
+            upi_link_gbps=self.upi_link_gbps * factor,
+            numalink_gbps=self.numalink_gbps * (17.0 / 13.0),
+        )
+
+    def with_double_coherent_links(self) -> "BandwidthConfig":
+        """Baseline 2xBW variant of Fig. 11: double every coherent link."""
+        return replace(
+            self,
+            upi_link_gbps=self.upi_link_gbps * 2,
+            numalink_gbps=self.numalink_gbps * 2,
+        )
+
+    def with_half_cxl(self) -> "BandwidthConfig":
+        """StarNUMA Half-BW variant of Fig. 11: x4 instead of x8 CXL."""
+        return replace(self, cxl_per_socket_gbps=self.cxl_per_socket_gbps / 2)
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on non-positive bandwidths or counts."""
+        for name in ("upi_link_gbps", "numalink_gbps", "cxl_per_socket_gbps",
+                     "dram_channel_gbps"):
+            value = getattr(self, name)
+            if value <= 0:
+                raise ValueError(f"{name} must be positive, got {value}")
+        for name in ("channels_per_socket", "pool_channels",
+                     "upi_links_per_socket", "numalinks_per_chassis"):
+            value = getattr(self, name)
+            if value < 1:
+                raise ValueError(f"{name} must be >= 1, got {value}")
+        if not 0.0 < self.coherent_link_efficiency <= 1.0:
+            raise ValueError(
+                "coherent_link_efficiency must be in (0, 1], got "
+                f"{self.coherent_link_efficiency}"
+            )

@@ -1,0 +1,85 @@
+"""CXL pool access-path latency, built up from Fig. 3's components.
+
+The paper derives the 100 ns pool-access penalty (180 ns end to end) from
+Pond's measured CXL MHD breakdown: 25 ns of round-trip overhead at each
+of the two CXL ports (processor side and MHD side), a 20 ns retimer
+(needed to span a 16-socket rack), ~5 ns of flight time per direction,
+and 20 ns of on-MHD network/arbitration/directory -- Pond's 15 ns plus
+the paper's conservative 5 ns margin for multi-headed coherence. Scaling past 16 sockets inserts CXL
+switch levels at 90 ns round trip each (Section III-B).
+
+This module makes that derivation executable so configurations stay
+consistent with their physical story: latency variants are expressed as
+path changes (add a retimer, add a switch) rather than magic numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.config.latency import LatencyConfig
+
+
+@dataclass(frozen=True)
+class CxlPathModel:
+    """Round-trip components of one pool access, nanoseconds."""
+
+    processor_port_ns: float = 25.0
+    mhd_port_ns: float = 25.0
+    retimers: int = 1
+    retimer_ns: float = 20.0
+    flight_ns_per_direction: float = 5.0
+    mhd_internal_ns: float = 15.0
+    coherence_margin_ns: float = 5.0
+    switch_levels: int = 0
+    switch_ns: float = 90.0
+
+    def __post_init__(self) -> None:
+        if self.retimers < 0 or self.switch_levels < 0:
+            raise ValueError("retimers and switch levels must be >= 0")
+        for name in ("processor_port_ns", "mhd_port_ns", "retimer_ns",
+                     "flight_ns_per_direction", "mhd_internal_ns",
+                     "coherence_margin_ns", "switch_ns"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+    @property
+    def penalty_ns(self) -> float:
+        """Pool-access penalty over a local access (100 ns by default)."""
+        return (self.processor_port_ns
+                + self.mhd_port_ns
+                + self.retimers * self.retimer_ns
+                + 2 * self.flight_ns_per_direction
+                + self.mhd_internal_ns
+                + self.coherence_margin_ns
+                + self.switch_levels * self.switch_ns)
+
+    def end_to_end_ns(self, local_ns: float = 80.0) -> float:
+        """Unloaded pool access latency including DRAM and on-chip time."""
+        if local_ns <= 0:
+            raise ValueError(f"local latency must be positive, got {local_ns}")
+        return local_ns + self.penalty_ns
+
+    def with_switches(self, levels: int) -> "CxlPathModel":
+        """Insert CXL switch levels (scaling beyond 16 sockets)."""
+        return replace(self, switch_levels=levels)
+
+    def with_retimers(self, count: int) -> "CxlPathModel":
+        """Change the retimer chain length (physical distance)."""
+        return replace(self, retimers=count)
+
+    def apply_to(self, latency: LatencyConfig) -> LatencyConfig:
+        """Return ``latency`` with this path's pool penalty applied."""
+        return latency.with_pool_penalty(self.penalty_ns)
+
+    def breakdown(self) -> dict:
+        """Component map, for reporting (sums to :attr:`penalty_ns`)."""
+        return {
+            "processor_port": self.processor_port_ns,
+            "mhd_port": self.mhd_port_ns,
+            "retimers": self.retimers * self.retimer_ns,
+            "flight": 2 * self.flight_ns_per_direction,
+            "mhd_internal": self.mhd_internal_ns,
+            "coherence_margin": self.coherence_margin_ns,
+            "switches": self.switch_levels * self.switch_ns,
+        }

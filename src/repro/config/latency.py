@@ -1,0 +1,91 @@
+"""Unloaded latency parameters of the baseline system and the memory pool.
+
+All values are nanoseconds and come straight from the paper (Sections II-A,
+II-C, III-B, III-C and Fig. 1's latency table):
+
+* A local memory access takes 80 ns end to end.
+* An intra-chassis (single UPI hop) access adds 50 ns, for 130 ns.
+* An inter-chassis (two-hop) access adds 280 ns, for 360 ns.
+* A memory-pool access adds 100 ns of CXL path overhead, for 180 ns
+  (25 ns per CXL port x2, 20 ns retimer, ~10 ns flight, 20 ns on-MHD
+  network/arbitration/directory, 5 ns coherence margin).
+* Coherence block transfers cost 413 ns via the socket path (the average
+  3-hop cache-to-cache transfer: 333 ns of network plus 80 ns of memory
+  access and directory lookup) and 280 ns via the pool path (200 ns of
+  network for two CXL round trips plus the same 80 ns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+#: Latency added by one CXL switch level when scaling past 16 sockets
+#: (Section III-B / Fig. 10): 90 ns round trip, bringing the pool access
+#: penalty from 100 ns to 190 ns.
+CXL_SWITCH_PENALTY_NS = 90.0
+
+
+@dataclass(frozen=True)
+class LatencyConfig:
+    """Unloaded memory access latencies, in nanoseconds.
+
+    The ``*_ns`` attributes are *end-to-end* latencies as observed by a
+    load that missed the LLC; penalties relative to a local access can be
+    derived via the ``*_penalty_ns`` properties.
+    """
+
+    local_ns: float = 80.0
+    intra_chassis_ns: float = 130.0
+    inter_chassis_ns: float = 360.0
+    pool_ns: float = 180.0
+    #: Average 3-hop (requester -> home -> owner -> requester) block
+    #: transfer, socket home (Section III-C).
+    block_transfer_socket_ns: float = 413.0
+    #: 4-hop block transfer via the pool home (Section III-C).
+    block_transfer_pool_ns: float = 280.0
+
+    @property
+    def intra_chassis_penalty_ns(self) -> float:
+        """UPI-hop penalty over a local access (50 ns in the paper)."""
+        return self.intra_chassis_ns - self.local_ns
+
+    @property
+    def inter_chassis_penalty_ns(self) -> float:
+        """Two-hop penalty over a local access (280 ns in the paper)."""
+        return self.inter_chassis_ns - self.local_ns
+
+    @property
+    def pool_penalty_ns(self) -> float:
+        """CXL path penalty over a local access (100 ns in the paper)."""
+        return self.pool_ns - self.local_ns
+
+    def with_pool_penalty(self, penalty_ns: float) -> "LatencyConfig":
+        """Return a copy with a different pool access penalty.
+
+        Used by the Fig. 10 sensitivity study (a 190 ns penalty models an
+        intermediate CXL switch). The pool-path block transfer latency
+        scales with the penalty because it traverses the CXL path twice.
+        """
+        if penalty_ns < 0:
+            raise ValueError(f"pool penalty must be >= 0, got {penalty_ns}")
+        delta = penalty_ns - self.pool_penalty_ns
+        return replace(
+            self,
+            pool_ns=self.local_ns + penalty_ns,
+            block_transfer_pool_ns=self.block_transfer_pool_ns + 2 * delta,
+        )
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` if the latency ordering is nonsensical."""
+        if not (0 < self.local_ns <= self.intra_chassis_ns <= self.inter_chassis_ns):
+            raise ValueError(
+                "expected local <= intra-chassis <= inter-chassis latency, got "
+                f"{self.local_ns} / {self.intra_chassis_ns} / {self.inter_chassis_ns}"
+            )
+        if self.pool_ns < self.local_ns:
+            raise ValueError(
+                f"pool latency {self.pool_ns} ns cannot be below local "
+                f"latency {self.local_ns} ns"
+            )
+        if self.block_transfer_socket_ns <= 0 or self.block_transfer_pool_ns <= 0:
+            raise ValueError("block transfer latencies must be positive")

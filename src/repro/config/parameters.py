@@ -1,0 +1,196 @@
+"""Top-level system parameter dataclasses (Tables I and II)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.config.bandwidth import BandwidthConfig
+from repro.config.latency import LatencyConfig
+
+#: Size of an OS page, bytes.
+PAGE_SIZE_BYTES = 4096
+#: Size of a cache block, bytes.
+CACHE_BLOCK_BYTES = 64
+#: Default migration/tracking region: 512 KB = 128 4-KB pages (Section IV-C).
+DEFAULT_REGION_BYTES = 512 * 1024
+
+
+class TrackerKind(enum.Enum):
+    """Region access tracker designs evaluated in the paper (Section III-D).
+
+    ``T16`` tracks a 16-bit access counter plus one sharer bit per socket;
+    ``T0`` tracks only the sharer bits, so it can identify widely shared
+    regions but cannot rank their hotness.
+    """
+
+    T0 = 0
+    T16 = 16
+
+    @property
+    def counter_bits(self) -> int:
+        return self.value
+
+    @property
+    def counts_accesses(self) -> bool:
+        return self.value > 0
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Per-core microarchitectural parameters (Table I)."""
+
+    frequency_ghz: float = 2.4
+    issue_width: int = 4
+    rob_entries: int = 256
+    l1_kb: int = 32
+    l2_kb: int = 1024
+    llc_kb_per_core: int = 2048
+    llc_ways: int = 16
+    llc_latency_cycles: int = 30
+
+    @property
+    def cycle_ns(self) -> float:
+        """Duration of one core clock cycle in nanoseconds."""
+        return 1.0 / self.frequency_ghz
+
+    def ns_to_cycles(self, ns: float) -> float:
+        return ns * self.frequency_ghz
+
+    def cycles_to_ns(self, cycles: float) -> float:
+        return cycles / self.frequency_ghz
+
+
+@dataclass(frozen=True)
+class PoolConfig:
+    """Memory pool (CXL type-3 MHD) parameters (Section III-A)."""
+
+    enabled: bool = True
+    #: Fraction of each workload's footprint allowed on the pool.
+    #: 20% models a chassis-equivalent pool; 1/17 a socket-equivalent one
+    #: (Section IV-D and Fig. 12).
+    capacity_fraction: float = 0.20
+    #: Extra latency margin for the MHD coherence directory, already folded
+    #: into LatencyConfig.pool_ns; kept for documentation/reporting.
+    directory_margin_ns: float = 5.0
+
+    def validate(self) -> None:
+        if not 0.0 < self.capacity_fraction <= 1.0:
+            raise ValueError(
+                f"capacity_fraction must be in (0, 1], got {self.capacity_fraction}"
+            )
+
+
+@dataclass(frozen=True)
+class MigrationConfig:
+    """Page monitoring and migration parameters (Sections III-D and IV-C)."""
+
+    tracker: TrackerKind = TrackerKind.T16
+    region_bytes: int = DEFAULT_REGION_BYTES
+    #: Initial HI threshold (region accesses per phase) for T16; adapted
+    #: each phase within [hi_threshold_min, hi_threshold_max].
+    hi_threshold_init: int = 20_000
+    hi_threshold_min: int = 1_000
+    hi_threshold_max: int = 400_000
+    #: Initial and maximum LO (eviction) thresholds. The paper quotes 1K
+    #: adapted up to 10K for its trace densities; the ceiling here is
+    #: higher so that adaptation can always unfreeze a pool packed with
+    #: lukewarm regions when hotter candidates appear.
+    lo_threshold_init: int = 1_000
+    lo_threshold_max: int = 50_000
+    #: T0's fixed sharer-count threshold ("touched by all sockets").
+    t0_sharer_threshold: int = 16
+    #: Sharing degree at or above which the pool is the migration target
+    #: (Algorithm 1 line 8).
+    pool_sharer_threshold: int = 8
+    #: Per-phase migration limit, in 4-KB pages. The paper sweeps 0..256K
+    #: and picks the best per workload/system; 256K is a robust default.
+    migration_limit_pages: int = 262_144
+    #: When set, used verbatim as the per-phase page budget -- no footprint
+    #: scaling, no floor. For the migration-limit ablation sweep.
+    migration_limit_override_pages: Optional[int] = None
+    #: Cycles charged to the initiating core per migrated page for the
+    #: hardware-assisted TLB shootdown (DiDi).
+    shootdown_cycles_per_page: int = 3_000
+    #: Length of one migration phase, instructions per thread.
+    phase_instructions: int = 1_000_000_000
+
+    @property
+    def pages_per_region(self) -> int:
+        return self.region_bytes // PAGE_SIZE_BYTES
+
+    def validate(self) -> None:
+        if self.region_bytes % PAGE_SIZE_BYTES:
+            raise ValueError("region_bytes must be a multiple of the page size")
+        if self.region_bytes < PAGE_SIZE_BYTES:
+            raise ValueError("region must hold at least one page")
+        if self.hi_threshold_min > self.hi_threshold_max:
+            raise ValueError("hi_threshold_min must be <= hi_threshold_max")
+        if self.migration_limit_pages < 0:
+            raise ValueError("migration_limit_pages must be >= 0")
+        if not 1 <= self.pool_sharer_threshold:
+            raise ValueError("pool_sharer_threshold must be >= 1")
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """A complete simulated system: topology scale, latencies, bandwidths.
+
+    ``name`` labels the configuration in reports (e.g. ``"baseline"`` or
+    ``"starnuma"``). A configuration with ``pool.enabled`` False is a
+    conventional multi-socket NUMA machine.
+    """
+
+    name: str = "starnuma"
+    n_chassis: int = 4
+    sockets_per_chassis: int = 4
+    cores_per_socket: int = 28
+    core: CoreConfig = field(default_factory=CoreConfig)
+    latency: LatencyConfig = field(default_factory=LatencyConfig)
+    bandwidth: BandwidthConfig = field(default_factory=BandwidthConfig)
+    pool: PoolConfig = field(default_factory=PoolConfig)
+    migration: MigrationConfig = field(default_factory=MigrationConfig)
+    #: Per-socket DRAM capacity, GB (full scale: 6 channels x 32 GB).
+    memory_per_socket_gb: float = 192.0
+    #: Pool DRAM capacity, GB (full scale: 16 channels x 48 GB).
+    pool_memory_gb: float = 768.0
+
+    @property
+    def n_sockets(self) -> int:
+        return self.n_chassis * self.sockets_per_chassis
+
+    @property
+    def n_cores(self) -> int:
+        return self.n_sockets * self.cores_per_socket
+
+    @property
+    def total_memory_gb(self) -> float:
+        total = self.memory_per_socket_gb * self.n_sockets
+        if self.pool.enabled:
+            total += self.pool_memory_gb
+        return total
+
+    def rename(self, name: str) -> "SystemConfig":
+        return replace(self, name=name)
+
+    def without_pool(self, name: Optional[str] = None) -> "SystemConfig":
+        """Return the conventional-NUMA counterpart of this system."""
+        return replace(
+            self,
+            name=name or "baseline",
+            pool=replace(self.pool, enabled=False),
+        )
+
+    def validate(self) -> None:
+        """Validate every nested configuration; raise ``ValueError`` on error."""
+        if self.n_chassis < 1 or self.sockets_per_chassis < 1:
+            raise ValueError("need at least one chassis and one socket per chassis")
+        if self.cores_per_socket < 1:
+            raise ValueError("need at least one core per socket")
+        if self.memory_per_socket_gb <= 0:
+            raise ValueError("memory_per_socket_gb must be positive")
+        self.latency.validate()
+        self.bandwidth.validate()
+        self.pool.validate()
+        self.migration.validate()

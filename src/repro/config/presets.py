@@ -1,0 +1,125 @@
+"""Factory functions for the configurations used in the paper's evaluation."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.config.bandwidth import BandwidthConfig
+from repro.config.parameters import (
+    MigrationConfig,
+    PoolConfig,
+    SystemConfig,
+    TrackerKind,
+)
+
+
+def full_scale_config(name: str = "starnuma-full") -> SystemConfig:
+    """Table I: the full-scale 16-socket system with the memory pool."""
+    config = SystemConfig(name=name)
+    config.validate()
+    return config
+
+
+def scaled_config(name: str = "starnuma", *, scale: int = 1) -> SystemConfig:
+    """Table II: the scaled-down simulation configuration.
+
+    Four cores per socket, one DDR5 channel per socket, 3 GB/s coherent
+    links, and a two-channel pool at 6 GB/s per socket. ``scale`` doubles
+    (or more) the per-socket core count and the memory/link bandwidths,
+    which is exactly the SC3 configuration of Fig. 14 when ``scale=2``.
+    """
+    if scale < 1:
+        raise ValueError(f"scale must be >= 1, got {scale}")
+    bandwidth = BandwidthConfig().scaled(
+        link_gbps=3.0 * scale,
+        channels_per_socket=1 * scale,
+        pool_channels=2 * scale,
+        cxl_per_socket_gbps=6.0 * scale,
+    )
+    config = SystemConfig(
+        name=name,
+        cores_per_socket=4 * scale,
+        bandwidth=bandwidth,
+        memory_per_socket_gb=32.0 * scale,
+        pool_memory_gb=96.0 * scale,
+    )
+    config.validate()
+    return config
+
+
+def starnuma_config(*, tracker: TrackerKind = TrackerKind.T16,
+                    scale: int = 1) -> SystemConfig:
+    """The default StarNUMA system under the scaled simulation parameters."""
+    config = scaled_config(name=f"starnuma-{tracker.name.lower()}", scale=scale)
+    return replace(config, migration=replace(config.migration, tracker=tracker))
+
+
+def baseline_config(*, scale: int = 1) -> SystemConfig:
+    """The baseline multi-socket system (no pool, perfect-knowledge policy)."""
+    return scaled_config(scale=scale).without_pool("baseline")
+
+
+def with_iso_bandwidth(config: SystemConfig) -> SystemConfig:
+    """Baseline ISO-BW (Fig. 11): pool bandwidth folded into coherent links."""
+    return replace(
+        config,
+        name=f"{config.name}-iso-bw",
+        bandwidth=config.bandwidth.with_iso_bandwidth(),
+    )
+
+
+def with_double_bandwidth(config: SystemConfig) -> SystemConfig:
+    """Baseline 2xBW (Fig. 11): every coherent link doubled."""
+    return replace(
+        config,
+        name=f"{config.name}-2x-bw",
+        bandwidth=config.bandwidth.with_double_coherent_links(),
+    )
+
+
+def with_half_pool_bandwidth(config: SystemConfig) -> SystemConfig:
+    """StarNUMA Half-BW (Fig. 11): x4 CXL links instead of x8."""
+    if not config.pool.enabled:
+        raise ValueError("half-pool-bandwidth variant requires an enabled pool")
+    return replace(
+        config,
+        name=f"{config.name}-half-bw",
+        bandwidth=config.bandwidth.with_half_cxl(),
+    )
+
+
+def with_pool_latency_penalty(config: SystemConfig,
+                              penalty_ns: float) -> SystemConfig:
+    """Fig. 10 variant: change the unloaded pool access penalty.
+
+    The paper's default is 100 ns; 190 ns models an intermediate CXL
+    switch on the path to the pool.
+    """
+    if not config.pool.enabled:
+        raise ValueError("pool latency variant requires an enabled pool")
+    return replace(
+        config,
+        name=f"{config.name}-pool{int(penalty_ns)}ns",
+        latency=config.latency.with_pool_penalty(penalty_ns),
+    )
+
+
+def with_pool_capacity_fraction(config: SystemConfig,
+                                fraction: float) -> SystemConfig:
+    """Fig. 12 variant: limit pool capacity to ``fraction`` of the footprint."""
+    if not config.pool.enabled:
+        raise ValueError("pool capacity variant requires an enabled pool")
+    pool = replace(config.pool, capacity_fraction=fraction)
+    pool.validate()
+    return replace(config, name=f"{config.name}-cap{fraction:.3f}", pool=pool)
+
+
+def with_scale_factor(config: SystemConfig, scale: int) -> SystemConfig:
+    """Fig. 14 SC3 helper: rebuild the config at a different scale factor."""
+    rebuilt = scaled_config(name=config.name, scale=scale)
+    rebuilt = replace(rebuilt, migration=config.migration, pool=config.pool,
+                      latency=config.latency)
+    if not config.pool.enabled:
+        rebuilt = rebuilt.without_pool(config.name)
+    rebuilt.validate()
+    return rebuilt

@@ -1,0 +1,58 @@
+"""Experiment harnesses: one module per table/figure of the paper.
+
+Every module exposes ``run(context) -> ExperimentResult`` where the
+:class:`ExperimentContext` caches the expensive shared state (workload
+setups, calibrations, baseline runs) so a full reproduction of the
+evaluation section reuses one baseline per workload.
+
+Index (see DESIGN.md for the full mapping):
+
+========  ===========================================================
+fig02     BFS page sharing-degree / access distributions
+table3    Workload IPC & MPKI summary with model self-consistency
+fig08     Main results: speedup (T16, T0), AMAT decomposition, mix
+table4    Fraction of migrations to the pool
+fig09     Oracular static placement vs dynamic migration
+fig10     Memory-pool latency sensitivity (100 ns vs 190 ns penalty)
+fig11     Bandwidth provisioning (ISO-BW, 2xBW, Half-BW)
+fig12     Memory-pool capacity (1/5 vs 1/17 of footprint)
+fig13     TC page sharing-degree / access distributions
+fig14     Methodology robustness (SC1 / SC2 / SC3)
+========  ===========================================================
+"""
+
+from repro.experiments.context import ExperimentContext, ExperimentResult
+from repro.experiments import (
+    ext_ablation,
+    ext_replication,
+    ext_scale,
+    fig02,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    table3,
+    table4,
+)
+
+#: Registry used by the CLI: experiment id -> runner.
+EXPERIMENTS = {
+    "fig2": fig02.run,
+    "fig8": fig08.run,
+    "fig9": fig09.run,
+    "fig10": fig10.run,
+    "fig11": fig11.run,
+    "fig12": fig12.run,
+    "fig13": fig13.run,
+    "fig14": fig14.run,
+    "table3": table3.run,
+    "table4": table4.run,
+    "ext-replication": ext_replication.run,
+    "ext-scale32": ext_scale.run,
+    "ext-ablation": ext_ablation.run,
+}
+
+__all__ = ["EXPERIMENTS", "ExperimentContext", "ExperimentResult"]

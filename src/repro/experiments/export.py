@@ -1,0 +1,84 @@
+"""Export experiment results to machine-readable files.
+
+``starnuma export --out results/`` writes every table/figure as JSON and
+CSV for downstream plotting, plus a manifest recording the run
+parameters. Results are plain rows, so no plotting stack is required
+here.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, Iterable, Optional
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments.context import ExperimentContext, ExperimentResult
+
+
+def _coerce(value):
+    """Make one cell JSON-serializable."""
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    return value
+
+
+def result_to_dict(result: ExperimentResult) -> Dict:
+    return {
+        "experiment": result.experiment,
+        "notes": result.notes,
+        "headers": list(result.headers),
+        "rows": [[_coerce(cell) for cell in row] for row in result.rows],
+    }
+
+
+def write_result(result: ExperimentResult, out_dir: Path) -> None:
+    """Write one experiment as <id>.json and <id>.csv."""
+    stem = result.experiment.replace(":", "_")
+    json_path = out_dir / f"{stem}.json"
+    json_path.write_text(json.dumps(result_to_dict(result), indent=2))
+    with open(out_dir / f"{stem}.csv", "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(result.headers)
+        for row in result.rows:
+            writer.writerow([_coerce(cell) for cell in row])
+
+
+def _flatten(result) -> Iterable[ExperimentResult]:
+    """Fig. 8 returns a composite; everything else a single result."""
+    if isinstance(result, ExperimentResult):
+        yield result
+        return
+    for attribute in ("speedup", "amat", "breakdown"):
+        part = getattr(result, attribute, None)
+        if isinstance(part, ExperimentResult):
+            yield part
+
+
+def export_all(out_dir: str, context: Optional[ExperimentContext] = None,
+               experiments: Optional[Iterable[str]] = None) -> Dict[str, str]:
+    """Run and export experiments; return {experiment id: file stem}."""
+    context = context or ExperimentContext()
+    out_path = Path(out_dir)
+    out_path.mkdir(parents=True, exist_ok=True)
+
+    selected = list(experiments) if experiments else sorted(EXPERIMENTS)
+    written: Dict[str, str] = {}
+    for name in selected:
+        if name not in EXPERIMENTS:
+            raise KeyError(f"unknown experiment {name!r}")
+        outcome = EXPERIMENTS[name](context)
+        for result in _flatten(outcome):
+            write_result(result, out_path)
+            written[result.experiment] = result.experiment.replace(":", "_")
+
+    manifest = {
+        "seed": context.seed,
+        "n_phases": context.n_phases,
+        "warmup_phases": context.warmup_phases,
+        "workloads": context.workload_names,
+        "experiments": written,
+    }
+    (out_path / "manifest.json").write_text(json.dumps(manifest, indent=2))
+    return written

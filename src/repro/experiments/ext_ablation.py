@@ -1,0 +1,132 @@
+"""Extension: ablations of the reproduction's own design choices.
+
+DESIGN.md calls out three modeling decisions worth stress-testing:
+
+* **Spatial layout** -- clustered (hot pages contiguous, the default)
+  versus interleaved (hotness scattered across regions). Region-granular
+  migration only works if 512 KB regions are usefully skewed; this
+  ablation quantifies how much of StarNUMA's win that assumption carries.
+* **Migration budget** -- Algorithm 1's per-phase page limit, swept like
+  the paper's 0..256K-page study (Section IV-C).
+* **Region size** -- the tracking-precision vs metadata-cost knob of
+  Section III-D4 (128 KB / 512 KB / 2 MB regions).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+from repro.experiments.context import ExperimentContext, ExperimentResult
+from repro.sim import SimulationSetup, Simulator
+
+DEFAULT_WORKLOAD = "bfs"
+
+
+def _pair_speedup(context: ExperimentContext, setup: SimulationSetup,
+                  star_system) -> float:
+    base_system = context.baseline_system()
+    base_sim = Simulator(base_system, setup)
+    calibration = base_sim.calibrate()
+    base = base_sim.run(calibration=calibration,
+                        warmup_phases=context.warmup_phases)
+    star = Simulator(star_system, setup).run(
+        calibration=calibration, warmup_phases=context.warmup_phases
+    )
+    return star.speedup_over(base)
+
+
+def run_layout(context: Optional[ExperimentContext] = None,
+               workload: str = DEFAULT_WORKLOAD) -> ExperimentResult:
+    """Clustered vs interleaved page layout."""
+    context = context or ExperimentContext()
+    rows = []
+    for layout in ("clustered", "interleaved"):
+        setup = SimulationSetup.create(
+            context.profile(workload), context.baseline_system(),
+            n_phases=context.n_phases, seed=context.seed, layout=layout,
+        )
+        speedup = _pair_speedup(context, setup, context.starnuma_system())
+        rows.append((layout, speedup))
+    return ExperimentResult(
+        experiment="ext-ablation-layout",
+        headers=("layout", "speedup"),
+        rows=rows,
+        notes=f"{workload}: region-granular migration needs spatial hotness",
+    )
+
+
+def run_migration_limit(context: Optional[ExperimentContext] = None,
+                        workload: str = DEFAULT_WORKLOAD,
+                        limits_regions: Sequence[int] = (0, 2, 8, 32, 128),
+                        ) -> ExperimentResult:
+    """Sweep Algorithm 1's per-phase migration budget."""
+    context = context or ExperimentContext()
+    setup = context.setup(workload)
+    rows = []
+    for limit in limits_regions:
+        star = context.starnuma_system()
+        pages = limit * star.migration.pages_per_region
+        star = dataclasses.replace(
+            star,
+            name=f"starnuma-limit{limit}",
+            migration=dataclasses.replace(
+                star.migration, migration_limit_override_pages=pages,
+            ),
+        )
+        speedup = _pair_speedup(context, setup, star)
+        rows.append((limit, pages, speedup))
+    return ExperimentResult(
+        experiment="ext-ablation-migration-limit",
+        headers=("limit_regions/phase", "limit_pages/phase", "speedup"),
+        rows=rows,
+        notes=f"{workload}: zero budget disables StarNUMA entirely",
+    )
+
+
+def run_region_size(context: Optional[ExperimentContext] = None,
+                    workload: str = DEFAULT_WORKLOAD,
+                    region_kb: Sequence[int] = (128, 512, 2048),
+                    ) -> ExperimentResult:
+    """Sweep the tracking/migration region size."""
+    context = context or ExperimentContext()
+    setup = context.setup(workload)
+    rows = []
+    for size_kb in region_kb:
+        star = context.starnuma_system()
+        star = dataclasses.replace(
+            star,
+            name=f"starnuma-region{size_kb}k",
+            migration=dataclasses.replace(
+                star.migration, region_bytes=size_kb * 1024,
+            ),
+        )
+        speedup = _pair_speedup(context, setup, star)
+        metadata_entries = (setup.population.n_pages * 4096
+                            // (size_kb * 1024))
+        rows.append((size_kb, metadata_entries, speedup))
+    return ExperimentResult(
+        experiment="ext-ablation-region-size",
+        headers=("region_kb", "tracker_entries", "speedup"),
+        rows=rows,
+        notes=f"{workload}: smaller regions track finer but cost metadata",
+    )
+
+
+def run(context: Optional[ExperimentContext] = None) -> ExperimentResult:
+    """All three ablations, concatenated into one result."""
+    context = context or ExperimentContext()
+    layout = run_layout(context)
+    limit = run_migration_limit(context)
+    region = run_region_size(context)
+    rows = (
+        [("layout:" + str(row[0]), row[-1]) for row in layout.rows]
+        + [("limit:" + str(row[0]), row[-1]) for row in limit.rows]
+        + [("region_kb:" + str(row[0]), row[-1]) for row in region.rows]
+    )
+    return ExperimentResult(
+        experiment="ext-ablation",
+        headers=("knob", "speedup"),
+        rows=rows,
+        notes="see run_layout / run_migration_limit / run_region_size",
+    )

@@ -1,0 +1,74 @@
+"""Extension: page replication versus (and alongside) memory pooling.
+
+Section V-F argues replication is complementary to pooling: great for
+read-only vagabond pages when they are both hot and small, prohibitive
+for read-write sharing (software coherence) and for large read-only sets
+(capacity). This experiment quantifies that trade-off in the model:
+
+* ``baseline+repl`` -- conventional NUMA with a capacity-budgeted,
+  read-only-biased replica set;
+* ``starnuma`` -- the default pool system;
+* ``starnuma+repl`` -- both techniques together.
+
+All speedups are over the plain dynamic baseline. Expected shape: TC
+(read-only, but 60% of the footprint 16-shared) gains something from
+replication yet is capacity-throttled; BFS/Masstree (read-write sharing)
+gain almost nothing from replication alone; the combination at least
+matches pooling alone.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.context import ExperimentContext, ExperimentResult
+from repro.replication import ReplicationPolicy
+from repro.sim import Simulator
+
+DEFAULT_WORKLOADS = ("bfs", "tc", "masstree")
+
+
+def run(context: Optional[ExperimentContext] = None,
+        workloads: Sequence[str] = DEFAULT_WORKLOADS,
+        capacity_budget_fraction: float = 0.5) -> ExperimentResult:
+    context = context or ExperimentContext()
+    policy = ReplicationPolicy(
+        capacity_budget_fraction=capacity_budget_fraction
+    )
+
+    rows = []
+    for name in workloads:
+        setup = context.setup(name)
+        calibration = context.calibration(name)
+        baseline = context.baseline_result(name)
+        star = context.run(context.starnuma_system(), name)
+
+        plan = policy.plan(setup.population)
+        base_repl = Simulator(
+            context.baseline_system().rename("baseline-repl"), setup,
+            replication=plan,
+        ).run(calibration=calibration,
+              warmup_phases=context.warmup_phases)
+        star_repl = Simulator(
+            context.starnuma_system().rename("starnuma-repl"), setup,
+            replication=plan,
+        ).run(calibration=calibration,
+              warmup_phases=context.warmup_phases)
+
+        rows.append((
+            name,
+            plan.n_replicated_pages / setup.population.n_pages,
+            plan.capacity_overhead_fraction(),
+            base_repl.speedup_over(baseline),
+            star.speedup_over(baseline),
+            star_repl.speedup_over(baseline),
+        ))
+
+    return ExperimentResult(
+        experiment="ext-replication",
+        headers=("workload", "replicated_pages", "capacity_overhead",
+                 "baseline+repl", "starnuma", "starnuma+repl"),
+        rows=rows,
+        notes=(f"replica budget {capacity_budget_fraction:.0%} of footprint; "
+               "speedups over the plain dynamic baseline"),
+    )

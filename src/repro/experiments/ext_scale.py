@@ -1,0 +1,78 @@
+"""Extension: scaling StarNUMA to 32 sockets.
+
+Section III-B: beyond 16 sockets a centralized pool needs CXL switches,
+adding ~90 ns round trip (total pool access ~270 ns -- still 25% below a
+2-hop NUMA access), while the pool's *bandwidth* advantage for heavily
+shared pages is scale-independent. This experiment builds an eight-chassis
+32-socket machine, gives its pool the switch-level latency, and compares
+StarNUMA's speedup (over the matching 32-socket baseline) against the
+16-socket result.
+
+Expected shape: the 32-socket system keeps a clear speedup -- latency-bound
+workloads lose part of their margin to the switch, bandwidth-bound ones
+keep most of theirs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+from repro.config import (
+    SystemConfig,
+    scaled_config,
+    with_pool_latency_penalty,
+)
+from repro.experiments.context import ExperimentContext, ExperimentResult
+from repro.metrics.calibration import calibrate_cpi
+from repro.sim import SimulationSetup, Simulator
+
+DEFAULT_WORKLOADS = ("bfs", "tc", "masstree")
+
+#: CXL penalty with one switch level (Section III-B).
+SWITCHED_POOL_PENALTY_NS = 190.0
+
+
+def thirty_two_socket_config(name: str = "starnuma-32") -> SystemConfig:
+    """The scaled simulation config stretched to eight chassis."""
+    base = scaled_config(name=name)
+    config = dataclasses.replace(base, n_chassis=8)
+    config.validate()
+    return config
+
+
+def run(context: Optional[ExperimentContext] = None,
+        workloads: Sequence[str] = DEFAULT_WORKLOADS) -> ExperimentResult:
+    context = context or ExperimentContext()
+
+    star32 = with_pool_latency_penalty(
+        thirty_two_socket_config(), SWITCHED_POOL_PENALTY_NS
+    )
+    base32 = thirty_two_socket_config().without_pool("baseline-32")
+
+    rows = []
+    for name in workloads:
+        speedup16 = context.speedup(context.starnuma_system(), name)
+
+        # 32-socket run: fresh population/traces for the wider machine.
+        profile = context.profile(name)
+        setup = SimulationSetup.create(profile, base32,
+                                       n_phases=context.n_phases,
+                                       seed=context.seed)
+        base_sim = Simulator(base32, setup)
+        calibration = base_sim.calibrate()
+        base = base_sim.run(calibration=calibration,
+                            warmup_phases=context.warmup_phases)
+        star = Simulator(star32, setup).run(
+            calibration=calibration, warmup_phases=context.warmup_phases
+        )
+        speedup32 = star.speedup_over(base)
+        rows.append((name, speedup16, speedup32, speedup32 / speedup16))
+
+    return ExperimentResult(
+        experiment="ext-scale32",
+        headers=("workload", "speedup_16s", "speedup_32s(switched pool)",
+                 "retention"),
+        rows=rows,
+        notes="32-socket pool pays one CXL switch (270 ns end to end)",
+    )

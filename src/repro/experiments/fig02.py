@@ -1,0 +1,54 @@
+"""Fig. 2: page access pattern characterization of BFS.
+
+Reproduces the two distributions of Fig. 2 for the BFS workload: the
+fraction of pages at each sharing degree (2a) and the fraction of all
+memory accesses targeting pages of each degree, split into reads and
+writes (2b). The paper's headline statistics to check: 17% of pages have
+one sharer, 78% have four or fewer, only 7% have more than eight -- yet
+those >8-sharer pages receive 68% of all accesses, and the 2% of pages
+shared by all 16 sockets receive 36%.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.context import ExperimentContext, ExperimentResult
+
+
+def run(context: Optional[ExperimentContext] = None,
+        workload: str = "bfs") -> ExperimentResult:
+    context = context or ExperimentContext()
+    population = context.setup(workload).population
+
+    degrees, page_fractions = population.sharing_degree_histogram()
+    _, access_shares = population.access_share_by_degree()
+    _, read_shares, write_shares = population.read_write_split_by_degree()
+
+    rows = []
+    for index, degree in enumerate(degrees):
+        if page_fractions[index] == 0 and access_shares[index] == 0:
+            continue
+        rows.append((
+            int(degree),
+            float(page_fractions[index]),
+            float(access_shares[index]),
+            float(read_shares[index]),
+            float(write_shares[index]),
+        ))
+
+    over_eight = float(access_shares[degrees > 8].sum())
+    four_or_fewer = float(page_fractions[degrees <= 4].sum())
+    all_sockets = float(access_shares[degrees == degrees.max()].sum())
+    notes = (
+        f"{workload}: pages<=4 sharers {four_or_fewer:.0%}, "
+        f"accesses to >8-sharer pages {over_eight:.0%}, "
+        f"accesses to {int(degrees.max())}-sharer pages {all_sockets:.0%}"
+    )
+    return ExperimentResult(
+        experiment=f"fig2:{workload}",
+        headers=("sharers", "page_frac", "access_frac", "read_frac",
+                 "write_frac"),
+        rows=rows,
+        notes=notes,
+    )

@@ -1,0 +1,56 @@
+"""Fig. 9: oracular static placement versus dynamic migration.
+
+Both architectures are evaluated with a *static* initial placement
+computed from whole-run access knowledge (no runtime migration), and
+normalized to the baseline with dynamic migration. The paper's two
+takeaways to reproduce:
+
+* static StarNUMA slightly outperforms dynamic StarNUMA (no migration
+  overheads, and sharing patterns are stable over time);
+* static-oracular *baseline* gains nothing over the dynamic baseline --
+  conventional NUMA architecturally lacks a good home for vagabond
+  pages, no matter how clever the placement.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.context import ExperimentContext, ExperimentResult
+
+
+def run(context: Optional[ExperimentContext] = None) -> ExperimentResult:
+    context = context or ExperimentContext()
+    star = context.starnuma_system()
+    base = context.baseline_system()
+
+    rows = []
+    static_base_speedups = []
+    static_star_speedups = []
+    for name in context.workload_names:
+        dynamic_base = context.baseline_result(name)
+        static_base = context.run(base, name, mode="static")
+        dynamic_star = context.run(star, name)
+        static_star = context.run(star, name, mode="static")
+
+        row = (
+            name,
+            static_base.speedup_over(dynamic_base),
+            dynamic_star.speedup_over(dynamic_base),
+            static_star.speedup_over(dynamic_base),
+        )
+        rows.append(row)
+        static_base_speedups.append(row[1])
+        static_star_speedups.append(row[3])
+
+    mean_static_base = sum(static_base_speedups) / len(static_base_speedups)
+    mean_static_star = sum(static_star_speedups) / len(static_star_speedups)
+    return ExperimentResult(
+        experiment="fig9",
+        headers=("workload", "baseline_static", "starnuma_dynamic",
+                 "starnuma_static"),
+        rows=rows,
+        notes=(f"speedup over dynamic baseline; mean static-baseline "
+               f"{mean_static_base:.2f}x (paper ~1.0x), mean static-"
+               f"starnuma {mean_static_star:.2f}x"),
+    )

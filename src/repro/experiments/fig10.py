@@ -1,0 +1,47 @@
+"""Fig. 10: sensitivity to the memory pool access latency.
+
+Besides the default 100 ns CXL path penalty (180 ns end to end), a 190 ns
+penalty models an intermediate CXL switch (270 ns end to end -- still 25%
+below a 2-hop access). Paper: average speedup drops from 1.54x to 1.34x;
+TC is hit hardest (1.63x -> 1.11x) because its gains are almost purely
+latency-driven.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.config import with_pool_latency_penalty
+from repro.experiments.context import ExperimentContext, ExperimentResult
+
+DEFAULT_PENALTIES_NS = (100.0, 190.0)
+
+
+def run(context: Optional[ExperimentContext] = None,
+        penalties_ns: Sequence[float] = DEFAULT_PENALTIES_NS
+        ) -> ExperimentResult:
+    context = context or ExperimentContext()
+    systems = [
+        with_pool_latency_penalty(context.starnuma_system(), penalty)
+        for penalty in penalties_ns
+    ]
+
+    rows = []
+    means = [0.0] * len(systems)
+    for name in context.workload_names:
+        speedups = [context.speedup(system, name) for system in systems]
+        rows.append((name, *speedups))
+        for index, value in enumerate(speedups):
+            means[index] += value
+    n = len(context.workload_names)
+    means = [total / n for total in means]
+
+    return ExperimentResult(
+        experiment="fig10",
+        headers=("workload",) + tuple(
+            f"speedup@{int(penalty)}ns" for penalty in penalties_ns
+        ),
+        rows=rows,
+        notes=("means " + ", ".join(f"{mean:.2f}x" for mean in means)
+               + " (paper: 1.54x at 100 ns, 1.34x at 190 ns)"),
+    )

@@ -1,0 +1,46 @@
+"""Fig. 12: impact of memory pool capacity.
+
+Pool capacity of 1/5 of the footprint (chassis-equivalent, the default)
+versus 1/17 (socket-equivalent). Paper: the 4x capacity reduction barely
+dents the mean (1.54x -> 1.48x); FMI is the workload that suffers
+(1.22x -> 1.05x) because its pool-worthy set no longer fits, while most
+workloads' hottest shared pages still fit even the small pool.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.config import with_pool_capacity_fraction
+from repro.experiments.context import ExperimentContext, ExperimentResult
+
+DEFAULT_FRACTIONS = (0.20, 1.0 / 17.0)
+
+
+def run(context: Optional[ExperimentContext] = None,
+        fractions: Sequence[float] = DEFAULT_FRACTIONS) -> ExperimentResult:
+    context = context or ExperimentContext()
+    systems = [
+        with_pool_capacity_fraction(context.starnuma_system(), fraction)
+        for fraction in fractions
+    ]
+
+    rows = []
+    sums = [0.0] * len(systems)
+    for name in context.workload_names:
+        speedups = [context.speedup(system, name) for system in systems]
+        rows.append((name, *speedups))
+        for index, value in enumerate(speedups):
+            sums[index] += value
+    n = len(context.workload_names)
+    means = [total / n for total in sums]
+
+    return ExperimentResult(
+        experiment="fig12",
+        headers=("workload",) + tuple(
+            f"speedup@{fraction:.3f}" for fraction in fractions
+        ),
+        rows=rows,
+        notes=("means " + ", ".join(f"{mean:.2f}x" for mean in means)
+               + " (paper: 1.54x at 1/5, 1.48x at 1/17)"),
+    )

@@ -1,0 +1,35 @@
+"""Fig. 13: page access pattern characterization of TC.
+
+TC represents the opposite end of the sharing spectrum from BFS: most
+accesses target *read-only* widely shared pages, and 60% / 80% of the
+dataset is touched by 16 / 8+ sockets -- coherence-free but far too large
+to replicate per socket, which is the paper's argument for pooling over
+replication (Section V-F).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.context import ExperimentContext, ExperimentResult
+from repro.experiments import fig02
+
+
+def run(context: Optional[ExperimentContext] = None) -> ExperimentResult:
+    context = context or ExperimentContext()
+    result = fig02.run(context, workload="tc")
+
+    population = context.setup("tc").population
+    degrees, page_fractions = population.sharing_degree_histogram()
+    sixteen = float(page_fractions[degrees == 16].sum())
+    eight_plus = float(page_fractions[degrees >= 8].sum())
+    result = ExperimentResult(
+        experiment="fig13:tc",
+        headers=result.headers,
+        rows=result.rows,
+        notes=(
+            f"tc: pages touched by 16 sockets {sixteen:.0%}, "
+            f"by 8+ sockets {eight_plus:.0%} (paper: 60% / 80%)"
+        ),
+    )
+    return result

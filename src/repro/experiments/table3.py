@@ -1,0 +1,37 @@
+"""Table III: workload summary with model self-consistency check.
+
+For every workload: the published LLC MPKI and IPC anchors, our simulated
+baseline AMAT, and the closed-loop IPC the calibrated model produces on
+the baseline. Since calibration anchors the model at the published
+16-socket IPC, the closed-loop value doubles as a self-consistency check:
+it should land within a few percent of the Table III number.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.context import ExperimentContext, ExperimentResult
+
+
+def run(context: Optional[ExperimentContext] = None) -> ExperimentResult:
+    context = context or ExperimentContext()
+    rows = []
+    for name in context.workload_names:
+        profile = context.profile(name)
+        baseline = context.baseline_result(name)
+        rows.append((
+            name,
+            profile.mpki,
+            profile.ipc_single,
+            profile.ipc_16,
+            baseline.ipc,
+            baseline.amat_ns,
+        ))
+    return ExperimentResult(
+        experiment="table3",
+        headers=("workload", "llc_mpki", "ipc_single(paper)",
+                 "ipc_16(paper)", "ipc_16(model)", "baseline_amat_ns"),
+        rows=rows,
+        notes="model IPC should track the paper's 16-socket anchor",
+    )

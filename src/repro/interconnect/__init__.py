@@ -1,0 +1,26 @@
+"""Interconnect contention model.
+
+Cross-socket bandwidth constraints are the second half of the NUMA problem
+(Section II-A): beyond the unloaded latency gap, UPI links (~21 GB/s) and
+NUMALinks (~13 GB/s) are an order of magnitude slower than local DRAM, so
+remote accesses suffer queuing delays under load. This package accumulates
+per-link, per-direction traffic over a simulation window and converts link
+utilization into waiting time with an M/D/1 approximation, with a smooth
+linear extension past heavy load so that the closed-loop timing model
+(IPC <-> AMAT fixed point) remains well behaved.
+"""
+
+from repro.interconnect.queueing import (
+    MAX_STABLE_UTILIZATION,
+    mdl_wait_ns,
+    service_time_ns,
+)
+from repro.interconnect.loads import LinkLoads, TrafficSample
+
+__all__ = [
+    "LinkLoads",
+    "MAX_STABLE_UTILIZATION",
+    "TrafficSample",
+    "mdl_wait_ns",
+    "service_time_ns",
+]

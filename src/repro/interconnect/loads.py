@@ -1,0 +1,168 @@
+"""Per-link, per-direction traffic accounting over a simulation window."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Tuple
+
+from repro.config.parameters import CACHE_BLOCK_BYTES
+from repro.interconnect.queueing import (
+    DEFAULT_BURSTINESS,
+    mdl_wait_ns,
+    service_time_ns,
+)
+from repro.topology.model import DirectedLink, LinkKind, Topology
+
+#: Bytes of header/CRC overhead accompanying each request or data message.
+MESSAGE_HEADER_BYTES = 8.0
+
+DirectionKey = Tuple[str, bool]
+
+
+@dataclass(frozen=True)
+class TrafficSample:
+    """Utilization and waiting time of one link direction."""
+
+    link_id: str
+    forward: bool
+    offered_gbps: float
+    capacity_gbps: float
+    wait_ns: float
+
+    @property
+    def utilization(self) -> float:
+        return self.offered_gbps / self.capacity_gbps
+
+
+class LinkLoads:
+    """Accumulates traffic and evaluates queueing delay per link direction.
+
+    Traffic is recorded in bytes; :meth:`delay_ns` and friends convert to
+    offered bandwidth given the window duration decided by the caller (the
+    timing model knows the phase's wall-clock span). DRAM "links" are not
+    directional: both directions of a DRAM link id alias the same queue,
+    which we implement by always charging and reading the forward
+    direction.
+    """
+
+    def __init__(self, topology: Topology,
+                 burstiness: float = DEFAULT_BURSTINESS):
+        if burstiness <= 0:
+            raise ValueError(f"burstiness must be positive, got {burstiness}")
+        self.topology = topology
+        self.burstiness = burstiness
+        self._bytes: Dict[DirectionKey, float] = {}
+
+    def reset(self) -> None:
+        self._bytes.clear()
+
+    # -- recording ---------------------------------------------------------
+
+    def add(self, hop: DirectedLink, n_bytes: float) -> None:
+        """Charge ``n_bytes`` of traffic to one direction of a link."""
+        if n_bytes < 0:
+            raise ValueError(f"traffic bytes must be >= 0, got {n_bytes}")
+        key = self._key(hop)
+        self._bytes[key] = self._bytes.get(key, 0.0) + n_bytes
+
+    def add_access_traffic(self, route: Iterable[DirectedLink],
+                           accesses: float, writeback_fraction: float,
+                           block_bytes: float = CACHE_BLOCK_BYTES) -> None:
+        """Charge the traffic of ``accesses`` LLC misses along ``route``.
+
+        Every miss sends a small request in the route direction and pulls a
+        data fill in the reverse direction; a ``writeback_fraction`` of
+        misses additionally push a dirty block in the route direction.
+        """
+        if accesses < 0:
+            raise ValueError(f"access count must be >= 0, got {accesses}")
+        if not 0.0 <= writeback_fraction <= 1.0:
+            raise ValueError(
+                f"writeback fraction must be in [0, 1], got {writeback_fraction}"
+            )
+        request_bytes = accesses * (
+            MESSAGE_HEADER_BYTES
+            + writeback_fraction * (block_bytes + MESSAGE_HEADER_BYTES)
+        )
+        fill_bytes = accesses * (block_bytes + MESSAGE_HEADER_BYTES)
+        for hop in route:
+            self.add(hop, request_bytes)
+            self.add(hop.reversed(), fill_bytes)
+
+    def add_transfer_traffic(self, route: Iterable[DirectedLink],
+                             transfers: float,
+                             block_bytes: float = CACHE_BLOCK_BYTES) -> None:
+        """Charge coherence block-transfer data movement along ``route``.
+
+        Block-transfer routes are already oriented in the data direction
+        (see :meth:`RouteTable.block_transfer_route`), so the data block is
+        charged forward and only a header-sized ack flows back.
+        """
+        if transfers < 0:
+            raise ValueError(f"transfer count must be >= 0, got {transfers}")
+        for hop in route:
+            self.add(hop, transfers * (block_bytes + MESSAGE_HEADER_BYTES))
+            self.add(hop.reversed(), transfers * MESSAGE_HEADER_BYTES)
+
+    # -- evaluation --------------------------------------------------------
+
+    def offered_gbps(self, hop: DirectedLink, window_ns: float) -> float:
+        """Offered bandwidth on one link direction over the window, GB/s."""
+        if window_ns <= 0:
+            raise ValueError(f"window must be positive, got {window_ns}")
+        return self._bytes.get(self._key(hop), 0.0) / window_ns
+
+    def utilization(self, hop: DirectedLink, window_ns: float) -> float:
+        return self.offered_gbps(hop, window_ns) / hop.link.capacity_gbps
+
+    def delay_ns(self, hop: DirectedLink, window_ns: float,
+                 block_bytes: float = CACHE_BLOCK_BYTES) -> float:
+        """Queueing delay of one block transfer on ``hop`` under load."""
+        service = service_time_ns(block_bytes + MESSAGE_HEADER_BYTES,
+                                  hop.link.capacity_gbps)
+        return mdl_wait_ns(self.utilization(hop, window_ns), service,
+                           burstiness=self.burstiness)
+
+    def fill_delay_ns(self, route: Iterable[DirectedLink],
+                      window_ns: float) -> float:
+        """Total queueing delay along the data-fill direction of a route.
+
+        The fill traverses each hop of the requester->memory route in
+        reverse; this is the delay component that inflates the latency of a
+        demand load, so it is what AMAT contention accounts.
+        """
+        return sum(self.delay_ns(hop.reversed(), window_ns) for hop in route)
+
+    def transfer_delay_ns(self, route: Iterable[DirectedLink],
+                          window_ns: float) -> float:
+        """Queueing delay along an already data-oriented transfer route."""
+        return sum(self.delay_ns(hop, window_ns) for hop in route)
+
+    def sample(self, hop: DirectedLink, window_ns: float) -> TrafficSample:
+        """Capture the utilization/wait state of one link direction."""
+        return TrafficSample(
+            link_id=hop.link.link_id,
+            forward=hop.forward,
+            offered_gbps=self.offered_gbps(hop, window_ns),
+            capacity_gbps=hop.link.capacity_gbps,
+            wait_ns=self.delay_ns(hop, window_ns),
+        )
+
+    def busiest(self, window_ns: float, top: int = 5) -> list:
+        """Return the ``top`` most utilized link directions (diagnostics)."""
+        samples = []
+        for (link_id, forward), n_bytes in self._bytes.items():
+            link = self.topology.link(link_id)
+            hop = DirectedLink(link, forward)
+            samples.append(self.sample(hop, window_ns))
+        samples.sort(key=lambda sample: sample.utilization, reverse=True)
+        return samples[:top]
+
+    # -- internals ---------------------------------------------------------
+
+    def _key(self, hop: DirectedLink) -> DirectionKey:
+        # DRAM channel bundles are a single shared queue: collapse both
+        # directions onto the forward key.
+        if hop.link.kind is LinkKind.DRAM:
+            return (hop.link.link_id, True)
+        return hop.direction_key

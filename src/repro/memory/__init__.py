@@ -1,0 +1,23 @@
+"""DRAM and memory-controller substrate.
+
+Two levels of detail are provided, mirroring the paper's mixed-modality
+methodology (Section IV-B):
+
+* :class:`DramTiming` / :class:`DramChannel` -- a functional DDR5 channel
+  model with row-buffer state and FR-FCFS-style service estimation. Used
+  by unit tests, the cache-replay example, and to derive the effective
+  channel bandwidth assumed by the analytic model.
+* :class:`MemoryControllerModel` -- the "light" model: aggregate channel
+  bandwidth with M/D/1 queueing, which is what the phase-level timing
+  model charges for DRAM service at each socket and at the pool.
+"""
+
+from repro.memory.dram import DramChannel, DramTiming, RequestKind
+from repro.memory.controller import MemoryControllerModel
+
+__all__ = [
+    "DramChannel",
+    "DramTiming",
+    "MemoryControllerModel",
+    "RequestKind",
+]

@@ -1,0 +1,69 @@
+"""Aggregate memory-controller model used by the phase-level timing step.
+
+One :class:`MemoryControllerModel` stands for all the channels behind a
+socket (or the pool's MHD). It exposes the analytic service/queueing
+estimate the timing model consumes and can also drive a set of functional
+:class:`DramChannel` instances for detailed replay (examples and tests).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.config.parameters import CACHE_BLOCK_BYTES
+from repro.interconnect.queueing import mdl_wait_ns, service_time_ns
+from repro.memory.dram import DramChannel, DramTiming, RequestKind
+
+
+class MemoryControllerModel:
+    """Channels behind one memory controller, with interleaved placement."""
+
+    def __init__(self, n_channels: int, channel_gbps: float,
+                 timing: Optional[DramTiming] = None):
+        if n_channels < 1:
+            raise ValueError(f"need at least one channel, got {n_channels}")
+        if channel_gbps <= 0:
+            raise ValueError(f"channel bandwidth must be positive, got {channel_gbps}")
+        self.n_channels = n_channels
+        self.channel_gbps = channel_gbps
+        self.channels: List[DramChannel] = [
+            DramChannel(timing) for _ in range(n_channels)
+        ]
+
+    @property
+    def aggregate_gbps(self) -> float:
+        return self.n_channels * self.channel_gbps
+
+    def channel_for(self, address: int) -> int:
+        """Cache-block interleaving of addresses across channels."""
+        return (address // CACHE_BLOCK_BYTES) % self.n_channels
+
+    def access(self, address: int, kind: RequestKind,
+               arrival_ns: float) -> float:
+        """Functional replay: service a request on its interleaved channel."""
+        channel = self.channels[self.channel_for(address)]
+        return channel.access(address, kind, arrival_ns)
+
+    def reset(self) -> None:
+        for channel in self.channels:
+            channel.reset()
+
+    # -- analytic interface --------------------------------------------------
+
+    def queueing_delay_ns(self, offered_gbps: float) -> float:
+        """Expected controller queueing delay at the given offered load.
+
+        Models the controller as ``n_channels`` parallel M/D/1 servers fed
+        by an interleaved (balanced) arrival stream.
+        """
+        if offered_gbps < 0:
+            raise ValueError(f"offered load must be >= 0, got {offered_gbps}")
+        per_channel = offered_gbps / self.n_channels
+        utilization = per_channel / self.channel_gbps
+        service = service_time_ns(CACHE_BLOCK_BYTES, self.channel_gbps)
+        return mdl_wait_ns(utilization, service)
+
+    def loaded_latency_ns(self, unloaded_ns: float,
+                          offered_gbps: float) -> float:
+        """Unloaded DRAM latency plus load-dependent queueing."""
+        return unloaded_ns + self.queueing_delay_ns(offered_gbps)

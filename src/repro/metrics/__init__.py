@@ -1,0 +1,23 @@
+"""Metrics: AMAT decomposition, the calibrated CPI model, and reporting.
+
+The performance model is deliberately anchored to the paper's published
+measurements (Table III): per workload, the core CPI and the effective
+memory-level parallelism are solved from the single-socket IPC (at local
+unloaded latency) and the baseline 16-socket IPC (at our simulated
+baseline AMAT). Every other configuration's IPC is then a *prediction* of
+``CPI = CPI_core + MPKI/1000 x AMAT_cycles / MLP``.
+"""
+
+from repro.metrics.amat import unloaded_amat_ns, worked_example_amat
+from repro.metrics.breakdown import AccessBreakdown
+from repro.metrics.calibration import CalibratedCpi, calibrate_cpi
+from repro.metrics.report import format_table
+
+__all__ = [
+    "AccessBreakdown",
+    "CalibratedCpi",
+    "calibrate_cpi",
+    "format_table",
+    "unloaded_amat_ns",
+    "worked_example_amat",
+]

@@ -1,0 +1,67 @@
+"""Terminal bar charts for experiment results.
+
+The harness is plotting-library-free; for a quick visual read of a
+speedup table, :func:`bar_chart` renders labeled horizontal bars, and
+:func:`speedup_chart` specializes it with a 1.0x reference column.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+#: Glyphs: full blocks plus an eighth-resolution final cell.
+_FULL = "█"
+_PARTIAL = " ▏▎▍▌▋▊▉"
+
+
+def _bar(value: float, scale: float, width: int) -> str:
+    cells = max(0.0, value) * width / scale
+    full = int(cells)
+    remainder = cells - full
+    partial = _PARTIAL[int(remainder * 8)] if full < width else ""
+    return (_FULL * min(full, width) + partial).ljust(width)
+
+
+def bar_chart(items: Sequence[Tuple[str, float]], width: int = 40,
+              title: str = "", unit: str = "") -> str:
+    """Render labeled horizontal bars, scaled to the maximum value."""
+    if not items:
+        raise ValueError("need at least one bar")
+    if width < 4:
+        raise ValueError(f"width must be >= 4, got {width}")
+    scale = max(value for _, value in items)
+    if scale <= 0:
+        scale = 1.0
+    label_width = max(len(label) for label, _ in items)
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in items:
+        bar = _bar(value, scale, width)
+        lines.append(f"{label.ljust(label_width)}  {bar} {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def speedup_chart(items: Sequence[Tuple[str, float]], width: int = 40,
+                  title: str = "") -> str:
+    """Bar chart of speedups with a marked 1.0x reference.
+
+    Bars show the gain over 1.0x (a 1.0x workload gets an empty bar), so
+    the visual length is the *improvement*, which is what a speedup
+    figure is read for.
+    """
+    if not items:
+        raise ValueError("need at least one bar")
+    gains = [(label, max(0.0, value - 1.0)) for label, value in items]
+    scale = max(gain for _, gain in gains) or 1.0
+    label_width = max(len(label) for label, _ in items)
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for (label, value), (_, gain) in zip(items, gains):
+        bar = _bar(gain, scale, width)
+        lines.append(f"{label.ljust(label_width)}  |{bar} {value:.2f}x")
+    lines.append(f"{' ' * label_width}  ^1.00x")
+    return "\n".join(lines)

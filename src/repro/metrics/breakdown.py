@@ -1,0 +1,57 @@
+"""Access-type breakdown container (Fig. 8c)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+from repro.topology.model import AccessType
+
+
+@dataclass
+class AccessBreakdown:
+    """Counts of LLC-missing accesses by type."""
+
+    counts: Dict[AccessType, float] = field(default_factory=dict)
+
+    def add(self, kind: AccessType, count: float) -> None:
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        self.counts[kind] = self.counts.get(kind, 0.0) + count
+
+    def merge(self, other: "AccessBreakdown") -> None:
+        for kind, count in other.counts.items():
+            self.add(kind, count)
+
+    @property
+    def total(self) -> float:
+        return sum(self.counts.values())
+
+    def fraction(self, kind: AccessType) -> float:
+        total = self.total
+        if total == 0:
+            return 0.0
+        return self.counts.get(kind, 0.0) / total
+
+    def fractions(self) -> Dict[AccessType, float]:
+        total = self.total
+        if total == 0:
+            return {}
+        return {kind: count / total for kind, count in self.counts.items()
+                if count > 0}
+
+    def remote_fraction(self) -> float:
+        """Share of accesses leaving the requesting socket."""
+        return 1.0 - self.fraction(AccessType.LOCAL)
+
+    def block_transfer_fraction(self) -> float:
+        return (self.fraction(AccessType.BLOCK_TRANSFER_SOCKET)
+                + self.fraction(AccessType.BLOCK_TRANSFER_POOL))
+
+    @classmethod
+    def from_fractions(cls, fractions: Mapping[AccessType, float],
+                       total: float = 1.0) -> "AccessBreakdown":
+        breakdown = cls()
+        for kind, share in fractions.items():
+            breakdown.add(kind, share * total)
+        return breakdown

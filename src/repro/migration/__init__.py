@@ -1,0 +1,34 @@
+"""Page/region migration policies and overhead model (Section III-D).
+
+* :class:`RegionTable` groups first-touched pages into physically
+  contiguous 128-page regions per home socket, reflecting that physical
+  frames are allocated on the toucher's socket.
+* :class:`StarNumaPolicy` implements Algorithm 1: threshold-based region
+  selection with adaptive HI/LO thresholds, pool placement for regions
+  shared by 8+ sockets, victim eviction when the pool is full, ping-pong
+  suppression, and a per-phase migration limit.
+* :class:`BaselinePolicy` is the idealized comparator the paper favors the
+  baseline with: zero-cost, per-4KB-page knowledge of all accesses, with
+  only the migration itself charged.
+* :func:`oracular_static_placement` computes the Fig. 9 static placements
+  from whole-run access knowledge.
+* :class:`MigrationCostModel` charges TLB-shootdown cycles, page-copy
+  traffic, and in-flight access stalls.
+"""
+
+from repro.migration.records import MigrationBatch, RegionMove
+from repro.migration.regions import RegionTable
+from repro.migration.starnuma import StarNumaPolicy
+from repro.migration.baseline import BaselinePolicy
+from repro.migration.oracle import oracular_static_placement
+from repro.migration.costs import MigrationCostModel
+
+__all__ = [
+    "BaselinePolicy",
+    "MigrationBatch",
+    "MigrationCostModel",
+    "RegionMove",
+    "RegionTable",
+    "StarNumaPolicy",
+    "oracular_static_placement",
+]

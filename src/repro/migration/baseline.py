@@ -1,0 +1,123 @@
+"""The idealized baseline migration policy (Section IV-C).
+
+To isolate the contribution of the pool as an architectural block from
+the specific migration policy, the paper favors the baseline with
+*zero-cost, per-socket knowledge of all accesses to every 4 KB page* each
+phase. Decisions are free; only the migration itself (shootdowns, copies,
+stalls) is charged.
+
+With full knowledge the obvious policy is: home every sufficiently hot
+page at the socket that accesses it most, provided the move is clearly
+profitable. A hysteresis margin prevents oscillation on evenly shared
+pages -- exactly the vagabond pages the baseline architecturally has no
+good answer for.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.config import MigrationConfig
+from repro.migration.records import MigrationBatch, RegionMove
+from repro.placement.pagemap import PageMap
+
+
+class BaselinePolicy:
+    """Per-page, perfect-knowledge migration toward the dominant accessor."""
+
+    def __init__(self, config: MigrationConfig,
+                 min_accesses_per_page: int = 64,
+                 hysteresis: float = 1.25,
+                 rng: Optional[np.random.Generator] = None):
+        if min_accesses_per_page < 1:
+            raise ValueError("min_accesses_per_page must be >= 1")
+        if hysteresis < 1.0:
+            raise ValueError(f"hysteresis must be >= 1, got {hysteresis}")
+        self.config = config
+        self.min_accesses = min_accesses_per_page
+        self.hysteresis = hysteresis
+        self.rng = rng or np.random.default_rng(0)
+        self.phases_run = 0
+
+    def decide(self, page_counts: np.ndarray,
+               page_map: PageMap) -> MigrationBatch:
+        """Choose and apply this phase's migrations.
+
+        ``page_counts`` has shape ``(n_sockets, n_pages)`` and holds the
+        oracle per-socket access counts of the ending phase.
+        """
+        self.phases_run += 1
+        batch = MigrationBatch(phase=self.phases_run)
+        n_sockets, n_pages = page_counts.shape
+        if n_pages != page_map.n_pages:
+            raise ValueError(
+                f"count matrix covers {n_pages} pages, map has "
+                f"{page_map.n_pages}"
+            )
+
+        totals = page_counts.sum(axis=0)
+        best_count = page_counts.max(axis=0)
+        current = page_map.locations.astype(np.int64)
+        # Count of accesses served locally if the page stays put. Pages on
+        # the pool never occur in the baseline (no pool), but guard anyway.
+        on_socket = current >= 0
+        current_count = np.zeros(n_pages, dtype=page_counts.dtype)
+        cols = np.flatnonzero(on_socket)
+        current_count[cols] = page_counts[current[cols], cols]
+
+        profitable = (
+            (totals >= self.min_accesses)
+            & (best_count.astype(np.float64)
+               > current_count.astype(np.float64) * self.hysteresis)
+        )
+        candidates = np.flatnonzero(profitable)
+        if candidates.size == 0:
+            return batch
+
+        # Hottest pages first: with a page budget, perfect knowledge spends
+        # it where it pays most.
+        candidates = candidates[np.argsort(totals[candidates])[::-1]]
+
+        # Perfect knowledge also balances: among sockets whose access
+        # counts are near-tied for a page, the rational destination is the
+        # one serving the least *remote* traffic -- the home socket's
+        # coherent links carry every fill it serves to other sockets, so a
+        # zero-cost oracle balances that, not total DRAM load.
+        remote_served = np.zeros(n_sockets, dtype=np.float64)
+        np.add.at(remote_served, current[cols],
+                  (totals[cols] - current_count[cols]).astype(np.float64))
+
+        budget = self.config.migration_limit_pages
+        moved_pages = []
+        moved_dest = []
+        for page in candidates:
+            if len(moved_pages) >= budget:
+                break
+            counts = page_counts[:, page]
+            threshold = counts.max() * 0.9
+            near_tied = np.flatnonzero(counts >= threshold)
+            destination = int(near_tied[np.argmin(remote_served[near_tied])])
+            source = int(current[page])
+            if destination == source:
+                continue
+            total = float(totals[page])
+            remote_served[source] -= total - float(counts[source])
+            remote_served[destination] += total - float(counts[destination])
+            moved_pages.append(int(page))
+            moved_dest.append(destination)
+
+        if not moved_pages:
+            return batch
+        pages = np.array(moved_pages, dtype=np.int64)
+        destinations = np.array(moved_dest, dtype=np.int64)
+        for destination in np.unique(destinations):
+            group = pages[destinations == destination]
+            sources = current[group]
+            for source in np.unique(sources):
+                subset = group[sources == source]
+                batch.add(RegionMove(pages=subset, source=int(source),
+                                     destination=int(destination)))
+            page_map.move(group, int(destination))
+        return batch

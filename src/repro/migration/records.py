@@ -1,0 +1,78 @@
+"""Migration decision records shared by all policies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.topology.model import POOL_LOCATION
+
+
+@dataclass(frozen=True)
+class RegionMove:
+    """One migration decision: a group of pages moving to a destination."""
+
+    pages: np.ndarray
+    source: int
+    destination: int
+
+    @property
+    def n_pages(self) -> int:
+        return int(self.pages.size)
+
+    @property
+    def to_pool(self) -> bool:
+        return self.destination == POOL_LOCATION
+
+    @property
+    def from_pool(self) -> bool:
+        return self.source == POOL_LOCATION
+
+
+@dataclass
+class MigrationBatch:
+    """All migrations decided for one phase."""
+
+    phase: int
+    moves: List[RegionMove] = field(default_factory=list)
+
+    def add(self, move: RegionMove) -> None:
+        self.moves.append(move)
+
+    @property
+    def n_pages(self) -> int:
+        return sum(move.n_pages for move in self.moves)
+
+    @property
+    def pages_to_pool(self) -> int:
+        return sum(move.n_pages for move in self.moves if move.to_pool)
+
+    @property
+    def pages_from_pool(self) -> int:
+        return sum(move.n_pages for move in self.moves if move.from_pool)
+
+    def pool_fraction(self) -> float:
+        """Fraction of migrated pages whose destination is the pool.
+
+        This is Table IV's metric when accumulated over a whole run
+        (victim evictions out of the pool are excluded from the
+        denominator, since Table IV reports destination shares of
+        demand-driven migrations).
+        """
+        demand_pages = sum(
+            move.n_pages for move in self.moves if not move.from_pool
+        )
+        if demand_pages == 0:
+            return 0.0
+        to_pool = sum(
+            move.n_pages for move in self.moves
+            if move.to_pool and not move.from_pool
+        )
+        return to_pool / demand_pages
+
+    def all_pages(self) -> np.ndarray:
+        if not self.moves:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate([move.pages for move in self.moves])

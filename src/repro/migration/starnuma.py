@@ -1,0 +1,202 @@
+"""StarNUMA's migration policy: Algorithm 1 of the paper.
+
+Once per migration phase, a single pass over the region trackers selects
+regions whose access count exceeds the HI threshold (for T_16) or whose
+sharer count reaches the T_0 sharer threshold. A selected region migrates
+to the memory pool when shared by ``pool_sharer_threshold`` (8) or more
+sockets, otherwise to a random sharer. If the pool is out of usable
+capacity, a pool-resident victim with accesses at or below the LO
+threshold is first evicted to a random sharer of its own. Regions that
+ping-pong (migrated more than a quarter of the elapsed phases) are left
+alone, and the per-phase migration budget caps total movement.
+
+Thresholds adapt each phase as a simple function of how the candidate
+count compares to the migration limit, as described in Section IV-C.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.config import MigrationConfig, TrackerKind
+from repro.migration.records import MigrationBatch, RegionMove
+from repro.migration.regions import RegionTable
+from repro.placement.capacity import PoolCapacityManager
+from repro.placement.pagemap import PageMap
+from repro.tracking.tracker import RegionTrackerArray
+from repro.topology.model import POOL_LOCATION
+
+
+class StarNumaPolicy:
+    """Algorithm 1, with adaptive HI/LO thresholds and ping-pong control."""
+
+    def __init__(self, config: MigrationConfig, regions: RegionTable,
+                 capacity: PoolCapacityManager,
+                 rng: Optional[np.random.Generator] = None):
+        config.validate()
+        self.config = config
+        self.regions = regions
+        self.capacity = capacity
+        self.rng = rng or np.random.default_rng(0)
+        self.hi_threshold = float(config.hi_threshold_init)
+        self.lo_threshold = float(config.lo_threshold_init)
+        self.migration_counts = np.zeros(regions.n_regions, dtype=np.int64)
+        self.phases_run = 0
+
+    # -- policy ------------------------------------------------------------
+
+    def decide(self, tracker: RegionTrackerArray,
+               region_locations: np.ndarray,
+               page_map: PageMap) -> MigrationBatch:
+        """Run one Algorithm 1 scan; mutate ``page_map`` with the moves."""
+        self.phases_run += 1
+        phase = self.phases_run
+        batch = MigrationBatch(phase=phase)
+
+        sharer_counts = tracker.sharer_counts()
+        accesses = tracker.accesses()
+        candidates = self._candidate_mask(accesses, sharer_counts)
+        region_sizes = self.regions.region_sizes()
+
+        budget = self.config.migration_limit_pages
+        victim_search_failures = 0
+        locations = region_locations.copy()
+
+        for region in np.flatnonzero(candidates):
+            if batch.n_pages >= budget:
+                break
+            sharers = tracker.sharers_of(region)
+            if sharers.size == 0:
+                continue
+            best_location = int(self.rng.choice(sharers))
+            if sharer_counts[region] >= self.config.pool_sharer_threshold:
+                best_location = POOL_LOCATION
+            current = int(locations[region])
+            if best_location == current:
+                continue
+            if self._is_ping_ponging(region, phase):
+                continue
+
+            size = int(region_sizes[region])
+            if best_location == POOL_LOCATION:
+                # Regions vary slightly in size (the last chunk of each
+                # socket is short), so one victim may not free enough.
+                evictions = 0
+                while not self.capacity.can_fit(size) and evictions < 4:
+                    victim = self._find_victim(accesses, sharer_counts,
+                                               locations, size)
+                    if victim is None:
+                        break
+                    self._evict_victim(victim, tracker, locations, page_map,
+                                       batch)
+                    evictions += 1
+                if not self.capacity.can_fit(size):
+                    victim_search_failures += 1
+                    continue
+                self.capacity.allocate(size)
+            if current == POOL_LOCATION:
+                self.capacity.release(size)
+
+            self._move(region, current, best_location, locations, page_map,
+                       batch)
+
+        self._adapt_thresholds(accesses, candidates, sharer_counts,
+                               locations, region_sizes,
+                               victim_search_failures)
+        return batch
+
+    # -- internals -----------------------------------------------------------
+
+    def _candidate_mask(self, accesses: np.ndarray,
+                        sharer_counts: np.ndarray) -> np.ndarray:
+        if self.config.tracker is TrackerKind.T0:
+            # T_0 cannot rank hotness: only the sharer bits exist, and the
+            # fixed threshold selects regions touched by (almost) all
+            # sockets.
+            return sharer_counts >= self.config.t0_sharer_threshold
+        return accesses >= self.hi_threshold
+
+    def _is_ping_ponging(self, region: int, phase: int) -> bool:
+        return self.migration_counts[region] > phase / 4.0
+
+    def _find_victim(self, accesses: np.ndarray, sharer_counts: np.ndarray,
+                     locations: np.ndarray,
+                     needed_pages: int) -> Optional[int]:
+        """First pool-resident region cold enough to evict (single pass).
+
+        Under T_16, "cold" means accesses at or below the LO threshold.
+        T_0 has no counters -- every entry reads zero -- so LO would match
+        every resident and churn the pool; the only coldness signal T_0's
+        sharer bits offer is that a resident stopped being widely touched
+        this phase, which is therefore its victim criterion.
+        """
+        pool_resident = np.flatnonzero(locations == POOL_LOCATION)
+        if self.config.tracker is TrackerKind.T0:
+            for region in pool_resident:
+                if sharer_counts[region] < self.config.t0_sharer_threshold:
+                    return int(region)
+            return None
+        for region in pool_resident:
+            if accesses[region] <= self.lo_threshold:
+                return int(region)
+        return None
+
+    def _evict_victim(self, victim: int, tracker: RegionTrackerArray,
+                      locations: np.ndarray, page_map: PageMap,
+                      batch: MigrationBatch) -> None:
+        sharers = tracker.sharers_of(victim)
+        if sharers.size:
+            destination = int(self.rng.choice(sharers))
+        else:
+            destination = int(self.rng.integers(0, page_map.n_sockets))
+        size = int(self.regions.pages_of(victim).size)
+        self.capacity.release(size)
+        self._move(victim, POOL_LOCATION, destination, locations, page_map,
+                   batch)
+
+    def _move(self, region: int, source: int, destination: int,
+              locations: np.ndarray, page_map: PageMap,
+              batch: MigrationBatch) -> None:
+        pages = self.regions.pages_of(region)
+        page_map.move(pages, destination)
+        locations[region] = destination
+        self.migration_counts[region] += 1
+        batch.add(RegionMove(pages=pages, source=source,
+                             destination=destination))
+
+    def _adapt_thresholds(self, accesses: np.ndarray, candidates: np.ndarray,
+                          sharer_counts: np.ndarray, locations: np.ndarray,
+                          region_sizes: np.ndarray,
+                          victim_search_failures: int) -> None:
+        config = self.config
+        if config.tracker is TrackerKind.T0:
+            return  # T_0 uses the fixed sharer threshold only.
+        # Only *actionable* candidates count toward the limit comparison:
+        # a hot region already sitting at its preferred destination (a
+        # widely shared region already in the pool) consumes no migration
+        # budget, so it must not prop the threshold up.
+        settled = ((sharer_counts >= config.pool_sharer_threshold)
+                   & (locations == POOL_LOCATION))
+        actionable = candidates & ~settled
+        candidate_pages = int(region_sizes[actionable].sum())
+        limit = max(1, config.migration_limit_pages)
+        if candidate_pages > 2 * limit:
+            self.hi_threshold = min(self.hi_threshold * 2.0,
+                                    float(config.hi_threshold_max))
+        elif candidate_pages == 0:
+            # Nothing qualified at all: the workload's region densities sit
+            # far below the threshold -- converge fast rather than waste
+            # migration phases.
+            self.hi_threshold = max(self.hi_threshold / 4.0,
+                                    float(config.hi_threshold_min))
+        elif candidate_pages < limit / 2:
+            self.hi_threshold = max(self.hi_threshold / 2.0,
+                                    float(config.hi_threshold_min))
+        if victim_search_failures:
+            self.lo_threshold = min(self.lo_threshold * 2.0,
+                                    float(config.lo_threshold_max))
+        else:
+            self.lo_threshold = max(self.lo_threshold * 0.9,
+                                    float(config.lo_threshold_init))

@@ -1,0 +1,13 @@
+"""Page placement: the page map, first-touch policy, and pool capacity.
+
+Initial placement follows the first-touch policy (Section IV-C): a page is
+homed at the socket that first accesses it. The pool's usable capacity is
+limited to a fraction of each workload's footprint (20% by default, 1/17
+for the socket-equivalent pool of Fig. 12), enforced by
+:class:`PoolCapacityManager`.
+"""
+
+from repro.placement.pagemap import PageMap, first_touch_placement
+from repro.placement.capacity import PoolCapacityManager
+
+__all__ = ["PageMap", "PoolCapacityManager", "first_touch_placement"]

@@ -1,0 +1,58 @@
+"""Pool capacity accounting (Sections III-A, IV-D, V-E)."""
+
+from __future__ import annotations
+
+
+class PoolCapacityManager:
+    """Tracks usable pool capacity in pages.
+
+    The paper limits pool-resident data to a fraction of each workload's
+    footprint rather than an absolute byte budget, since simulated
+    footprints are dwarfed by real 16-socket deployments: 20% models the
+    chassis-equivalent pool, 1/17 the socket-equivalent pool of Fig. 12.
+    """
+
+    def __init__(self, footprint_pages: int, capacity_fraction: float):
+        if footprint_pages < 0:
+            raise ValueError(f"footprint must be >= 0, got {footprint_pages}")
+        if not 0.0 < capacity_fraction <= 1.0:
+            raise ValueError(
+                f"capacity fraction must be in (0, 1], got {capacity_fraction}"
+            )
+        self.footprint_pages = footprint_pages
+        self.capacity_fraction = capacity_fraction
+        self.capacity_pages = int(footprint_pages * capacity_fraction)
+        self.used_pages = 0
+
+    @property
+    def free_pages(self) -> int:
+        return self.capacity_pages - self.used_pages
+
+    def can_fit(self, pages: int) -> bool:
+        if pages < 0:
+            raise ValueError(f"page count must be >= 0, got {pages}")
+        return pages <= self.free_pages
+
+    def allocate(self, pages: int) -> None:
+        """Reserve ``pages`` on the pool; raises if over capacity."""
+        if not self.can_fit(pages):
+            raise ValueError(
+                f"pool overflow: {pages} pages requested, "
+                f"{self.free_pages} free of {self.capacity_pages}"
+            )
+        self.used_pages += pages
+
+    def release(self, pages: int) -> None:
+        """Return ``pages`` to the free pool (victim eviction)."""
+        if pages < 0:
+            raise ValueError(f"page count must be >= 0, got {pages}")
+        if pages > self.used_pages:
+            raise ValueError(
+                f"releasing {pages} pages but only {self.used_pages} in use"
+            )
+        self.used_pages -= pages
+
+    def utilization(self) -> float:
+        if self.capacity_pages == 0:
+            return 0.0
+        return self.used_pages / self.capacity_pages

@@ -1,0 +1,20 @@
+"""Detailed (record-level) replay: the mixed-modality "detailed socket".
+
+The paper simulates one socket in full microarchitectural detail and the
+rest as light endpoints (Section IV-B). This package is our analogue of
+the detailed path: individual trace records flow through per-socket
+LLC filters, MESI directory slices at each page's home, and functional
+DRAM channels, producing event-level latencies and coherence activity.
+
+It serves two purposes:
+
+* a *cross-check* of the phase-level analytic model -- at low load, the
+  replayed average latency must agree with the analytic unloaded AMAT
+  (asserted in tests/test_replay); and
+* a substrate for studying block-level effects the aggregate model
+  cannot see (LLC filtering, row-buffer locality, per-block MESI state).
+"""
+
+from repro.replay.engine import DetailedReplay, ReplayStats
+
+__all__ = ["DetailedReplay", "ReplayStats"]

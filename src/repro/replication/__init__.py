@@ -1,0 +1,23 @@
+"""Page replication: the alternative the paper weighs against pooling.
+
+Section V-F analyzes replicating vagabond pages across sockets instead
+of (or in addition to) pooling them. Replication converts remote reads
+into local ones, but:
+
+* every replica costs memory capacity (a page shared by 16 sockets
+  replicated everywhere costs 15 extra copies), and
+* writes to replicated pages require software coherence -- invalidating
+  or updating every replica, at page-fault-and-IPI timescales, which the
+  paper estimates at an unsustainable rate for read-write workloads (a
+  coherence action every ~50 cycles for BFS).
+
+This package implements a capacity-budgeted, read-only-biased replication
+policy and the timing-model plan that reclassifies accesses to
+replicated pages, so replication, pooling, and their combination can be
+compared (the ``ext-replication`` experiment).
+"""
+
+from repro.replication.policy import ReplicationPolicy
+from repro.replication.plan import ReplicationPlan
+
+__all__ = ["ReplicationPlan", "ReplicationPolicy"]

@@ -1,0 +1,57 @@
+"""A concrete replication decision and its costs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config.parameters import PAGE_SIZE_BYTES
+
+#: Cost of keeping replicas coherent on one write to a replicated page:
+#: the writer must invalidate (or update) every replica in software --
+#: inter-processor interrupts, page-table updates, TLB shootdowns. A few
+#: microseconds is the optimistic end of OS-level page-fault handling.
+DEFAULT_WRITE_PENALTY_NS = 2_000.0
+
+
+@dataclass(frozen=True)
+class ReplicationPlan:
+    """Which pages are replicated at every sharer socket, and the costs.
+
+    ``replicated`` is a boolean per page. An access by any sharer to a
+    replicated page is served from the local replica; a *write* to it
+    additionally pays ``write_penalty_ns`` of software coherence on top.
+    """
+
+    replicated: np.ndarray
+    #: Extra copies each replicated page keeps (sharers - 1, summed).
+    extra_copies: int
+    write_penalty_ns: float = DEFAULT_WRITE_PENALTY_NS
+
+    def __post_init__(self) -> None:
+        if self.replicated.dtype != np.bool_:
+            raise ValueError("replicated mask must be boolean")
+        if self.extra_copies < 0:
+            raise ValueError("extra_copies must be >= 0")
+        if self.write_penalty_ns < 0:
+            raise ValueError("write penalty must be >= 0")
+
+    @property
+    def n_replicated_pages(self) -> int:
+        return int(np.count_nonzero(self.replicated))
+
+    def capacity_overhead_bytes(self) -> int:
+        """Extra DRAM consumed by replicas."""
+        return self.extra_copies * PAGE_SIZE_BYTES
+
+    def capacity_overhead_fraction(self) -> float:
+        """Replica bytes relative to the (unreplicated) footprint."""
+        n_pages = int(self.replicated.size)
+        if n_pages == 0:
+            return 0.0
+        return self.extra_copies / n_pages
+
+    @classmethod
+    def empty(cls, n_pages: int) -> "ReplicationPlan":
+        return cls(replicated=np.zeros(n_pages, dtype=bool), extra_copies=0)

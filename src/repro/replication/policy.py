@@ -1,0 +1,76 @@
+"""Capacity-budgeted selection of replication candidates.
+
+Good replication candidates (Section V-F) are pages that are
+
+* widely shared (remote accesses to save),
+* hot (worth the copies),
+* read-only or nearly so (writes pay software coherence), and
+* collectively small (replicas multiply capacity).
+
+The policy ranks pages by saved remote accesses per byte of replica and
+takes them greedily until the capacity budget is exhausted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.replication.plan import DEFAULT_WRITE_PENALTY_NS, ReplicationPlan
+from repro.workloads.population import PagePopulation
+
+
+class ReplicationPolicy:
+    """Greedy read-only-biased replication under a capacity budget."""
+
+    def __init__(self, capacity_budget_fraction: float = 0.5,
+                 min_sharers: int = 8,
+                 max_write_fraction: float = 0.05,
+                 write_penalty_ns: float = DEFAULT_WRITE_PENALTY_NS):
+        if capacity_budget_fraction < 0:
+            raise ValueError("capacity budget must be >= 0")
+        if min_sharers < 2:
+            raise ValueError("replication needs at least 2 sharers")
+        if not 0.0 <= max_write_fraction <= 1.0:
+            raise ValueError("max_write_fraction must be in [0, 1]")
+        self.capacity_budget_fraction = capacity_budget_fraction
+        self.min_sharers = min_sharers
+        self.max_write_fraction = max_write_fraction
+        self.write_penalty_ns = write_penalty_ns
+
+    def plan(self, population: PagePopulation) -> ReplicationPlan:
+        """Choose the replica set for one workload instance.
+
+        The budget is expressed as extra copies relative to the footprint
+        (0.5 means replicas may consume up to half a footprint of DRAM).
+        """
+        n_pages = population.n_pages
+        sharers = population.sharer_count.astype(np.int64)
+        eligible = (
+            (sharers >= self.min_sharers)
+            & (population.write_fraction <= self.max_write_fraction)
+        )
+        candidates = np.flatnonzero(eligible)
+        if candidates.size == 0:
+            return ReplicationPlan.empty(n_pages)
+
+        # Benefit: remote accesses converted to local = weight * (k-1)/k.
+        # Cost: k-1 extra page copies. Rank by benefit per copy.
+        k = sharers[candidates].astype(np.float64)
+        saved = population.weight[candidates] * (k - 1.0) / k
+        copies = k - 1.0
+        order = candidates[np.argsort(saved / copies)[::-1]]
+
+        budget_copies = int(self.capacity_budget_fraction * n_pages)
+        replicated = np.zeros(n_pages, dtype=bool)
+        used = 0
+        for page in order:
+            need = int(sharers[page]) - 1
+            if used + need > budget_copies:
+                continue
+            replicated[page] = True
+            used += need
+        return ReplicationPlan(
+            replicated=replicated,
+            extra_copies=used,
+            write_penalty_ns=self.write_penalty_ns,
+        )

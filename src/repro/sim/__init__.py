@@ -1,0 +1,29 @@
+"""The three-step simulation pipeline (Section IV).
+
+* **Step A** -- trace synthesis (:mod:`repro.trace`): per-phase access
+  count matrices statistically matching the workload's published
+  structure.
+* **Step B** -- trace-driven migration simulation
+  (:class:`~repro.sim.engine.Simulator` + the policies in
+  :mod:`repro.migration`): per-phase tracker updates, Algorithm 1 (or the
+  baseline's perfect-knowledge policy), and page-map checkpoints.
+* **Step C** -- timing (:mod:`repro.sim.timing`): per-phase access
+  classification, link/channel loading, M/D/1 queueing, and a closed-loop
+  AMAT <-> IPC fixed point using the calibrated CPI model.
+
+The paper's Step C is cycle-level ChampSim; ours is the analytic queueing
+model described in DESIGN.md -- the structural substitution of this
+reproduction.
+"""
+
+from repro.sim.results import PhaseTiming, SimulationResult
+from repro.sim.engine import SimulationSetup, Simulator
+from repro.sim.timing import PhaseTimingModel
+
+__all__ = [
+    "PhaseTiming",
+    "PhaseTimingModel",
+    "SimulationResult",
+    "SimulationSetup",
+    "Simulator",
+]

@@ -1,0 +1,154 @@
+"""Vectorized access classification for one phase.
+
+Given a phase's (socket, page) access counts and the current page map,
+split every access into demand traffic by destination and coherence block
+transfers by home type, producing the compact aggregates the timing model
+charges to links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.placement.pagemap import PageMap
+from repro.topology.model import POOL_LOCATION
+from repro.workloads.population import PagePopulation
+
+
+@dataclass
+class PhaseClassification:
+    """Aggregated access counts of one phase.
+
+    ``demand[s, l]`` counts demand (memory-serviced) accesses of socket
+    ``s`` to location ``l``; column ``n_sockets`` is the pool.
+    ``demand_writes`` is the expected store share of the same cells (the
+    writeback traffic driver). ``bt_socket[s, h]`` counts block transfers
+    whose home is socket ``h``; ``bt_pool[s]`` those homed at the pool,
+    with ``bt_pool_owner[u]`` the expected owner-side CXL load.
+    """
+
+    demand: np.ndarray
+    demand_writes: np.ndarray
+    bt_socket: np.ndarray
+    bt_pool: np.ndarray
+    bt_pool_owner: np.ndarray
+    total_accesses: float
+    #: Writes to software-replicated pages (each pays the replication
+    #: plan's coherence penalty on top of its local access).
+    replicated_writes: float = 0.0
+
+    @property
+    def n_sockets(self) -> int:
+        return int(self.demand.shape[0])
+
+    @property
+    def pool_column(self) -> int:
+        return self.n_sockets
+
+    def demand_to_pool(self) -> float:
+        return float(self.demand[:, self.pool_column].sum())
+
+    def block_transfers(self) -> float:
+        return float(self.bt_socket.sum() + self.bt_pool.sum())
+
+
+def block_transfer_fractions(population: PagePopulation) -> np.ndarray:
+    """Per-page probability that a miss is served cache-to-cache.
+
+    Vectorized form of
+    :meth:`repro.coherence.transfers.SharingModel.block_transfer_fraction`.
+    """
+    coupling = population.profile.coupling
+    sharers = population.sharer_count.astype(np.float64)
+    writes = population.write_fraction
+    intensity = writes * (2.0 - writes)
+    remote_writer = np.where(sharers > 1, (sharers - 1) / sharers, 0.0)
+    return np.minimum(1.0, coupling * intensity * remote_writer)
+
+
+def classify_phase(counts: np.ndarray, page_map: PageMap,
+                   population: PagePopulation,
+                   replication: Optional["ReplicationPlan"] = None
+                   ) -> PhaseClassification:
+    """Build the phase aggregates from raw per-page counts.
+
+    With a ``replication`` plan, accesses to replicated pages are served
+    by the local replica (demand at the requester's own socket, no block
+    transfers -- software keeps replicas coherent instead), and their
+    write volume is reported separately so the timing model can charge
+    the software-coherence penalty.
+    """
+    n_sockets, n_pages = counts.shape
+    if n_pages != page_map.n_pages:
+        raise ValueError(
+            f"trace covers {n_pages} pages, map has {page_map.n_pages}"
+        )
+
+    replicated_writes = 0.0
+    replica_local = None
+    if replication is not None:
+        if replication.replicated.size != n_pages:
+            raise ValueError("replication plan covers a different footprint")
+        mask = replication.replicated
+        if mask.any():
+            rep_counts = counts[:, mask].astype(np.float64)
+            rep_writes = rep_counts * population.write_fraction[None, mask]
+            replica_local = (rep_counts.sum(axis=1),
+                             rep_writes.sum(axis=1))
+            replicated_writes = float(rep_writes.sum())
+            counts = counts.copy()
+            counts[:, mask] = 0
+
+    locations = page_map.locations.astype(np.int64)
+    location_index = np.where(locations == POOL_LOCATION, n_sockets,
+                              locations)
+
+    bt_fraction = block_transfer_fractions(population)
+    counts = counts.astype(np.float64)
+    bt_counts = counts * bt_fraction[None, :]
+    demand_counts = counts - bt_counts
+
+    n_locations = n_sockets + 1
+    demand = np.zeros((n_sockets, n_locations))
+    demand_writes = np.zeros((n_sockets, n_locations))
+    bt_socket = np.zeros((n_sockets, n_sockets))
+    bt_pool = np.zeros(n_sockets)
+
+    writes = population.write_fraction
+    pool_pages = locations == POOL_LOCATION
+    for socket in range(n_sockets):
+        np.add.at(demand[socket], location_index, demand_counts[socket])
+        np.add.at(demand_writes[socket], location_index,
+                  demand_counts[socket] * writes)
+        np.add.at(bt_socket[socket], locations[~pool_pages],
+                  bt_counts[socket][~pool_pages])
+        bt_pool[socket] = bt_counts[socket][pool_pages].sum()
+
+    # Owner-side CXL load of pool-homed transfers: the owner is a uniform
+    # random sharer of the page, so each sharer carries weight/k of the
+    # page's transfer volume.
+    bt_pool_per_page = bt_counts.sum(axis=0) * pool_pages
+    per_sharer = bt_pool_per_page / population.sharer_count
+    membership = population.membership()
+    bt_pool_owner = membership @ per_sharer
+
+    if replica_local is not None:
+        local_counts, local_writes = replica_local
+        demand[np.arange(n_sockets), np.arange(n_sockets)] += local_counts
+        demand_writes[np.arange(n_sockets),
+                      np.arange(n_sockets)] += local_writes
+
+    return PhaseClassification(
+        demand=demand,
+        demand_writes=demand_writes,
+        bt_socket=bt_socket,
+        bt_pool=bt_pool,
+        bt_pool_owner=bt_pool_owner,
+        total_accesses=float(counts.sum())
+        + (float(replica_local[0].sum()) if replica_local is not None
+           else 0.0),
+        replicated_writes=replicated_writes,
+    )

@@ -1,0 +1,331 @@
+"""Simulation engine: orchestrates trace synthesis, migration, and timing.
+
+Scaling: the simulated footprint (tens of thousands of pages) stands in
+for the real multi-gigabyte one, so per-phase access volumes are scaled by
+the footprint ratio. This keeps per-region access densities -- and hence
+tracker-threshold dynamics -- identical to the full-scale system's, while
+offered bandwidths are unchanged (both accesses and wall-clock window
+scale together). It is the same commensurate-scaling idea the paper
+applies to cores, channels, and link bandwidths (Table II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.config import SystemConfig
+from repro.config.parameters import PAGE_SIZE_BYTES
+from repro.metrics.calibration import CalibratedCpi, calibrate_cpi
+from repro.migration import (
+    BaselinePolicy,
+    MigrationBatch,
+    RegionTable,
+    StarNumaPolicy,
+    oracular_static_placement,
+)
+from repro.placement import PoolCapacityManager, first_touch_placement
+from repro.placement.pagemap import PageMap
+from repro.sim.results import PhaseTiming, SimulationResult
+from repro.sim.timing import FixedPointSettings, PhaseTimingModel
+from repro.topology import RouteTable, Topology
+from repro.trace import PhaseTrace, TraceSynthesizer
+from repro.workloads import PagePopulation, WorkloadProfile, build_population
+
+#: Nominal phase length on the real system, instructions per thread.
+NOMINAL_PHASE_INSTRUCTIONS = 1_000_000_000
+
+#: Minimum effective per-phase migration budget, in regions, after
+#: footprint scaling. The paper picks the best-performing limit per
+#: workload/system from a 0..256K-page sweep; scaling the budget exactly
+#: with the footprint would starve small simulated instances, so a floor
+#: keeps the policy inside its productive operating range.
+MIN_MIGRATION_REGIONS = 32
+
+
+@dataclass
+class Checkpoint:
+    """Step B output for one phase: memory state plus in-flight migrations."""
+
+    phase: int
+    page_map: PageMap
+    batch: Optional[MigrationBatch]
+
+
+@dataclass
+class SimulationSetup:
+    """Shared, config-independent inputs of one workload instance.
+
+    Population and traces depend only on the workload, the socket count,
+    the per-socket thread count, and the seed -- never on which system
+    variant is being timed -- so one setup is reused across every
+    configuration of an experiment for a like-for-like comparison.
+    """
+
+    profile: WorkloadProfile
+    population: PagePopulation
+    traces: List[PhaseTrace]
+    seed: int
+
+    @classmethod
+    def create(cls, profile: WorkloadProfile, system: SystemConfig,
+               n_phases: int = 8, seed: int = 0,
+               layout: str = "clustered") -> "SimulationSetup":
+        population = build_population(
+            profile,
+            n_sockets=system.n_sockets,
+            sockets_per_chassis=system.sockets_per_chassis,
+            seed=seed,
+            layout=layout,
+        )
+        scale = cls.footprint_scale(profile)
+        instructions = max(1_000_000,
+                           int(NOMINAL_PHASE_INSTRUCTIONS * scale))
+        synthesizer = TraceSynthesizer(
+            population,
+            threads_per_socket=system.cores_per_socket,
+            instructions_per_thread=instructions,
+            seed=seed,
+        )
+        return cls(
+            profile=profile,
+            population=population,
+            traces=synthesizer.synthesize(n_phases),
+            seed=seed,
+        )
+
+    @staticmethod
+    def footprint_scale(profile: WorkloadProfile) -> float:
+        """Simulated-to-real footprint ratio."""
+        real_bytes = profile.footprint_gb * 1e9
+        sim_bytes = profile.n_pages_sim * PAGE_SIZE_BYTES
+        return sim_bytes / real_bytes
+
+    def total_counts(self) -> np.ndarray:
+        """Whole-run (socket, page) access counts -- the oracle's input."""
+        return sum(trace.counts for trace in self.traces)
+
+
+class Simulator:
+    """Runs Steps B and C for one (workload, system) pair."""
+
+    def __init__(self, system: SystemConfig, setup: SimulationSetup,
+                 settings: Optional[FixedPointSettings] = None,
+                 replication=None):
+        system.validate()
+        if setup.population.n_sockets != system.n_sockets:
+            raise ValueError(
+                "setup was built for a different socket count; create a "
+                "new SimulationSetup for this system"
+            )
+        self.system = system
+        self.setup = setup
+        self.topology = Topology(system)
+        self.routes = RouteTable(self.topology)
+        self.timing = PhaseTimingModel(
+            system, self.topology, self.routes, setup.population, settings,
+            replication=replication,
+        )
+        self._checkpoint_cache: Dict[str, List[Checkpoint]] = {}
+
+    # -- Step B --------------------------------------------------------------
+
+    @property
+    def effective_migration_limit(self) -> int:
+        """Per-phase migration budget after footprint scaling, pages."""
+        migration = self.system.migration
+        if migration.migration_limit_override_pages is not None:
+            return migration.migration_limit_override_pages
+        scaled = int(migration.migration_limit_pages
+                     * SimulationSetup.footprint_scale(self.setup.profile))
+        floor = MIN_MIGRATION_REGIONS * migration.pages_per_region
+        return max(floor, scaled)
+
+    def initial_page_map(self) -> PageMap:
+        rng = np.random.default_rng((self.setup.seed, 0xf157))
+        return first_touch_placement(
+            self.setup.population.sharer_mask,
+            self.system.n_sockets,
+            self.topology.has_pool,
+            rng,
+        )
+
+    def static_oracle_map(self) -> PageMap:
+        """The Fig. 9 oracular static placement for this architecture."""
+        totals = self.setup.total_counts()
+        capacity = None
+        if self.topology.has_pool:
+            capacity = PoolCapacityManager(
+                self.setup.population.n_pages,
+                self.system.pool.capacity_fraction,
+            )
+        return oracular_static_placement(
+            totals,
+            self.setup.population.sharer_count.astype(np.int64),
+            has_pool=self.topology.has_pool,
+            capacity=capacity,
+            pool_sharer_threshold=self.system.migration.pool_sharer_threshold,
+        )
+
+    def checkpoints(self, mode: str = "dynamic",
+                    static_map: Optional[PageMap] = None) -> List[Checkpoint]:
+        """Run Step B once and cache it (decisions are timing-independent).
+
+        ``mode``:
+
+        * ``"dynamic"`` -- first-touch start, then the architecture's
+          policy each phase (Algorithm 1 with the pool, the
+          perfect-knowledge policy without);
+        * ``"static"`` -- fixed ``static_map`` (or the oracle), no
+          migrations;
+        * ``"none"`` -- first-touch only, no migrations.
+        """
+        key = f"{mode}:{id(static_map) if static_map is not None else ''}"
+        if key not in self._checkpoint_cache:
+            self._checkpoint_cache[key] = self._run_step_b(mode, static_map)
+        return self._checkpoint_cache[key]
+
+    def _run_step_b(self, mode: str,
+                    static_map: Optional[PageMap]) -> List[Checkpoint]:
+        if mode not in ("dynamic", "static", "none"):
+            raise ValueError(f"unknown mode {mode!r}")
+        traces = self.setup.traces
+
+        if mode == "static":
+            page_map = static_map or self.static_oracle_map()
+            return [Checkpoint(trace.phase, page_map.copy(), None)
+                    for trace in traces]
+        if mode == "none":
+            page_map = self.initial_page_map()
+            return [Checkpoint(trace.phase, page_map.copy(), None)
+                    for trace in traces]
+
+        page_map = self.initial_page_map()
+        checkpoints: List[Checkpoint] = []
+        pending: Optional[MigrationBatch] = None
+        decide = self._make_policy(page_map)
+        for trace in traces:
+            # The map already reflects all prior decisions; the batch
+            # decided at the previous phase's end executes (and is
+            # charged) during this phase.
+            checkpoints.append(
+                Checkpoint(trace.phase, page_map.copy(), pending)
+            )
+            pending = decide(trace, page_map)
+        return checkpoints
+
+    def _make_policy(self, initial_map: PageMap):
+        """Build this architecture's per-phase decision function."""
+        migration = self.system.migration
+        import dataclasses
+
+        scaled = dataclasses.replace(
+            migration, migration_limit_pages=self.effective_migration_limit
+        )
+        rng = np.random.default_rng((self.setup.seed, 0x9019))
+
+        if self.topology.has_pool:
+            regions = RegionTable(initial_map, migration.pages_per_region)
+            capacity = PoolCapacityManager(
+                self.setup.population.n_pages,
+                self.system.pool.capacity_fraction,
+            )
+            from repro.tracking import RegionTrackerArray
+
+            tracker = RegionTrackerArray(
+                regions.n_regions, self.system.n_sockets, migration.tracker
+            )
+            policy = StarNumaPolicy(scaled, regions, capacity, rng)
+
+            def decide(trace: PhaseTrace, page_map: PageMap) -> MigrationBatch:
+                region_counts = regions.aggregate_page_counts(trace.counts)
+                tracker.update(region_counts)
+                locations = regions.region_locations(page_map)
+                batch = policy.decide(tracker, locations, page_map)
+                tracker.reset()
+                return batch
+
+            return decide
+
+        policy = BaselinePolicy(scaled, rng=rng)
+
+        def decide(trace: PhaseTrace, page_map: PageMap) -> MigrationBatch:
+            return policy.decide(trace.counts, page_map)
+
+        return decide
+
+    # -- Step C --------------------------------------------------------------
+
+    def run(self, calibration: Optional[CalibratedCpi] = None,
+            mode: str = "dynamic",
+            static_map: Optional[PageMap] = None,
+            fixed_ipc: Optional[float] = None,
+            warmup_phases: int = 2) -> SimulationResult:
+        """Run Step C over every checkpoint and aggregate.
+
+        ``fixed_ipc`` runs open-loop at that IPC (the calibration pass);
+        otherwise ``calibration`` must be provided for the closed loop.
+        The first ``warmup_phases`` phases are simulated (they evolve the
+        page map) but excluded from aggregates, standing in for the longer
+        pre-steady-state execution of the real runs.
+        """
+        if fixed_ipc is None and calibration is None:
+            raise ValueError("closed-loop timing needs a calibration")
+        checkpoints = self.checkpoints(mode, static_map)
+        if warmup_phases >= len(checkpoints):
+            raise ValueError(
+                f"warmup ({warmup_phases}) must leave at least one "
+                f"measured phase of {len(checkpoints)}"
+            )
+
+        timings: List[PhaseTiming] = []
+        previous_ipc: Optional[float] = None
+        for checkpoint, trace in zip(checkpoints, self.setup.traces):
+            timing = self.timing.evaluate(
+                trace,
+                checkpoint.page_map,
+                calibration,
+                batch=checkpoint.batch,
+                fixed_ipc=fixed_ipc,
+                initial_ipc=previous_ipc,
+            )
+            previous_ipc = timing.ipc
+            timings.append(timing)
+
+        measured = timings[warmup_phases:]
+        demand_pages = 0
+        pool_pages = 0
+        for checkpoint in checkpoints:
+            if checkpoint.batch is None:
+                continue
+            for move in checkpoint.batch.moves:
+                if move.from_pool:
+                    continue  # victim evictions are not demand migrations
+                demand_pages += move.n_pages
+                if move.to_pool:
+                    pool_pages += move.n_pages
+        return SimulationResult(
+            workload=self.setup.profile.name,
+            config_name=self.system.name,
+            phases=measured,
+            pages_migrated=demand_pages,
+            pages_migrated_to_pool=pool_pages,
+        )
+
+    # -- calibration -----------------------------------------------------------
+
+    def calibrate(self, mode: str = "dynamic") -> CalibratedCpi:
+        """Fit the CPI model from an open-loop pass at the published IPC.
+
+        Only meaningful on the baseline architecture: the anchors of Table
+        III were measured there.
+        """
+        open_loop = self.run(fixed_ipc=self.setup.profile.ipc_16, mode=mode)
+        return calibrate_cpi(
+            self.setup.profile,
+            open_loop.amat_ns,
+            self.system.core,
+            self.system.latency.local_ns,
+        )

@@ -1,0 +1,112 @@
+"""Result containers for phase timings and whole runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.metrics.breakdown import AccessBreakdown
+from repro.topology.model import AccessType
+
+
+@dataclass
+class PhaseTiming:
+    """Timing outcome of one simulated phase (one checkpoint of Step C)."""
+
+    phase: int
+    ipc: float
+    duration_ns: float
+    amat_ns: float
+    unloaded_amat_ns: float
+    breakdown: AccessBreakdown
+    total_accesses: float
+    migrated_pages: int = 0
+    migrated_pages_to_pool: int = 0
+    migration_stall_ns_per_access: float = 0.0
+    fixed_point_iterations: int = 0
+    converged: bool = True
+    #: Peak link utilization observed, for diagnostics (link id -> util).
+    hottest_links: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def contention_ns(self) -> float:
+        """Queueing component of AMAT (Fig. 8b's 'Contention Delay')."""
+        return self.amat_ns - self.unloaded_amat_ns
+
+
+@dataclass
+class SimulationResult:
+    """Aggregate of a whole run (all checkpoints of one workload+config)."""
+
+    workload: str
+    config_name: str
+    phases: List[PhaseTiming]
+    #: Demand-migrated pages over the run, and those that went to the pool
+    #: (Table IV's numerator/denominator).
+    pages_migrated: int = 0
+    pages_migrated_to_pool: int = 0
+    calibration_note: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ValueError("a result needs at least one phase")
+
+    @property
+    def ipc(self) -> float:
+        """Aggregate IPC: total instructions over total time.
+
+        Phases execute equal instruction counts, so this is the harmonic
+        mean of per-phase IPC.
+        """
+        inverse = sum(1.0 / phase.ipc for phase in self.phases)
+        return len(self.phases) / inverse
+
+    @property
+    def amat_ns(self) -> float:
+        """Access-weighted AMAT over all phases."""
+        weighted = sum(phase.amat_ns * phase.total_accesses
+                       for phase in self.phases)
+        accesses = sum(phase.total_accesses for phase in self.phases)
+        return weighted / accesses
+
+    @property
+    def unloaded_amat_ns(self) -> float:
+        weighted = sum(phase.unloaded_amat_ns * phase.total_accesses
+                       for phase in self.phases)
+        accesses = sum(phase.total_accesses for phase in self.phases)
+        return weighted / accesses
+
+    @property
+    def contention_ns(self) -> float:
+        return self.amat_ns - self.unloaded_amat_ns
+
+    def breakdown(self) -> AccessBreakdown:
+        merged = AccessBreakdown()
+        for phase in self.phases:
+            merged.merge(phase.breakdown)
+        return merged
+
+    def access_fractions(self) -> Dict[AccessType, float]:
+        return self.breakdown().fractions()
+
+    @property
+    def pool_migration_fraction(self) -> float:
+        """Table IV: share of demand migrations that targeted the pool."""
+        if self.pages_migrated == 0:
+            return 0.0
+        return self.pages_migrated_to_pool / self.pages_migrated
+
+    def speedup_over(self, baseline: "SimulationResult") -> float:
+        """IPC ratio against a baseline run of the same workload."""
+        if baseline.workload != self.workload:
+            raise ValueError(
+                f"speedup compares like workloads, got {self.workload} vs "
+                f"{baseline.workload}"
+            )
+        return self.ipc / baseline.ipc
+
+    def amat_reduction_over(self, baseline: "SimulationResult") -> float:
+        """Fractional AMAT reduction against a baseline run."""
+        if baseline.amat_ns <= 0:
+            raise ValueError("baseline AMAT must be positive")
+        return 1.0 - self.amat_ns / baseline.amat_ns

@@ -1,0 +1,366 @@
+"""Step C: phase-level timing via link loading and an AMAT<->IPC fixed point.
+
+For one phase the model:
+
+1. classifies every access (demand by destination, block transfers by
+   home type) from the page map;
+2. charges request/fill/writeback bytes to every link each access class
+   traverses, plus migration page copies and tracker-update traffic;
+3. iterates the closed loop: a guessed IPC fixes the phase's wall-clock
+   window, hence every link's offered bandwidth, hence M/D/1 waiting
+   times, hence the loaded AMAT, hence -- through the calibrated CPI
+   model -- a new IPC. Damped iteration converges because waiting time
+   is monotone in IPC.
+
+The per-access latency of each class is its unloaded latency plus the
+queueing delay accumulated along its route (request and fill directions;
+DRAM queues are shared between directions and counted once).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.config import SystemConfig
+from repro.config.parameters import PAGE_SIZE_BYTES
+from repro.interconnect.loads import MESSAGE_HEADER_BYTES, LinkLoads
+from repro.metrics.breakdown import AccessBreakdown
+from repro.metrics.calibration import CalibratedCpi
+from repro.migration.costs import MigrationCostModel
+from repro.migration.records import MigrationBatch
+from repro.sim.classification import PhaseClassification, classify_phase
+from repro.sim.results import PhaseTiming
+from repro.placement.pagemap import PageMap
+from repro.topology.model import (
+    POOL_LOCATION,
+    AccessType,
+    LinkKind,
+    Topology,
+)
+from repro.topology.routing import Route, RouteTable
+from repro.trace.records import PhaseTrace
+from repro.workloads.population import PagePopulation
+
+#: Per-access bytes of tracker-update traffic (annex flushes by the PTW
+#: into the metadata region); a small constant charge on local DRAM.
+TRACKER_BYTES_PER_ACCESS = 0.8
+
+#: Contention multiplier of pool-homed block transfers relative to one
+#: pool round trip: the 4-hop path crosses the CXL fabric twice.
+BT_POOL_CONTENTION_FACTOR = 1.5
+
+
+@dataclass
+class FixedPointSettings:
+    """Convergence controls of the IPC<->AMAT iteration."""
+
+    max_iterations: int = 60
+    tolerance: float = 1e-3
+    damping: float = 0.5
+    #: Arrival-burstiness multiplier fed to the queueing model.
+    burstiness: float = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.burstiness is None:
+            from repro.interconnect.queueing import DEFAULT_BURSTINESS
+
+            self.burstiness = DEFAULT_BURSTINESS
+
+
+class PhaseTimingModel:
+    """Evaluates the loaded AMAT and IPC of one phase."""
+
+    def __init__(self, system: SystemConfig, topology: Topology,
+                 routes: RouteTable, population: PagePopulation,
+                 settings: Optional[FixedPointSettings] = None,
+                 replication=None):
+        self.system = system
+        self.topology = topology
+        self.routes = routes
+        self.population = population
+        self.settings = settings or FixedPointSettings()
+        self.cost_model = MigrationCostModel(system)
+        #: Optional :class:`~repro.replication.ReplicationPlan`; accesses
+        #: to replicated pages are served locally, writes pay the plan's
+        #: software-coherence penalty.
+        self.replication = replication
+        self._pool_index = topology.n_sockets
+
+    # -- public ------------------------------------------------------------
+
+    def evaluate(self, trace: PhaseTrace, page_map: PageMap,
+                 calibration: CalibratedCpi,
+                 batch: Optional[MigrationBatch] = None,
+                 fixed_ipc: Optional[float] = None,
+                 initial_ipc: Optional[float] = None) -> PhaseTiming:
+        """Run Step C for one phase.
+
+        ``batch`` holds the migrations performed during this phase (their
+        copies and stalls are charged here). With ``fixed_ipc`` the closed
+        loop is bypassed -- used for the calibration pass, where the
+        baseline runs at its published IPC.
+        """
+        classification = classify_phase(trace.counts, page_map,
+                                        self.population, self.replication)
+        loads = self._build_loads(classification, batch)
+        stall_total_ns, extra_cpi = self._migration_overheads(trace, batch)
+        stall_per_access = (stall_total_ns / classification.total_accesses
+                            if classification.total_accesses else 0.0)
+
+        if fixed_ipc is not None:
+            ipc = fixed_ipc
+            amat_ns, unloaded_ns = self._amat_at(ipc, trace, classification,
+                                                 loads, stall_per_access)
+            iterations, converged = 0, True
+        else:
+            ipc, amat_ns, unloaded_ns, iterations, converged = (
+                self._fixed_point(trace, classification, loads,
+                                  stall_per_access, calibration, extra_cpi,
+                                  initial_ipc)
+            )
+
+        breakdown = self._breakdown(classification)
+        duration = self._duration_ns(ipc, trace)
+        hottest = {
+            sample.link_id: sample.utilization
+            for sample in loads.busiest(duration, top=3)
+        }
+        return PhaseTiming(
+            phase=trace.phase,
+            ipc=ipc,
+            duration_ns=duration,
+            amat_ns=amat_ns,
+            unloaded_amat_ns=unloaded_ns,
+            breakdown=breakdown,
+            total_accesses=classification.total_accesses,
+            migrated_pages=batch.n_pages if batch else 0,
+            migrated_pages_to_pool=batch.pages_to_pool if batch else 0,
+            migration_stall_ns_per_access=stall_per_access,
+            fixed_point_iterations=iterations,
+            converged=converged,
+            hottest_links=hottest,
+        )
+
+    # -- loading -------------------------------------------------------------
+
+    def _duration_ns(self, ipc: float, trace: PhaseTrace) -> float:
+        cycles = trace.instructions_per_thread / ipc
+        return self.system.core.cycles_to_ns(cycles)
+
+    def _location_of_column(self, column: int) -> int:
+        return POOL_LOCATION if column == self._pool_index else column
+
+    def _build_loads(self, classification: PhaseClassification,
+                     batch: Optional[MigrationBatch]) -> LinkLoads:
+        loads = LinkLoads(self.topology, burstiness=self.settings.burstiness)
+        n_sockets = classification.n_sockets
+
+        for socket in range(n_sockets):
+            for column in range(n_sockets + 1):
+                count = classification.demand[socket, column]
+                if count <= 0:
+                    continue
+                location = self._location_of_column(column)
+                if location == POOL_LOCATION and not self.topology.has_pool:
+                    raise ValueError("pool accesses on a pool-less system")
+                writes = classification.demand_writes[socket, column]
+                loads.add_access_traffic(
+                    self.routes.route(socket, location),
+                    accesses=count,
+                    writeback_fraction=writes / count,
+                )
+
+            # Socket-homed block transfers: the dominant data hop runs
+            # owner -> requester; we charge it along the requester<->home
+            # route as a proxy for the averaged three-leg path.
+            for home in range(n_sockets):
+                count = classification.bt_socket[socket, home]
+                if count <= 0 or home == socket:
+                    continue
+                loads.add_transfer_traffic(
+                    self.routes.route(socket, home)[:-1],  # no DRAM hop
+                    transfers=count,
+                )
+
+        if self.topology.has_pool:
+            for socket in range(n_sockets):
+                down = classification.bt_pool[socket]
+                up = classification.bt_pool_owner[socket]
+                if down <= 0 and up <= 0:
+                    continue
+                cxl = self.routes.route(socket, POOL_LOCATION)[0]
+                # Data to the requester flows pool -> socket (reverse of
+                # the request route); the owner's supply flows socket ->
+                # pool (forward).
+                loads.add(cxl.reversed(), down * (64 + MESSAGE_HEADER_BYTES))
+                loads.add(cxl, up * (64 + MESSAGE_HEADER_BYTES))
+
+            # Tracker-update traffic (StarNUMA's monitoring hardware).
+            for socket in range(n_sockets):
+                issued = float(classification.demand[socket].sum()
+                               + classification.bt_socket[socket].sum()
+                               + classification.bt_pool[socket])
+                dram = self.routes.route(socket, socket)[0]
+                loads.add(dram, issued * TRACKER_BYTES_PER_ACCESS)
+
+        if batch is not None:
+            self._charge_migrations(loads, batch)
+        return loads
+
+    def _charge_migrations(self, loads: LinkLoads,
+                           batch: MigrationBatch) -> None:
+        for move in batch.moves:
+            copy_bytes = move.n_pages * PAGE_SIZE_BYTES * (
+                1.0 + MESSAGE_HEADER_BYTES / 64.0
+            )
+            if move.source == POOL_LOCATION:
+                # Data flows pool -> destination: reverse of the
+                # destination's pool route.
+                route = self.routes.route(move.destination, POOL_LOCATION)
+                for hop in route:
+                    loads.add(hop.reversed(), copy_bytes)
+            else:
+                route = self.routes.route(move.source, move.destination)
+                for hop in route:
+                    loads.add(hop, copy_bytes)
+                # Source DRAM read of the page being copied.
+                source_dram = self.routes.route(move.source, move.source)[0]
+                loads.add(source_dram, copy_bytes)
+
+    # -- AMAT ----------------------------------------------------------------
+
+    def _route_delay_ns(self, route: Route, loads: LinkLoads,
+                        window_ns: float) -> float:
+        """Request+fill queueing along a route; DRAM queues counted once."""
+        total = 0.0
+        for hop in route:
+            if hop.link.kind is LinkKind.DRAM:
+                total += loads.delay_ns(hop, window_ns)
+            else:
+                total += loads.delay_ns(hop, window_ns)
+                total += loads.delay_ns(hop.reversed(), window_ns)
+        return total
+
+    def _amat_at(self, ipc: float, trace: PhaseTrace,
+                 classification: PhaseClassification, loads: LinkLoads,
+                 stall_per_access: float) -> tuple:
+        window = self._duration_ns(ipc, trace)
+        latency = self.system.latency
+        n_sockets = classification.n_sockets
+
+        weighted_loaded = 0.0
+        weighted_unloaded = 0.0
+
+        for socket in range(n_sockets):
+            for column in range(n_sockets + 1):
+                count = classification.demand[socket, column]
+                if count <= 0:
+                    continue
+                location = self._location_of_column(column)
+                kind = self.topology.classify(socket, location)
+                unloaded = self.topology.unloaded_latency_ns(kind)
+                route = self.routes.route(socket, location)
+                loaded = unloaded + self._route_delay_ns(route, loads, window)
+                weighted_loaded += count * loaded
+                weighted_unloaded += count * unloaded
+
+            for home in range(n_sockets):
+                count = classification.bt_socket[socket, home]
+                if count <= 0:
+                    continue
+                unloaded = latency.block_transfer_socket_ns
+                if home == socket:
+                    contention = 0.0
+                else:
+                    contention = self._route_delay_ns(
+                        self.routes.route(socket, home)[:-1], loads, window
+                    )
+                weighted_loaded += count * (unloaded + contention)
+                weighted_unloaded += count * unloaded
+
+            count = classification.bt_pool[socket]
+            if count > 0:
+                unloaded = latency.block_transfer_pool_ns
+                contention = BT_POOL_CONTENTION_FACTOR * self._route_delay_ns(
+                    self.routes.route(socket, POOL_LOCATION), loads, window
+                )
+                weighted_loaded += count * (unloaded + contention)
+                weighted_unloaded += count * unloaded
+
+        total = classification.total_accesses
+        if total == 0:
+            local = latency.local_ns
+            return local, local
+        amat = weighted_loaded / total + stall_per_access
+        unloaded_amat = weighted_unloaded / total
+        if self.replication is not None and classification.replicated_writes:
+            # Software coherence for replicas: every write to a replicated
+            # page pays the invalidation broadcast.
+            penalty = (classification.replicated_writes
+                       * self.replication.write_penalty_ns) / total
+            amat += penalty
+            unloaded_amat += penalty
+        return amat, unloaded_amat
+
+    def _fixed_point(self, trace: PhaseTrace,
+                     classification: PhaseClassification, loads: LinkLoads,
+                     stall_per_access: float, calibration: CalibratedCpi,
+                     extra_cpi: float,
+                     initial_ipc: Optional[float]) -> tuple:
+        settings = self.settings
+        core = self.system.core
+        ipc = initial_ipc or self.population.profile.ipc_16
+        amat_ns = unloaded_ns = 0.0
+        for iteration in range(1, settings.max_iterations + 1):
+            amat_ns, unloaded_ns = self._amat_at(
+                ipc, trace, classification, loads, stall_per_access
+            )
+            target = calibration.ipc(core.ns_to_cycles(amat_ns), extra_cpi)
+            new_ipc = (settings.damping * target
+                       + (1.0 - settings.damping) * ipc)
+            if abs(new_ipc - ipc) <= settings.tolerance * ipc:
+                return new_ipc, amat_ns, unloaded_ns, iteration, True
+            ipc = new_ipc
+        return ipc, amat_ns, unloaded_ns, settings.max_iterations, False
+
+    # -- overheads -----------------------------------------------------------
+
+    def _migration_overheads(self, trace: PhaseTrace,
+                             batch: Optional[MigrationBatch]) -> tuple:
+        """(total stall ns, amortized extra CPI) of this phase's batch."""
+        if batch is None or batch.n_pages == 0:
+            return 0.0, 0.0
+        # Phase duration for the stall estimate uses the anchor IPC; the
+        # second-order error of not re-evaluating it inside the fixed
+        # point is negligible (stalls are a small AMAT term).
+        duration = self._duration_ns(self.population.profile.ipc_16, trace)
+        costs = self.cost_model.costs_for(batch, trace.counts, duration)
+        threads = self.system.cores_per_socket * self.topology.n_sockets
+        extra_cpi = costs.shootdown_cycles / (
+            trace.instructions_per_thread * threads
+        )
+        return costs.stall_ns_total, extra_cpi
+
+    def _breakdown(self, classification: PhaseClassification
+                   ) -> AccessBreakdown:
+        breakdown = AccessBreakdown()
+        n_sockets = classification.n_sockets
+        for socket in range(n_sockets):
+            for column in range(n_sockets + 1):
+                count = classification.demand[socket, column]
+                if count <= 0:
+                    continue
+                kind = self.topology.classify(
+                    socket, self._location_of_column(column)
+                )
+                breakdown.add(kind, count)
+        bt_socket_total = float(classification.bt_socket.sum())
+        bt_pool_total = float(classification.bt_pool.sum())
+        if bt_socket_total:
+            breakdown.add(AccessType.BLOCK_TRANSFER_SOCKET, bt_socket_total)
+        if bt_pool_total:
+            breakdown.add(AccessType.BLOCK_TRANSFER_POOL, bt_pool_total)
+        return breakdown

@@ -1,0 +1,79 @@
+"""Consistency validators for simulation results.
+
+Invariants any healthy run must satisfy, factored out so tests, the CLI,
+and downstream users can all assert them. ``validate_result`` raises
+:class:`ValidationError` with a list of violations; ``check_result``
+returns the list instead.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.config import LatencyConfig
+from repro.sim.results import SimulationResult
+
+
+class ValidationError(AssertionError):
+    """One or more result invariants were violated."""
+
+    def __init__(self, violations: List[str]):
+        self.violations = violations
+        super().__init__("; ".join(violations))
+
+
+def check_result(result: SimulationResult,
+                 latency: LatencyConfig = None) -> List[str]:
+    """Return all invariant violations of ``result`` (empty if healthy)."""
+    latency = latency or LatencyConfig()
+    violations: List[str] = []
+
+    slowest = max(latency.inter_chassis_ns, latency.block_transfer_socket_ns)
+    if result.unloaded_amat_ns < latency.local_ns - 1e-6:
+        violations.append(
+            f"unloaded AMAT {result.unloaded_amat_ns:.1f} ns below local "
+            f"latency {latency.local_ns} ns"
+        )
+    # Software-replication runs fold the write-coherence penalty into the
+    # unloaded figure, so only a gross excess is flagged.
+    if result.unloaded_amat_ns > 10 * slowest:
+        violations.append(
+            f"unloaded AMAT {result.unloaded_amat_ns:.1f} ns grossly above "
+            f"the slowest access class {slowest} ns"
+        )
+    if result.amat_ns < result.unloaded_amat_ns - 1e-6:
+        violations.append("loaded AMAT below unloaded AMAT")
+    if result.ipc <= 0:
+        violations.append(f"non-positive IPC {result.ipc}")
+
+    fractions = result.access_fractions()
+    total = sum(fractions.values())
+    if fractions and abs(total - 1.0) > 1e-6:
+        violations.append(f"access fractions sum to {total:.6f}")
+    if any(value < 0 for value in fractions.values()):
+        violations.append("negative access fraction")
+
+    if result.pages_migrated_to_pool > result.pages_migrated:
+        violations.append("more pages to pool than migrated in total")
+    if not 0.0 <= result.pool_migration_fraction <= 1.0:
+        violations.append(
+            f"pool migration fraction {result.pool_migration_fraction}"
+        )
+
+    for phase in result.phases:
+        if phase.duration_ns <= 0:
+            violations.append(f"phase {phase.phase}: non-positive duration")
+        if phase.total_accesses < 0:
+            violations.append(f"phase {phase.phase}: negative accesses")
+        if not phase.converged:
+            violations.append(f"phase {phase.phase}: fixed point did not "
+                              "converge")
+    return violations
+
+
+def validate_result(result: SimulationResult,
+                    latency: LatencyConfig = None) -> None:
+    """Raise :class:`ValidationError` if any invariant is violated."""
+    violations = check_result(result, latency)
+    if violations:
+        raise ValidationError(violations)

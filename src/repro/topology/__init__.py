@@ -1,0 +1,32 @@
+"""Topology model of the hierarchical multi-socket system.
+
+The paper's target machine (Fig. 1) is a 16-socket HPE Superdome FLEX
+class system: four chassis of four sockets each. Sockets within a chassis
+are connected all-to-all with UPI links; each chassis additionally hosts
+FLEX ASICs whose NUMALinks connect every chassis pair directly. StarNUMA
+adds a CXL memory pool connected to every socket in a star.
+
+This package models sockets, chassis, links and routes, and classifies a
+memory access by its topological distance (local, intra-chassis,
+inter-chassis, or pool).
+"""
+
+from repro.topology.model import (
+    POOL_LOCATION,
+    AccessType,
+    DirectedLink,
+    Link,
+    LinkKind,
+    Topology,
+)
+from repro.topology.routing import RouteTable
+
+__all__ = [
+    "POOL_LOCATION",
+    "AccessType",
+    "DirectedLink",
+    "Link",
+    "LinkKind",
+    "RouteTable",
+    "Topology",
+]

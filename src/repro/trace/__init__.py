@@ -1,0 +1,16 @@
+"""Trace infrastructure (Step A of the methodology, Section IV-A1).
+
+The paper traces real executions with Pin, recording per-thread memory
+accesses tagged with dynamic instruction counts, chunked into one-billion-
+instruction *phases*. We synthesize statistically equivalent traces from a
+:class:`PagePopulation`: per phase, every socket draws its LLC-missing
+accesses over pages from its stationary access distribution (with mild
+phase-to-phase drift), yielding the per-(socket, page) count matrices the
+rest of the pipeline consumes. A record-level stream is also available for
+the functional substrates (TLB, cache, coherence replay).
+"""
+
+from repro.trace.records import PhaseTrace, TraceRecord
+from repro.trace.synthetic import TraceSynthesizer
+
+__all__ = ["PhaseTrace", "TraceRecord", "TraceSynthesizer"]

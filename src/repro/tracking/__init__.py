@@ -1,0 +1,32 @@
+"""Hardware-assisted memory access monitoring (Section III-D).
+
+StarNUMA logically splits physical memory into regions (128 pages by
+default) and maintains a per-region tracker entry in a contiguous metadata
+region: one sharer bit per socket plus an ``i``-bit access counter (the
+``T_i`` designs; ``T_0`` keeps only the sharer bits). Counters are fed by
+a TLB "annex" -- a per-TLB-entry counter incremented on LLC-missing loads
+and flushed to the metadata region by the page-table walker on TLB
+eviction or when a per-phase marker bit is found set.
+
+Three components:
+
+* :class:`RegionTrackerArray` -- the vectorized per-region tracker state
+  the migration policy scans once per phase.
+* :class:`TlbAnnex` -- a functional TLB + annex model demonstrating that
+  the eviction/marker flush mechanism reconstructs the same per-region
+  counts the array accumulates directly.
+* :class:`MetadataRegion` -- sizing and scan-cost arithmetic for the
+  in-memory metadata (Section III-D4).
+"""
+
+from repro.tracking.tracker import RegionTrackerArray, region_of_page
+from repro.tracking.tlb import TlbAnnex, TlbStats
+from repro.tracking.metadata import MetadataRegion
+
+__all__ = [
+    "MetadataRegion",
+    "RegionTrackerArray",
+    "TlbAnnex",
+    "TlbStats",
+    "region_of_page",
+]

@@ -1,0 +1,116 @@
+"""Functional TLB-annex model (Fig. 5's hardware extension).
+
+Each TLB entry carries an annex counter incremented on every LLC-missing
+load to its page, plus a marker bit set once per migration phase. The
+page-table walker (PTW) adds the annex value to the page's region entry in
+the metadata region when the TLB entry is evicted, or -- for hot entries
+that are never evicted -- when the entry is touched with its marker set.
+
+This model exists to demonstrate (and test) that the flush protocol loses
+no counts: the per-region aggregate reconstructed through TLB evictions
+and marker flushes equals direct counting. The phase-level pipeline uses
+:class:`RegionTrackerArray` directly on that equivalence.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.tracking.tracker import RegionTrackerArray
+
+
+@dataclass
+class TlbStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    annex_flushes: int = 0
+    marker_flushes: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+
+@dataclass
+class _TlbEntry:
+    annex_count: int = 0
+    marker: bool = False
+
+
+class TlbAnnex:
+    """A fully associative LRU TLB with per-entry annex counters.
+
+    ``flush_target`` receives ``(page, count)`` callbacks standing in for
+    the PTW's addition into the metadata region.
+    """
+
+    def __init__(self, capacity: int, annex_bits: int = 16):
+        if capacity < 1:
+            raise ValueError(f"TLB capacity must be >= 1, got {capacity}")
+        if annex_bits < 1:
+            raise ValueError(f"annex needs >= 1 bit, got {annex_bits}")
+        self.capacity = capacity
+        self.annex_max = (1 << annex_bits) - 1
+        self.stats = TlbStats()
+        self._entries: "OrderedDict[int, _TlbEntry]" = OrderedDict()
+        self._flushed: Dict[int, int] = {}
+
+    @property
+    def flushed_counts(self) -> Dict[int, int]:
+        """Per-page counts the PTW has pushed to the metadata region."""
+        return dict(self._flushed)
+
+    def resident_counts(self) -> Dict[int, int]:
+        """Per-page annex counts still held in live TLB entries."""
+        return {page: entry.annex_count
+                for page, entry in self._entries.items()
+                if entry.annex_count}
+
+    def total_counts(self) -> Dict[int, int]:
+        """Flushed plus resident counts; equals direct counting exactly."""
+        totals = dict(self._flushed)
+        for page, count in self.resident_counts().items():
+            totals[page] = totals.get(page, 0) + count
+        return totals
+
+    def access(self, page: int, llc_miss: bool) -> None:
+        """One translated access to ``page``; count it if it missed the LLC."""
+        entry = self._entries.get(page)
+        if entry is None:
+            self.stats.misses += 1
+            if len(self._entries) >= self.capacity:
+                victim_page, victim = self._entries.popitem(last=False)
+                self.stats.evictions += 1
+                self._flush(victim_page, victim)
+            entry = _TlbEntry()
+            self._entries[page] = entry
+        else:
+            self.stats.hits += 1
+            self._entries.move_to_end(page)
+            if entry.marker:
+                # PTW drains the annex of hot, never-evicted entries when
+                # their marker is found set, then clears the marker.
+                self._flush(page, entry)
+                entry.marker = False
+                self.stats.marker_flushes += 1
+        if llc_miss:
+            entry.annex_count = min(entry.annex_count + 1, self.annex_max)
+
+    def set_markers(self) -> None:
+        """Per-phase marker broadcast (about once per second)."""
+        for entry in self._entries.values():
+            entry.marker = True
+
+    def drain(self) -> None:
+        """Flush every live annex (end-of-simulation bookkeeping)."""
+        for page, entry in self._entries.items():
+            self._flush(page, entry)
+
+    def _flush(self, page: int, entry: _TlbEntry) -> None:
+        if entry.annex_count:
+            self._flushed[page] = self._flushed.get(page, 0) + entry.annex_count
+            entry.annex_count = 0
+            self.stats.annex_flushes += 1

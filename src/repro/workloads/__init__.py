@@ -1,0 +1,36 @@
+"""Workload models.
+
+The paper traces eight applications with Pin on real hardware (Section
+IV-E): four GAP graph kernels (BFS, CC, SSSP, TC), two GenomicsBench
+pipelines (FMI, POA), the Masstree key-value store, and TPCC on Silo. We
+have no Pin or target hardware, so each workload is modeled by a
+:class:`WorkloadProfile` capturing the published structure that drives
+every result in the paper:
+
+* footprint, LLC MPKI, and the single-/16-socket IPC anchors (Table III);
+* the page sharing-degree and access-concentration distributions (Fig. 2
+  for BFS, Fig. 13 for TC, with the rest "falling in between");
+* read/write composition of shared pages (Section V-F).
+
+:func:`build_population` expands a profile into a concrete page population
+(sharer sets, access weights, write fractions) from which the trace
+synthesizer draws per-phase access counts.
+"""
+
+from repro.workloads.profile import SharingClass, WorkloadProfile
+from repro.workloads.population import PagePopulation, build_population
+from repro.workloads.catalog import (
+    WORKLOADS,
+    all_workloads,
+    get_workload,
+)
+
+__all__ = [
+    "PagePopulation",
+    "SharingClass",
+    "WORKLOADS",
+    "WorkloadProfile",
+    "all_workloads",
+    "build_population",
+    "get_workload",
+]

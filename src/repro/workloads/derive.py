@@ -1,0 +1,88 @@
+"""Derive a page population from measured traces.
+
+The synthetic direction (profile -> population -> traces) is the default,
+but when real traces are available (see ``docs/traces.md``), the pipeline
+needs a :class:`PagePopulation` describing the same pages. This module
+reconstructs one from whole-run access counts:
+
+* a page's **sharer set** is the set of sockets that ever touch it;
+* its **weight** is its share of all accesses;
+* its **write fraction** comes from the tracer (or a per-workload
+  default when the tracer does not distinguish loads from stores).
+
+The derived population feeds classification, coherence estimation, and
+the migration policies exactly like a synthetic one.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.workloads.population import PagePopulation
+from repro.workloads.profile import WorkloadProfile
+
+
+def derive_population(total_counts: np.ndarray,
+                      profile: WorkloadProfile,
+                      write_fraction: Union[float, np.ndarray] = 0.25,
+                      sockets_per_chassis: int = 4) -> PagePopulation:
+    """Build a population from whole-run (socket, page) access counts.
+
+    Every page must have been touched at least once -- pages that never
+    appear in the traces carry no information and should be trimmed by
+    the caller first.
+    """
+    total_counts = np.asarray(total_counts)
+    if total_counts.ndim != 2:
+        raise ValueError("total_counts must be (n_sockets, n_pages)")
+    n_sockets, n_pages = total_counts.shape
+    if np.any(total_counts < 0):
+        raise ValueError("access counts must be >= 0")
+
+    page_totals = total_counts.sum(axis=0)
+    if np.any(page_totals == 0):
+        raise ValueError(
+            "every page needs at least one access; trim untouched pages"
+        )
+
+    touched = total_counts > 0
+    masks = np.zeros(n_pages, dtype=np.uint32)
+    for socket in range(n_sockets):
+        masks[touched[socket]] |= np.uint32(1 << socket)
+    sharer_count = touched.sum(axis=0).astype(np.int16)
+
+    weight = page_totals.astype(np.float64)
+    weight /= weight.sum()
+
+    if np.isscalar(write_fraction):
+        writes = np.full(n_pages, float(write_fraction))
+    else:
+        writes = np.asarray(write_fraction, dtype=np.float64)
+        if writes.shape != (n_pages,):
+            raise ValueError("write_fraction must be scalar or per-page")
+    if np.any((writes < 0) | (writes > 1)):
+        raise ValueError("write fractions must be in [0, 1]")
+
+    return PagePopulation(
+        profile=profile,
+        n_sockets=n_sockets,
+        sockets_per_chassis=sockets_per_chassis,
+        sharer_mask=masks,
+        sharer_count=sharer_count,
+        weight=weight,
+        write_fraction=writes,
+        class_id=np.zeros(n_pages, dtype=np.int16),  # classes unknown
+    )
+
+
+def measured_write_fractions(read_counts: np.ndarray,
+                             write_counts: np.ndarray) -> np.ndarray:
+    """Per-page write fractions from separate read/write count matrices."""
+    reads = np.asarray(read_counts).sum(axis=0).astype(np.float64)
+    writes = np.asarray(write_counts).sum(axis=0).astype(np.float64)
+    totals = reads + writes
+    if np.any(totals == 0):
+        raise ValueError("every page needs at least one access")
+    return writes / totals

@@ -1,0 +1,100 @@
+"""Workload profile dataclasses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class SharingClass:
+    """One page class of a workload's sharing-degree distribution.
+
+    ``sharers`` pages are accessed (uniformly, per the paper's assumption)
+    by that many sockets. ``page_fraction`` of the footprint belongs to
+    the class and receives ``access_fraction`` of all LLC-missing
+    accesses. ``write_fraction`` is the store share of those accesses, and
+    ``chassis_affinity`` is the probability that the class's sharer sets
+    are drawn within a single chassis (possible only when the class fits
+    in one chassis), modeling producer/consumer neighborhoods.
+    """
+
+    sharers: int
+    page_fraction: float
+    access_fraction: float
+    write_fraction: float = 0.25
+    chassis_affinity: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.sharers < 1:
+            raise ValueError(f"sharers must be >= 1, got {self.sharers}")
+        for name in ("page_fraction", "access_fraction", "write_fraction",
+                     "chassis_affinity"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Everything the pipeline needs to know about one workload."""
+
+    name: str
+    family: str
+    footprint_gb: float
+    #: LLC misses per kilo-instruction on the baseline 16-socket system.
+    mpki: float
+    #: Per-core IPC on a single socket with local memory only (Table III,
+    #: parenthesized) -- the first calibration anchor.
+    ipc_single: float
+    #: Per-core IPC on the baseline 16-socket system (Table III) -- the
+    #: second calibration anchor.
+    ipc_16: float
+    sharing: Tuple[SharingClass, ...]
+    #: Coherence residency/clustering factor (see repro.coherence.transfers).
+    coupling: float = 0.22
+    #: Zipf-like skew of access weights within each class (0 = uniform).
+    weight_skew: float = 0.6
+    #: Lognormal sigma of phase-to-phase weight jitter. Sharing patterns
+    #: "do not drastically change over time" (Section V-B), so this is mild.
+    drift_sigma: float = 0.15
+    #: Number of pages in the simulated (scaled) footprint.
+    n_pages_sim: int = 32768
+
+    def __post_init__(self) -> None:
+        if not self.sharing:
+            raise ValueError("a workload needs at least one sharing class")
+        page_total = sum(cls.page_fraction for cls in self.sharing)
+        access_total = sum(cls.access_fraction for cls in self.sharing)
+        if abs(page_total - 1.0) > 1e-6:
+            raise ValueError(
+                f"{self.name}: page fractions sum to {page_total}, expected 1"
+            )
+        if abs(access_total - 1.0) > 1e-6:
+            raise ValueError(
+                f"{self.name}: access fractions sum to {access_total}, "
+                "expected 1"
+            )
+        if self.mpki <= 0:
+            raise ValueError(f"{self.name}: MPKI must be positive")
+        if not 0 < self.ipc_16 <= self.ipc_single:
+            raise ValueError(
+                f"{self.name}: expected 0 < ipc_16 <= ipc_single, got "
+                f"{self.ipc_16} / {self.ipc_single}"
+            )
+        if self.n_pages_sim < 1024:
+            raise ValueError(f"{self.name}: simulate at least 1024 pages")
+
+    @property
+    def write_fraction_overall(self) -> float:
+        """Access-weighted store share across classes."""
+        return sum(cls.access_fraction * cls.write_fraction
+                   for cls in self.sharing)
+
+    def sharer_histogram(self) -> Tuple[Tuple[int, float, float], ...]:
+        """(sharers, page_fraction, access_fraction) triples, sorted."""
+        ordered = sorted(self.sharing, key=lambda cls: cls.sharers)
+        return tuple(
+            (cls.sharers, cls.page_fraction, cls.access_fraction)
+            for cls in ordered
+        )

@@ -1,0 +1,97 @@
+"""Shared fixtures for the StarNUMA reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import baseline_config, scaled_config, starnuma_config
+from repro.sim import SimulationSetup, Simulator
+from repro.topology import RouteTable, Topology
+from repro.workloads import SharingClass, WorkloadProfile, build_population
+
+
+@pytest.fixture(scope="session")
+def star_system():
+    """The default scaled StarNUMA system (Table II)."""
+    return scaled_config()
+
+
+@pytest.fixture(scope="session")
+def base_system():
+    """The scaled baseline system (no pool)."""
+    return baseline_config()
+
+
+@pytest.fixture(scope="session")
+def star_topology(star_system):
+    return Topology(star_system)
+
+
+@pytest.fixture(scope="session")
+def base_topology(base_system):
+    return Topology(base_system)
+
+
+@pytest.fixture(scope="session")
+def star_routes(star_topology):
+    return RouteTable(star_topology)
+
+
+@pytest.fixture(scope="session")
+def base_routes(base_topology):
+    return RouteTable(base_topology)
+
+
+def make_profile(name: str = "synthetic", n_pages: int = 4096,
+                 mpki: float = 8.0, ipc_single: float = 1.0,
+                 ipc_16: float = 0.4, **kwargs) -> WorkloadProfile:
+    """A small, fast workload profile for unit/integration tests."""
+    sharing = kwargs.pop("sharing", (
+        SharingClass(1, 0.40, 0.20, write_fraction=0.2),
+        SharingClass(4, 0.30, 0.20, write_fraction=0.3,
+                     chassis_affinity=0.5),
+        SharingClass(16, 0.30, 0.60, write_fraction=0.3),
+    ))
+    return WorkloadProfile(
+        name=name, family="test", footprint_gb=1.0,
+        mpki=mpki, ipc_single=ipc_single, ipc_16=ipc_16,
+        sharing=sharing, n_pages_sim=n_pages, **kwargs,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_profile():
+    return make_profile()
+
+
+@pytest.fixture(scope="session")
+def tiny_population(tiny_profile):
+    return build_population(tiny_profile, seed=7, layout="clustered")
+
+
+@pytest.fixture(scope="session")
+def tiny_setup(tiny_profile, base_system):
+    return SimulationSetup.create(tiny_profile, base_system, n_phases=4,
+                                  seed=7)
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(123)
+
+
+@pytest.fixture(scope="session")
+def bfs_pair_results(base_system, star_system):
+    """One full baseline/StarNUMA run pair on BFS (shared by many tests)."""
+    from repro.workloads import get_workload
+
+    setup = SimulationSetup.create(get_workload("bfs"), base_system,
+                                   n_phases=6, seed=3)
+    base_sim = Simulator(base_system, setup)
+    calibration = base_sim.calibrate()
+    base = base_sim.run(calibration=calibration, warmup_phases=2)
+    star = Simulator(star_system, setup).run(calibration=calibration,
+                                             warmup_phases=2)
+    return {"setup": setup, "calibration": calibration,
+            "baseline": base, "starnuma": star}

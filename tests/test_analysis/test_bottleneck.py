@@ -1,0 +1,57 @@
+"""Tests for the bottleneck analyzer."""
+
+import pytest
+
+from repro.analysis.bottleneck import analyze_phase
+from repro.sim import Simulator
+from repro.topology.model import LinkKind
+
+
+@pytest.fixture(scope="module")
+def sims(tiny_setup, base_system, star_system):
+    return (Simulator(base_system, tiny_setup),
+            Simulator(star_system, tiny_setup))
+
+
+class TestAnalyzePhase:
+    def test_report_structure(self, sims):
+        base_sim, _ = sims
+        report = analyze_phase(base_sim, 1, ipc=0.4)
+        assert report.phase == 1
+        assert report.samples
+        assert all(sample.offered_gbps > 0 for sample in report.samples)
+
+    def test_critical_sorted(self, sims):
+        base_sim, _ = sims
+        report = analyze_phase(base_sim, 1, ipc=0.4)
+        top = report.critical(3)
+        utilizations = [sample.utilization for sample in top]
+        assert utilizations == sorted(utilizations, reverse=True)
+
+    def test_baseline_has_no_cxl_traffic(self, sims):
+        base_sim, _ = sims
+        report = analyze_phase(base_sim, 1, ipc=0.4)
+        assert LinkKind.CXL not in report.by_kind
+
+    def test_starnuma_eventually_uses_cxl(self, sims):
+        _, star_sim = sims
+        report = analyze_phase(star_sim, 3, ipc=0.4)
+        assert LinkKind.CXL in report.by_kind
+        assert report.by_kind[LinkKind.CXL] > 0
+
+    def test_utilization_scales_with_ipc(self, sims):
+        base_sim, _ = sims
+        slow = analyze_phase(base_sim, 1, ipc=0.2)
+        fast = analyze_phase(base_sim, 1, ipc=0.8)
+        assert (fast.peak_utilization()
+                == pytest.approx(4 * slow.peak_utilization(), rel=1e-6))
+
+    def test_phase_range_checked(self, sims):
+        base_sim, _ = sims
+        with pytest.raises(ValueError):
+            analyze_phase(base_sim, 99, ipc=0.4)
+
+    def test_ipc_checked(self, sims):
+        base_sim, _ = sims
+        with pytest.raises(ValueError):
+            analyze_phase(base_sim, 0, ipc=0.0)

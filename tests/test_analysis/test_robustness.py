@@ -1,0 +1,55 @@
+"""Tests for the seed-robustness study."""
+
+import pytest
+
+from repro.analysis import SeedStudy, seed_robustness
+from repro.analysis.robustness import ordering_stable, pair_speedup
+
+
+class TestSeedStudy:
+    def test_statistics(self):
+        study = SeedStudy("w", [1, 2, 3], [1.0, 1.2, 1.4])
+        assert study.mean == pytest.approx(1.2)
+        assert study.spread == pytest.approx(0.4)
+        assert study.coefficient_of_variation > 0
+
+    def test_zero_mean_cv(self):
+        study = SeedStudy("w", [1], [0.0])
+        assert study.coefficient_of_variation == 0.0
+
+
+class TestOrderingStable:
+    def test_stable(self):
+        studies = {
+            "a": SeedStudy("a", [1, 2], [1.1, 1.2]),
+            "b": SeedStudy("b", [1, 2], [1.5, 1.6]),
+        }
+        assert ordering_stable(studies)
+
+    def test_unstable(self):
+        studies = {
+            "a": SeedStudy("a", [1, 2], [1.1, 1.9]),
+            "b": SeedStudy("b", [1, 2], [1.5, 1.6]),
+        }
+        assert not ordering_stable(studies)
+
+    def test_empty(self):
+        assert ordering_stable({})
+
+
+class TestEndToEnd:
+    def test_rejects_empty_seeds(self):
+        with pytest.raises(ValueError):
+            seed_robustness(("poa",), seeds=())
+
+    def test_poa_stable_across_seeds(self):
+        studies = seed_robustness(("poa",), seeds=(1, 2), n_phases=4,
+                                  warmup_phases=1)
+        study = studies["poa"]
+        assert study.mean == pytest.approx(1.0, abs=0.03)
+        assert study.spread < 0.03
+
+    def test_pair_speedup_reproducible(self):
+        first = pair_speedup("poa", seed=5, n_phases=4, warmup_phases=1)
+        second = pair_speedup("poa", seed=5, n_phases=4, warmup_phases=1)
+        assert first == pytest.approx(second, rel=1e-12)

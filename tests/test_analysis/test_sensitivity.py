@@ -1,0 +1,49 @@
+"""Tests for model-sensitivity sweeps.
+
+These use a cheap workload (TPCC: small footprint) and few phases; the
+full sweeps run in the benchmark harness.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import burstiness_sensitivity, coupling_sensitivity
+
+
+class TestBurstiness:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return burstiness_sensitivity("tpcc", burstiness_values=(1.0, 6.0),
+                                      n_phases=4, warmup_phases=1)
+
+    def test_speedup_positive_everywhere(self, sweep):
+        for value in sweep.values():
+            assert value > 1.0
+
+    def test_headline_less_sensitive_than_constant(self, sweep):
+        """A 6x burstiness change must move the speedup far less than 6x."""
+        low, high = sweep[1.0], sweep[6.0]
+        assert max(low, high) / min(low, high) < 1.6
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            burstiness_sensitivity("tpcc", burstiness_values=())
+
+
+class TestCoupling:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return coupling_sensitivity("tpcc", coupling_values=(0.1, 0.3),
+                                    n_phases=4, warmup_phases=1)
+
+    def test_speedup_positive_everywhere(self, sweep):
+        for value in sweep.values():
+            assert value > 1.0
+
+    def test_bounded_sensitivity(self, sweep):
+        values = np.array(list(sweep.values()))
+        assert values.max() / values.min() < 1.4
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            coupling_sensitivity("tpcc", coupling_values=())

@@ -1,0 +1,118 @@
+"""Tests for the set-associative LLC model."""
+
+import pytest
+
+from repro.cache import SetAssociativeCache
+
+
+def small_cache(ways=2, sets=4, block=64):
+    return SetAssociativeCache(capacity_bytes=ways * sets * block,
+                               ways=ways, block_bytes=block)
+
+
+class TestConstruction:
+    def test_geometry(self):
+        cache = small_cache()
+        assert cache.n_sets == 4
+        assert cache.ways == 2
+        assert cache.capacity_bytes == 512
+
+    def test_rejects_capacity_below_ways(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(capacity_bytes=64, ways=4)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(0, 1)
+
+
+class TestAccessBehaviour:
+    def test_first_access_misses(self):
+        cache = small_cache()
+        assert not cache.access(0).hit
+        assert cache.stats.misses == 1
+
+    def test_second_access_hits(self):
+        cache = small_cache()
+        cache.access(0)
+        assert cache.access(0).hit
+        assert cache.stats.hits == 1
+
+    def test_same_block_aliases(self):
+        cache = small_cache()
+        cache.access(0)
+        assert cache.access(63).hit  # same 64B block
+        assert not cache.access(64).hit  # next block
+
+    def test_lru_eviction(self):
+        cache = small_cache(ways=2, sets=1)
+        cache.access(0)
+        cache.access(64)
+        cache.access(0)       # refresh 0; 64 is now LRU
+        cache.access(128)     # evicts 64
+        assert cache.contains(0)
+        assert not cache.contains(64)
+
+    def test_dirty_eviction_writes_back(self):
+        cache = small_cache(ways=1, sets=1)
+        cache.access(0, is_write=True)
+        result = cache.access(64)
+        assert result.writeback_block == 0
+        assert cache.stats.writebacks == 1
+
+    def test_clean_eviction_no_writeback(self):
+        cache = small_cache(ways=1, sets=1)
+        cache.access(0, is_write=False)
+        result = cache.access(64)
+        assert result.writeback_block is None
+        assert cache.stats.evictions == 1
+
+    def test_write_hit_dirties(self):
+        cache = small_cache(ways=1, sets=1)
+        cache.access(0)
+        cache.access(0, is_write=True)
+        assert cache.access(64).writeback_block == 0
+
+    def test_miss_rate(self):
+        cache = small_cache()
+        cache.access(0)
+        cache.access(0)
+        assert cache.stats.miss_rate == pytest.approx(0.5)
+
+    def test_occupancy(self):
+        cache = small_cache()
+        for block in range(3):
+            cache.access(block * 64)
+        assert cache.occupancy() == 3
+
+
+class TestMaintenance:
+    def test_invalidate(self):
+        cache = small_cache()
+        cache.access(0)
+        assert cache.invalidate(0)
+        assert not cache.contains(0)
+        assert not cache.invalidate(0)
+
+    def test_contains_does_not_touch_lru(self):
+        cache = small_cache(ways=2, sets=1)
+        cache.access(0)
+        cache.access(64)
+        cache.contains(0)     # must NOT refresh 0
+        cache.access(128)     # evicts true LRU: 0
+        assert not cache.contains(0)
+        assert cache.contains(64)
+
+    def test_flush_counts_dirty(self):
+        cache = small_cache()
+        cache.access(0, is_write=True)
+        cache.access(64, is_write=False)
+        assert cache.flush() == 1
+        assert cache.occupancy() == 0
+
+    def test_reset_stats(self):
+        cache = small_cache()
+        cache.access(0)
+        cache.reset_stats()
+        assert cache.stats.accesses == 0
+        assert cache.contains(0)  # contents preserved

@@ -1,0 +1,113 @@
+"""Tests for the MESI directory."""
+
+import pytest
+
+from repro.coherence import CoherenceState, Directory, TransferKind
+from repro.topology import POOL_LOCATION
+
+
+class TestReads:
+    def test_cold_read_fetches_memory(self):
+        directory = Directory(home=0)
+        event = directory.read(block=1, requester=3)
+        assert event.transfer is TransferKind.MEMORY
+        assert directory.state_of(1) is CoherenceState.EXCLUSIVE
+
+    def test_read_after_remote_write_transfers(self):
+        directory = Directory(home=0)
+        directory.write(1, requester=2)
+        event = directory.read(1, requester=5)
+        assert event.transfer is TransferKind.CACHE_3HOP
+        assert event.owner == 2
+        assert directory.state_of(1) is CoherenceState.SHARED
+
+    def test_pool_home_uses_4hop(self):
+        directory = Directory(home=POOL_LOCATION)
+        directory.write(1, requester=2)
+        event = directory.read(1, requester=5)
+        assert event.transfer is TransferKind.CACHE_4HOP
+        assert directory.is_pool_home
+
+    def test_shared_read_fetches_memory(self):
+        directory = Directory(home=0)
+        directory.read(1, 2)
+        directory.write(1, 2)
+        directory.read(1, 3)      # 3-hop, now SHARED
+        event = directory.read(1, 4)
+        assert event.transfer is TransferKind.MEMORY
+        assert directory.sharers_of(1) == frozenset({2, 3, 4})
+
+    def test_read_own_exclusive_refetches_memory(self):
+        directory = Directory(home=0)
+        directory.read(1, 2)
+        event = directory.read(1, 2)  # silent drop then re-miss
+        assert event.transfer is TransferKind.MEMORY
+
+
+class TestWrites:
+    def test_write_invalidates_sharers(self):
+        directory = Directory(home=0)
+        directory.read(1, 2)
+        directory.read(1, 3)
+        directory.read(1, 4)
+        event = directory.write(1, requester=5)
+        assert event.invalidated == frozenset({2, 3, 4})
+        assert directory.state_of(1) is CoherenceState.MODIFIED
+        assert directory.sharers_of(1) == frozenset({5})
+
+    def test_write_to_dirty_remote_transfers(self):
+        directory = Directory(home=0)
+        directory.write(1, 2)
+        event = directory.write(1, requester=7)
+        assert event.transfer is TransferKind.CACHE_3HOP
+        assert event.owner == 2
+        assert event.invalidated == frozenset({2})
+
+    def test_write_upgrade_by_owner(self):
+        directory = Directory(home=0)
+        directory.write(1, 2)
+        event = directory.write(1, 2)
+        assert event.transfer is TransferKind.MEMORY
+        assert event.invalidated == frozenset()
+
+    def test_is_block_transfer_flag(self):
+        directory = Directory(home=0)
+        directory.write(1, 2)
+        assert directory.read(1, 3).is_block_transfer
+
+
+class TestEviction:
+    def test_evict_owner_downgrades(self):
+        directory = Directory(home=0)
+        directory.write(1, 2)
+        directory.evict(1, 2)
+        assert directory.state_of(1) is CoherenceState.INVALID
+
+    def test_evict_one_sharer(self):
+        directory = Directory(home=0)
+        directory.write(1, 2)
+        directory.read(1, 3)
+        directory.evict(1, 3)
+        assert 3 not in directory.sharers_of(1)
+        assert directory.state_of(1) is CoherenceState.SHARED
+
+    def test_evict_last_sharer_invalidates(self):
+        directory = Directory(home=0)
+        directory.read(1, 2)
+        directory.evict(1, 2)
+        assert directory.state_of(1) is CoherenceState.INVALID
+
+    def test_evict_unknown_block_noop(self):
+        Directory(home=0).evict(42, 1)
+
+
+class TestStats:
+    def test_transaction_counting(self):
+        directory = Directory(home=0)
+        directory.read(1, 2)
+        directory.write(1, 3)
+        directory.read(1, 4)
+        assert directory.stats.transactions == 3
+        assert directory.stats.cache_transfers == 2
+        assert directory.stats.memory_fetches == 1
+        assert directory.stats.invalidations == 1

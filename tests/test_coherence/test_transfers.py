@@ -1,0 +1,79 @@
+"""Tests for the analytic sharing model."""
+
+import pytest
+
+from repro.coherence import SharingModel
+
+
+class TestBlockTransferFraction:
+    def test_single_sharer_never_transfers(self):
+        model = SharingModel()
+        assert model.block_transfer_fraction(1, 0.5) == 0.0
+
+    def test_read_only_never_transfers(self):
+        model = SharingModel()
+        assert model.block_transfer_fraction(16, 0.0) == 0.0
+
+    def test_grows_with_sharers(self):
+        model = SharingModel()
+        values = [model.block_transfer_fraction(k, 0.3)
+                  for k in (2, 4, 8, 16)]
+        assert values == sorted(values)
+
+    def test_grows_with_writes(self):
+        model = SharingModel()
+        values = [model.block_transfer_fraction(8, w)
+                  for w in (0.0, 0.1, 0.3, 0.5)]
+        assert values == sorted(values)
+
+    def test_bounded_by_one(self):
+        model = SharingModel(coupling=1.0)
+        assert model.block_transfer_fraction(16, 1.0) <= 1.0
+
+    def test_paper_level_for_write_shared(self):
+        # Widely write-shared pages should see transfers on roughly 10%
+        # of misses at the default coupling (Section V-A).
+        model = SharingModel()
+        fraction = model.block_transfer_fraction(16, 0.3)
+        assert 0.05 < fraction < 0.20
+
+    def test_rejects_zero_sharers(self):
+        with pytest.raises(ValueError):
+            SharingModel().block_transfer_fraction(0, 0.5)
+
+    def test_rejects_bad_write_fraction(self):
+        with pytest.raises(ValueError):
+            SharingModel().block_transfer_fraction(4, 1.5)
+
+    def test_rejects_bad_coupling(self):
+        with pytest.raises(ValueError):
+            SharingModel(coupling=2.0)
+
+
+class TestIntensity:
+    def test_zero_writes(self):
+        assert SharingModel().write_sharing_intensity(0.0) == 0.0
+
+    def test_all_writes(self):
+        assert SharingModel().write_sharing_intensity(1.0) == 1.0
+
+    def test_symmetric_formula(self):
+        model = SharingModel()
+        assert model.write_sharing_intensity(0.5) == pytest.approx(0.75)
+
+
+class TestDirectoryInterval:
+    def test_interval_inversion(self):
+        model = SharingModel()
+        assert model.directory_transaction_interval_ns(1e7) == pytest.approx(
+            100.0
+        )
+
+    def test_zero_rate_is_infinite(self):
+        assert SharingModel().directory_transaction_interval_ns(0.0) == float(
+            "inf"
+        )
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ValueError):
+            SharingModel().directory_transaction_interval_ns(-1.0)

@@ -1,0 +1,96 @@
+"""Tests for BandwidthConfig."""
+
+import pytest
+
+from repro.config import BandwidthConfig
+
+
+class TestDefaults:
+    def test_paper_link_rates(self):
+        bandwidth = BandwidthConfig()
+        assert bandwidth.upi_link_gbps == 20.8
+        assert bandwidth.numalink_gbps == 13.0
+        assert bandwidth.cxl_per_socket_gbps == 40.0
+
+    def test_local_memory_bandwidth(self):
+        bandwidth = BandwidthConfig()
+        assert bandwidth.local_memory_gbps == pytest.approx(6 * 38.4)
+
+    def test_pool_memory_bandwidth(self):
+        bandwidth = BandwidthConfig()
+        assert bandwidth.pool_memory_gbps == pytest.approx(16 * 38.4)
+
+    def test_effective_rates_derated(self):
+        bandwidth = BandwidthConfig()
+        assert bandwidth.upi_effective_gbps < bandwidth.upi_link_gbps
+        assert bandwidth.numalink_effective_gbps < bandwidth.numalink_gbps
+
+
+class TestVariants:
+    def test_iso_bw_matches_paper(self):
+        varied = BandwidthConfig().with_iso_bandwidth()
+        assert varied.upi_link_gbps == pytest.approx(26.4)
+        assert varied.numalink_gbps == pytest.approx(17.0)
+
+    def test_iso_bw_leaves_cxl_alone(self):
+        varied = BandwidthConfig().with_iso_bandwidth()
+        assert varied.cxl_per_socket_gbps == 40.0
+
+    def test_double_bw(self):
+        varied = BandwidthConfig().with_double_coherent_links()
+        assert varied.upi_link_gbps == pytest.approx(41.6)
+        assert varied.numalink_gbps == pytest.approx(26.0)
+
+    def test_half_cxl(self):
+        varied = BandwidthConfig().with_half_cxl()
+        assert varied.cxl_per_socket_gbps == pytest.approx(20.0)
+        assert varied.upi_link_gbps == 20.8
+
+    def test_scaled_matches_table2(self):
+        scaled = BandwidthConfig().scaled(
+            link_gbps=3.0, channels_per_socket=1, pool_channels=2,
+            cxl_per_socket_gbps=6.0,
+        )
+        assert scaled.upi_link_gbps == 3.0
+        assert scaled.numalink_gbps == 3.0
+        assert scaled.cxl_per_socket_gbps == 6.0
+        assert scaled.channels_per_socket == 1
+        assert scaled.pool_channels == 2
+
+    def test_scaled_rates_are_effective(self):
+        scaled = BandwidthConfig().scaled(3.0, 1, 2, 6.0)
+        assert scaled.coherent_link_efficiency == 1.0
+        assert scaled.upi_effective_gbps == 3.0
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field, value", [
+        ("upi_link_gbps", 0.0),
+        ("numalink_gbps", -1.0),
+        ("cxl_per_socket_gbps", 0.0),
+        ("dram_channel_gbps", -5.0),
+    ])
+    def test_rejects_nonpositive_rates(self, field, value):
+        from dataclasses import replace
+
+        bad = replace(BandwidthConfig(), **{field: value})
+        with pytest.raises(ValueError):
+            bad.validate()
+
+    @pytest.mark.parametrize("field", [
+        "channels_per_socket", "pool_channels", "upi_links_per_socket",
+        "numalinks_per_chassis",
+    ])
+    def test_rejects_zero_counts(self, field):
+        from dataclasses import replace
+
+        bad = replace(BandwidthConfig(), **{field: 0})
+        with pytest.raises(ValueError):
+            bad.validate()
+
+    def test_rejects_bad_efficiency(self):
+        from dataclasses import replace
+
+        bad = replace(BandwidthConfig(), coherent_link_efficiency=1.5)
+        with pytest.raises(ValueError):
+            bad.validate()

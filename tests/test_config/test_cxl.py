@@ -1,0 +1,71 @@
+"""Tests for the CXL path model (Fig. 3's latency derivation)."""
+
+import pytest
+
+from repro.config import LatencyConfig
+from repro.config.cxl import CxlPathModel
+
+
+class TestDefaultPath:
+    def test_penalty_is_100ns(self):
+        assert CxlPathModel().penalty_ns == pytest.approx(100.0)
+
+    def test_end_to_end_is_180ns(self):
+        assert CxlPathModel().end_to_end_ns() == pytest.approx(180.0)
+
+    def test_breakdown_sums_to_penalty(self):
+        model = CxlPathModel()
+        assert sum(model.breakdown().values()) == pytest.approx(
+            model.penalty_ns
+        )
+
+    def test_breakdown_matches_fig3(self):
+        parts = CxlPathModel().breakdown()
+        assert parts["processor_port"] == 25.0
+        assert parts["mhd_port"] == 25.0
+        assert parts["retimers"] == 20.0
+        assert parts["flight"] == 10.0
+        assert parts["mhd_internal"] == 15.0
+        assert parts["coherence_margin"] == 5.0
+
+
+class TestVariants:
+    def test_one_switch_gives_190ns_penalty(self):
+        switched = CxlPathModel().with_switches(1)
+        assert switched.penalty_ns == pytest.approx(190.0)
+        assert switched.end_to_end_ns() == pytest.approx(270.0)
+
+    def test_retimer_chain(self):
+        longer = CxlPathModel().with_retimers(3)
+        assert longer.penalty_ns == pytest.approx(140.0)
+
+    def test_apply_to_latency_config(self):
+        latency = CxlPathModel().with_switches(1).apply_to(LatencyConfig())
+        assert latency.pool_ns == pytest.approx(270.0)
+        # The 4-hop pool block transfer crosses the path twice.
+        assert latency.block_transfer_pool_ns == pytest.approx(
+            280.0 + 2 * 90.0
+        )
+
+    def test_matches_preset_variant(self):
+        from repro.config import starnuma_config, with_pool_latency_penalty
+
+        via_model = CxlPathModel().with_switches(1).apply_to(
+            starnuma_config().latency
+        )
+        via_preset = with_pool_latency_penalty(starnuma_config(), 190.0)
+        assert via_model.pool_ns == via_preset.latency.pool_ns
+
+
+class TestValidation:
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            CxlPathModel(retimers=-1)
+
+    def test_rejects_negative_components(self):
+        with pytest.raises(ValueError):
+            CxlPathModel(switch_ns=-5.0)
+
+    def test_rejects_bad_local_latency(self):
+        with pytest.raises(ValueError):
+            CxlPathModel().end_to_end_ns(0.0)

@@ -1,0 +1,77 @@
+"""Tests for LatencyConfig."""
+
+import pytest
+
+from repro.config import LatencyConfig
+
+
+class TestDefaults:
+    def test_paper_values(self):
+        latency = LatencyConfig()
+        assert latency.local_ns == 80.0
+        assert latency.intra_chassis_ns == 130.0
+        assert latency.inter_chassis_ns == 360.0
+        assert latency.pool_ns == 180.0
+
+    def test_penalties_match_paper(self):
+        latency = LatencyConfig()
+        assert latency.intra_chassis_penalty_ns == 50.0
+        assert latency.inter_chassis_penalty_ns == 280.0
+        assert latency.pool_penalty_ns == 100.0
+
+    def test_block_transfer_values(self):
+        latency = LatencyConfig()
+        # 333 ns network + 80 ns memory/directory, and 200 ns + 80 ns.
+        assert latency.block_transfer_socket_ns == pytest.approx(413.0)
+        assert latency.block_transfer_pool_ns == pytest.approx(280.0)
+
+    def test_pool_is_half_of_two_hop(self):
+        latency = LatencyConfig()
+        assert latency.inter_chassis_ns / latency.pool_ns == pytest.approx(
+            2.0
+        )
+
+    def test_validate_passes(self):
+        LatencyConfig().validate()
+
+
+class TestPoolPenaltyVariant:
+    def test_switch_penalty_gives_270ns(self):
+        varied = LatencyConfig().with_pool_penalty(190.0)
+        assert varied.pool_ns == pytest.approx(270.0)
+
+    def test_pool_bt_scales_with_two_crossings(self):
+        base = LatencyConfig()
+        varied = base.with_pool_penalty(190.0)
+        delta = varied.block_transfer_pool_ns - base.block_transfer_pool_ns
+        assert delta == pytest.approx(2 * 90.0)
+
+    def test_default_penalty_roundtrips(self):
+        varied = LatencyConfig().with_pool_penalty(100.0)
+        assert varied == LatencyConfig()
+
+    def test_negative_penalty_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyConfig().with_pool_penalty(-1.0)
+
+    def test_other_latencies_unchanged(self):
+        varied = LatencyConfig().with_pool_penalty(190.0)
+        assert varied.local_ns == 80.0
+        assert varied.inter_chassis_ns == 360.0
+
+
+class TestValidation:
+    def test_rejects_inverted_ordering(self):
+        bad = LatencyConfig(local_ns=200.0, intra_chassis_ns=130.0)
+        with pytest.raises(ValueError):
+            bad.validate()
+
+    def test_rejects_pool_below_local(self):
+        bad = LatencyConfig(pool_ns=50.0)
+        with pytest.raises(ValueError):
+            bad.validate()
+
+    def test_rejects_nonpositive_block_transfer(self):
+        bad = LatencyConfig(block_transfer_pool_ns=0.0)
+        with pytest.raises(ValueError):
+            bad.validate()

@@ -1,0 +1,112 @@
+"""Tests for the top-level parameter dataclasses."""
+
+import pytest
+
+from repro.config import (
+    CoreConfig,
+    MigrationConfig,
+    PoolConfig,
+    SystemConfig,
+    TrackerKind,
+)
+
+
+class TestCoreConfig:
+    def test_cycle_conversion_roundtrip(self):
+        core = CoreConfig()
+        assert core.cycles_to_ns(core.ns_to_cycles(100.0)) == pytest.approx(
+            100.0
+        )
+
+    def test_ns_to_cycles_at_2_4_ghz(self):
+        core = CoreConfig()
+        assert core.ns_to_cycles(100.0) == pytest.approx(240.0)
+
+    def test_cycle_ns(self):
+        assert CoreConfig().cycle_ns == pytest.approx(1.0 / 2.4)
+
+
+class TestTrackerKind:
+    def test_t16_counts(self):
+        assert TrackerKind.T16.counter_bits == 16
+        assert TrackerKind.T16.counts_accesses
+
+    def test_t0_does_not_count(self):
+        assert TrackerKind.T0.counter_bits == 0
+        assert not TrackerKind.T0.counts_accesses
+
+
+class TestPoolConfig:
+    def test_default_fraction_is_chassis_equivalent(self):
+        assert PoolConfig().capacity_fraction == pytest.approx(0.20)
+
+    @pytest.mark.parametrize("fraction", [0.0, -0.1, 1.5])
+    def test_rejects_bad_fraction(self, fraction):
+        with pytest.raises(ValueError):
+            PoolConfig(capacity_fraction=fraction).validate()
+
+
+class TestMigrationConfig:
+    def test_pages_per_region(self):
+        assert MigrationConfig().pages_per_region == 128
+
+    def test_region_must_be_page_multiple(self):
+        with pytest.raises(ValueError):
+            MigrationConfig(region_bytes=5000).validate()
+
+    def test_region_must_hold_a_page(self):
+        with pytest.raises(ValueError):
+            MigrationConfig(region_bytes=0).validate()
+
+    def test_threshold_ordering_enforced(self):
+        bad = MigrationConfig(hi_threshold_min=100, hi_threshold_max=10)
+        with pytest.raises(ValueError):
+            bad.validate()
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ValueError):
+            MigrationConfig(migration_limit_pages=-1).validate()
+
+    def test_defaults_valid(self):
+        MigrationConfig().validate()
+
+
+class TestSystemConfig:
+    def test_default_is_16_sockets(self):
+        system = SystemConfig()
+        assert system.n_sockets == 16
+        assert system.n_chassis == 4
+
+    def test_core_count_full_scale(self):
+        assert SystemConfig().n_cores == 448
+
+    def test_total_memory_includes_pool(self):
+        system = SystemConfig()
+        with_pool = system.total_memory_gb
+        without = system.without_pool().total_memory_gb
+        assert with_pool - without == pytest.approx(system.pool_memory_gb)
+
+    def test_without_pool_disables_pool(self):
+        system = SystemConfig().without_pool()
+        assert not system.pool.enabled
+        assert system.name == "baseline"
+
+    def test_without_pool_custom_name(self):
+        assert SystemConfig().without_pool("x").name == "x"
+
+    def test_rename(self):
+        assert SystemConfig().rename("other").name == "other"
+
+    def test_validate_rejects_zero_chassis(self):
+        import dataclasses
+
+        bad = dataclasses.replace(SystemConfig(), n_chassis=0)
+        with pytest.raises(ValueError):
+            bad.validate()
+
+    def test_validate_rejects_zero_cores(self):
+        import dataclasses
+
+        bad = dataclasses.replace(SystemConfig(), cores_per_socket=0)
+        with pytest.raises(ValueError):
+            bad.validate()

@@ -1,0 +1,111 @@
+"""Tests for configuration presets and evaluation variants."""
+
+import pytest
+
+from repro.config import (
+    baseline_config,
+    full_scale_config,
+    scaled_config,
+    starnuma_config,
+    with_double_bandwidth,
+    with_half_pool_bandwidth,
+    with_iso_bandwidth,
+    with_pool_capacity_fraction,
+    with_pool_latency_penalty,
+    with_scale_factor,
+    TrackerKind,
+)
+
+
+class TestPresets:
+    def test_full_scale_matches_table1(self):
+        system = full_scale_config()
+        assert system.cores_per_socket == 28
+        assert system.bandwidth.upi_link_gbps == 20.8
+        assert system.bandwidth.channels_per_socket == 6
+
+    def test_scaled_matches_table2(self):
+        system = scaled_config()
+        assert system.cores_per_socket == 4
+        assert system.bandwidth.upi_link_gbps == 3.0
+        assert system.bandwidth.channels_per_socket == 1
+        assert system.bandwidth.pool_channels == 2
+        assert system.bandwidth.cxl_per_socket_gbps == 6.0
+
+    def test_scaled_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            scaled_config(scale=0)
+
+    def test_scale_doubles_cores_and_bandwidth(self):
+        system = scaled_config(scale=2)
+        assert system.cores_per_socket == 8
+        assert system.bandwidth.upi_link_gbps == 6.0
+        assert system.bandwidth.pool_channels == 4
+
+    def test_baseline_has_no_pool(self):
+        assert not baseline_config().pool.enabled
+
+    def test_starnuma_tracker_choice(self):
+        assert (starnuma_config(tracker=TrackerKind.T0).migration.tracker
+                is TrackerKind.T0)
+
+    def test_starnuma_has_pool(self):
+        assert starnuma_config().pool.enabled
+
+
+class TestVariants:
+    def test_latency_variant(self):
+        varied = with_pool_latency_penalty(starnuma_config(), 190.0)
+        assert varied.latency.pool_ns == pytest.approx(270.0)
+
+    def test_latency_variant_requires_pool(self):
+        with pytest.raises(ValueError):
+            with_pool_latency_penalty(baseline_config(), 190.0)
+
+    def test_capacity_variant(self):
+        varied = with_pool_capacity_fraction(starnuma_config(), 1 / 17)
+        assert varied.pool.capacity_fraction == pytest.approx(1 / 17)
+
+    def test_capacity_variant_requires_pool(self):
+        with pytest.raises(ValueError):
+            with_pool_capacity_fraction(baseline_config(), 0.2)
+
+    def test_half_bw_variant(self):
+        varied = with_half_pool_bandwidth(starnuma_config())
+        assert varied.bandwidth.cxl_per_socket_gbps == pytest.approx(3.0)
+
+    def test_half_bw_requires_pool(self):
+        with pytest.raises(ValueError):
+            with_half_pool_bandwidth(baseline_config())
+
+    def test_iso_bw_scales_links(self):
+        base = baseline_config()
+        varied = with_iso_bandwidth(base)
+        assert varied.bandwidth.upi_link_gbps > base.bandwidth.upi_link_gbps
+        assert varied.bandwidth.numalink_gbps > base.bandwidth.numalink_gbps
+
+    def test_double_bw_doubles(self):
+        base = baseline_config()
+        varied = with_double_bandwidth(base)
+        assert varied.bandwidth.upi_link_gbps == pytest.approx(
+            2 * base.bandwidth.upi_link_gbps
+        )
+
+    def test_variant_names_distinct(self):
+        base = baseline_config()
+        names = {
+            with_iso_bandwidth(base).name,
+            with_double_bandwidth(base).name,
+            base.name,
+        }
+        assert len(names) == 3
+
+    def test_scale_factor_preserves_pool_flag(self):
+        rescaled = with_scale_factor(baseline_config(), 2)
+        assert not rescaled.pool.enabled
+        assert rescaled.cores_per_socket == 8
+
+    def test_scale_factor_preserves_migration(self):
+        star = starnuma_config(tracker=TrackerKind.T0)
+        rescaled = with_scale_factor(star, 2)
+        assert rescaled.migration.tracker is TrackerKind.T0

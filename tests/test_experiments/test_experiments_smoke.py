@@ -1,0 +1,107 @@
+"""Smoke tests for every experiment harness, on a reduced workload set.
+
+The full-suite shape assertions live in tests/test_integration; these
+check that every experiment runs end-to-end, produces well-formed rows,
+and preserves its headline invariants on a cheap subset.
+"""
+
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    ExperimentContext,
+    fig02,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    table3,
+    table4,
+)
+
+
+@pytest.fixture(scope="module")
+def context():
+    return ExperimentContext(seed=2, n_phases=5, warmup_phases=1,
+                             workloads=("bfs", "poa"))
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert set(EXPERIMENTS) == {
+            "fig2", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+            "fig14", "table3", "table4",
+            "ext-replication", "ext-scale32", "ext-ablation",
+        }
+
+
+class TestCharacterization:
+    def test_fig2_rows(self, context):
+        result = fig02.run(context)
+        assert result.headers[0] == "sharers"
+        total_pages = sum(row[1] for row in result.rows)
+        assert total_pages == pytest.approx(1.0, abs=0.01)
+
+    def test_fig13_tc_notes(self, context):
+        result = fig13.run(context)
+        assert "60%" in result.notes or "16 sockets" in result.notes
+        assert result.experiment == "fig13:tc"
+
+
+class TestMainResults:
+    def test_fig8_structure(self, context):
+        results = fig08.run(context)
+        assert len(results.speedup.rows) == 2
+        assert len(results.breakdown.rows) == 4  # two systems per workload
+        assert "fig8a" in results.table
+
+    def test_fig8_poa_neutral(self, context):
+        results = fig08.run(context)
+        rows = results.speedup.row_map()
+        assert rows["poa"][1] == pytest.approx(1.0, abs=0.02)
+
+    def test_table3_echoes_anchors(self, context):
+        result = table3.run(context)
+        rows = result.row_map()
+        assert rows["bfs"][2] == 0.69
+        assert rows["bfs"][3] == 0.10
+
+    def test_table4_poa_zero(self, context):
+        result = table4.run(context)
+        assert result.row_map()["poa"][1] == 0.0
+
+
+class TestVariantStudies:
+    def test_fig9_columns(self, context):
+        result = fig09.run(context)
+        assert len(result.rows[0]) == 4
+
+    def test_fig10_latency_hurts(self, context):
+        result = fig10.run(context)
+        bfs = result.row_map()["bfs"]
+        assert bfs[2] <= bfs[1]  # 190 ns never beats 100 ns
+
+    def test_fig11_columns(self, context):
+        result = fig11.run(context)
+        assert result.headers == (
+            "workload", "baseline_iso_bw", "baseline_2x_bw", "starnuma",
+            "starnuma_half_bw",
+        )
+
+    def test_fig12_small_pool_never_better_for_bfs(self, context):
+        result = fig12.run(context)
+        bfs = result.row_map()["bfs"]
+        assert bfs[2] <= bfs[1] * 1.05
+
+    def test_fig14_runs_selected_workloads(self, context):
+        result = fig14.run(context, workloads=("bfs",))
+        assert len(result.rows) == 1
+        assert result.rows[0][0] == "bfs"
+
+    def test_result_table_renders(self, context):
+        result = fig10.run(context)
+        assert "workload" in result.table
+        assert "[fig10]" in result.table

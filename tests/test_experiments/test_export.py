@@ -1,0 +1,60 @@
+"""Tests for result export."""
+
+import csv
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ExperimentContext, fig02
+from repro.experiments.export import export_all, result_to_dict, write_result
+
+
+@pytest.fixture(scope="module")
+def context():
+    return ExperimentContext(seed=2, n_phases=4, warmup_phases=1,
+                             workloads=("poa",))
+
+
+class TestSerialization:
+    def test_result_to_dict_roundtrips_json(self, context):
+        result = fig02.run(context)
+        payload = result_to_dict(result)
+        text = json.dumps(payload)
+        restored = json.loads(text)
+        assert restored["experiment"] == result.experiment
+        assert len(restored["rows"]) == len(result.rows)
+
+    def test_write_result_files(self, context, tmp_path):
+        result = fig02.run(context)
+        write_result(result, tmp_path)
+        stem = result.experiment.replace(":", "_")
+        assert (tmp_path / f"{stem}.json").exists()
+        with open(tmp_path / f"{stem}.csv") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == list(result.headers)
+        assert len(rows) == len(result.rows) + 1
+
+
+class TestExportAll:
+    def test_subset_and_manifest(self, context, tmp_path):
+        written = export_all(str(tmp_path), context,
+                             experiments=("fig2", "table3"))
+        assert set(written) == {"fig2:bfs", "table3"}
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert manifest["seed"] == 2
+        assert manifest["workloads"] == ["poa"]
+
+    def test_fig8_flattens_to_three_files(self, context, tmp_path):
+        written = export_all(str(tmp_path), context, experiments=("fig8",))
+        assert set(written) == {"fig8a", "fig8b", "fig8c"}
+        assert (tmp_path / "fig8b.csv").exists()
+
+    def test_unknown_experiment_rejected(self, context, tmp_path):
+        with pytest.raises(KeyError):
+            export_all(str(tmp_path), context, experiments=("nope",))
+
+    def test_creates_directory(self, context, tmp_path):
+        target = tmp_path / "nested" / "dir"
+        export_all(str(target), context, experiments=("table3",))
+        assert (Path(target) / "table3.json").exists()

@@ -1,0 +1,83 @@
+"""Tests for the extension experiments (replication, 32 sockets, ablations)."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentContext,
+    ext_ablation,
+    ext_replication,
+    ext_scale,
+)
+
+
+@pytest.fixture(scope="module")
+def context():
+    return ExperimentContext(seed=2, n_phases=5, warmup_phases=1,
+                             workloads=("bfs", "tc"))
+
+
+class TestReplication:
+    @pytest.fixture(scope="class")
+    def result(self, context):
+        return ext_replication.run(context, workloads=("bfs", "tc"))
+
+    def test_read_write_workload_gains_nothing(self, result):
+        bfs = result.row_map()["bfs"]
+        assert bfs[1] == 0.0                      # nothing replicated
+        assert bfs[3] == pytest.approx(1.0, abs=0.02)
+
+    def test_read_only_workload_gains(self, result):
+        tc = result.row_map()["tc"]
+        assert tc[1] > 0.0
+        assert tc[3] > 1.1                        # replication alone helps
+
+    def test_combination_at_least_pooling(self, result):
+        tc = result.row_map()["tc"]
+        assert tc[5] >= tc[4] * 0.98              # complementary techniques
+
+    def test_capacity_cost_reported(self, result):
+        tc = result.row_map()["tc"]
+        assert 0.0 < tc[2] <= 0.55
+
+
+class TestScale32:
+    def test_32_socket_config_valid(self):
+        config = ext_scale.thirty_two_socket_config()
+        assert config.n_sockets == 32
+        config.validate()
+
+    def test_speedups_retained(self, context):
+        result = ext_scale.run(context, workloads=("tc",))
+        row = result.row_map()["tc"]
+        assert row[2] > 1.1                       # still clearly worth it
+        assert row[2] <= row[1] + 0.05            # switch latency costs
+
+
+class TestAblations:
+    def test_layout_matters(self, context):
+        result = ext_ablation.run_layout(context, workload="bfs")
+        rows = result.row_map()
+        assert rows["clustered"][1] > rows["interleaved"][1]
+
+    def test_zero_budget_neutralizes(self, context):
+        result = ext_ablation.run_migration_limit(
+            context, workload="bfs", limits_regions=(0, 32)
+        )
+        rows = result.row_map()
+        assert rows[0][2] == pytest.approx(1.0, abs=0.1)
+        assert rows[32][2] > rows[0][2] + 0.2
+
+    def test_region_size_sweep_runs(self, context):
+        result = ext_ablation.run_region_size(
+            context, workload="bfs", region_kb=(128, 512)
+        )
+        rows = result.row_map()
+        # Smaller regions mean more tracker entries.
+        assert rows[128][1] > rows[512][1]
+        for row in result.rows:
+            assert row[2] > 1.0
+
+    def test_combined_runner(self, context):
+        result = ext_ablation.run(context)
+        assert any(str(row[0]).startswith("layout:") for row in result.rows)
+        assert any(str(row[0]).startswith("limit:") for row in result.rows)

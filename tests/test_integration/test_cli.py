@@ -1,0 +1,78 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_list_exits_zero(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig8" in out
+        assert "masstree" in out
+
+
+class TestRun:
+    def test_run_fig2(self, capsys):
+        code = main(["run", "fig2", "--phases", "4", "--warmup", "1",
+                     "--workloads", "bfs"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sharers" in out
+
+    def test_run_table3_subset(self, capsys):
+        code = main(["run", "table3", "--phases", "4", "--warmup", "1",
+                     "--workloads", "poa"])
+        assert code == 0
+        assert "poa" in capsys.readouterr().out
+
+    def test_unknown_workload_rejected(self, capsys):
+        code = main(["run", "fig2", "--workloads", "bogus"])
+        assert code == 2
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "not-an-experiment"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestDescribe:
+    def test_describe_starnuma(self, capsys):
+        assert main(["describe", "starnuma"]) == 0
+        out = capsys.readouterr().out
+        assert "pool" in out
+        assert "cxl" in out
+        assert "T16" in out
+
+    def test_describe_baseline_has_no_pool(self, capsys):
+        assert main(["describe", "baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "no pool" in out
+        assert "cxl" not in out
+
+    def test_describe_full_scale(self, capsys):
+        assert main(["describe", "full-scale"]) == 0
+        assert "448 cores" in capsys.readouterr().out
+
+    def test_describe_unknown_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["describe", "bogus"])
+
+
+class TestExport:
+    def test_export_subset(self, tmp_path, capsys):
+        code = main(["export", "--out", str(tmp_path),
+                     "--experiments", "table3",
+                     "--phases", "4", "--warmup", "1",
+                     "--workloads", "poa"])
+        assert code == 0
+        assert (tmp_path / "table3.csv").exists()
+        assert (tmp_path / "manifest.json").exists()
+
+    def test_export_requires_out(self):
+        with pytest.raises(SystemExit):
+            main(["export"])

@@ -1,0 +1,51 @@
+"""Smoke tests: the example scripts must run and print their story.
+
+Only the fast ones run here (the full studies live in the examples
+themselves); each is executed in-process with a cheap workload.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, *args, timeout=240):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+
+
+class TestExamples:
+    def test_quickstart_poa(self):
+        result = run_example("quickstart.py", "poa")
+        assert result.returncode == 0, result.stderr
+        assert "speedup" in result.stdout
+        assert "poa" in result.stdout
+
+    def test_mechanism_tour(self):
+        result = run_example("mechanism_tour.py")
+        assert result.returncode == 0, result.stderr
+        for marker in ("TLB annex", "T16 region tracker", "Coherence",
+                       "DDR5 channel", "Metadata region"):
+            assert marker in result.stdout
+
+    def test_custom_workload(self):
+        result = run_example("custom_workload.py")
+        assert result.returncode == 0, result.stderr
+        assert "param-server" in result.stdout.lower() or \
+            "Parameter-server" in result.stdout
+
+    @pytest.mark.parametrize("script", [
+        "quickstart.py", "graph_analytics_study.py", "capacity_planning.py",
+        "custom_workload.py", "mechanism_tour.py",
+        "replication_vs_pooling.py", "bottleneck_analysis.py",
+    ])
+    def test_all_examples_compile(self, script):
+        path = EXAMPLES / script
+        assert path.exists()
+        compile(path.read_text(), str(path), "exec")

@@ -1,0 +1,87 @@
+"""End-to-end integration tests on the real BFS workload.
+
+These exercise the whole pipeline -- population, traces, Step B under
+both policies, calibration, and the closed-loop timing -- and assert the
+paper's headline *shapes* on a single workload pair (the full-suite
+reproduction lives in the benchmark harness).
+"""
+
+import pytest
+
+from repro.topology import AccessType
+
+
+class TestBfsPair:
+    def test_starnuma_speedup_in_paper_band(self, bfs_pair_results):
+        star = bfs_pair_results["starnuma"]
+        base = bfs_pair_results["baseline"]
+        speedup = star.speedup_over(base)
+        # Paper: BFS 1.7x (SC1), up to 2.0x under SC2.
+        assert 1.3 < speedup < 2.4
+
+    def test_amat_reduction_substantial(self, bfs_pair_results):
+        star = bfs_pair_results["starnuma"]
+        base = bfs_pair_results["baseline"]
+        assert star.amat_reduction_over(base) > 0.3
+
+    def test_baseline_ipc_matches_anchor(self, bfs_pair_results):
+        base = bfs_pair_results["baseline"]
+        assert base.ipc == pytest.approx(0.10, rel=0.15)
+
+    def test_pool_absorbs_two_hop_accesses(self, bfs_pair_results):
+        base = bfs_pair_results["baseline"].access_fractions()
+        star = bfs_pair_results["starnuma"].access_fractions()
+        assert base.get(AccessType.INTER_CHASSIS, 0) > 0.35
+        assert star.get(AccessType.POOL, 0) > 0.4
+        assert (star.get(AccessType.INTER_CHASSIS, 0)
+                < base.get(AccessType.INTER_CHASSIS, 0) / 2)
+
+    def test_block_transfers_moderate(self, bfs_pair_results):
+        """Coherence activity is ~10% of accesses (Section V-A)."""
+        for result in (bfs_pair_results["baseline"],
+                       bfs_pair_results["starnuma"]):
+            fraction = result.breakdown().block_transfer_fraction()
+            assert 0.02 < fraction < 0.25
+
+    def test_starnuma_bt_mostly_via_pool(self, bfs_pair_results):
+        star = bfs_pair_results["starnuma"].access_fractions()
+        assert (star.get(AccessType.BLOCK_TRANSFER_POOL, 0)
+                > star.get(AccessType.BLOCK_TRANSFER_SOCKET, 0))
+
+    def test_most_migrations_to_pool(self, bfs_pair_results):
+        star = bfs_pair_results["starnuma"]
+        assert star.pool_migration_fraction > 0.5
+
+    def test_unloaded_amat_in_latency_range(self, bfs_pair_results):
+        for result in (bfs_pair_results["baseline"],
+                       bfs_pair_results["starnuma"]):
+            assert 80.0 <= result.unloaded_amat_ns <= 413.0
+
+    def test_all_phases_converged(self, bfs_pair_results):
+        for result in (bfs_pair_results["baseline"],
+                       bfs_pair_results["starnuma"]):
+            assert all(phase.converged for phase in result.phases)
+
+    def test_access_fractions_sum_to_one(self, bfs_pair_results):
+        for result in (bfs_pair_results["baseline"],
+                       bfs_pair_results["starnuma"]):
+            assert sum(result.access_fractions().values()) == pytest.approx(
+                1.0
+            )
+
+
+class TestDeterminism:
+    def test_rerun_identical(self, base_system, star_system,
+                             bfs_pair_results):
+        from repro.sim import SimulationSetup, Simulator
+        from repro.workloads import get_workload
+
+        setup = SimulationSetup.create(get_workload("bfs"), base_system,
+                                       n_phases=6, seed=3)
+        base_sim = Simulator(base_system, setup)
+        calibration = base_sim.calibrate()
+        star = Simulator(star_system, setup).run(calibration=calibration,
+                                                 warmup_phases=2)
+        assert star.ipc == pytest.approx(
+            bfs_pair_results["starnuma"].ipc, rel=1e-9
+        )

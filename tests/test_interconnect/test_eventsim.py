@@ -1,0 +1,63 @@
+"""Validation of the analytic queueing model against event simulation."""
+
+import pytest
+
+from repro.interconnect.eventsim import md1_error, simulate_queue
+from repro.interconnect.queueing import mdl_wait_ns
+
+
+class TestSimulator:
+    def test_low_load_waits_are_small(self):
+        result = simulate_queue(service_time=10.0, utilization=0.1,
+                                n_jobs=20_000)
+        assert result.mean_wait < 2.0
+
+    def test_waits_grow_with_load(self):
+        low = simulate_queue(10.0, 0.3, n_jobs=20_000)
+        high = simulate_queue(10.0, 0.8, n_jobs=20_000)
+        assert high.mean_wait > 3 * low.mean_wait
+
+    def test_sojourn_is_wait_plus_service(self):
+        result = simulate_queue(10.0, 0.5, n_jobs=20_000)
+        assert result.mean_sojourn == pytest.approx(
+            result.mean_wait + 10.0, rel=1e-9
+        )
+
+    def test_deterministic_with_seed(self):
+        a = simulate_queue(10.0, 0.5, n_jobs=5_000, seed=4)
+        b = simulate_queue(10.0, 0.5, n_jobs=5_000, seed=4)
+        assert a.mean_wait == b.mean_wait
+
+    def test_rejects_unstable_utilization(self):
+        with pytest.raises(ValueError):
+            simulate_queue(10.0, 1.0)
+
+    def test_rejects_bad_service(self):
+        with pytest.raises(ValueError):
+            simulate_queue(0.0, 0.5)
+
+
+class TestMd1Validation:
+    @pytest.mark.parametrize("utilization", [0.2, 0.5, 0.7, 0.85])
+    def test_formula_matches_simulation(self, utilization):
+        """The M/D/1 mean wait is within 10% of event simulation across
+        the utilization range the timing model operates in."""
+        assert md1_error(10.0, utilization, n_jobs=60_000) < 0.10
+
+    def test_batching_scales_waits(self):
+        """Batched (bursty) arrivals multiply waits, justifying the
+        multiplicative burstiness constant of the analytic model."""
+        single = simulate_queue(10.0, 0.5, n_jobs=40_000, batch_size=1)
+        batched = simulate_queue(10.0, 0.5, n_jobs=40_000, batch_size=8)
+        ratio = batched.mean_wait / single.mean_wait
+        assert ratio > 2.5
+
+    def test_burstiness_constant_prices_batch4(self):
+        """The default burstiness (6) reproduces a batch-4 arrival
+        process almost exactly at mid utilization -- i.e., the analytic
+        model assumes misses arrive in bursts of ~4, a modest level for
+        out-of-order cores."""
+        simulated = simulate_queue(10.0, 0.6, n_jobs=60_000,
+                                   batch_size=4).mean_wait
+        analytic = mdl_wait_ns(0.6, 10.0, burstiness=6.0)
+        assert analytic == pytest.approx(simulated, rel=0.15)

@@ -1,0 +1,74 @@
+"""Tests for the queueing model."""
+
+import pytest
+
+from repro.interconnect import (
+    MAX_STABLE_UTILIZATION,
+    mdl_wait_ns,
+    service_time_ns,
+)
+
+
+class TestServiceTime:
+    def test_basic(self):
+        # 72 bytes at 3 GB/s: 1 GB/s moves a byte per ns.
+        assert service_time_ns(72, 3.0) == pytest.approx(24.0)
+
+    def test_zero_bytes(self):
+        assert service_time_ns(0, 10.0) == 0.0
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            service_time_ns(64, 0.0)
+
+    def test_rejects_negative_bytes(self):
+        with pytest.raises(ValueError):
+            service_time_ns(-1, 1.0)
+
+
+class TestMdlWait:
+    def test_zero_utilization(self):
+        assert mdl_wait_ns(0.0, 10.0) == 0.0
+
+    def test_negative_utilization_clamped(self):
+        assert mdl_wait_ns(-0.5, 10.0) == 0.0
+
+    def test_half_utilization(self):
+        # M/D/1: Wq = S * 0.5 / (2 * 0.5) = S / 2.
+        assert mdl_wait_ns(0.5, 10.0) == pytest.approx(5.0)
+
+    def test_monotone_in_utilization(self):
+        waits = [mdl_wait_ns(u, 10.0) for u in
+                 (0.1, 0.3, 0.5, 0.7, 0.9, 0.95, 1.0, 1.2)]
+        assert waits == sorted(waits)
+
+    def test_continuous_at_handover(self):
+        eps = 1e-9
+        below = mdl_wait_ns(MAX_STABLE_UTILIZATION - eps, 10.0)
+        above = mdl_wait_ns(MAX_STABLE_UTILIZATION + eps, 10.0)
+        assert above == pytest.approx(below, rel=1e-4)
+
+    def test_linear_extension_finite(self):
+        assert mdl_wait_ns(2.0, 10.0) < 1e6
+
+    def test_burstiness_scales(self):
+        base = mdl_wait_ns(0.5, 10.0, burstiness=1.0)
+        bursty = mdl_wait_ns(0.5, 10.0, burstiness=6.0)
+        assert bursty == pytest.approx(6.0 * base)
+
+    def test_rejects_bad_burstiness(self):
+        with pytest.raises(ValueError):
+            mdl_wait_ns(0.5, 10.0, burstiness=0.0)
+
+    def test_rejects_negative_service(self):
+        with pytest.raises(ValueError):
+            mdl_wait_ns(0.5, -1.0)
+
+    def test_rejects_bad_handover(self):
+        with pytest.raises(ValueError):
+            mdl_wait_ns(0.5, 10.0, max_utilization=1.5)
+
+    def test_scales_with_service_time(self):
+        assert mdl_wait_ns(0.6, 20.0) == pytest.approx(
+            2 * mdl_wait_ns(0.6, 10.0)
+        )

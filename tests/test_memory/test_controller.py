@@ -1,0 +1,72 @@
+"""Tests for the memory-controller model."""
+
+import pytest
+
+from repro.memory import MemoryControllerModel, RequestKind
+
+
+class TestConstruction:
+    def test_aggregate_bandwidth(self):
+        controller = MemoryControllerModel(n_channels=4, channel_gbps=38.4)
+        assert controller.aggregate_gbps == pytest.approx(153.6)
+
+    def test_rejects_zero_channels(self):
+        with pytest.raises(ValueError):
+            MemoryControllerModel(0, 38.4)
+
+    def test_rejects_bad_bandwidth(self):
+        with pytest.raises(ValueError):
+            MemoryControllerModel(2, 0.0)
+
+
+class TestInterleaving:
+    def test_blocks_interleave_across_channels(self):
+        controller = MemoryControllerModel(4, 38.4)
+        channels = {controller.channel_for(block * 64) for block in range(8)}
+        assert channels == {0, 1, 2, 3}
+
+    def test_same_block_same_channel(self):
+        controller = MemoryControllerModel(4, 38.4)
+        assert controller.channel_for(0) == controller.channel_for(63)
+
+
+class TestFunctionalReplay:
+    def test_access_routes_to_channel(self):
+        controller = MemoryControllerModel(2, 38.4)
+        controller.access(0, RequestKind.READ, 0.0)
+        controller.access(64, RequestKind.READ, 0.0)
+        assert controller.channels[0].stats.accesses == 1
+        assert controller.channels[1].stats.accesses == 1
+
+    def test_reset_clears_all(self):
+        controller = MemoryControllerModel(2, 38.4)
+        controller.access(0, RequestKind.WRITE, 0.0)
+        controller.reset()
+        assert all(ch.stats.accesses == 0 for ch in controller.channels)
+
+
+class TestAnalytic:
+    def test_no_queueing_when_idle(self):
+        controller = MemoryControllerModel(2, 38.4)
+        assert controller.queueing_delay_ns(0.0) == 0.0
+
+    def test_queueing_grows_with_load(self):
+        controller = MemoryControllerModel(2, 38.4)
+        low = controller.queueing_delay_ns(20.0)
+        high = controller.queueing_delay_ns(60.0)
+        assert high > low > 0
+
+    def test_more_channels_less_queueing(self):
+        few = MemoryControllerModel(1, 38.4)
+        many = MemoryControllerModel(4, 38.4)
+        assert (many.queueing_delay_ns(30.0)
+                < few.queueing_delay_ns(30.0))
+
+    def test_loaded_latency_adds_unloaded(self):
+        controller = MemoryControllerModel(2, 38.4)
+        assert controller.loaded_latency_ns(50.0, 0.0) == pytest.approx(50.0)
+        assert controller.loaded_latency_ns(50.0, 40.0) > 50.0
+
+    def test_rejects_negative_load(self):
+        with pytest.raises(ValueError):
+            MemoryControllerModel(2, 38.4).queueing_delay_ns(-1.0)

@@ -1,0 +1,102 @@
+"""Tests for the DRAM channel model."""
+
+import pytest
+
+from repro.memory import DramChannel, DramTiming, RequestKind
+
+
+class TestTiming:
+    def test_latency_ordering(self):
+        timing = DramTiming()
+        assert (timing.row_hit_ns < timing.row_miss_ns
+                < timing.row_conflict_ns)
+
+    def test_row_hit_components(self):
+        timing = DramTiming()
+        assert timing.row_hit_ns == pytest.approx(
+            timing.t_cas_ns + timing.burst_ns
+        )
+
+
+class TestChannel:
+    def test_first_access_is_row_miss(self):
+        channel = DramChannel()
+        channel.access(0, RequestKind.READ, arrival_ns=0.0)
+        assert channel.stats.row_misses == 1
+
+    def test_same_row_hits(self):
+        channel = DramChannel()
+        channel.access(0, RequestKind.READ, 0.0)
+        done = channel.access(0, RequestKind.READ, 100.0)
+        assert channel.stats.row_hits == 1
+        assert done == pytest.approx(100.0 + channel.timing.row_hit_ns)
+
+    def test_row_conflict(self):
+        channel = DramChannel()
+        timing = channel.timing
+        stride = timing.row_bytes * timing.n_banks  # same bank, next row
+        channel.access(0, RequestKind.READ, 0.0)
+        channel.access(stride, RequestKind.READ, 1000.0)
+        assert channel.stats.row_conflicts == 1
+
+    def test_bank_queueing(self):
+        channel = DramChannel()
+        first = channel.access(0, RequestKind.READ, 0.0)
+        second = channel.access(0, RequestKind.READ, 0.0)
+        assert second == pytest.approx(first + channel.timing.row_hit_ns)
+        assert channel.stats.total_queue_ns > 0
+
+    def test_banks_are_parallel(self):
+        channel = DramChannel()
+        done_a = channel.access(0, RequestKind.READ, 0.0)
+        done_b = channel.access(64, RequestKind.READ, 0.0)  # next bank
+        assert done_b == pytest.approx(done_a)
+
+    def test_read_write_counters(self):
+        channel = DramChannel()
+        channel.access(0, RequestKind.READ, 0.0)
+        channel.access(64, RequestKind.WRITE, 0.0)
+        assert channel.stats.reads == 1
+        assert channel.stats.writes == 1
+        assert channel.stats.accesses == 2
+
+    def test_row_hit_rate(self):
+        channel = DramChannel()
+        channel.access(0, RequestKind.READ, 0.0)
+        channel.access(0, RequestKind.READ, 100.0)
+        channel.access(0, RequestKind.READ, 200.0)
+        assert channel.stats.row_hit_rate == pytest.approx(2 / 3)
+
+    def test_reset(self):
+        channel = DramChannel()
+        channel.access(0, RequestKind.READ, 0.0)
+        channel.reset()
+        assert channel.stats.accesses == 0
+        channel.access(0, RequestKind.READ, 0.0)
+        assert channel.stats.row_misses == 1  # row buffer cleared too
+
+    def test_rejects_negative_arrival(self):
+        with pytest.raises(ValueError):
+            DramChannel().access(0, RequestKind.READ, -1.0)
+
+    def test_average_latency_accumulates(self):
+        channel = DramChannel()
+        channel.access(0, RequestKind.READ, 0.0)
+        assert channel.stats.average_latency_ns > 0
+
+
+class TestEffectiveBandwidth:
+    def test_burst_limited_at_high_hit_rate(self):
+        channel = DramChannel()
+        bandwidth = channel.effective_bandwidth_gbps(row_hit_rate=1.0)
+        assert bandwidth == pytest.approx(64 / channel.timing.burst_ns)
+
+    def test_degrades_with_poor_locality(self):
+        channel = DramChannel()
+        good = channel.effective_bandwidth_gbps(0.9)
+        bad = channel.effective_bandwidth_gbps(0.0)
+        assert bad <= good
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            DramChannel().effective_bandwidth_gbps(1.5)

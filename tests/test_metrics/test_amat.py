@@ -1,0 +1,53 @@
+"""Tests for AMAT arithmetic, including the paper's worked example."""
+
+import pytest
+
+from repro.config import LatencyConfig
+from repro.metrics import unloaded_amat_ns, worked_example_amat
+from repro.topology import AccessType
+
+
+class TestUnloadedAmat:
+    def test_pure_local(self):
+        amat = unloaded_amat_ns({AccessType.LOCAL: 1.0}, LatencyConfig())
+        assert amat == 80.0
+
+    def test_weighted_mix(self):
+        amat = unloaded_amat_ns(
+            {AccessType.LOCAL: 0.5, AccessType.INTER_CHASSIS: 0.5},
+            LatencyConfig(),
+        )
+        assert amat == pytest.approx(220.0)
+
+    def test_block_transfers_included(self):
+        amat = unloaded_amat_ns(
+            {AccessType.BLOCK_TRANSFER_SOCKET: 1.0}, LatencyConfig()
+        )
+        assert amat == pytest.approx(413.0)
+
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            unloaded_amat_ns({AccessType.LOCAL: 0.5}, LatencyConfig())
+
+
+class TestWorkedExample:
+    """Section II-C: 160 ns baseline -> 112 ns with the pool (-30%)."""
+
+    def test_baseline_amat(self):
+        baseline, _ = worked_example_amat()
+        assert baseline == pytest.approx(160.0, abs=0.5)
+
+    def test_pooled_amat(self):
+        _, pooled = worked_example_amat()
+        assert pooled == pytest.approx(112.0, abs=0.5)
+
+    def test_thirty_percent_reduction(self):
+        baseline, pooled = worked_example_amat()
+        assert 1.0 - pooled / baseline == pytest.approx(0.30, abs=0.01)
+
+    def test_custom_latency(self):
+        slow_pool = LatencyConfig().with_pool_penalty(190.0)
+        _, pooled = worked_example_amat(slow_pool)
+        assert pooled == pytest.approx(
+            0.64 * 80 + 0.09 * 130 + 0.27 * 270, abs=0.5
+        )

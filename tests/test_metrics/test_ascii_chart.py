@@ -1,0 +1,63 @@
+"""Tests for terminal bar charts."""
+
+import pytest
+
+from repro.metrics.ascii_chart import bar_chart, speedup_chart
+
+
+class TestBarChart:
+    def test_longest_bar_is_max(self):
+        chart = bar_chart([("a", 1.0), ("b", 2.0)], width=10)
+        lines = chart.splitlines()
+        assert lines[1].count("█") == 10
+        assert lines[0].count("█") == 5
+
+    def test_labels_aligned(self):
+        chart = bar_chart([("short", 1.0), ("a-long-label", 2.0)])
+        lines = chart.splitlines()
+        assert lines[0].index("█") == lines[1].index("█")
+
+    def test_values_printed(self):
+        chart = bar_chart([("a", 1.234)], unit="x")
+        assert "1.23x" in chart
+
+    def test_title(self):
+        chart = bar_chart([("a", 1.0)], title="T")
+        assert chart.splitlines()[0] == "T"
+
+    def test_zero_values_safe(self):
+        chart = bar_chart([("a", 0.0)])
+        assert "0.00" in chart
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            bar_chart([])
+
+    def test_rejects_narrow(self):
+        with pytest.raises(ValueError):
+            bar_chart([("a", 1.0)], width=2)
+
+
+class TestSpeedupChart:
+    def test_neutral_workload_empty_bar(self):
+        chart = speedup_chart([("poa", 1.0), ("bfs", 1.8)], width=10)
+        lines = chart.splitlines()
+        assert "█" not in lines[0]
+        assert "█" in lines[1]
+        assert "1.00x" in lines[0]
+
+    def test_reference_marker(self):
+        chart = speedup_chart([("a", 1.5)])
+        assert "^1.00x" in chart.splitlines()[-1]
+
+    def test_scaling_by_gain(self):
+        chart = speedup_chart([("a", 1.4), ("b", 1.8)], width=10)
+        lines = chart.splitlines()
+        assert lines[1].count("█") == 10
+        # Half the gain: half the bar (floating point may land one short
+        # of the boundary, topped with a partial glyph).
+        assert lines[0].count("█") in (4, 5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            speedup_chart([])

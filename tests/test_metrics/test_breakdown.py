@@ -1,0 +1,65 @@
+"""Tests for the access breakdown container."""
+
+import pytest
+
+from repro.metrics import AccessBreakdown
+from repro.topology import AccessType
+
+
+class TestAccumulation:
+    def test_add_and_total(self):
+        breakdown = AccessBreakdown()
+        breakdown.add(AccessType.LOCAL, 60)
+        breakdown.add(AccessType.POOL, 40)
+        assert breakdown.total == 100
+
+    def test_add_accumulates_same_kind(self):
+        breakdown = AccessBreakdown()
+        breakdown.add(AccessType.LOCAL, 10)
+        breakdown.add(AccessType.LOCAL, 5)
+        assert breakdown.counts[AccessType.LOCAL] == 15
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            AccessBreakdown().add(AccessType.LOCAL, -1)
+
+    def test_merge(self):
+        a = AccessBreakdown({AccessType.LOCAL: 10})
+        b = AccessBreakdown({AccessType.LOCAL: 5, AccessType.POOL: 5})
+        a.merge(b)
+        assert a.counts[AccessType.LOCAL] == 15
+        assert a.total == 20
+
+
+class TestFractions:
+    def test_fraction(self):
+        breakdown = AccessBreakdown({AccessType.LOCAL: 30,
+                                     AccessType.POOL: 70})
+        assert breakdown.fraction(AccessType.POOL) == pytest.approx(0.7)
+
+    def test_fraction_of_missing_kind(self):
+        assert AccessBreakdown().fraction(AccessType.POOL) == 0.0
+
+    def test_fractions_skip_zero(self):
+        breakdown = AccessBreakdown({AccessType.LOCAL: 10,
+                                     AccessType.POOL: 0})
+        assert AccessType.POOL not in breakdown.fractions()
+
+    def test_remote_fraction(self):
+        breakdown = AccessBreakdown({AccessType.LOCAL: 25,
+                                     AccessType.INTER_CHASSIS: 75})
+        assert breakdown.remote_fraction() == pytest.approx(0.75)
+
+    def test_block_transfer_fraction(self):
+        breakdown = AccessBreakdown({
+            AccessType.LOCAL: 80,
+            AccessType.BLOCK_TRANSFER_SOCKET: 12,
+            AccessType.BLOCK_TRANSFER_POOL: 8,
+        })
+        assert breakdown.block_transfer_fraction() == pytest.approx(0.2)
+
+    def test_from_fractions(self):
+        breakdown = AccessBreakdown.from_fractions(
+            {AccessType.LOCAL: 0.6, AccessType.POOL: 0.4}, total=1000
+        )
+        assert breakdown.counts[AccessType.LOCAL] == pytest.approx(600)

@@ -1,0 +1,89 @@
+"""Tests for CPI model calibration."""
+
+import pytest
+
+from repro.config import CoreConfig
+from repro.metrics import calibrate_cpi
+from repro.workloads import get_workload
+from tests.conftest import make_profile
+
+
+CORE = CoreConfig()
+
+
+class TestAnchors:
+    def test_baseline_anchor_reproduced(self):
+        """The fit must return the published 16-socket IPC at the
+        calibration AMAT."""
+        profile = get_workload("cc")
+        amat = 450.0
+        calibration = calibrate_cpi(profile, amat, CORE)
+        ipc = calibration.ipc(CORE.ns_to_cycles(amat))
+        assert ipc == pytest.approx(profile.ipc_16, rel=0.01)
+
+    def test_single_socket_anchor_when_feasible(self):
+        profile = make_profile(mpki=5.0, ipc_single=1.0, ipc_16=0.4)
+        calibration = calibrate_cpi(profile, 400.0, CORE)
+        ipc = calibration.ipc(CORE.ns_to_cycles(80.0))
+        assert ipc == pytest.approx(profile.ipc_single, rel=0.05)
+
+    def test_clamped_fit_keeps_16_socket_anchor(self):
+        # SSSP's exact fit lands below the issue-width floor.
+        profile = get_workload("sssp")
+        amat = 700.0
+        calibration = calibrate_cpi(profile, amat, CORE)
+        assert calibration.cpi_core == pytest.approx(0.25)
+        ipc = calibration.ipc(CORE.ns_to_cycles(amat))
+        assert ipc == pytest.approx(profile.ipc_16, rel=0.01)
+
+
+class TestShape:
+    def test_lower_amat_higher_ipc(self):
+        profile = get_workload("bfs")
+        calibration = calibrate_cpi(profile, 600.0, CORE)
+        fast = calibration.ipc(CORE.ns_to_cycles(200.0))
+        slow = calibration.ipc(CORE.ns_to_cycles(600.0))
+        assert fast > slow
+
+    def test_sublinear_memory_term(self):
+        profile = get_workload("bfs")
+        calibration = calibrate_cpi(profile, 600.0, CORE)
+        one = calibration.memory_cpi(500.0)
+        two = calibration.memory_cpi(1000.0)
+        assert two < 2 * one  # alpha < 1
+
+    def test_extra_cpi_lowers_ipc(self):
+        profile = get_workload("bfs")
+        calibration = calibrate_cpi(profile, 600.0, CORE)
+        assert (calibration.ipc(500.0, extra_cpi=1.0)
+                < calibration.ipc(500.0))
+
+
+class TestNumaInsensitive:
+    def test_poa_fit(self):
+        profile = get_workload("poa")
+        calibration = calibrate_cpi(profile, 85.0, CORE)
+        ipc = calibration.ipc(CORE.ns_to_cycles(85.0))
+        assert ipc == pytest.approx(profile.ipc_16, rel=0.10)
+
+    def test_poa_ipc_insensitive_to_amat(self):
+        profile = get_workload("poa")
+        calibration = calibrate_cpi(profile, 85.0, CORE)
+        base = calibration.ipc(CORE.ns_to_cycles(85.0))
+        slower = calibration.ipc(CORE.ns_to_cycles(120.0))
+        assert slower == pytest.approx(base, rel=0.25)
+
+
+class TestValidation:
+    def test_rejects_amat_below_local(self):
+        with pytest.raises(ValueError):
+            calibrate_cpi(get_workload("bfs"), 50.0, CORE)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            calibrate_cpi(get_workload("bfs"), 500.0, CORE, alpha=1.5)
+
+    def test_rejects_negative_amat_in_model(self):
+        calibration = calibrate_cpi(get_workload("bfs"), 500.0, CORE)
+        with pytest.raises(ValueError):
+            calibration.cpi(-1.0)

@@ -1,0 +1,35 @@
+"""Tests for table formatting."""
+
+import pytest
+
+from repro.metrics import format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(("name", "value"),
+                             [("a", 1.0), ("long-name", 2.5)])
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert all(len(line) <= len(max(lines, key=len)) for line in lines)
+
+    def test_title(self):
+        table = format_table(("x",), [(1,)], title="[t]")
+        assert table.splitlines()[0] == "[t]"
+
+    def test_float_formatting(self):
+        table = format_table(("x",), [(1.23456,)])
+        assert "1.235" in table
+
+    def test_int_passthrough(self):
+        table = format_table(("x",), [(42,)])
+        assert "42" in table
+        assert "42.000" not in table
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(("a", "b"), [(1,)])
+
+    def test_separator_row(self):
+        table = format_table(("ab",), [("x",)])
+        assert "--" in table.splitlines()[1]

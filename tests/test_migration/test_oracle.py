@@ -1,0 +1,83 @@
+"""Tests for oracular static placement."""
+
+import numpy as np
+import pytest
+
+from repro.migration import oracular_static_placement
+from repro.placement import PoolCapacityManager
+from repro.topology import POOL_LOCATION
+
+N_SOCKETS = 16
+
+
+def make_counts(specs):
+    """specs: list of dicts socket -> count, one per page."""
+    counts = np.zeros((N_SOCKETS, len(specs)), dtype=np.int64)
+    for page, spec in enumerate(specs):
+        for socket, count in spec.items():
+            counts[socket, page] = count
+    return counts
+
+
+class TestBaselinePlacement:
+    def test_dominant_socket_wins(self):
+        counts = make_counts([{0: 10, 5: 90}])
+        page_map = oracular_static_placement(
+            counts, np.array([2]), has_pool=False
+        )
+        assert page_map.location_of(0) == 5
+
+    def test_near_ties_balanced(self):
+        specs = [{8: 100, 9: 100} for _ in range(30)]
+        counts = make_counts(specs)
+        page_map = oracular_static_placement(
+            counts, np.full(30, 2), has_pool=False
+        )
+        occupancy = page_map.occupancy()
+        assert abs(int(occupancy[8]) - int(occupancy[9])) <= 2
+
+
+class TestPoolPlacement:
+    def test_wide_pages_go_to_pool(self):
+        counts = make_counts([
+            {s: 10 for s in range(16)},   # vagabond
+            {0: 100},                     # private
+        ])
+        capacity = PoolCapacityManager(2, 0.5)
+        page_map = oracular_static_placement(
+            counts, np.array([16, 1]), has_pool=True, capacity=capacity
+        )
+        assert page_map.location_of(0) == POOL_LOCATION
+        assert page_map.location_of(1) == 0
+
+    def test_capacity_limits_pool_hottest_first(self):
+        counts = make_counts([
+            {s: 1 for s in range(16)},    # cool vagabond
+            {s: 100 for s in range(16)},  # hot vagabond
+        ])
+        capacity = PoolCapacityManager(2, 0.5)  # one page fits
+        page_map = oracular_static_placement(
+            counts, np.array([16, 16]), has_pool=True, capacity=capacity
+        )
+        assert page_map.location_of(1) == POOL_LOCATION
+        assert page_map.location_of(0) != POOL_LOCATION
+
+    def test_threshold_respected(self):
+        counts = make_counts([{0: 50, 1: 50}])
+        capacity = PoolCapacityManager(1, 1.0)
+        page_map = oracular_static_placement(
+            counts, np.array([2]), has_pool=True, capacity=capacity,
+            pool_sharer_threshold=8,
+        )
+        assert page_map.location_of(0) != POOL_LOCATION
+
+    def test_pool_requires_capacity_manager(self):
+        counts = make_counts([{0: 1}])
+        with pytest.raises(ValueError):
+            oracular_static_placement(counts, np.array([1]), has_pool=True)
+
+    def test_shape_mismatch_rejected(self):
+        counts = make_counts([{0: 1}])
+        with pytest.raises(ValueError):
+            oracular_static_placement(counts, np.array([1, 2]),
+                                      has_pool=False)

@@ -1,0 +1,53 @@
+"""Tests for migration records."""
+
+import numpy as np
+
+from repro.migration import MigrationBatch
+from repro.migration.records import RegionMove
+from repro.topology import POOL_LOCATION
+
+
+def move(pages, source, destination):
+    return RegionMove(pages=np.asarray(pages, dtype=np.int64),
+                      source=source, destination=destination)
+
+
+class TestRegionMove:
+    def test_flags(self):
+        to_pool = move([1, 2], 0, POOL_LOCATION)
+        assert to_pool.to_pool and not to_pool.from_pool
+        from_pool = move([3], POOL_LOCATION, 5)
+        assert from_pool.from_pool and not from_pool.to_pool
+
+    def test_n_pages(self):
+        assert move([1, 2, 3], 0, 1).n_pages == 3
+
+
+class TestMigrationBatch:
+    def test_counters(self):
+        batch = MigrationBatch(phase=1)
+        batch.add(move([0, 1], 0, POOL_LOCATION))
+        batch.add(move([2], 3, 4))
+        batch.add(move([5], POOL_LOCATION, 2))
+        assert batch.n_pages == 4
+        assert batch.pages_to_pool == 2
+        assert batch.pages_from_pool == 1
+
+    def test_pool_fraction_excludes_evictions(self):
+        batch = MigrationBatch(phase=1)
+        batch.add(move([0, 1], 0, POOL_LOCATION))   # demand, to pool
+        batch.add(move([2, 3], 1, 5))               # demand, to socket
+        batch.add(move([4], POOL_LOCATION, 2))      # eviction
+        assert batch.pool_fraction() == 0.5
+
+    def test_pool_fraction_empty(self):
+        assert MigrationBatch(phase=1).pool_fraction() == 0.0
+
+    def test_all_pages(self):
+        batch = MigrationBatch(phase=1)
+        batch.add(move([7, 8], 0, 1))
+        batch.add(move([9], 2, 3))
+        assert sorted(batch.all_pages().tolist()) == [7, 8, 9]
+
+    def test_all_pages_empty(self):
+        assert MigrationBatch(phase=1).all_pages().size == 0

@@ -1,0 +1,194 @@
+"""Tests for Algorithm 1 (the StarNUMA migration policy)."""
+
+import numpy as np
+import pytest
+
+from repro.config import MigrationConfig, TrackerKind
+from repro.migration import RegionTable, StarNumaPolicy
+from repro.placement import PageMap, PoolCapacityManager
+from repro.tracking import RegionTrackerArray
+from repro.topology import POOL_LOCATION
+
+N_SOCKETS = 16
+PAGES_PER_REGION = 4
+
+
+def build_world(n_regions=8, capacity_fraction=0.5, tracker=TrackerKind.T16,
+                migration_limit=10_000, hi_init=100):
+    """A small system: each region initially lives on socket (r % 16)."""
+    n_pages = n_regions * PAGES_PER_REGION
+    locations = np.repeat(np.arange(n_regions) % N_SOCKETS,
+                          PAGES_PER_REGION).astype(np.int16)
+    page_map = PageMap(locations.copy(), N_SOCKETS, has_pool=True)
+    regions = RegionTable(page_map, PAGES_PER_REGION)
+    capacity = PoolCapacityManager(n_pages, capacity_fraction)
+    config = MigrationConfig(
+        tracker=tracker,
+        region_bytes=PAGES_PER_REGION * 4096,
+        hi_threshold_init=hi_init,
+        hi_threshold_min=10,
+        migration_limit_pages=migration_limit,
+    )
+    policy = StarNumaPolicy(config, regions, capacity,
+                            rng=np.random.default_rng(0))
+    tracker_array = RegionTrackerArray(regions.n_regions, N_SOCKETS, tracker)
+    return page_map, regions, capacity, policy, tracker_array
+
+
+def counts_for(regions, region_accesses, sharer_lists):
+    """Build a per-(socket, region) count matrix from simple specs."""
+    counts = np.zeros((N_SOCKETS, regions.n_regions), dtype=np.int64)
+    for region, (accesses, sharers) in enumerate(
+            zip(region_accesses, sharer_lists)):
+        if not sharers:
+            continue
+        per_socket = accesses // len(sharers)
+        for socket in sharers:
+            counts[socket, region] = per_socket
+    return counts
+
+
+class TestPoolPlacement:
+    def test_hot_wide_region_goes_to_pool(self):
+        page_map, regions, capacity, policy, tracker = build_world()
+        counts = counts_for(regions,
+                            [1600] + [0] * 7,
+                            [list(range(16))] + [[]] * 7)
+        tracker.update(counts)
+        batch = policy.decide(tracker, regions.region_locations(page_map),
+                              page_map)
+        assert batch.n_pages == PAGES_PER_REGION
+        assert batch.pages_to_pool == PAGES_PER_REGION
+        assert page_map.pool_page_count() == PAGES_PER_REGION
+
+    def test_cold_region_stays(self):
+        page_map, regions, capacity, policy, tracker = build_world()
+        counts = counts_for(regions, [10] * 8, [list(range(16))] * 8)
+        tracker.update(counts)
+        batch = policy.decide(tracker, regions.region_locations(page_map),
+                              page_map)
+        assert batch.n_pages == 0
+
+    def test_narrow_region_moves_to_a_sharer(self):
+        page_map, regions, capacity, policy, tracker = build_world()
+        # Region 0 lives at socket 0 but is shared only by 5 and 9.
+        counts = counts_for(regions, [1600] + [0] * 7,
+                            [[5, 9]] + [[]] * 7)
+        tracker.update(counts)
+        batch = policy.decide(tracker, regions.region_locations(page_map),
+                              page_map)
+        assert batch.n_pages == PAGES_PER_REGION
+        assert page_map.location_of(0) in (5, 9)
+        assert batch.pages_to_pool == 0
+
+    def test_migration_limit_respected(self):
+        page_map, regions, capacity, policy, tracker = build_world(
+            migration_limit=PAGES_PER_REGION * 2
+        )
+        counts = counts_for(regions, [1600] * 8, [list(range(16))] * 8)
+        tracker.update(counts)
+        batch = policy.decide(tracker, regions.region_locations(page_map),
+                              page_map)
+        assert batch.n_pages <= PAGES_PER_REGION * 2
+
+
+class TestVictimEviction:
+    def test_cold_victim_evicted_for_hot_candidate(self):
+        page_map, regions, capacity, policy, tracker = build_world(
+            n_regions=4, capacity_fraction=0.25
+        )  # pool holds exactly one region
+        wide = list(range(16))
+        # Phase 1: region 0 moderately hot, pooled.
+        counts = counts_for(regions, [1600, 0, 0, 0], [wide, [], [], []])
+        tracker.update(counts)
+        policy.decide(tracker, regions.region_locations(page_map), page_map)
+        tracker.reset()
+        assert page_map.location_of(0) == POOL_LOCATION
+        # Phase 2: region 0 went cold; region 1 is hot.
+        counts = counts_for(regions, [0, 3200, 0, 0], [[], wide, [], []])
+        tracker.update(counts)
+        policy.decide(tracker, regions.region_locations(page_map), page_map)
+        assert page_map.location_of(0) != POOL_LOCATION
+        assert page_map.location_of(PAGES_PER_REGION) == POOL_LOCATION
+
+    def test_hot_pool_residents_not_evicted(self):
+        page_map, regions, capacity, policy, tracker = build_world(
+            n_regions=4, capacity_fraction=0.25
+        )
+        wide = list(range(16))
+        counts = counts_for(regions, [1600, 0, 0, 0], [wide, [], [], []])
+        tracker.update(counts)
+        policy.decide(tracker, regions.region_locations(page_map), page_map)
+        tracker.reset()
+        # Both regions hot: resident stays (its accesses exceed LO).
+        counts = counts_for(regions, [3200, 3200, 0, 0], [wide, wide, [], []])
+        tracker.update(counts)
+        policy.decide(tracker, regions.region_locations(page_map), page_map)
+        assert page_map.location_of(0) == POOL_LOCATION
+
+
+class TestPingPong:
+    def test_bouncing_region_suppressed(self):
+        page_map, regions, capacity, policy, tracker = build_world()
+        narrow = [[3, 7]] + [[]] * 7
+        moves = 0
+        last = page_map.location_of(0)
+        for _ in range(12):
+            counts = counts_for(regions, [1600] + [0] * 7, narrow)
+            tracker.update(counts)
+            policy.decide(tracker, regions.region_locations(page_map),
+                          page_map)
+            tracker.reset()
+            if page_map.location_of(0) != last:
+                moves += 1
+                last = page_map.location_of(0)
+        # Without suppression the region would bounce nearly every phase.
+        assert moves <= 12 / 4 + 1
+
+
+class TestThresholdAdaptation:
+    def test_hi_rises_under_candidate_flood(self):
+        page_map, regions, capacity, policy, tracker = build_world(
+            migration_limit=PAGES_PER_REGION
+        )
+        counts = counts_for(regions, [1600] * 8, [list(range(16))] * 8)
+        tracker.update(counts)
+        before = policy.hi_threshold
+        policy.decide(tracker, regions.region_locations(page_map), page_map)
+        assert policy.hi_threshold > before
+
+    def test_hi_decays_when_nothing_qualifies(self):
+        page_map, regions, capacity, policy, tracker = build_world(
+            hi_init=100_000
+        )
+        counts = counts_for(regions, [50] * 8, [list(range(16))] * 8)
+        tracker.update(counts)
+        before = policy.hi_threshold
+        policy.decide(tracker, regions.region_locations(page_map), page_map)
+        assert policy.hi_threshold < before
+
+    def test_t0_thresholds_fixed(self):
+        page_map, regions, capacity, policy, tracker = build_world(
+            tracker=TrackerKind.T0
+        )
+        counts = counts_for(regions, [1600] * 8, [list(range(16))] * 8)
+        tracker.update(counts)
+        before = policy.hi_threshold
+        policy.decide(tracker, regions.region_locations(page_map), page_map)
+        assert policy.hi_threshold == before
+
+
+class TestT0:
+    def test_t0_selects_by_sharers_only(self):
+        page_map, regions, capacity, policy, tracker = build_world(
+            tracker=TrackerKind.T0
+        )
+        # Region 0 touched by all sockets (low volume), region 1 very hot
+        # but narrow: only region 0 qualifies under T0.
+        counts = counts_for(regions, [16, 100000] + [0] * 6,
+                            [list(range(16)), [2, 3]] + [[]] * 6)
+        tracker.update(counts)
+        batch = policy.decide(tracker, regions.region_locations(page_map),
+                              page_map)
+        assert page_map.location_of(0) == POOL_LOCATION
+        assert page_map.location_of(PAGES_PER_REGION) != POOL_LOCATION

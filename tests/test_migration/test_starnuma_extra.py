@@ -1,0 +1,123 @@
+"""Deeper Algorithm 1 edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.config import TrackerKind
+from repro.topology import POOL_LOCATION
+
+from tests.test_migration.test_starnuma import (
+    PAGES_PER_REGION,
+    build_world,
+    counts_for,
+)
+
+
+class TestCapacityAccounting:
+    def test_capacity_released_on_pool_exit(self):
+        page_map, regions, capacity, policy, tracker = build_world()
+        wide = list(range(16))
+        counts = counts_for(regions, [1600] + [0] * 7, [wide] + [[]] * 7)
+        tracker.update(counts)
+        policy.decide(tracker, regions.region_locations(page_map), page_map)
+        tracker.reset()
+        used_after_entry = capacity.used_pages
+        assert used_after_entry == PAGES_PER_REGION
+
+        # Let enough phases elapse that ping-pong suppression clears
+        # (a region that migrated once is frozen until phase > 4).
+        for _ in range(4):
+            policy.decide(tracker, regions.region_locations(page_map),
+                          page_map)
+
+        # The region narrows to two sharers: it should leave the pool and
+        # release its capacity.
+        counts = counts_for(regions, [1600] + [0] * 7, [[2, 9]] + [[]] * 7)
+        tracker.update(counts)
+        policy.decide(tracker, regions.region_locations(page_map), page_map)
+        assert page_map.location_of(0) in (2, 9)
+        assert capacity.used_pages == 0
+
+    def test_used_never_exceeds_capacity_under_stress(self):
+        page_map, regions, capacity, policy, tracker = build_world(
+            n_regions=16, capacity_fraction=0.25
+        )
+        rng = np.random.default_rng(0)
+        wide = list(range(16))
+        for phase in range(10):
+            accesses = rng.integers(0, 3200, size=16).tolist()
+            counts = counts_for(regions, accesses, [wide] * 16)
+            tracker.update(counts)
+            policy.decide(tracker, regions.region_locations(page_map),
+                          page_map)
+            tracker.reset()
+            assert capacity.used_pages <= capacity.capacity_pages
+            assert (page_map.pool_page_count() == capacity.used_pages)
+
+
+class TestScanSemantics:
+    def test_settled_region_not_remigrated(self):
+        page_map, regions, capacity, policy, tracker = build_world()
+        wide = list(range(16))
+        counts = counts_for(regions, [1600] + [0] * 7, [wide] + [[]] * 7)
+        tracker.update(counts)
+        first = policy.decide(tracker, regions.region_locations(page_map),
+                              page_map)
+        tracker.reset()
+        assert first.n_pages == PAGES_PER_REGION
+
+        tracker.update(counts)
+        second = policy.decide(tracker, regions.region_locations(page_map),
+                               page_map)
+        # Already at its best location: nothing to do.
+        assert second.n_pages == 0
+        assert page_map.location_of(0) == POOL_LOCATION
+
+    def test_empty_tracker_no_migrations(self):
+        page_map, regions, capacity, policy, tracker = build_world()
+        batch = policy.decide(tracker, regions.region_locations(page_map),
+                              page_map)
+        assert batch.n_pages == 0
+
+    def test_phase_counter_advances(self):
+        page_map, regions, capacity, policy, tracker = build_world()
+        for _ in range(3):
+            policy.decide(tracker, regions.region_locations(page_map),
+                          page_map)
+        assert policy.phases_run == 3
+
+
+class TestT0Eviction:
+    def test_t0_evicts_no_longer_wide_resident(self):
+        page_map, regions, capacity, policy, tracker = build_world(
+            n_regions=4, capacity_fraction=0.25, tracker=TrackerKind.T0
+        )
+        wide = list(range(16))
+        counts = counts_for(regions, [16, 0, 0, 0], [wide, [], [], []])
+        tracker.update(counts)
+        policy.decide(tracker, regions.region_locations(page_map), page_map)
+        tracker.reset()
+        assert page_map.location_of(0) == POOL_LOCATION
+
+        # Region 0 stops being widely touched; region 1 becomes wide.
+        counts = counts_for(regions, [16, 16, 0, 0], [[3], wide, [], []])
+        tracker.update(counts)
+        policy.decide(tracker, regions.region_locations(page_map), page_map)
+        assert page_map.location_of(PAGES_PER_REGION) == POOL_LOCATION
+        assert page_map.location_of(0) != POOL_LOCATION
+
+    def test_t0_keeps_wide_residents(self):
+        page_map, regions, capacity, policy, tracker = build_world(
+            n_regions=4, capacity_fraction=0.25, tracker=TrackerKind.T0
+        )
+        wide = list(range(16))
+        counts = counts_for(regions, [16, 0, 0, 0], [wide, [], [], []])
+        tracker.update(counts)
+        policy.decide(tracker, regions.region_locations(page_map), page_map)
+        tracker.reset()
+        # Both regions wide: the resident stays, the newcomer cannot evict.
+        counts = counts_for(regions, [16, 16, 0, 0], [wide, wide, [], []])
+        tracker.update(counts)
+        policy.decide(tracker, regions.region_locations(page_map), page_map)
+        assert page_map.location_of(0) == POOL_LOCATION
+        assert page_map.location_of(PAGES_PER_REGION) != POOL_LOCATION

@@ -1,0 +1,66 @@
+"""Tests for pool capacity accounting."""
+
+import pytest
+
+from repro.placement import PoolCapacityManager
+
+
+class TestSizing:
+    def test_default_fraction(self):
+        manager = PoolCapacityManager(1000, 0.20)
+        assert manager.capacity_pages == 200
+
+    def test_socket_equivalent_fraction(self):
+        manager = PoolCapacityManager(1700, 1 / 17)
+        assert manager.capacity_pages == 100
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            PoolCapacityManager(100, 0.0)
+        with pytest.raises(ValueError):
+            PoolCapacityManager(100, 1.5)
+
+    def test_rejects_negative_footprint(self):
+        with pytest.raises(ValueError):
+            PoolCapacityManager(-1, 0.2)
+
+
+class TestAllocation:
+    def test_allocate_release_cycle(self):
+        manager = PoolCapacityManager(1000, 0.20)
+        manager.allocate(150)
+        assert manager.free_pages == 50
+        manager.release(100)
+        assert manager.used_pages == 50
+
+    def test_can_fit(self):
+        manager = PoolCapacityManager(1000, 0.20)
+        assert manager.can_fit(200)
+        assert not manager.can_fit(201)
+
+    def test_overflow_raises(self):
+        manager = PoolCapacityManager(1000, 0.20)
+        with pytest.raises(ValueError):
+            manager.allocate(201)
+
+    def test_over_release_raises(self):
+        manager = PoolCapacityManager(1000, 0.20)
+        manager.allocate(10)
+        with pytest.raises(ValueError):
+            manager.release(11)
+
+    def test_negative_amounts_rejected(self):
+        manager = PoolCapacityManager(1000, 0.20)
+        with pytest.raises(ValueError):
+            manager.can_fit(-1)
+        with pytest.raises(ValueError):
+            manager.release(-1)
+
+    def test_utilization(self):
+        manager = PoolCapacityManager(1000, 0.20)
+        manager.allocate(100)
+        assert manager.utilization() == pytest.approx(0.5)
+
+    def test_zero_capacity_utilization(self):
+        manager = PoolCapacityManager(0, 0.20)
+        assert manager.utilization() == 0.0

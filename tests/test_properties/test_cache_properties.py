@@ -1,0 +1,69 @@
+"""Property-based tests for the LLC model."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cache import SetAssociativeCache
+
+addresses = st.lists(st.integers(min_value=0, max_value=1 << 20),
+                     min_size=1, max_size=300)
+writes = st.lists(st.booleans(), min_size=1, max_size=300)
+
+
+def make_cache():
+    return SetAssociativeCache(capacity_bytes=4096, ways=4, block_bytes=64)
+
+
+class TestCacheInvariants:
+    @given(addresses)
+    @settings(max_examples=50)
+    def test_occupancy_never_exceeds_capacity(self, trace):
+        cache = make_cache()
+        blocks = cache.n_sets * cache.ways
+        for address in trace:
+            cache.access(address)
+            assert cache.occupancy() <= blocks
+
+    @given(addresses)
+    @settings(max_examples=50)
+    def test_hits_plus_misses_equals_accesses(self, trace):
+        cache = make_cache()
+        for address in trace:
+            cache.access(address)
+        assert cache.stats.accesses == len(trace)
+
+    @given(addresses)
+    @settings(max_examples=50)
+    def test_just_accessed_block_present(self, trace):
+        cache = make_cache()
+        for address in trace:
+            cache.access(address)
+            assert cache.contains(address)
+
+    @given(addresses, writes)
+    @settings(max_examples=50)
+    def test_writebacks_bounded_by_writes(self, trace, write_flags):
+        cache = make_cache()
+        n_writes = 0
+        for address, is_write in zip(trace, write_flags):
+            cache.access(address, is_write=is_write)
+            n_writes += int(is_write)
+        # Each writeback needs a prior write to have dirtied the block.
+        assert cache.stats.writebacks <= n_writes
+
+    @given(addresses)
+    @settings(max_examples=50)
+    def test_repeat_of_recent_block_hits(self, trace):
+        cache = make_cache()
+        for address in trace:
+            cache.access(address)
+            result = cache.access(address)
+            assert result.hit
+
+    @given(addresses)
+    @settings(max_examples=25)
+    def test_flush_empties(self, trace):
+        cache = make_cache()
+        for address in trace:
+            cache.access(address, is_write=True)
+        cache.flush()
+        assert cache.occupancy() == 0

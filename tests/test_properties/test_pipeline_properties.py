@@ -1,0 +1,99 @@
+"""Property-based tests of whole-pipeline invariants on random workloads."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.config import baseline_config, starnuma_config
+from repro.sim import SimulationSetup, Simulator
+from repro.workloads import SharingClass, WorkloadProfile
+
+
+@st.composite
+def random_profiles(draw):
+    """A small random-but-valid workload profile."""
+    n_classes = draw(st.integers(min_value=1, max_value=4))
+    sharers = draw(st.lists(
+        st.sampled_from([1, 2, 4, 8, 12, 16]),
+        min_size=n_classes, max_size=n_classes, unique=True,
+    ))
+    raw_pages = draw(st.lists(
+        st.floats(min_value=0.05, max_value=1.0),
+        min_size=n_classes, max_size=n_classes,
+    ))
+    raw_accesses = draw(st.lists(
+        st.floats(min_value=0.05, max_value=1.0),
+        min_size=n_classes, max_size=n_classes,
+    ))
+    page_total = sum(raw_pages)
+    access_total = sum(raw_accesses)
+    classes = tuple(
+        SharingClass(
+            sharers=k,
+            page_fraction=p / page_total,
+            access_fraction=a / access_total,
+            write_fraction=draw(st.floats(min_value=0.0, max_value=0.6)),
+        )
+        for k, p, a in zip(sharers, raw_pages, raw_accesses)
+    )
+    # Renormalize exactly (floating error) via profile validation slack.
+    ipc_single = draw(st.floats(min_value=0.4, max_value=1.8))
+    ipc_16 = draw(st.floats(min_value=0.05, max_value=0.95)) * ipc_single
+    return WorkloadProfile(
+        name="hyp", family="test", footprint_gb=2.0,
+        mpki=draw(st.floats(min_value=1.0, max_value=40.0)),
+        ipc_single=ipc_single, ipc_16=max(ipc_16, 0.02),
+        sharing=classes,
+        coupling=draw(st.floats(min_value=0.0, max_value=0.4)),
+        n_pages_sim=4096,
+    )
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(random_profiles(), st.integers(min_value=0, max_value=1000))
+def test_pipeline_invariants(profile, seed):
+    """For ANY valid workload: the pipeline runs, conserves accesses,
+    respects pool capacity, and produces physical AMATs."""
+    base_system = baseline_config()
+    star_system = starnuma_config()
+    setup = SimulationSetup.create(profile, base_system, n_phases=3,
+                                   seed=seed)
+
+    base_sim = Simulator(base_system, setup)
+    calibration = base_sim.calibrate()
+    base = base_sim.run(calibration=calibration, warmup_phases=1)
+    star_sim = Simulator(star_system, setup)
+    star = star_sim.run(calibration=calibration, warmup_phases=1)
+
+    for result in (base, star):
+        # AMAT bounded below by local latency and above by sanity.
+        assert result.unloaded_amat_ns >= 80.0 - 1e-6
+        assert result.amat_ns >= result.unloaded_amat_ns - 1e-6
+        assert result.amat_ns < 1e6
+        # Access fractions form a distribution.
+        fractions = result.access_fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        assert all(value >= 0 for value in fractions.values())
+        assert result.ipc > 0
+
+    # Pool capacity is never exceeded at any checkpoint.
+    capacity = int(setup.population.n_pages
+                   * star_system.pool.capacity_fraction)
+    for checkpoint in star_sim.checkpoints("dynamic"):
+        assert checkpoint.page_map.pool_page_count() <= capacity
+
+    # Adversarial mixes can genuinely lose performance to migration
+    # overheads and sharer ping-ponging (the paper's own migration-limit
+    # sweep shows over-migration hurting), but a collapse would indicate
+    # a modeling bug...
+    assert star.speedup_over(base) > 0.6
+    # ...and with migration disabled on BOTH systems the pool hardware
+    # itself must be performance-neutral: identical first-touch
+    # placement, no pool traffic, only idle CXL links.
+    inert_star = star_sim.run(calibration=calibration, mode="none",
+                              warmup_phases=1)
+    inert_base = base_sim.run(calibration=calibration, mode="none",
+                              warmup_phases=1)
+    assert inert_star.speedup_over(inert_base) == pytest.approx(1.0,
+                                                                abs=0.05)

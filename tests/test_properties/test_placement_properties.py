@@ -1,0 +1,89 @@
+"""Property-based tests for placement structures."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.migration import MigrationBatch, RegionTable
+from repro.migration.records import RegionMove
+from repro.placement import PageMap, first_touch_placement
+from repro.topology import POOL_LOCATION
+
+sharer_masks = arrays(
+    dtype=np.uint32, shape=st.integers(min_value=1, max_value=200),
+    elements=st.integers(min_value=1, max_value=(1 << 16) - 1),
+)
+
+
+class TestFirstTouchProperties:
+    @given(sharer_masks, st.integers(min_value=0, max_value=100))
+    @settings(max_examples=50)
+    def test_always_places_at_a_sharer(self, masks, seed):
+        page_map = first_touch_placement(masks, 16, True,
+                                         np.random.default_rng(seed))
+        for page in range(masks.size):
+            location = page_map.location_of(page)
+            assert location != POOL_LOCATION
+            assert int(masks[page]) & (1 << location)
+
+    @given(sharer_masks)
+    @settings(max_examples=30)
+    def test_occupancy_conserves_pages(self, masks):
+        page_map = first_touch_placement(masks, 16, False,
+                                         np.random.default_rng(0))
+        assert page_map.occupancy().sum() == masks.size
+
+
+class TestRegionTableProperties:
+    @given(arrays(dtype=np.int16,
+                  shape=st.integers(min_value=1, max_value=300),
+                  elements=st.integers(min_value=0, max_value=15)),
+           st.integers(min_value=1, max_value=64))
+    @settings(max_examples=50)
+    def test_partition_is_exact(self, locations, pages_per_region):
+        page_map = PageMap(locations, 16, has_pool=True)
+        table = RegionTable(page_map, pages_per_region)
+        seen = np.zeros(page_map.n_pages, dtype=bool)
+        for region in range(table.n_regions):
+            pages = table.pages_of(region)
+            assert pages.size <= pages_per_region
+            assert not seen[pages].any()
+            seen[pages] = True
+        assert seen.all()
+
+    @given(arrays(dtype=np.int16, shape=64,
+                  elements=st.integers(min_value=0, max_value=15)))
+    @settings(max_examples=30)
+    def test_initial_regions_are_homogeneous(self, locations):
+        page_map = PageMap(locations, 16, has_pool=True)
+        table = RegionTable(page_map, 8)
+        region_locations = table.region_locations(page_map)
+        for region in range(table.n_regions):
+            pages = table.pages_of(region)
+            assert (page_map.locations[pages]
+                    == region_locations[region]).all()
+
+
+class TestBatchProperties:
+    @given(st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=15),
+            st.sampled_from([POOL_LOCATION, 0, 5, 12]),
+            st.integers(min_value=1, max_value=16),
+        ),
+        min_size=0, max_size=20,
+    ))
+    @settings(max_examples=50)
+    def test_counters_consistent(self, moves):
+        batch = MigrationBatch(phase=1)
+        cursor = 0
+        for source, destination, size in moves:
+            if source == destination:
+                continue
+            pages = np.arange(cursor, cursor + size, dtype=np.int64)
+            cursor += size
+            batch.add(RegionMove(pages=pages, source=source,
+                                 destination=destination))
+        assert batch.pages_to_pool + batch.pages_from_pool <= 2 * batch.n_pages
+        assert 0.0 <= batch.pool_fraction() <= 1.0
+        assert batch.all_pages().size == batch.n_pages

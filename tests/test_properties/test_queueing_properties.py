@@ -1,0 +1,48 @@
+"""Property-based tests for the queueing model."""
+
+from hypothesis import given, strategies as st
+
+from repro.interconnect import mdl_wait_ns, service_time_ns
+
+utilizations = st.floats(min_value=0.0, max_value=3.0,
+                         allow_nan=False, allow_infinity=False)
+services = st.floats(min_value=0.001, max_value=1e4,
+                     allow_nan=False, allow_infinity=False)
+bursts = st.floats(min_value=0.1, max_value=32.0,
+                   allow_nan=False, allow_infinity=False)
+
+
+class TestWaitProperties:
+    @given(utilizations, services, bursts)
+    def test_nonnegative_and_finite(self, utilization, service, burst):
+        wait = mdl_wait_ns(utilization, service, burstiness=burst)
+        assert wait >= 0.0
+        assert wait < float("inf")
+
+    @given(st.floats(min_value=0.0, max_value=2.0), services)
+    def test_monotone_in_utilization(self, utilization, service):
+        lower = mdl_wait_ns(utilization, service)
+        higher = mdl_wait_ns(utilization + 0.05, service)
+        assert higher >= lower
+
+    @given(utilizations, services)
+    def test_linear_in_service_time(self, utilization, service):
+        one = mdl_wait_ns(utilization, service)
+        two = mdl_wait_ns(utilization, 2 * service)
+        assert abs(two - 2 * one) <= 1e-6 * max(1.0, two)
+
+    @given(utilizations, services, bursts)
+    def test_burstiness_scales_linearly(self, utilization, service, burst):
+        base = mdl_wait_ns(utilization, service, burstiness=1.0)
+        scaled = mdl_wait_ns(utilization, service, burstiness=burst)
+        assert abs(scaled - burst * base) <= 1e-6 * max(1.0, scaled)
+
+
+class TestServiceTimeProperties:
+    @given(st.floats(min_value=0.0, max_value=1e6),
+           st.floats(min_value=0.001, max_value=1e4))
+    def test_service_time_proportional(self, n_bytes, capacity):
+        service = service_time_ns(n_bytes, capacity)
+        assert service >= 0
+        doubled = service_time_ns(n_bytes, 2 * capacity)
+        assert abs(doubled - service / 2) <= 1e-9 * max(1.0, service)

@@ -1,0 +1,98 @@
+"""Property-based tests over random topology shapes."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import scaled_config
+from repro.topology import (
+    AccessType,
+    LinkKind,
+    POOL_LOCATION,
+    RouteTable,
+    Topology,
+)
+
+
+@st.composite
+def topologies(draw):
+    n_chassis = draw(st.integers(min_value=1, max_value=6))
+    sockets_per_chassis = draw(st.integers(min_value=1, max_value=6))
+    has_pool = draw(st.booleans())
+    config = dataclasses.replace(
+        scaled_config(), n_chassis=n_chassis,
+        sockets_per_chassis=sockets_per_chassis,
+    )
+    if not has_pool:
+        config = config.without_pool()
+    return Topology(config)
+
+
+class TestTopologyProperties:
+    @given(topologies())
+    @settings(max_examples=30, deadline=None)
+    def test_every_route_ends_in_dram(self, topology):
+        routes = RouteTable(topology)
+        for requester in topology.sockets():
+            for location in topology.locations():
+                route = routes.route(requester, location)
+                assert route[-1].link.kind is LinkKind.DRAM
+                assert all(hop.link.kind is not LinkKind.DRAM
+                           for hop in route[:-1])
+
+    @given(topologies())
+    @settings(max_examples=30, deadline=None)
+    def test_hop_counts_bounded(self, topology):
+        routes = RouteTable(topology)
+        for requester in topology.sockets():
+            for location in topology.locations():
+                hops = routes.interconnect_hops(requester, location)
+                if location == POOL_LOCATION:
+                    assert hops == 1
+                elif location == requester:
+                    assert hops == 0
+                elif topology.same_chassis(requester, location):
+                    assert hops == 1
+                else:
+                    assert hops == 3  # UPI + NUMALink + UPI
+
+    @given(topologies())
+    @settings(max_examples=30, deadline=None)
+    def test_classification_consistent_with_latency(self, topology):
+        latency = topology.config.latency
+        for requester in topology.sockets():
+            for location in topology.locations():
+                kind = topology.classify(requester, location)
+                value = topology.unloaded_latency_ns(kind)
+                assert value >= latency.local_ns
+                if kind is AccessType.LOCAL:
+                    assert value == latency.local_ns
+
+    @given(topologies())
+    @settings(max_examples=30, deadline=None)
+    def test_classification_symmetric_between_sockets(self, topology):
+        for a in topology.sockets():
+            for b in topology.sockets():
+                assert (topology.classify(a, b)
+                        is topology.classify(b, a))
+
+    @given(topologies())
+    @settings(max_examples=30, deadline=None)
+    def test_link_inventory_complete(self, topology):
+        routes = RouteTable(topology)
+        for requester in topology.sockets():
+            for location in topology.locations():
+                for hop in routes.route(requester, location):
+                    assert hop.link.link_id in topology.links
+                    assert hop.link.capacity_gbps > 0
+
+    @given(topologies())
+    @settings(max_examples=30, deadline=None)
+    def test_pool_presence_consistent(self, topology):
+        has_cxl = any(link.kind is LinkKind.CXL
+                      for link in topology.links.values())
+        assert has_cxl == topology.has_pool
+        if not topology.has_pool:
+            with pytest.raises(ValueError):
+                topology.classify(0, POOL_LOCATION)

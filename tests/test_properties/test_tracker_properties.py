@@ -1,0 +1,81 @@
+"""Property-based tests for tracking structures."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.config import TrackerKind
+from repro.tracking import RegionTrackerArray, TlbAnnex
+
+count_matrices = arrays(
+    dtype=np.int64, shape=(4, 6),
+    elements=st.integers(min_value=0, max_value=100_000),
+)
+
+
+class TestTrackerInvariants:
+    @given(count_matrices)
+    @settings(max_examples=50)
+    def test_counters_bounded_by_saturation(self, counts):
+        tracker = RegionTrackerArray(6, 4, TrackerKind.T16)
+        tracker.update(counts)
+        tracker.update(counts)
+        assert (tracker.accesses() <= 65_535).all()
+        assert (tracker.accesses() >= 0).all()
+
+    @given(count_matrices)
+    @settings(max_examples=50)
+    def test_sharer_counts_match_nonzero_sockets(self, counts):
+        tracker = RegionTrackerArray(6, 4, TrackerKind.T16)
+        tracker.update(counts)
+        expected = (counts > 0).sum(axis=0)
+        assert (tracker.sharer_counts() == expected).all()
+
+    @given(count_matrices)
+    @settings(max_examples=50)
+    def test_counter_exact_below_saturation(self, counts):
+        tracker = RegionTrackerArray(6, 4, TrackerKind.T16)
+        tracker.update(counts)
+        totals = counts.sum(axis=0)
+        exact = totals <= 65_535
+        assert (tracker.accesses()[exact] == totals[exact]).all()
+
+    @given(count_matrices)
+    @settings(max_examples=50)
+    def test_reset_is_complete(self, counts):
+        tracker = RegionTrackerArray(6, 4, TrackerKind.T16)
+        tracker.update(counts)
+        tracker.reset()
+        assert tracker.accesses().sum() == 0
+        assert tracker.sharer_counts().sum() == 0
+
+
+tlb_ops = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=31), st.booleans(),
+              st.booleans()),
+    min_size=1, max_size=400,
+)
+
+
+class TestTlbLossless:
+    @given(tlb_ops)
+    @settings(max_examples=50)
+    def test_flush_protocol_loses_nothing(self, operations):
+        """Flushed + resident always equals the direct per-page count."""
+        tlb = TlbAnnex(capacity=4, annex_bits=30)
+        direct = {}
+        for page, llc_miss, set_marker in operations:
+            if set_marker:
+                tlb.set_markers()
+            tlb.access(page, llc_miss=llc_miss)
+            if llc_miss:
+                direct[page] = direct.get(page, 0) + 1
+        assert tlb.total_counts() == direct
+
+    @given(tlb_ops)
+    @settings(max_examples=25)
+    def test_capacity_respected(self, operations):
+        tlb = TlbAnnex(capacity=4)
+        for page, llc_miss, _ in operations:
+            tlb.access(page, llc_miss=llc_miss)
+            assert len(tlb.resident_counts()) <= 4

@@ -1,0 +1,113 @@
+"""Tests for the detailed replay engine."""
+
+import numpy as np
+import pytest
+
+from repro.placement import first_touch_placement
+from repro.replay import DetailedReplay
+from repro.topology import AccessType
+from repro.trace import TraceSynthesizer
+from repro.trace.records import TraceRecord
+
+
+@pytest.fixture(scope="module")
+def replay_world(tiny_setup, star_system):
+    page_map = first_touch_placement(
+        tiny_setup.population.sharer_mask, 16, True,
+        np.random.default_rng(2),
+    )
+    return tiny_setup, page_map
+
+
+def make_record(socket, page, is_write=False, index=0):
+    return TraceRecord(socket=socket, thread=socket, instruction_index=index,
+                       page=page, is_write=is_write)
+
+
+class TestMechanics:
+    def test_block_rotation_within_page(self, replay_world, star_system):
+        _, page_map = replay_world
+        replay = DetailedReplay(star_system, page_map)
+        first = replay.block_address(5)
+        second = replay.block_address(5)
+        assert second == first + 64
+        # Wraps after 64 blocks of a 4 KB page.
+        for _ in range(62):
+            replay.block_address(5)
+        assert replay.block_address(5) == first
+
+    def test_repeat_access_hits_llc(self, replay_world, star_system):
+        setup, page_map = replay_world
+        replay = DetailedReplay(star_system, page_map)
+        records = [make_record(0, 7)] * 130  # cycles twice through blocks
+        stats = replay.replay(records)
+        assert stats.llc_hits >= 64  # second pass hits
+
+    def test_remote_write_invalidates(self, replay_world, star_system):
+        setup, page_map = replay_world
+        replay = DetailedReplay(star_system, page_map)
+        page = 7
+        replay.replay([make_record(0, page)])  # socket 0 caches block 0
+        # Socket 1 writes through every block of the page; when the
+        # rotation wraps to block 0 it must invalidate socket 0's copy.
+        stats = replay.replay(
+            [make_record(1, page, is_write=True) for _ in range(64)]
+        )
+        assert stats.invalidations >= 1
+
+    def test_counts_by_type_cover_misses(self, replay_world, star_system):
+        setup, page_map = replay_world
+        synthesizer = TraceSynthesizer(setup.population, 4, 1_000_000,
+                                       seed=5)
+        replay = DetailedReplay(star_system, page_map)
+        stats = replay.replay(synthesizer.record_stream(0, 3000))
+        assert sum(stats.counts_by_type.values()) == stats.llc_misses
+        assert stats.average_miss_latency_ns > 80.0
+
+    def test_pool_homed_pages_take_pool_path(self, replay_world,
+                                             star_system):
+        from repro.topology import POOL_LOCATION
+
+        setup, page_map = replay_world
+        pooled = page_map.copy()
+        pooled.move(np.arange(pooled.n_pages), POOL_LOCATION)
+        replay = DetailedReplay(star_system, pooled)
+        stats = replay.replay([make_record(s, p)
+                               for s in range(4) for p in range(50)])
+        kinds = set(stats.counts_by_type)
+        assert kinds <= {AccessType.POOL, AccessType.BLOCK_TRANSFER_POOL}
+
+    def test_rejects_bad_interval(self, replay_world, star_system):
+        _, page_map = replay_world
+        with pytest.raises(ValueError):
+            DetailedReplay(star_system, page_map, injection_interval_ns=0.0)
+
+
+class TestCrossValidation:
+    def test_replay_agrees_with_analytic_unloaded_amat(self, replay_world,
+                                                       star_system):
+        """The replayed mean latency at low load must track the analytic
+        unloaded AMAT computed from the same access mix."""
+        from repro.metrics import unloaded_amat_ns
+
+        setup, page_map = replay_world
+        synthesizer = TraceSynthesizer(setup.population, 4, 1_000_000,
+                                       seed=6)
+        replay = DetailedReplay(star_system, page_map,
+                                injection_interval_ns=200.0)  # low load
+        stats = replay.replay(synthesizer.record_stream(0, 8000))
+
+        fractions = {kind: stats.fraction(kind)
+                     for kind in stats.counts_by_type}
+        analytic = unloaded_amat_ns(fractions, star_system.latency)
+        assert stats.average_miss_latency_ns == pytest.approx(
+            analytic, rel=0.15
+        )
+
+    def test_llc_filters_hot_pages(self, replay_world, star_system):
+        setup, page_map = replay_world
+        synthesizer = TraceSynthesizer(setup.population, 4, 1_000_000,
+                                       seed=7)
+        replay = DetailedReplay(star_system, page_map)
+        stats = replay.replay(synthesizer.record_stream(0, 5000))
+        assert 0.0 < stats.llc_hit_rate < 0.9

@@ -1,0 +1,42 @@
+"""Tests for replication plans."""
+
+import numpy as np
+import pytest
+
+from repro.replication import ReplicationPlan
+
+
+class TestPlan:
+    def test_empty(self):
+        plan = ReplicationPlan.empty(100)
+        assert plan.n_replicated_pages == 0
+        assert plan.capacity_overhead_bytes() == 0
+        assert plan.capacity_overhead_fraction() == 0.0
+
+    def test_overhead_accounting(self):
+        replicated = np.zeros(100, dtype=bool)
+        replicated[:10] = True
+        plan = ReplicationPlan(replicated=replicated, extra_copies=150)
+        assert plan.n_replicated_pages == 10
+        assert plan.capacity_overhead_bytes() == 150 * 4096
+        assert plan.capacity_overhead_fraction() == pytest.approx(1.5)
+
+    def test_rejects_nonbool_mask(self):
+        with pytest.raises(ValueError):
+            ReplicationPlan(replicated=np.zeros(4, dtype=np.int64),
+                            extra_copies=0)
+
+    def test_rejects_negative_copies(self):
+        with pytest.raises(ValueError):
+            ReplicationPlan(replicated=np.zeros(4, dtype=bool),
+                            extra_copies=-1)
+
+    def test_rejects_negative_penalty(self):
+        with pytest.raises(ValueError):
+            ReplicationPlan(replicated=np.zeros(4, dtype=bool),
+                            extra_copies=0, write_penalty_ns=-1.0)
+
+    def test_zero_pages_fraction(self):
+        plan = ReplicationPlan(replicated=np.zeros(0, dtype=bool),
+                               extra_copies=0)
+        assert plan.capacity_overhead_fraction() == 0.0

@@ -1,0 +1,88 @@
+"""Tests for the replication selection policy."""
+
+import numpy as np
+import pytest
+
+from repro.replication import ReplicationPolicy
+from repro.workloads import build_population, get_workload
+from tests.conftest import make_profile
+
+
+@pytest.fixture(scope="module")
+def tc_population():
+    return build_population(get_workload("tc"), seed=1)
+
+
+@pytest.fixture(scope="module")
+def bfs_population():
+    return build_population(get_workload("bfs"), seed=1)
+
+
+class TestSelection:
+    def test_tc_gets_replicas(self, tc_population):
+        plan = ReplicationPolicy().plan(tc_population)
+        assert plan.n_replicated_pages > 0
+        # Only read-only widely shared pages qualify.
+        chosen = np.flatnonzero(plan.replicated)
+        assert (tc_population.sharer_count[chosen] >= 8).all()
+        assert (tc_population.write_fraction[chosen] <= 0.05).all()
+
+    def test_bfs_gets_none(self, bfs_population):
+        """BFS's wide pages are read-write: nothing qualifies (V-F)."""
+        plan = ReplicationPolicy().plan(bfs_population)
+        assert plan.n_replicated_pages == 0
+
+    def test_budget_respected(self, tc_population):
+        policy = ReplicationPolicy(capacity_budget_fraction=0.1)
+        plan = policy.plan(tc_population)
+        assert plan.extra_copies <= 0.1 * tc_population.n_pages
+
+    def test_larger_budget_more_replicas(self, tc_population):
+        small = ReplicationPolicy(capacity_budget_fraction=0.1)
+        large = ReplicationPolicy(capacity_budget_fraction=1.0)
+        assert (large.plan(tc_population).n_replicated_pages
+                >= small.plan(tc_population).n_replicated_pages)
+
+    def test_hottest_chosen_first(self, tc_population):
+        policy = ReplicationPolicy(capacity_budget_fraction=0.2)
+        plan = policy.plan(tc_population)
+        chosen = plan.replicated
+        eligible = ((tc_population.sharer_count >= 8)
+                    & (tc_population.write_fraction <= 0.05))
+        skipped = eligible & ~chosen
+        if chosen.any() and skipped.any():
+            # Benefit-per-copy of chosen pages dominates the skipped ones.
+            weight = tc_population.weight
+            k = tc_population.sharer_count.astype(float)
+            with np.errstate(invalid="ignore", divide="ignore"):
+                value = weight * (k - 1) / k / np.maximum(k - 1, 1)
+            assert (np.median(value[chosen])
+                    >= np.median(value[skipped]) * 0.9)
+
+    def test_zero_copies_accounting(self, tc_population):
+        plan = ReplicationPolicy().plan(tc_population)
+        expected = int(
+            (tc_population.sharer_count[plan.replicated] - 1).sum()
+        )
+        assert plan.extra_copies == expected
+
+
+class TestValidation:
+    def test_rejects_negative_budget(self):
+        with pytest.raises(ValueError):
+            ReplicationPolicy(capacity_budget_fraction=-0.1)
+
+    def test_rejects_single_sharer_threshold(self):
+        with pytest.raises(ValueError):
+            ReplicationPolicy(min_sharers=1)
+
+    def test_rejects_bad_write_bound(self):
+        with pytest.raises(ValueError):
+            ReplicationPolicy(max_write_fraction=1.5)
+
+    def test_empty_eligibility(self):
+        profile = make_profile(name="rw-only")
+        population = build_population(profile, seed=1)
+        policy = ReplicationPolicy(max_write_fraction=0.0)
+        plan = policy.plan(population)
+        assert plan.n_replicated_pages == 0

@@ -1,0 +1,98 @@
+"""Additional engine coverage: custom static maps, overrides, replication."""
+
+import numpy as np
+import pytest
+
+from repro.config import baseline_config, starnuma_config
+from repro.placement import PageMap
+from repro.sim import SimulationSetup, Simulator
+from repro.topology import POOL_LOCATION
+
+
+@pytest.fixture(scope="module")
+def world(tiny_profile, base_system):
+    setup = SimulationSetup.create(tiny_profile, base_system, n_phases=3,
+                                   seed=11)
+    base_sim = Simulator(base_system, setup)
+    calibration = base_sim.calibrate()
+    return setup, base_sim, calibration
+
+
+class TestCustomStaticMap:
+    def test_everything_on_pool_map(self, world, star_system):
+        setup, _, calibration = world
+        all_pool = PageMap(
+            np.full(setup.population.n_pages, POOL_LOCATION, dtype=np.int16),
+            16, has_pool=True,
+        )
+        sim = Simulator(star_system, setup)
+        result = sim.run(calibration=calibration, mode="static",
+                         static_map=all_pool, warmup_phases=1)
+        from repro.topology import AccessType
+
+        fractions = result.access_fractions()
+        demand_pool = fractions.get(AccessType.POOL, 0)
+        assert demand_pool > 0.8
+
+    def test_static_maps_cached_separately(self, world, star_system):
+        setup, _, calibration = world
+        sim = Simulator(star_system, setup)
+        oracle = sim.checkpoints("static")
+        custom_map = sim.initial_page_map()
+        custom = sim.checkpoints("static", custom_map)
+        assert oracle is not custom
+
+
+class TestMigrationLimitOverride:
+    def test_override_bypasses_floor(self, world, star_system):
+        import dataclasses
+
+        setup, _, _ = world
+        tiny_budget = dataclasses.replace(
+            star_system,
+            migration=dataclasses.replace(
+                star_system.migration, migration_limit_override_pages=4,
+            ),
+        )
+        sim = Simulator(tiny_budget, setup)
+        assert sim.effective_migration_limit == 4
+
+    def test_zero_override_disables_migration(self, world, star_system):
+        import dataclasses
+
+        setup, _, calibration = world
+        frozen = dataclasses.replace(
+            star_system,
+            name="starnuma-frozen",
+            migration=dataclasses.replace(
+                star_system.migration, migration_limit_override_pages=0,
+            ),
+        )
+        sim = Simulator(frozen, setup)
+        result = sim.run(calibration=calibration, warmup_phases=1)
+        assert result.pages_migrated == 0
+
+
+class TestReplicationPlumbing:
+    def test_simulator_passes_plan_to_timing(self, world, base_system):
+        from repro.replication import ReplicationPlan
+
+        setup, _, calibration = world
+        plan = ReplicationPlan.empty(setup.population.n_pages)
+        sim = Simulator(base_system, setup, replication=plan)
+        assert sim.timing.replication is plan
+        result = sim.run(calibration=calibration, warmup_phases=1)
+        assert result.ipc > 0
+
+
+class TestValidationOnRealRuns:
+    def test_all_modes_validate(self, world, star_system):
+        from repro.sim.validation import validate_result
+
+        setup, base_sim, calibration = world
+        star_sim = Simulator(star_system, setup)
+        for mode in ("dynamic", "static", "none"):
+            validate_result(star_sim.run(calibration=calibration, mode=mode,
+                                         warmup_phases=1))
+            validate_result(base_sim.run(calibration=calibration, mode=mode,
+                                         warmup_phases=1))

@@ -1,0 +1,77 @@
+"""Tests for result aggregation."""
+
+import pytest
+
+from repro.metrics import AccessBreakdown
+from repro.sim import PhaseTiming, SimulationResult
+from repro.topology import AccessType
+
+
+def phase(phase_id, ipc, amat, unloaded, accesses=100.0):
+    breakdown = AccessBreakdown({AccessType.LOCAL: accesses})
+    return PhaseTiming(
+        phase=phase_id, ipc=ipc, duration_ns=1e6, amat_ns=amat,
+        unloaded_amat_ns=unloaded, breakdown=breakdown,
+        total_accesses=accesses,
+    )
+
+
+def result(phases, **kwargs):
+    defaults = dict(workload="w", config_name="c")
+    defaults.update(kwargs)
+    return SimulationResult(phases=phases, **defaults)
+
+
+class TestAggregation:
+    def test_requires_phases(self):
+        with pytest.raises(ValueError):
+            result([])
+
+    def test_ipc_is_harmonic_mean(self):
+        run = result([phase(0, 0.5, 100, 90), phase(1, 1.0, 100, 90)])
+        assert run.ipc == pytest.approx(2 / (1 / 0.5 + 1 / 1.0))
+
+    def test_amat_weighted_by_accesses(self):
+        run = result([
+            phase(0, 0.5, 100, 90, accesses=100),
+            phase(1, 0.5, 200, 90, accesses=300),
+        ])
+        assert run.amat_ns == pytest.approx(175.0)
+
+    def test_contention_is_difference(self):
+        run = result([phase(0, 0.5, 150, 90)])
+        assert run.contention_ns == pytest.approx(60.0)
+
+    def test_breakdown_merges_phases(self):
+        run = result([phase(0, 0.5, 100, 90), phase(1, 0.5, 100, 90)])
+        assert run.breakdown().total == pytest.approx(200.0)
+        assert run.access_fractions()[AccessType.LOCAL] == pytest.approx(1.0)
+
+
+class TestComparisons:
+    def test_speedup(self):
+        fast = result([phase(0, 0.8, 100, 90)])
+        slow = result([phase(0, 0.4, 200, 90)])
+        assert fast.speedup_over(slow) == pytest.approx(2.0)
+
+    def test_speedup_requires_same_workload(self):
+        a = result([phase(0, 0.5, 100, 90)], workload="a")
+        b = result([phase(0, 0.5, 100, 90)], workload="b")
+        with pytest.raises(ValueError):
+            a.speedup_over(b)
+
+    def test_amat_reduction(self):
+        fast = result([phase(0, 0.8, 100, 90)])
+        slow = result([phase(0, 0.4, 200, 90)])
+        assert fast.amat_reduction_over(slow) == pytest.approx(0.5)
+
+
+class TestMigrationStats:
+    def test_pool_fraction(self):
+        run = result([phase(0, 0.5, 100, 90)], pages_migrated=100,
+                     pages_migrated_to_pool=80)
+        assert run.pool_migration_fraction == pytest.approx(0.8)
+
+    def test_pool_fraction_no_migrations(self):
+        run = result([phase(0, 0.5, 100, 90)])
+        assert run.pool_migration_fraction == 0.0

@@ -1,0 +1,165 @@
+"""Tests for the phase timing model."""
+
+import numpy as np
+import pytest
+
+from repro.config import baseline_config, starnuma_config
+from repro.metrics.calibration import calibrate_cpi
+from repro.sim import PhaseTimingModel, SimulationSetup
+from repro.sim.timing import FixedPointSettings
+from repro.topology import RouteTable, Topology
+
+
+@pytest.fixture(scope="module")
+def world(tiny_profile):
+    system = starnuma_config()
+    setup = SimulationSetup.create(tiny_profile, system, n_phases=2, seed=4)
+    topology = Topology(system)
+    routes = RouteTable(topology)
+    model = PhaseTimingModel(system, topology, routes, setup.population)
+    from repro.placement import first_touch_placement
+
+    page_map = first_touch_placement(setup.population.sharer_mask, 16, True,
+                                     np.random.default_rng(1))
+    calibration = calibrate_cpi(tiny_profile, 300.0, system.core)
+    return dict(system=system, setup=setup, model=model, page_map=page_map,
+                calibration=calibration)
+
+
+class TestOpenLoop:
+    def test_fixed_ipc_bypasses_iteration(self, world):
+        timing = world["model"].evaluate(
+            world["setup"].traces[0], world["page_map"],
+            calibration=None, fixed_ipc=0.4,
+        )
+        assert timing.ipc == 0.4
+        assert timing.fixed_point_iterations == 0
+
+    def test_amat_at_least_unloaded(self, world):
+        timing = world["model"].evaluate(
+            world["setup"].traces[0], world["page_map"], None, fixed_ipc=0.4
+        )
+        assert timing.amat_ns >= timing.unloaded_amat_ns
+        assert timing.unloaded_amat_ns >= 80.0
+
+    def test_higher_ipc_more_contention(self, world):
+        slow = world["model"].evaluate(
+            world["setup"].traces[0], world["page_map"], None, fixed_ipc=0.1
+        )
+        fast = world["model"].evaluate(
+            world["setup"].traces[0], world["page_map"], None, fixed_ipc=0.8
+        )
+        assert fast.contention_ns > slow.contention_ns
+
+    def test_breakdown_total_matches(self, world):
+        timing = world["model"].evaluate(
+            world["setup"].traces[0], world["page_map"], None, fixed_ipc=0.4
+        )
+        assert timing.breakdown.total == pytest.approx(timing.total_accesses)
+
+
+class TestClosedLoop:
+    def test_converges(self, world):
+        timing = world["model"].evaluate(
+            world["setup"].traces[0], world["page_map"],
+            world["calibration"],
+        )
+        assert timing.converged
+        assert timing.fixed_point_iterations >= 1
+
+    def test_fixed_point_consistency(self, world):
+        """At convergence, the CPI model evaluated at the reported AMAT
+        must reproduce the reported IPC."""
+        timing = world["model"].evaluate(
+            world["setup"].traces[0], world["page_map"],
+            world["calibration"],
+        )
+        core = world["system"].core
+        implied = world["calibration"].ipc(core.ns_to_cycles(timing.amat_ns))
+        assert implied == pytest.approx(timing.ipc, rel=0.02)
+
+    def test_initial_guess_does_not_change_answer(self, world):
+        low = world["model"].evaluate(
+            world["setup"].traces[0], world["page_map"],
+            world["calibration"], initial_ipc=0.05,
+        )
+        high = world["model"].evaluate(
+            world["setup"].traces[0], world["page_map"],
+            world["calibration"], initial_ipc=1.5,
+        )
+        assert low.ipc == pytest.approx(high.ipc, rel=0.02)
+
+
+class TestMigrationCharges:
+    def test_batch_adds_stall_and_traffic(self, world):
+        from repro.migration import MigrationBatch
+        from repro.migration.records import RegionMove
+        from repro.topology import POOL_LOCATION
+
+        hot_pages = np.argsort(world["setup"].population.weight)[-64:]
+        batch = MigrationBatch(phase=0)
+        batch.add(RegionMove(pages=hot_pages.astype(np.int64), source=0,
+                             destination=POOL_LOCATION))
+        quiet = world["model"].evaluate(
+            world["setup"].traces[0], world["page_map"], None, fixed_ipc=0.4
+        )
+        moving = world["model"].evaluate(
+            world["setup"].traces[0], world["page_map"], None,
+            batch=batch, fixed_ipc=0.4,
+        )
+        assert moving.migrated_pages == 64
+        assert moving.migration_stall_ns_per_access > 0
+        assert moving.amat_ns > quiet.amat_ns
+
+    def test_pool_sourced_move_charged(self, world):
+        from repro.migration import MigrationBatch
+        from repro.migration.records import RegionMove
+        from repro.topology import POOL_LOCATION
+
+        batch = MigrationBatch(phase=0)
+        batch.add(RegionMove(pages=np.array([0, 1]), source=POOL_LOCATION,
+                             destination=3))
+        timing = world["model"].evaluate(
+            world["setup"].traces[0], world["page_map"], None,
+            batch=batch, fixed_ipc=0.4,
+        )
+        assert timing.migrated_pages == 2
+        assert timing.migrated_pages_to_pool == 0
+
+
+class TestBaselineSystem:
+    def test_no_pool_types_on_baseline(self, tiny_profile):
+        from repro.metrics.calibration import calibrate_cpi
+        from repro.placement import first_touch_placement
+        from repro.topology import AccessType
+
+        system = baseline_config()
+        setup = SimulationSetup.create(tiny_profile, system, n_phases=1,
+                                       seed=4)
+        topology = Topology(system)
+        model = PhaseTimingModel(system, topology, RouteTable(topology),
+                                 setup.population)
+        page_map = first_touch_placement(setup.population.sharer_mask, 16,
+                                         False, np.random.default_rng(1))
+        timing = model.evaluate(setup.traces[0], page_map, None,
+                                fixed_ipc=0.4)
+        fractions = timing.breakdown.fractions()
+        assert AccessType.POOL not in fractions
+        assert AccessType.BLOCK_TRANSFER_POOL not in fractions
+
+
+class TestSettings:
+    def test_custom_settings_respected(self, world, tiny_profile):
+        settings = FixedPointSettings(max_iterations=1, damping=1.0)
+        model = PhaseTimingModel(
+            world["system"], world["model"].topology, world["model"].routes,
+            world["setup"].population, settings,
+        )
+        timing = model.evaluate(world["setup"].traces[0], world["page_map"],
+                                world["calibration"])
+        assert timing.fixed_point_iterations == 1
+
+    def test_burstiness_default_loaded(self):
+        from repro.interconnect.queueing import DEFAULT_BURSTINESS
+
+        assert FixedPointSettings().burstiness == DEFAULT_BURSTINESS

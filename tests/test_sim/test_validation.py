@@ -1,0 +1,79 @@
+"""Tests for result validators."""
+
+import pytest
+
+from repro.metrics import AccessBreakdown
+from repro.sim import PhaseTiming, SimulationResult
+from repro.sim.validation import ValidationError, check_result, validate_result
+from repro.topology import AccessType
+
+
+def healthy_phase(**overrides):
+    defaults = dict(
+        phase=0, ipc=0.4, duration_ns=1e6, amat_ns=200.0,
+        unloaded_amat_ns=150.0,
+        breakdown=AccessBreakdown({AccessType.LOCAL: 60,
+                                   AccessType.INTER_CHASSIS: 40}),
+        total_accesses=100.0,
+    )
+    defaults.update(overrides)
+    return PhaseTiming(**defaults)
+
+
+def healthy_result(**overrides):
+    defaults = dict(workload="w", config_name="c",
+                    phases=[healthy_phase()],
+                    pages_migrated=10, pages_migrated_to_pool=8)
+    defaults.update(overrides)
+    return SimulationResult(**defaults)
+
+
+class TestHealthy:
+    def test_no_violations(self):
+        assert check_result(healthy_result()) == []
+
+    def test_validate_passes(self):
+        validate_result(healthy_result())
+
+    def test_real_run_validates(self, bfs_pair_results):
+        validate_result(bfs_pair_results["baseline"])
+        validate_result(bfs_pair_results["starnuma"])
+
+
+class TestViolations:
+    def test_amat_below_local(self):
+        result = healthy_result(
+            phases=[healthy_phase(unloaded_amat_ns=50.0, amat_ns=60.0)]
+        )
+        assert any("below local" in v for v in check_result(result))
+
+    def test_loaded_below_unloaded(self):
+        result = healthy_result(
+            phases=[healthy_phase(amat_ns=100.0, unloaded_amat_ns=150.0)]
+        )
+        assert any("below unloaded" in v for v in check_result(result))
+
+    def test_gross_unloaded_excess(self):
+        result = healthy_result(
+            phases=[healthy_phase(unloaded_amat_ns=50_000.0,
+                                  amat_ns=60_000.0)]
+        )
+        assert any("grossly above" in v for v in check_result(result))
+
+    def test_bad_pool_accounting(self):
+        result = healthy_result(pages_migrated=5, pages_migrated_to_pool=9)
+        assert any("more pages to pool" in v for v in check_result(result))
+
+    def test_unconverged_phase(self):
+        result = healthy_result(phases=[healthy_phase(converged=False)])
+        assert any("converge" in v for v in check_result(result))
+
+    def test_validate_raises_with_details(self):
+        result = healthy_result(pages_migrated=5, pages_migrated_to_pool=9)
+        with pytest.raises(ValidationError) as excinfo:
+            validate_result(result)
+        assert excinfo.value.violations
+
+    def test_nonpositive_duration(self):
+        result = healthy_result(phases=[healthy_phase(duration_ns=0.0)])
+        assert any("duration" in v for v in check_result(result))

@@ -1,0 +1,129 @@
+"""Tests for the topology model."""
+
+import pytest
+
+from repro.config import scaled_config
+from repro.topology import AccessType, LinkKind, POOL_LOCATION, Topology
+
+
+class TestStructure:
+    def test_socket_count(self, star_topology):
+        assert star_topology.n_sockets == 16
+
+    def test_chassis_of(self, star_topology):
+        assert star_topology.chassis_of(0) == 0
+        assert star_topology.chassis_of(3) == 0
+        assert star_topology.chassis_of(4) == 1
+        assert star_topology.chassis_of(15) == 3
+
+    def test_chassis_of_out_of_range(self, star_topology):
+        with pytest.raises(ValueError):
+            star_topology.chassis_of(16)
+
+    def test_sockets_in_chassis(self, star_topology):
+        assert star_topology.sockets_in_chassis(2) == [8, 9, 10, 11]
+
+    def test_sockets_in_chassis_range(self, star_topology):
+        with pytest.raises(ValueError):
+            star_topology.sockets_in_chassis(4)
+
+    def test_same_chassis(self, star_topology):
+        assert star_topology.same_chassis(0, 3)
+        assert not star_topology.same_chassis(3, 4)
+
+    def test_locations_include_pool(self, star_topology):
+        assert POOL_LOCATION in list(star_topology.locations())
+
+    def test_locations_exclude_pool_on_baseline(self, base_topology):
+        assert POOL_LOCATION not in list(base_topology.locations())
+
+    def test_is_valid_location(self, star_topology, base_topology):
+        assert star_topology.is_valid_location(POOL_LOCATION)
+        assert not base_topology.is_valid_location(POOL_LOCATION)
+        assert base_topology.is_valid_location(15)
+        assert not base_topology.is_valid_location(16)
+
+
+class TestClassification:
+    def test_local(self, star_topology):
+        assert star_topology.classify(5, 5) is AccessType.LOCAL
+
+    def test_intra_chassis(self, star_topology):
+        assert star_topology.classify(4, 7) is AccessType.INTRA_CHASSIS
+
+    def test_inter_chassis(self, star_topology):
+        assert star_topology.classify(0, 12) is AccessType.INTER_CHASSIS
+
+    def test_pool(self, star_topology):
+        assert star_topology.classify(9, POOL_LOCATION) is AccessType.POOL
+
+    def test_pool_on_baseline_rejected(self, base_topology):
+        with pytest.raises(ValueError):
+            base_topology.classify(0, POOL_LOCATION)
+
+    def test_unloaded_latencies(self, star_topology):
+        assert star_topology.unloaded_latency_ns(AccessType.LOCAL) == 80.0
+        assert star_topology.unloaded_latency_ns(
+            AccessType.INTER_CHASSIS) == 360.0
+        assert star_topology.unloaded_latency_ns(AccessType.POOL) == 180.0
+
+    def test_block_transfer_flag(self):
+        assert AccessType.BLOCK_TRANSFER_POOL.is_block_transfer
+        assert not AccessType.LOCAL.is_block_transfer
+
+
+class TestLinks:
+    def test_link_counts(self, star_topology, base_topology):
+        # Per chassis: 6 peer UPI + 4 socket-to-ASIC UPI = 10; x4 = 40.
+        # NUMALink bundles: C(4,2) = 6. DRAM: 16 sockets.
+        base_links = base_topology.links
+        assert len([l for l in base_links.values()
+                    if l.kind is LinkKind.UPI]) == 40
+        assert len([l for l in base_links.values()
+                    if l.kind is LinkKind.NUMALINK]) == 6
+        # StarNUMA adds 16 CXL links and the pool DRAM.
+        star_links = star_topology.links
+        assert len(star_links) == len(base_links) + 17
+
+    def test_upi_peer_link_id_ordering(self, star_topology):
+        assert (star_topology.upi_peer_link_id(3, 1)
+                == star_topology.upi_peer_link_id(1, 3))
+
+    def test_upi_peer_requires_same_chassis(self, star_topology):
+        with pytest.raises(ValueError):
+            star_topology.upi_peer_link_id(0, 4)
+
+    def test_upi_peer_rejects_self(self, star_topology):
+        with pytest.raises(ValueError):
+            star_topology.upi_peer_link_id(2, 2)
+
+    def test_numalink_id_symmetric(self, star_topology):
+        assert (star_topology.numalink_id(0, 3)
+                == star_topology.numalink_id(3, 0))
+
+    def test_numalink_rejects_same_chassis(self, star_topology):
+        with pytest.raises(ValueError):
+            star_topology.numalink_id(1, 1)
+
+    def test_cxl_link_requires_pool(self, base_topology):
+        with pytest.raises(ValueError):
+            base_topology.cxl_link_id(0)
+
+    def test_dram_pool_id(self, star_topology):
+        assert star_topology.dram_link_id(POOL_LOCATION) == "dram:pool"
+
+    def test_unknown_link_lookup(self, star_topology):
+        with pytest.raises(KeyError):
+            star_topology.link("nope")
+
+    def test_numalink_bundle_capacity(self, star_topology):
+        # Scaled: 12 NUMALinks per chassis over 3 peers = 4 links/pair,
+        # 3 GB/s each at efficiency 1.0.
+        link = star_topology.link(star_topology.numalink_id(0, 1))
+        assert link.capacity_gbps == pytest.approx(12.0)
+
+    def test_link_capacity_positive_enforced(self):
+        from repro.topology.model import Link
+
+        with pytest.raises(ValueError):
+            Link("x", LinkKind.UPI, 0.0)

@@ -1,0 +1,60 @@
+"""Topology behavior at 32 sockets (the ext-scale32 configuration)."""
+
+import pytest
+
+from repro.experiments.ext_scale import thirty_two_socket_config
+from repro.topology import AccessType, POOL_LOCATION, RouteTable, Topology
+
+
+@pytest.fixture(scope="module")
+def topo32():
+    return Topology(thirty_two_socket_config())
+
+
+@pytest.fixture(scope="module")
+def routes32(topo32):
+    return RouteTable(topo32)
+
+
+class TestStructure:
+    def test_eight_chassis(self, topo32):
+        assert topo32.n_chassis == 8
+        assert topo32.n_sockets == 32
+
+    def test_chassis_membership(self, topo32):
+        assert topo32.chassis_of(31) == 7
+        assert topo32.sockets_in_chassis(7) == [28, 29, 30, 31]
+
+    def test_numalink_pairs(self, topo32):
+        from repro.topology.model import LinkKind
+
+        numalinks = [link for link in topo32.links.values()
+                     if link.kind is LinkKind.NUMALINK]
+        assert len(numalinks) == 8 * 7 // 2  # C(8, 2)
+
+    def test_numalink_capacity_thinner_than_16s(self, topo32, star_topology):
+        # Twelve NUMALinks per chassis spread over 7 peers instead of 3.
+        link32 = topo32.link(topo32.numalink_id(0, 1))
+        link16 = star_topology.link(star_topology.numalink_id(0, 1))
+        assert link32.capacity_gbps < link16.capacity_gbps
+
+    def test_cxl_star_covers_all_sockets(self, topo32):
+        for socket in range(32):
+            assert topo32.cxl_link_id(socket) in topo32.links
+
+
+class TestRouting:
+    def test_inter_chassis_route(self, routes32):
+        route = routes32.route(0, 31)
+        ids = [hop.link.link_id for hop in route]
+        assert ids == ["upi:s0-flex0", "numa:c0-c7", "upi:s31-flex7",
+                       "dram:s31"]
+
+    def test_pool_one_hop_from_every_socket(self, topo32, routes32):
+        for socket in (0, 15, 31):
+            assert routes32.interconnect_hops(socket, POOL_LOCATION) == 1
+
+    def test_classification(self, topo32):
+        assert topo32.classify(0, 3) is AccessType.INTRA_CHASSIS
+        assert topo32.classify(0, 30) is AccessType.INTER_CHASSIS
+        assert topo32.classify(17, POOL_LOCATION) is AccessType.POOL

@@ -1,0 +1,37 @@
+"""Tests for trace record containers."""
+
+import numpy as np
+import pytest
+
+from repro.trace import PhaseTrace
+
+
+def make_trace(counts, phase=0, instructions=1000):
+    return PhaseTrace(phase=phase, counts=np.asarray(counts, dtype=np.int64),
+                      instructions_per_thread=instructions)
+
+
+class TestPhaseTrace:
+    def test_shape_properties(self):
+        trace = make_trace(np.zeros((4, 10)))
+        assert trace.n_sockets == 4
+        assert trace.n_pages == 10
+
+    def test_totals(self):
+        trace = make_trace([[1, 2], [3, 4]])
+        assert trace.total_accesses == 10
+        assert list(trace.accesses_per_socket()) == [3, 7]
+        assert list(trace.page_totals()) == [4, 6]
+
+    def test_touched_mask(self):
+        trace = make_trace([[0, 2], [1, 0]])
+        touched = trace.touched_mask()
+        assert touched.tolist() == [[False, True], [True, False]]
+
+    def test_rejects_1d_counts(self):
+        with pytest.raises(ValueError):
+            make_trace(np.zeros(5))
+
+    def test_rejects_zero_instructions(self):
+        with pytest.raises(ValueError):
+            make_trace(np.zeros((2, 2)), instructions=0)

@@ -1,0 +1,76 @@
+"""Tests for metadata-region sizing (the paper's Section III-D4 numbers)."""
+
+import pytest
+
+from repro.config import MigrationConfig, TrackerKind
+from repro.tracking import MetadataRegion
+
+
+def full_scale_region(tracker=TrackerKind.T16):
+    return MetadataRegion(
+        total_memory_bytes=16 * 1024 ** 4,  # 16 TB
+        region_bytes=512 * 1024,
+        n_sockets=16,
+        tracker=tracker,
+    )
+
+
+class TestPaperNumbers:
+    def test_32_million_entries(self):
+        assert full_scale_region().n_entries == 32 * 1024 ** 2
+
+    def test_entry_is_four_bytes_under_t16(self):
+        region = full_scale_region()
+        assert region.entry_bits == 32
+        assert region.entry_bytes == 4
+
+    def test_metadata_region_is_128mb(self):
+        assert full_scale_region().total_bytes == 128 * 1024 ** 2
+
+    def test_scan_cost_band(self):
+        region = full_scale_region()
+        assert region.scan_cost_cycles(2.0) == pytest.approx(64e6, rel=0.05)
+        assert region.scan_cost_cycles(10.0) == pytest.approx(320e6, rel=0.05)
+
+    def test_scan_fits_in_billion_cycle_phase(self):
+        assert full_scale_region().scan_fits_in_phase(1e9)
+
+
+class TestGeometry:
+    def test_t0_entry_smaller(self):
+        t0 = full_scale_region(TrackerKind.T0)
+        assert t0.entry_bytes < full_scale_region().entry_bytes
+
+    def test_entry_offset(self):
+        region = full_scale_region()
+        assert region.entry_offset(10) == 40
+
+    def test_entry_offset_range(self):
+        with pytest.raises(ValueError):
+            full_scale_region().entry_offset(-1)
+
+    def test_for_system_helper(self):
+        region = MetadataRegion.for_system(
+            total_memory_bytes=1 << 30, n_sockets=16,
+            migration=MigrationConfig(),
+        )
+        assert region.n_entries == (1 << 30) // (512 * 1024)
+
+    def test_rounding_up(self):
+        region = MetadataRegion(512 * 1024 + 1, 512 * 1024, 16,
+                                TrackerKind.T16)
+        assert region.n_entries == 2
+
+
+class TestValidation:
+    def test_rejects_zero_memory(self):
+        with pytest.raises(ValueError):
+            MetadataRegion(0, 512 * 1024, 16, TrackerKind.T16)
+
+    def test_rejects_zero_region(self):
+        with pytest.raises(ValueError):
+            MetadataRegion(1 << 30, 0, 16, TrackerKind.T16)
+
+    def test_rejects_bad_scan_cost(self):
+        with pytest.raises(ValueError):
+            full_scale_region().scan_cost_cycles(0.0)

@@ -1,0 +1,104 @@
+"""Tests for the TLB annex model."""
+
+import pytest
+
+from repro.tracking import TlbAnnex
+
+
+class TestCounting:
+    def test_llc_miss_increments(self):
+        tlb = TlbAnnex(capacity=4)
+        tlb.access(7, llc_miss=True)
+        tlb.access(7, llc_miss=True)
+        assert tlb.resident_counts() == {7: 2}
+
+    def test_llc_hit_not_counted(self):
+        tlb = TlbAnnex(capacity=4)
+        tlb.access(7, llc_miss=False)
+        assert tlb.resident_counts() == {}
+
+    def test_annex_saturates(self):
+        tlb = TlbAnnex(capacity=2, annex_bits=2)
+        for _ in range(10):
+            tlb.access(1, llc_miss=True)
+        assert tlb.resident_counts()[1] == 3
+
+
+class TestEvictionFlush:
+    def test_eviction_flushes_to_metadata(self):
+        tlb = TlbAnnex(capacity=1)
+        tlb.access(1, llc_miss=True)
+        tlb.access(2, llc_miss=True)  # evicts page 1
+        assert tlb.flushed_counts == {1: 1}
+        assert tlb.stats.evictions == 1
+
+    def test_lru_eviction_order(self):
+        tlb = TlbAnnex(capacity=2)
+        tlb.access(1, llc_miss=True)
+        tlb.access(2, llc_miss=True)
+        tlb.access(1, llc_miss=False)  # refresh 1
+        tlb.access(3, llc_miss=True)   # evicts 2
+        assert 2 in tlb.flushed_counts
+
+
+class TestMarkerFlush:
+    def test_marker_drains_hot_entry(self):
+        tlb = TlbAnnex(capacity=4)
+        tlb.access(1, llc_miss=True)
+        tlb.set_markers()
+        tlb.access(1, llc_miss=True)  # marker flush, then count again
+        assert tlb.flushed_counts == {1: 1}
+        assert tlb.resident_counts() == {1: 1}
+        assert tlb.stats.marker_flushes == 1
+
+    def test_marker_fires_once(self):
+        tlb = TlbAnnex(capacity=4)
+        tlb.access(1, llc_miss=True)
+        tlb.set_markers()
+        tlb.access(1, llc_miss=False)
+        tlb.access(1, llc_miss=False)
+        assert tlb.stats.marker_flushes == 1
+
+
+class TestLossless:
+    def test_totals_equal_direct_count(self):
+        """The flush protocol must lose no counts (the design invariant)."""
+        import numpy as np
+
+        rng = np.random.default_rng(5)
+        tlb = TlbAnnex(capacity=8)
+        direct = {}
+        for step in range(2000):
+            page = int(rng.integers(0, 64))
+            miss = bool(rng.random() < 0.5)
+            tlb.access(page, llc_miss=miss)
+            if miss:
+                direct[page] = direct.get(page, 0) + 1
+            if step % 500 == 499:
+                tlb.set_markers()
+        assert tlb.total_counts() == direct
+
+    def test_drain_moves_everything(self):
+        tlb = TlbAnnex(capacity=4)
+        tlb.access(1, llc_miss=True)
+        tlb.drain()
+        assert tlb.resident_counts() == {}
+        assert tlb.flushed_counts == {1: 1}
+
+
+class TestValidation:
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            TlbAnnex(capacity=0)
+
+    def test_rejects_zero_annex_bits(self):
+        with pytest.raises(ValueError):
+            TlbAnnex(capacity=4, annex_bits=0)
+
+    def test_stats_accesses(self):
+        tlb = TlbAnnex(capacity=2)
+        tlb.access(1, llc_miss=True)
+        tlb.access(1, llc_miss=False)
+        assert tlb.stats.accesses == 2
+        assert tlb.stats.hits == 1
+        assert tlb.stats.misses == 1

@@ -1,0 +1,86 @@
+"""Tests for the workload catalog (Table III fidelity)."""
+
+import pytest
+
+from repro.workloads import WORKLOADS, all_workloads, get_workload
+
+
+class TestCatalog:
+    def test_eight_workloads(self):
+        assert len(WORKLOADS) == 8
+
+    def test_expected_names(self):
+        assert set(WORKLOADS) == {
+            "sssp", "bfs", "cc", "tc", "masstree", "tpcc", "fmi", "poa",
+        }
+
+    def test_lookup_case_insensitive(self):
+        assert get_workload("BFS").name == "bfs"
+
+    def test_unknown_raises_with_hint(self):
+        with pytest.raises(KeyError, match="masstree"):
+            get_workload("nope")
+
+    def test_all_workloads_order_matches_dict(self):
+        assert [p.name for p in all_workloads()] == list(WORKLOADS)
+
+
+class TestTable3Anchors:
+    """The published MPKI / IPC anchors must be transcribed exactly."""
+
+    @pytest.mark.parametrize("name, mpki, ipc_single, ipc_16", [
+        ("sssp", 73.0, 0.56, 0.06),
+        ("bfs", 32.0, 0.69, 0.10),
+        ("cc", 17.0, 0.78, 0.14),
+        ("tc", 3.2, 1.70, 0.40),
+        ("masstree", 15.0, 0.89, 0.18),
+        ("tpcc", 4.8, 1.12, 0.41),
+        ("fmi", 2.6, 1.45, 0.61),
+        ("poa", 33.0, 0.68, 0.68),
+    ])
+    def test_anchors(self, name, mpki, ipc_single, ipc_16):
+        profile = get_workload(name)
+        assert profile.mpki == mpki
+        assert profile.ipc_single == ipc_single
+        assert profile.ipc_16 == ipc_16
+
+
+class TestSharingShapes:
+    def test_bfs_matches_fig2(self):
+        bfs = get_workload("bfs")
+        histogram = dict(
+            (sharers, (pages, accesses))
+            for sharers, pages, accesses in bfs.sharer_histogram()
+        )
+        assert histogram[1][0] == pytest.approx(0.17)
+        assert histogram[16][0] == pytest.approx(0.02)
+        assert histogram[16][1] == pytest.approx(0.36)
+        over_eight = sum(a for s, _, a in bfs.sharer_histogram() if s > 8)
+        assert over_eight == pytest.approx(0.68)
+
+    def test_tc_matches_fig13(self):
+        tc = get_workload("tc")
+        sixteen_pages = sum(p for s, p, _ in tc.sharer_histogram()
+                            if s == 16)
+        eight_plus_pages = sum(p for s, p, _ in tc.sharer_histogram()
+                               if s >= 8)
+        assert sixteen_pages == pytest.approx(0.60)
+        assert eight_plus_pages == pytest.approx(0.80)
+
+    def test_tc_mostly_read_only(self):
+        assert get_workload("tc").write_fraction_overall < 0.05
+
+    def test_poa_fully_private(self):
+        poa = get_workload("poa")
+        assert len(poa.sharing) == 1
+        assert poa.sharing[0].sharers == 1
+
+    def test_masstree_widely_shared(self):
+        masstree = get_workload("masstree")
+        wide = sum(a for s, _, a in masstree.sharer_histogram() if s == 16)
+        assert wide > 0.9
+
+    def test_all_profiles_validate(self):
+        # Construction already validates; just touch each.
+        for profile in all_workloads():
+            assert profile.n_pages_sim >= 1024

@@ -1,0 +1,70 @@
+"""Tests for workload profile dataclasses."""
+
+import pytest
+
+from repro.workloads import SharingClass, WorkloadProfile
+
+
+def profile_with(sharing, **kwargs):
+    defaults = dict(name="x", family="test", footprint_gb=1.0, mpki=5.0,
+                    ipc_single=1.0, ipc_16=0.5)
+    defaults.update(kwargs)
+    return WorkloadProfile(sharing=tuple(sharing), **defaults)
+
+
+class TestSharingClass:
+    def test_valid(self):
+        cls = SharingClass(4, 0.5, 0.5)
+        assert cls.sharers == 4
+
+    def test_rejects_zero_sharers(self):
+        with pytest.raises(ValueError):
+            SharingClass(0, 0.5, 0.5)
+
+    @pytest.mark.parametrize("field", ["page_fraction", "access_fraction",
+                                       "write_fraction", "chassis_affinity"])
+    def test_rejects_out_of_range(self, field):
+        kwargs = dict(sharers=2, page_fraction=0.5, access_fraction=0.5)
+        kwargs[field] = 1.5
+        with pytest.raises(ValueError):
+            SharingClass(**kwargs)
+
+
+class TestWorkloadProfile:
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            profile_with([SharingClass(1, 0.5, 1.0)])
+        with pytest.raises(ValueError):
+            profile_with([SharingClass(1, 1.0, 0.5)])
+
+    def test_requires_classes(self):
+        with pytest.raises(ValueError):
+            profile_with([])
+
+    def test_rejects_bad_ipc_ordering(self):
+        with pytest.raises(ValueError):
+            profile_with([SharingClass(1, 1.0, 1.0)], ipc_single=0.2,
+                         ipc_16=0.5)
+
+    def test_rejects_zero_mpki(self):
+        with pytest.raises(ValueError):
+            profile_with([SharingClass(1, 1.0, 1.0)], mpki=0.0)
+
+    def test_rejects_tiny_simulated_footprint(self):
+        with pytest.raises(ValueError):
+            profile_with([SharingClass(1, 1.0, 1.0)], n_pages_sim=100)
+
+    def test_overall_write_fraction(self):
+        profile = profile_with([
+            SharingClass(1, 0.5, 0.5, write_fraction=0.2),
+            SharingClass(16, 0.5, 0.5, write_fraction=0.4),
+        ])
+        assert profile.write_fraction_overall == pytest.approx(0.3)
+
+    def test_sharer_histogram_sorted(self):
+        profile = profile_with([
+            SharingClass(16, 0.5, 0.5),
+            SharingClass(1, 0.5, 0.5),
+        ])
+        histogram = profile.sharer_histogram()
+        assert [entry[0] for entry in histogram] == [1, 16]
