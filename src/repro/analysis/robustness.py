@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -41,7 +41,7 @@ class SeedStudy:
 
 def pair_speedup(workload: str, seed: int, n_phases: int = 8,
                  warmup_phases: int = 2,
-                 star_system: SystemConfig = None) -> float:
+                 star_system: Optional[SystemConfig] = None) -> float:
     """One baseline/StarNUMA speedup at a given trace seed."""
     base_system = baseline_config()
     star_system = star_system or starnuma_config()

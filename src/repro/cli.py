@@ -39,10 +39,13 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="phases excluded from aggregates (default 4)")
     run.add_argument("--workloads", nargs="+", metavar="NAME",
                      help="restrict to these workloads")
+    run.add_argument("--resume", metavar="DIR",
+                     help="checkpoint directory: skip experiments already "
+                          "completed there, record new completions")
 
     export = sub.add_parser("export",
                             help="run experiments and write JSON/CSV")
-    export.add_argument("--out", required=True, metavar="DIR",
+    export.add_argument("--out", metavar="DIR",
                         help="output directory")
     export.add_argument("--experiments", nargs="+", metavar="ID",
                         help="subset of experiment ids (default: all)")
@@ -50,6 +53,15 @@ def _build_parser() -> argparse.ArgumentParser:
     export.add_argument("--phases", type=int, default=12)
     export.add_argument("--warmup", type=int, default=4)
     export.add_argument("--workloads", nargs="+", metavar="NAME")
+    export.add_argument("--resume", metavar="DIR",
+                        help="resume a partially completed export in DIR "
+                             "(implies --out DIR)")
+    export.add_argument("--retries", type=int, default=2, metavar="N",
+                        help="retry budget for transient failures "
+                             "(default 2)")
+    export.add_argument("--run-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-experiment wall-clock limit")
 
     describe = sub.add_parser("describe",
                               help="print a system configuration")
@@ -71,11 +83,36 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
+def _validate_common(args: argparse.Namespace) -> Optional[str]:
+    """One-line complaint for invalid run/export parameters, else None."""
+    if args.seed < 0:
+        return f"--seed must be >= 0 (got {args.seed})"
+    if args.phases < 1:
+        return f"--phases must be >= 1 (got {args.phases})"
+    if not 0 <= args.warmup < args.phases:
+        return (f"--warmup must satisfy 0 <= warmup < phases "
+                f"(got warmup={args.warmup}, phases={args.phases})")
     for workload in args.workloads or []:
         if workload not in WORKLOADS:
-            print(f"unknown workload {workload!r}", file=sys.stderr)
-            return 2
+            return f"unknown workload {workload!r}"
+    return None
+
+
+def _print_result(name: str, result) -> None:
+    print(result.table)
+    if name == "fig8":
+        from repro.metrics.ascii_chart import speedup_chart
+
+        items = [(str(row[0]), float(row[1]))
+                 for row in result.speedup.rows]
+        print()
+        print(speedup_chart(items,
+                            title="StarNUMA (T16) speedup over "
+                                  "baseline:"))
+    print()
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
     context = ExperimentContext(
         seed=args.seed,
         n_phases=args.phases,
@@ -85,31 +122,88 @@ def _cmd_run(args: argparse.Namespace) -> int:
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [
         args.experiment
     ]
-    for name in names:
-        result = EXPERIMENTS[name](context)
-        print(result.table)
-        if name == "fig8":
-            from repro.metrics.ascii_chart import speedup_chart
+    if args.resume is None:
+        for name in names:
+            _print_result(name, EXPERIMENTS[name](context))
+        return 0
 
-            items = [(str(row[0]), float(row[1]))
-                     for row in result.speedup.rows]
-            print()
-            print(speedup_chart(items,
-                                title="StarNUMA (T16) speedup over "
-                                      "baseline:"))
-        print()
+    from pathlib import Path
+
+    from repro.experiments.export import sweep_params
+    from repro.runner import (CheckpointMismatchError, SweepCheckpoint,
+                              SweepRunner)
+
+    checkpoint = SweepCheckpoint(Path(args.resume) / "checkpoint.json",
+                                 sweep_params(context, names))
+    try:
+        checkpoint.load()
+    except CheckpointMismatchError as exc:
+        print(f"starnuma: error: {exc}", file=sys.stderr)
+        return 2
+
+    def run_one(name: str) -> None:
+        _print_result(name, EXPERIMENTS[name](context))
+        return None
+
+    runner = SweepRunner(
+        run_one, checkpoint=checkpoint,
+        on_event=lambda message: print(message, file=sys.stderr),
+    )
+    outcomes = runner.run(names)
+    failed = [outcome for outcome in outcomes if not outcome.succeeded]
+    if failed:
+        print(f"starnuma: {len(failed)} experiment(s) failed; rerun with "
+              f"--resume {args.resume} to retry them", file=sys.stderr)
+        return 1
     return 0
 
 
 def _cmd_export(args: argparse.Namespace) -> int:
     from repro.experiments.export import export_all
+    from repro.runner import CheckpointMismatchError, SweepError
+
+    out = args.resume or args.out
+    if out is None:
+        print("starnuma: error: export needs --out DIR (or --resume DIR)",
+              file=sys.stderr)
+        return 2
+    if args.retries < 0:
+        print(f"starnuma: error: --retries must be >= 0 "
+              f"(got {args.retries})", file=sys.stderr)
+        return 2
+    if args.run_timeout is not None and args.run_timeout <= 0:
+        print(f"starnuma: error: --run-timeout must be > 0 "
+              f"(got {args.run_timeout})", file=sys.stderr)
+        return 2
+    if args.resume and args.out and args.resume != args.out:
+        print("starnuma: error: --out and --resume point at different "
+              "directories", file=sys.stderr)
+        return 2
 
     context = ExperimentContext(
         seed=args.seed, n_phases=args.phases, warmup_phases=args.warmup,
         workloads=args.workloads,
     )
-    written = export_all(args.out, context, args.experiments)
-    print(f"wrote {len(written)} result files to {args.out}")
+    try:
+        written = export_all(
+            out, context, args.experiments,
+            resume=args.resume is not None,
+            max_retries=args.retries,
+            timeout_s=args.run_timeout,
+            on_event=lambda message: print(message, file=sys.stderr),
+        )
+    except KeyError as exc:
+        print(f"starnuma: error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    except CheckpointMismatchError as exc:
+        print(f"starnuma: error: {exc}", file=sys.stderr)
+        return 2
+    except SweepError as exc:
+        print(f"starnuma: {exc}; completed experiments are checkpointed -- "
+              f"rerun with --resume {out} to retry the rest",
+              file=sys.stderr)
+        return 1
+    print(f"wrote {len(written)} result files to {out}")
     return 0
 
 
@@ -159,6 +253,11 @@ def _cmd_describe(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    if args.command in ("run", "export"):
+        message = _validate_common(args)
+        if message is not None:
+            print(f"starnuma: error: {message}", file=sys.stderr)
+            return 2
     if args.command == "list":
         return _cmd_list()
     if args.command == "export":

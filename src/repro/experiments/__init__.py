@@ -26,6 +26,7 @@ from repro.experiments import (
     ext_ablation,
     ext_replication,
     ext_scale,
+    fault_study,
     fig02,
     fig08,
     fig09,
@@ -53,6 +54,7 @@ EXPERIMENTS = {
     "ext-replication": ext_replication.run,
     "ext-scale32": ext_scale.run,
     "ext-ablation": ext_ablation.run,
+    "fault-study": fault_study.run,
 }
 
 __all__ = ["EXPERIMENTS", "ExperimentContext", "ExperimentResult"]

@@ -4,6 +4,12 @@
 CSV for downstream plotting, plus a manifest recording the run
 parameters. Results are plain rows, so no plotting stack is required
 here.
+
+Exports run through :class:`~repro.runner.SweepRunner`: each experiment
+is isolated (one crash doesn't kill the sweep), transient errors retry
+with backoff, and a ``checkpoint.json`` in the output directory records
+completed experiments so an interrupted export resumes with
+``--resume DIR`` instead of recomputing everything.
 """
 
 from __future__ import annotations
@@ -11,10 +17,11 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, List, Optional
 
 from repro.experiments import EXPERIMENTS
 from repro.experiments.context import ExperimentContext, ExperimentResult
+from repro.runner import RunFailure, SweepCheckpoint, SweepError, SweepRunner
 
 
 def _coerce(value):
@@ -56,22 +63,71 @@ def _flatten(result) -> Iterable[ExperimentResult]:
             yield part
 
 
+def sweep_params(context: ExperimentContext,
+                 selected: List[str]) -> Dict[str, object]:
+    """The checkpoint fingerprint of one export sweep."""
+    return {
+        "seed": context.seed,
+        "n_phases": context.n_phases,
+        "warmup_phases": context.warmup_phases,
+        "workloads": context.workload_names,
+        "experiments": selected,
+    }
+
+
 def export_all(out_dir: str, context: Optional[ExperimentContext] = None,
-               experiments: Optional[Iterable[str]] = None) -> Dict[str, str]:
-    """Run and export experiments; return {experiment id: file stem}."""
+               experiments: Optional[Iterable[str]] = None, *,
+               resume: bool = False,
+               max_retries: int = 2,
+               backoff_s: float = 0.5,
+               timeout_s: Optional[float] = None,
+               strict: bool = True,
+               on_event=None) -> Dict[str, str]:
+    """Run and export experiments; return {experiment id: file stem}.
+
+    ``resume=True`` adopts an existing ``checkpoint.json`` in ``out_dir``
+    (written by every export) and skips experiments it records as
+    completed; the final outputs are identical to an uninterrupted run.
+    With ``strict`` (the default) a :class:`~repro.runner.SweepError` is
+    raised at the end if any experiment failed after retries; the
+    completed ones are exported either way.
+    """
     context = context or ExperimentContext()
     out_path = Path(out_dir)
     out_path.mkdir(parents=True, exist_ok=True)
 
     selected = list(experiments) if experiments else sorted(EXPERIMENTS)
-    written: Dict[str, str] = {}
     for name in selected:
         if name not in EXPERIMENTS:
             raise KeyError(f"unknown experiment {name!r}")
+
+    checkpoint = SweepCheckpoint(out_path / "checkpoint.json",
+                                 sweep_params(context, selected))
+    if resume:
+        checkpoint.load()
+    else:
+        checkpoint.reset()
+
+    def run_one(name: str) -> Dict[str, object]:
         outcome = EXPERIMENTS[name](context)
+        stems: Dict[str, str] = {}
         for result in _flatten(outcome):
             write_result(result, out_path)
-            written[result.experiment] = result.experiment.replace(":", "_")
+            stems[result.experiment] = result.experiment.replace(":", "_")
+        return {"stems": stems}
+
+    runner = SweepRunner(run_one, max_retries=max_retries,
+                         backoff_s=backoff_s, timeout_s=timeout_s,
+                         checkpoint=checkpoint, on_event=on_event)
+    outcomes = runner.run(selected)
+
+    written: Dict[str, str] = {}
+    failures: List[RunFailure] = []
+    for outcome in outcomes:
+        if outcome.succeeded and outcome.payload:
+            written.update(outcome.payload["stems"])
+        elif outcome.failure is not None:
+            failures.append(outcome.failure)
 
     manifest = {
         "seed": context.seed,
@@ -81,4 +137,6 @@ def export_all(out_dir: str, context: Optional[ExperimentContext] = None,
         "experiments": written,
     }
     (out_path / "manifest.json").write_text(json.dumps(manifest, indent=2))
+    if failures and strict:
+        raise SweepError(failures)
     return written

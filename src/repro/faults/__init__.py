@@ -1,0 +1,32 @@
+"""Fault injection: degraded links, failed devices, and pool outages.
+
+The reproduction's ideal-device model answers "how fast is StarNUMA when
+everything works"; this package answers "what happens when it doesn't".
+A :class:`FaultSchedule` lists :class:`FaultEvent`\\ s applied at phase
+boundaries; folding the events up to a phase yields a
+:class:`FaultState`, and :func:`faulted_topology` projects that state
+onto a :class:`~repro.topology.Topology` (links removed or derated, pool
+latency inflated). Route recomputation around the surviving links lives
+in :class:`~repro.topology.routing.RouteTable`; the graceful-degradation
+policy response lives in :mod:`repro.sim.engine`.
+"""
+
+from repro.faults.schedule import (
+    FaultEvent,
+    FaultKind,
+    FaultSchedule,
+    FaultState,
+)
+from repro.faults.apply import FaultedTopology, faulted_topology
+from repro.faults.errors import FaultModelError, PartitionedTopologyError
+
+__all__ = [
+    "FaultEvent",
+    "FaultKind",
+    "FaultModelError",
+    "FaultSchedule",
+    "FaultState",
+    "FaultedTopology",
+    "PartitionedTopologyError",
+    "faulted_topology",
+]

@@ -1,0 +1,93 @@
+"""Project a :class:`FaultState` onto a topology.
+
+:func:`faulted_topology` is the single entry point: given the ideal
+:class:`~repro.topology.Topology` and a folded fault state it returns a
+view with failed links removed, degraded links derated, and pool latency
+inflated. A clean state returns the base object itself, so the fault
+layer is exactly zero-cost (and bit-identical) when no faults are
+scheduled.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet
+
+from repro.faults.schedule import FaultState
+from repro.topology.model import AccessType, Link, LinkKind, Topology
+
+#: Latency multiplier on accesses that still hit a *failed* pool device
+#: while its pages drain: the CXL path is in fail-over (retries, degraded
+#: lane width), so the drain phases pay heavily for every leftover access.
+POOL_FAILURE_LATENCY_FACTOR = 4.0
+
+
+class FaultedTopology(Topology):
+    """A topology with a fault state applied to its link inventory.
+
+    Shares the base topology's config and structure; only the link table
+    and the pool-latency figures differ. Never constructed for a clean
+    state -- use :func:`faulted_topology`.
+    """
+
+    def __init__(self, base: Topology, state: FaultState):
+        # Deliberately not calling Topology.__init__: the base already
+        # validated the config, and links are derived from its inventory
+        # rather than rebuilt from scratch.
+        self.config = base.config
+        self.n_chassis = base.n_chassis
+        self.sockets_per_chassis = base.sockets_per_chassis
+        self.n_sockets = base.n_sockets
+        self.has_pool = base.has_pool
+        self.state = state
+        self.removed_links = self._removed_link_ids(base, state)
+        self._links = self._transform_links(base, state)
+
+    # -- fault-aware views -------------------------------------------------
+
+    @property
+    def pool_usable(self) -> bool:
+        """Whether new pages may still be placed on the pool."""
+        return self.has_pool and not self.state.pool_failed
+
+    def unloaded_latency_ns(self, access_type: AccessType) -> float:
+        base_ns = super().unloaded_latency_ns(access_type)
+        if access_type in (AccessType.POOL, AccessType.BLOCK_TRANSFER_POOL):
+            factor = self.state.pool_latency_factor
+            if self.state.pool_failed:
+                factor *= POOL_FAILURE_LATENCY_FACTOR
+            return base_ns * factor
+        return base_ns
+
+    # -- construction ------------------------------------------------------
+
+    @staticmethod
+    def _removed_link_ids(base: Topology, state: FaultState) -> FrozenSet[str]:
+        removed = set(state.failed_links)
+        for chassis in state.failed_asics:
+            for socket in base.sockets_in_chassis(chassis):
+                removed.add(base.upi_asic_link_id(socket))
+            for other in range(base.n_chassis):
+                if other != chassis:
+                    removed.add(base.numalink_id(chassis, other))
+        return frozenset(link for link in removed if link in base.links)
+
+    def _transform_links(self, base: Topology,
+                         state: FaultState) -> Dict[str, Link]:
+        links: Dict[str, Link] = {}
+        for link_id, link in base.links.items():
+            if link_id in self.removed_links:
+                continue
+            factor = state.capacity_factor(link_id)
+            if link.kind is LinkKind.CXL:
+                factor *= state.capacity_factor("cxl:*")
+            if factor != 1.0:
+                link = Link(link_id, link.kind, link.capacity_gbps * factor)
+            links[link_id] = link
+        return links
+
+
+def faulted_topology(base: Topology, state: FaultState) -> Topology:
+    """The topology as seen under ``state`` (the base itself when clean)."""
+    if state.is_clean:
+        return base
+    return FaultedTopology(base, state)

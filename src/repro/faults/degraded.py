@@ -1,0 +1,89 @@
+"""Graceful degradation of the StarNUMA policy after a pool failure.
+
+When the pool device fails, Algorithm 1 loses its destination for
+widely shared regions. The degraded-mode response (Pond-style fail-safe
+drain) is:
+
+1. stop every pool-bound migration immediately;
+2. evacuate pool-resident regions back to their best-home socket -- the
+   socket that accessed the region most this phase, falling back to the
+   region's lowest-id sharer when it went untouched -- spending the
+   normal per-phase migration budget until the pool is drained;
+3. once drained, fall back to the baseline perfect-knowledge policy, so
+   the system degrades *toward* the baseline rather than below it.
+
+The :class:`PoolEvacuator` implements steps 1-2; the simulator engine
+(:mod:`repro.sim.engine`) sequences it with the fallback policy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.migration.records import MigrationBatch, RegionMove
+from repro.migration.regions import RegionTable
+from repro.placement.capacity import PoolCapacityManager
+from repro.placement.pagemap import PageMap
+from repro.topology.model import POOL_LOCATION
+
+
+class PoolEvacuator:
+    """Budget-bounded drain of pool-resident regions to best-home sockets."""
+
+    def __init__(self, regions: RegionTable, capacity: PoolCapacityManager,
+                 sharer_mask: np.ndarray, n_sockets: int):
+        self.regions = regions
+        self.capacity = capacity
+        self.sharer_mask = np.asarray(sharer_mask, dtype=np.uint32)
+        self.n_sockets = n_sockets
+
+    def drained(self, locations: np.ndarray) -> bool:
+        """Whether no region remains on the (failed) pool."""
+        return not bool(np.any(locations == POOL_LOCATION))
+
+    def best_home(self, region: int, region_counts: np.ndarray) -> int:
+        """The evacuation destination of ``region``.
+
+        The socket with the most accesses this phase; for an untouched
+        region, its lowest-id sharer (every page has at least one).
+        """
+        counts = region_counts[:, region]
+        if counts.sum() > 0:
+            return int(np.argmax(counts))
+        first_page = int(self.regions.pages_of(region)[0])
+        mask = int(self.sharer_mask[first_page])
+        for socket in range(self.n_sockets):
+            if mask >> socket & 1:
+                return socket
+        return 0
+
+    def evacuate_phase(self, region_counts: np.ndarray,
+                       locations: np.ndarray, page_map: PageMap,
+                       budget_pages: int,
+                       batch: MigrationBatch) -> int:
+        """Move pool regions out until the budget is spent; return pages.
+
+        Hotter regions evacuate first: they are the ones paying the
+        failed-device latency penalty on every access while they wait.
+        """
+        resident = np.flatnonzero(locations == POOL_LOCATION)
+        if resident.size == 0:
+            return 0
+        heat = region_counts[:, resident].sum(axis=0)
+        order = resident[np.argsort(heat, kind="stable")[::-1]]
+        moved = 0
+        for region in order:
+            pages = self.regions.pages_of(int(region))
+            size = int(pages.size)
+            if moved + size > budget_pages:
+                continue
+            destination = self.best_home(int(region), region_counts)
+            self.capacity.release(size)
+            page_map.move(pages, destination)
+            locations[region] = destination
+            batch.add(RegionMove(pages=pages, source=POOL_LOCATION,
+                                 destination=destination))
+            moved += size
+            if moved >= budget_pages:
+                break
+        return moved

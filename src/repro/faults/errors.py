@@ -1,0 +1,35 @@
+"""Structured errors raised by the fault model."""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional
+
+
+class FaultModelError(ValueError):
+    """An invalid fault event or schedule (bad target, bad factor...)."""
+
+
+class PartitionedTopologyError(RuntimeError):
+    """A socket can no longer reach a memory location it needs.
+
+    Raised during route recomputation when the surviving links leave
+    ``requester`` with no path to ``location`` (a socket id, or
+    :data:`~repro.topology.model.POOL_LOCATION` for the pool). Carries
+    the failed link set so harnesses can report *which* faults cut the
+    fabric rather than a bare traceback.
+    """
+
+    def __init__(self, requester: int, location: int,
+                 failed_links: Optional[FrozenSet[str]] = None):
+        self.requester = requester
+        self.location = location
+        self.failed_links = frozenset(failed_links or ())
+        target = "the memory pool" if location < 0 else f"socket {location}"
+        detail = ""
+        if self.failed_links:
+            detail = " (failed links: " + ", ".join(
+                sorted(self.failed_links)) + ")"
+        super().__init__(
+            f"socket {requester} cannot reach {target}: the fault "
+            f"schedule partitions the topology{detail}"
+        )

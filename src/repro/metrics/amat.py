@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Mapping, Tuple
+from typing import Mapping, Optional, Tuple
 
 from repro.config import LatencyConfig
 from repro.topology.model import AccessType
@@ -29,7 +29,7 @@ def unloaded_amat_ns(fractions: Mapping[AccessType, float],
     return sum(share * lookup[kind] for kind, share in fractions.items())
 
 
-def worked_example_amat(latency: LatencyConfig = None
+def worked_example_amat(latency: Optional[LatencyConfig] = None
                         ) -> Tuple[float, float]:
     """The Section II-C first-order example, as a reproducible anchor.
 

@@ -11,6 +11,8 @@ static placements eliminate runtime migration entirely:
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.placement.capacity import PoolCapacityManager
@@ -53,7 +55,7 @@ def _balanced_argmax(total_counts: np.ndarray) -> np.ndarray:
 def oracular_static_placement(total_counts: np.ndarray,
                               sharer_counts: np.ndarray,
                               has_pool: bool,
-                              capacity: PoolCapacityManager = None,
+                              capacity: Optional[PoolCapacityManager] = None,
                               pool_sharer_threshold: int = 8) -> PageMap:
     """Compute a static page map from whole-run access counts.
 

@@ -1,0 +1,33 @@
+"""Harness robustness: isolated, retried, resumable experiment sweeps.
+
+Long multi-seed sweeps should survive one bad run instead of dying on
+the first raised exception. :class:`SweepRunner` executes a list of
+tasks with per-task try/except isolation (structured
+:class:`RunFailure` records instead of a half-finished process), bounded
+exponential-backoff retry for transient errors, per-task wall-clock
+timeouts, and JSON checkpointing via :class:`SweepCheckpoint` so an
+interrupted sweep resumes where it stopped (``starnuma export --out DIR
+--resume DIR``).
+"""
+
+from repro.runner.sweep import (
+    CheckpointMismatchError,
+    RunFailure,
+    RunOutcome,
+    RunTimeoutError,
+    SweepCheckpoint,
+    SweepError,
+    SweepRunner,
+    TransientRunError,
+)
+
+__all__ = [
+    "CheckpointMismatchError",
+    "RunFailure",
+    "RunOutcome",
+    "RunTimeoutError",
+    "SweepCheckpoint",
+    "SweepError",
+    "SweepRunner",
+    "TransientRunError",
+]

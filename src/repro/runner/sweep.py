@@ -1,0 +1,289 @@
+"""The sweep runner: isolation, retry, timeout, checkpoint/resume.
+
+Every task runs inside its own try/except; a failure produces a
+:class:`RunFailure` record (error type, message, traceback, attempt
+count) and the sweep moves on. Errors classified as transient are
+retried with exponential backoff up to a bound; a per-task timeout
+(SIGALRM-based, POSIX main thread only) converts a hung run into a
+retryable :class:`RunTimeoutError`. Completed tasks are recorded in an
+atomically rewritten JSON checkpoint, so a killed sweep resumes by
+skipping them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import threading
+import time
+import traceback as traceback_module
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type
+
+CHECKPOINT_VERSION = 1
+
+
+class TransientRunError(RuntimeError):
+    """An error worth retrying (resource blips, flaky I/O...)."""
+
+
+class RunTimeoutError(TimeoutError):
+    """A task exceeded its per-run wall-clock budget."""
+
+
+class CheckpointMismatchError(RuntimeError):
+    """A resume directory's checkpoint was written by a different sweep."""
+
+
+@dataclass(frozen=True)
+class RunFailure:
+    """Structured record of one task that ultimately failed."""
+
+    task_id: str
+    error_type: str
+    message: str
+    traceback: str
+    attempts: int
+    transient: bool
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "task_id": self.task_id,
+            "error_type": self.error_type,
+            "message": self.message,
+            "traceback": self.traceback,
+            "attempts": self.attempts,
+            "transient": self.transient,
+        }
+
+    @classmethod
+    def from_exception(cls, task_id: str, exc: BaseException,
+                       attempts: int, transient: bool) -> "RunFailure":
+        return cls(
+            task_id=task_id,
+            error_type=type(exc).__name__,
+            message=str(exc),
+            traceback="".join(traceback_module.format_exception(
+                type(exc), exc, exc.__traceback__)),
+            attempts=attempts,
+            transient=transient,
+        )
+
+
+@dataclass
+class RunOutcome:
+    """What happened to one task of the sweep."""
+
+    task_id: str
+    #: ``ok`` (ran now), ``cached`` (resumed from checkpoint), ``failed``.
+    status: str
+    attempts: int = 0
+    payload: Optional[Dict[str, object]] = None
+    failure: Optional[RunFailure] = None
+
+    @property
+    def succeeded(self) -> bool:
+        return self.status in ("ok", "cached")
+
+
+class SweepError(RuntimeError):
+    """Raised at sweep end when one or more tasks failed (strict mode)."""
+
+    def __init__(self, failures: Sequence[RunFailure]):
+        self.failures = list(failures)
+        lines = ", ".join(
+            f"{failure.task_id} ({failure.error_type}: {failure.message})"
+            for failure in self.failures
+        )
+        super().__init__(
+            f"{len(self.failures)} task(s) failed after retries: {lines}"
+        )
+
+
+class SweepCheckpoint:
+    """Atomic JSON record of a sweep's completed tasks and failures.
+
+    The checkpoint carries a ``params`` fingerprint of the sweep
+    (seed, phases, workloads...); resuming with different parameters is
+    refused rather than silently mixing incompatible results.
+    """
+
+    def __init__(self, path, params: Dict[str, object]):
+        self.path = Path(path)
+        self.params = params
+        self.completed: Dict[str, Dict[str, object]] = {}
+        self.failures: List[Dict[str, object]] = []
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def load(self) -> bool:
+        """Adopt an existing checkpoint; returns False when none exists."""
+        if not self.path.exists():
+            return False
+        try:
+            data = json.loads(self.path.read_text())
+        except json.JSONDecodeError as exc:
+            raise CheckpointMismatchError(
+                f"corrupt checkpoint {self.path}: {exc}"
+            ) from None
+        if data.get("version") != CHECKPOINT_VERSION:
+            raise CheckpointMismatchError(
+                f"checkpoint {self.path} has version {data.get('version')}, "
+                f"expected {CHECKPOINT_VERSION}"
+            )
+        if data.get("params") != self.params:
+            raise CheckpointMismatchError(
+                f"checkpoint {self.path} was written by a sweep with "
+                f"different parameters; refusing to resume "
+                f"(theirs: {data.get('params')}, ours: {self.params})"
+            )
+        self.completed = dict(data.get("completed", {}))
+        self.failures = []  # prior failures are retried on resume
+        return True
+
+    def reset(self) -> None:
+        """Start fresh, discarding any on-disk checkpoint."""
+        self.completed = {}
+        self.failures = []
+        self._write()
+
+    def mark_completed(self, task_id: str,
+                       payload: Optional[Dict[str, object]]) -> None:
+        self.completed[task_id] = {"payload": payload}
+        self._write()
+
+    def record_failure(self, failure: RunFailure) -> None:
+        self.failures.append(failure.to_dict())
+        self._write()
+
+    def payload_of(self, task_id: str) -> Optional[Dict[str, object]]:
+        entry = self.completed.get(task_id)
+        return entry.get("payload") if entry else None
+
+    def _write(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        data = {
+            "version": CHECKPOINT_VERSION,
+            "params": self.params,
+            "completed": self.completed,
+            "failures": self.failures,
+        }
+        temporary = self.path.with_suffix(self.path.suffix + ".tmp")
+        temporary.write_text(json.dumps(data, indent=2, sort_keys=True))
+        os.replace(temporary, self.path)
+
+
+@contextmanager
+def _deadline(seconds: Optional[float]):
+    """Raise :class:`RunTimeoutError` if the block outlives ``seconds``.
+
+    SIGALRM-based, so it only arms on POSIX main threads; elsewhere the
+    block runs unbounded (a best-effort guard, not a hard sandbox).
+    """
+    usable = (
+        seconds is not None and seconds > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise RunTimeoutError(f"run exceeded {seconds:.1f}s timeout")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+#: Errors retried by default: explicit transients, timeouts, and the
+#: OS-level hiccups (file descriptors, interrupted syscalls) a long sweep
+#: occasionally hits. Model errors (ValueError and kin) are NOT here --
+#: a deterministic simulation that raised once will raise again.
+DEFAULT_TRANSIENT_TYPES: Tuple[Type[BaseException], ...] = (
+    TransientRunError,
+    TimeoutError,
+    OSError,
+)
+
+
+class SweepRunner:
+    """Runs a list of task ids through one callable, robustly."""
+
+    def __init__(self, run_task: Callable[[str], Optional[Dict[str, object]]],
+                 *,
+                 max_retries: int = 2,
+                 backoff_s: float = 0.5,
+                 timeout_s: Optional[float] = None,
+                 transient_types: Tuple[Type[BaseException], ...]
+                 = DEFAULT_TRANSIENT_TYPES,
+                 checkpoint: Optional[SweepCheckpoint] = None,
+                 sleep: Callable[[float], None] = time.sleep,
+                 on_event: Optional[Callable[[str], None]] = None):
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if backoff_s < 0:
+            raise ValueError(f"backoff_s must be >= 0, got {backoff_s}")
+        self.run_task = run_task
+        self.max_retries = max_retries
+        self.backoff_s = backoff_s
+        self.timeout_s = timeout_s
+        self.transient_types = transient_types
+        self.checkpoint = checkpoint
+        self.sleep = sleep
+        self.on_event = on_event or (lambda message: None)
+
+    def run(self, task_ids: Sequence[str]) -> List[RunOutcome]:
+        outcomes: List[RunOutcome] = []
+        for task_id in task_ids:
+            outcomes.append(self._run_one(task_id))
+        return outcomes
+
+    def _run_one(self, task_id: str) -> RunOutcome:
+        if self.checkpoint is not None and task_id in self.checkpoint.completed:
+            self.on_event(f"{task_id}: already completed, skipping")
+            return RunOutcome(task_id=task_id, status="cached",
+                             payload=self.checkpoint.payload_of(task_id))
+
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                with _deadline(self.timeout_s):
+                    payload = self.run_task(task_id)
+            except KeyboardInterrupt:
+                raise
+            except BaseException as exc:  # noqa: BLE001 -- isolation is the point
+                transient = isinstance(exc, self.transient_types)
+                if transient and attempts <= self.max_retries:
+                    delay = self.backoff_s * (2.0 ** (attempts - 1))
+                    self.on_event(
+                        f"{task_id}: transient {type(exc).__name__} "
+                        f"({exc}); retry {attempts}/{self.max_retries} "
+                        f"in {delay:.1f}s"
+                    )
+                    self.sleep(delay)
+                    continue
+                failure = RunFailure.from_exception(task_id, exc, attempts,
+                                                    transient)
+                if self.checkpoint is not None:
+                    self.checkpoint.record_failure(failure)
+                self.on_event(
+                    f"{task_id}: FAILED after {attempts} attempt(s): "
+                    f"{failure.error_type}: {failure.message}"
+                )
+                return RunOutcome(task_id=task_id, status="failed",
+                                  attempts=attempts, failure=failure)
+            if self.checkpoint is not None:
+                self.checkpoint.mark_completed(task_id, payload)
+            return RunOutcome(task_id=task_id, status="ok",
+                              attempts=attempts, payload=payload)

@@ -18,6 +18,8 @@ import numpy as np
 
 from repro.config import SystemConfig
 from repro.config.parameters import PAGE_SIZE_BYTES
+from repro.faults import FaultSchedule, FaultState, faulted_topology
+from repro.faults.degraded import PoolEvacuator
 from repro.metrics.calibration import CalibratedCpi, calibrate_cpi
 from repro.migration import (
     BaselinePolicy,
@@ -113,7 +115,8 @@ class Simulator:
 
     def __init__(self, system: SystemConfig, setup: SimulationSetup,
                  settings: Optional[FixedPointSettings] = None,
-                 replication=None):
+                 replication=None,
+                 faults: Optional[FaultSchedule] = None):
         system.validate()
         if setup.population.n_sockets != system.n_sockets:
             raise ValueError(
@@ -124,11 +127,39 @@ class Simulator:
         self.setup = setup
         self.topology = Topology(system)
         self.routes = RouteTable(self.topology)
+        self.faults = faults if faults is not None else FaultSchedule()
+        self.faults.validate(self.topology)
+        self._settings = settings
+        self._replication = replication
         self.timing = PhaseTimingModel(
             system, self.topology, self.routes, setup.population, settings,
             replication=replication,
         )
+        self._fault_timing: Dict[FaultState, PhaseTimingModel] = {}
         self._checkpoint_cache: Dict[str, List[Checkpoint]] = {}
+
+    def _phase_timing_model(self, phase: int) -> PhaseTimingModel:
+        """The timing model for one phase's fault state.
+
+        Clean phases (and fault-free runs) reuse the single ideal model,
+        so an empty schedule is exactly the historical code path. Faulted
+        states are cached per distinct state, not per phase. May raise
+        :class:`~repro.faults.PartitionedTopologyError` while recomputing
+        routes if the state severs part of the fabric.
+        """
+        if self.faults.is_empty:
+            return self.timing
+        state = self.faults.state_at(phase)
+        if state.is_clean:
+            return self.timing
+        if state not in self._fault_timing:
+            topology = faulted_topology(self.topology, state)
+            self._fault_timing[state] = PhaseTimingModel(
+                self.system, topology, RouteTable(topology),
+                self.setup.population, self._settings,
+                replication=self._replication,
+            )
+        return self._fault_timing[state]
 
     # -- Step B --------------------------------------------------------------
 
@@ -238,11 +269,32 @@ class Simulator:
                 regions.n_regions, self.system.n_sockets, migration.tracker
             )
             policy = StarNumaPolicy(scaled, regions, capacity, rng)
+            fail_phase = self.faults.pool_failure_phase()
+            evacuator = PoolEvacuator(
+                regions, capacity, self.setup.population.sharer_mask,
+                self.system.n_sockets,
+            )
+            fallback = BaselinePolicy(scaled, rng=rng)
 
             def decide(trace: PhaseTrace, page_map: PageMap) -> MigrationBatch:
                 region_counts = regions.aggregate_page_counts(trace.counts)
                 tracker.update(region_counts)
                 locations = regions.region_locations(page_map)
+                # The batch decided here executes during the *next* phase,
+                # so degraded mode engages as soon as that phase sees the
+                # pool failed: no pool-bound moves, drain residents under
+                # the budget, then behave like the baseline policy.
+                if fail_phase is not None and trace.phase + 1 >= fail_phase:
+                    if not evacuator.drained(locations):
+                        batch = MigrationBatch(phase=trace.phase + 1)
+                        evacuator.evacuate_phase(
+                            region_counts, locations, page_map,
+                            scaled.migration_limit_pages, batch,
+                        )
+                    else:
+                        batch = fallback.decide(trace.counts, page_map)
+                    tracker.reset()
+                    return batch
                 batch = policy.decide(tracker, locations, page_map)
                 tracker.reset()
                 return batch
@@ -283,7 +335,7 @@ class Simulator:
         timings: List[PhaseTiming] = []
         previous_ipc: Optional[float] = None
         for checkpoint, trace in zip(checkpoints, self.setup.traces):
-            timing = self.timing.evaluate(
+            timing = self._phase_timing_model(trace.phase).evaluate(
                 trace,
                 checkpoint.page_map,
                 calibration,

@@ -60,8 +60,9 @@ class FixedPointSettings:
     max_iterations: int = 60
     tolerance: float = 1e-3
     damping: float = 0.5
-    #: Arrival-burstiness multiplier fed to the queueing model.
-    burstiness: float = None  # type: ignore[assignment]
+    #: Arrival-burstiness multiplier fed to the queueing model (defaults
+    #: to :data:`repro.interconnect.queueing.DEFAULT_BURSTINESS`).
+    burstiness: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.burstiness is None:
@@ -261,7 +262,8 @@ class PhaseTimingModel:
                     continue
                 location = self._location_of_column(column)
                 kind = self.topology.classify(socket, location)
-                unloaded = self.topology.unloaded_latency_ns(kind)
+                unloaded = (self.topology.unloaded_latency_ns(kind)
+                            + self.routes.detour_penalty_ns(socket, location))
                 route = self.routes.route(socket, location)
                 loaded = unloaded + self._route_delay_ns(route, loads, window)
                 weighted_loaded += count * loaded
@@ -271,7 +273,9 @@ class PhaseTimingModel:
                 count = classification.bt_socket[socket, home]
                 if count <= 0:
                     continue
-                unloaded = latency.block_transfer_socket_ns
+                unloaded = self.topology.unloaded_latency_ns(
+                    AccessType.BLOCK_TRANSFER_SOCKET
+                )
                 if home == socket:
                     contention = 0.0
                 else:
@@ -283,7 +287,9 @@ class PhaseTimingModel:
 
             count = classification.bt_pool[socket]
             if count > 0:
-                unloaded = latency.block_transfer_pool_ns
+                unloaded = self.topology.unloaded_latency_ns(
+                    AccessType.BLOCK_TRANSFER_POOL
+                )
                 contention = BT_POOL_CONTENTION_FACTOR * self._route_delay_ns(
                     self.routes.route(socket, POOL_LOCATION), loads, window
                 )

@@ -8,7 +8,7 @@ returns the list instead.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.config import LatencyConfig
 from repro.sim.results import SimulationResult
@@ -23,7 +23,7 @@ class ValidationError(AssertionError):
 
 
 def check_result(result: SimulationResult,
-                 latency: LatencyConfig = None) -> List[str]:
+                 latency: Optional[LatencyConfig] = None) -> List[str]:
     """Return all invariant violations of ``result`` (empty if healthy)."""
     latency = latency or LatencyConfig()
     violations: List[str] = []
@@ -72,7 +72,7 @@ def check_result(result: SimulationResult,
 
 
 def validate_result(result: SimulationResult,
-                    latency: LatencyConfig = None) -> None:
+                    latency: Optional[LatencyConfig] = None) -> None:
     """Raise :class:`ValidationError` if any invariant is violated."""
     violations = check_result(result, latency)
     if violations:

@@ -125,6 +125,16 @@ class Topology:
             return self.has_pool
         return 0 <= location < self.n_sockets
 
+    @property
+    def pool_usable(self) -> bool:
+        """Whether new pages may be placed on the pool.
+
+        Always matches :attr:`has_pool` on the ideal topology; a faulted
+        view (see :mod:`repro.faults`) reports False once the pool device
+        has failed, even though pool pages still exist and must drain.
+        """
+        return self.has_pool
+
     # -- classification ----------------------------------------------------
 
     def classify(self, requester: int, location: int) -> AccessType:

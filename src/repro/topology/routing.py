@@ -9,24 +9,52 @@ pair and cached, since route lookup is on the hot path of the timing model.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from collections import deque
+from typing import Dict, List, Optional, Tuple
 
 from repro.topology.model import (
     POOL_LOCATION,
     AccessType,
     DirectedLink,
+    LinkKind,
     Topology,
 )
 
 Route = Tuple[DirectedLink, ...]
 
+#: Coherent-link hop count of each access class on the ideal fabric.
+NOMINAL_HOPS = {
+    AccessType.LOCAL: 0,
+    AccessType.INTRA_CHASSIS: 1,
+    AccessType.INTER_CHASSIS: 3,
+    AccessType.POOL: 1,
+}
+
+#: Graph nodes of the coherent fabric: sockets, FLEX ASICs, the pool.
+_Node = Tuple[str, int]
+
 
 class RouteTable:
-    """Precomputed request routes for every (requester, location) pair."""
+    """Precomputed request routes for every (requester, location) pair.
+
+    On the ideal topology every route is hand-built from the hierarchy
+    (fast, and byte-for-byte the historical construction). When links are
+    missing -- a :class:`~repro.faults.FaultedTopology` -- construction
+    falls back to a breadth-first search over the surviving link graph,
+    so traffic reroutes around failures (a dead UPI peer link detours
+    through the chassis ASIC, a dead NUMALink bundle through a third
+    chassis, a dead CXL link through a neighbour socket's CXL port).
+    Detoured routes remember the extra unloaded latency of their longer
+    path; :meth:`detour_penalty_ns` reports it to the timing model. If no
+    path survives, a structured
+    :class:`~repro.faults.PartitionedTopologyError` is raised.
+    """
 
     def __init__(self, topology: Topology):
         self.topology = topology
         self._routes: Dict[Tuple[int, int], Route] = {}
+        self._detour_ns: Dict[Tuple[int, int], float] = {}
+        self._graph: Optional[Dict[_Node, List[Tuple[_Node, DirectedLink]]]] = None
         for requester in topology.sockets():
             for location in topology.locations():
                 self._routes[(requester, location)] = self._build_route(
@@ -47,6 +75,10 @@ class RouteTable:
                 f"no route from socket {requester} to location {location}"
             ) from None
 
+    def detour_penalty_ns(self, requester: int, location: int) -> float:
+        """Extra unloaded latency of a fault-detoured route (0 if direct)."""
+        return self._detour_ns.get((requester, location), 0.0)
+
     def block_transfer_route(self, requester: int, owner: int,
                              home: int) -> Route:
         """Route of the data-carrying hop of a coherence block transfer.
@@ -62,25 +94,31 @@ class RouteTable:
         if home == POOL_LOCATION:
             if not topology.has_pool:
                 raise ValueError("pool block transfer on a pool-less system")
-            owner_leg = DirectedLink(
-                topology.link(topology.cxl_link_id(owner)), forward=True
+            # Built from the cached (possibly fault-detoured) pool routes:
+            # owner -> pool as-is, then pool -> requester by reversing the
+            # requester's route. On the ideal fabric this reduces to the
+            # two direct CXL hops of Fig. 4.
+            owner_leg = tuple(
+                hop for hop in self.route(owner, POOL_LOCATION)
+                if hop.link.kind is not LinkKind.DRAM
             )
-            requester_leg = DirectedLink(
-                topology.link(topology.cxl_link_id(requester)), forward=False
+            requester_hops = [
+                hop for hop in self.route(requester, POOL_LOCATION)
+                if hop.link.kind is not LinkKind.DRAM
+            ]
+            requester_leg = tuple(
+                hop.reversed() for hop in reversed(requester_hops)
             )
-            return (owner_leg, requester_leg)
+            return owner_leg + requester_leg
         # Socket home: data hop is the owner -> requester leg of the 3-hop
         # transfer. Reuse the inter-socket route, dropping the DRAM hop
         # since the block is sourced from the owner's cache.
         if owner == requester:
             return ()
-        inter_socket = self._socket_to_socket_links(owner, requester)
-        return tuple(inter_socket)
+        return self.route(owner, requester)[:-1]
 
     def interconnect_hops(self, requester: int, location: int) -> int:
         """Number of coherent-link traversals on the route (0 for local)."""
-        from repro.topology.model import LinkKind
-
         return sum(
             1 for hop in self.route(requester, location)
             if hop.link.kind is not LinkKind.DRAM
@@ -89,6 +127,18 @@ class RouteTable:
     # -- construction ------------------------------------------------------
 
     def _build_route(self, requester: int, location: int) -> Route:
+        try:
+            return self._direct_route(requester, location)
+        except KeyError:
+            # A link of the hierarchical route is gone: search the
+            # surviving fabric instead.
+            route = self._search_route(requester, location)
+            self._detour_ns[(requester, location)] = self._detour_penalty(
+                requester, location, route
+            )
+            return route
+
+    def _direct_route(self, requester: int, location: int) -> Route:
         topology = self.topology
         hops: List[DirectedLink] = []
         if location == POOL_LOCATION:
@@ -101,6 +151,115 @@ class RouteTable:
             topology.link(topology.dram_link_id(location)), forward=True
         ))
         return tuple(hops)
+
+    # -- fault rerouting ---------------------------------------------------
+
+    def _search_route(self, requester: int, location: int) -> Route:
+        """Shortest surviving path, then the destination's DRAM hop."""
+        from repro.faults.errors import PartitionedTopologyError
+
+        topology = self.topology
+        source: _Node = ("s", requester)
+        target: _Node = (("p", 0) if location == POOL_LOCATION
+                         else ("s", location))
+        path = self._shortest_path(source, target)
+        if path is None:
+            raise PartitionedTopologyError(
+                requester, location,
+                getattr(topology, "removed_links", frozenset()),
+            )
+        return tuple(path) + (DirectedLink(
+            topology.link(topology.dram_link_id(location)), forward=True
+        ),)
+
+    def _shortest_path(self, source: _Node,
+                       target: _Node) -> Optional[List[DirectedLink]]:
+        if source == target:
+            return []
+        graph = self._surviving_graph()
+        pool_node: _Node = ("p", 0)
+        parents: Dict[_Node, Tuple[_Node, DirectedLink]] = {}
+        visited = {source}
+        frontier = deque([source])
+        while frontier:
+            node = frontier.popleft()
+            if node == pool_node:
+                continue  # the pool is a memory device, not a router
+            for neighbor, hop in graph.get(node, ()):
+                if neighbor in visited:
+                    continue
+                visited.add(neighbor)
+                parents[neighbor] = (node, hop)
+                if neighbor == target:
+                    hops: List[DirectedLink] = []
+                    cursor = target
+                    while cursor != source:
+                        cursor, edge = parents[cursor]
+                        hops.append(edge)
+                    hops.reverse()
+                    return hops
+                frontier.append(neighbor)
+        return None
+
+    def _surviving_graph(self) -> Dict[_Node, List[Tuple[_Node, DirectedLink]]]:
+        """Adjacency over surviving coherent links (built once, on demand)."""
+        if self._graph is not None:
+            return self._graph
+        topology = self.topology
+        graph: Dict[_Node, List[Tuple[_Node, DirectedLink]]] = {}
+
+        def connect(a: _Node, b: _Node, link_id: str) -> None:
+            # ``a`` is the canonical source of the link: traversing a -> b
+            # is the forward direction.
+            link = topology.links.get(link_id)
+            if link is None:
+                return
+            graph.setdefault(a, []).append((b, DirectedLink(link, True)))
+            graph.setdefault(b, []).append((a, DirectedLink(link, False)))
+
+        for chassis in range(topology.n_chassis):
+            members = topology.sockets_in_chassis(chassis)
+            for i, a in enumerate(members):
+                connect(("s", a), ("a", chassis),
+                        topology.upi_asic_link_id(a))
+                for b in members[i + 1:]:
+                    connect(("s", a), ("s", b),
+                            topology.upi_peer_link_id(a, b))
+        for a in range(topology.n_chassis):
+            for b in range(a + 1, topology.n_chassis):
+                connect(("a", a), ("a", b), topology.numalink_id(a, b))
+        if topology.has_pool:
+            for socket in range(topology.n_sockets):
+                connect(("s", socket), ("p", 0),
+                        topology.cxl_link_id(socket))
+        self._graph = graph
+        return graph
+
+    def _detour_penalty(self, requester: int, location: int,
+                        route: Route) -> float:
+        """Unloaded-latency surcharge of a detoured route over the nominal.
+
+        Each coherent hop carries a one-way latency share consistent with
+        the hierarchy's calibrated penalties: a UPI traversal costs half
+        the intra-chassis round-trip penalty, a NUMALink traversal the
+        inter-chassis remainder. The surcharge is the actual route's hop
+        latency minus the nominal route's, never negative.
+        """
+        latency = self.topology.config.latency
+        upi_ns = latency.intra_chassis_penalty_ns / 2.0
+        numa_ns = max(0.0, latency.inter_chassis_penalty_ns / 2.0
+                      - latency.intra_chassis_penalty_ns)
+        per_hop = {LinkKind.UPI: upi_ns, LinkKind.NUMALINK: numa_ns,
+                   LinkKind.CXL: 0.0, LinkKind.DRAM: 0.0}
+        actual = sum(per_hop[hop.link.kind] for hop in route)
+        kind = self.topology.classify(requester, location)
+        nominal = {
+            AccessType.LOCAL: 0.0,
+            AccessType.INTRA_CHASSIS: upi_ns,
+            AccessType.INTER_CHASSIS: 2.0 * upi_ns + numa_ns,
+            AccessType.POOL: 0.0,
+        }[kind]
+        return max(0.0, actual - nominal)
 
     def _socket_to_socket_links(self, src: int, dst: int) -> List[DirectedLink]:
         """Coherent-link traversals from socket ``src`` to socket ``dst``."""

@@ -35,6 +35,7 @@ class TestRegistry:
             "fig2", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
             "fig14", "table3", "table4",
             "ext-replication", "ext-scale32", "ext-ablation",
+            "fault-study",
         }
 
 

@@ -1,0 +1,111 @@
+"""Interrupted export sweeps must resume to byte-identical outputs."""
+
+import pytest
+
+from repro.experiments.context import ExperimentContext, ExperimentResult
+from repro.runner import CheckpointMismatchError, SweepError
+from repro.experiments import export as export_module
+from repro.experiments.export import export_all
+
+
+def _result(name: str) -> ExperimentResult:
+    return ExperimentResult(
+        experiment=name,
+        headers=("workload", "value"),
+        rows=[("bfs", 1.25), ("tc", 0.75)],
+        notes=f"fake {name}",
+    )
+
+
+@pytest.fixture
+def fake_experiments(monkeypatch):
+    """Two cheap experiments; 'beta' can be armed to crash once."""
+    state = {"beta_crashes": 0}
+
+    def alpha(context):
+        return _result("alpha")
+
+    def beta(context):
+        if state["beta_crashes"] > 0:
+            state["beta_crashes"] -= 1
+            raise RuntimeError("injected crash")
+        return _result("beta")
+
+    monkeypatch.setattr(export_module, "EXPERIMENTS",
+                        {"alpha": alpha, "beta": beta})
+    return state
+
+
+def _output_bytes(directory):
+    return {
+        path.name: path.read_bytes()
+        for path in sorted(directory.iterdir())
+        if path.suffix in (".json", ".csv")
+    }
+
+
+class TestResume:
+    def test_interrupted_export_resumes_byte_identical(
+            self, tmp_path, fake_experiments):
+        context = ExperimentContext(workloads=["bfs"])
+
+        # Reference: one uninterrupted export.
+        clean_dir = tmp_path / "clean"
+        export_all(str(clean_dir), context, ["alpha", "beta"])
+
+        # Interrupted: beta crashes on the first pass...
+        broken_dir = tmp_path / "broken"
+        fake_experiments["beta_crashes"] = 1
+        with pytest.raises(SweepError, match="beta"):
+            export_all(str(broken_dir), context, ["alpha", "beta"])
+        assert (broken_dir / "alpha.json").exists()
+        assert not (broken_dir / "beta.json").exists()
+
+        # ...and the resumed export completes without rerunning alpha.
+        calls = []
+
+        def spy(message):
+            calls.append(message)
+
+        export_all(str(broken_dir), context, ["alpha", "beta"],
+                   resume=True, on_event=spy)
+        assert any("alpha" in message and "skipping" in message
+                   for message in calls)
+        assert _output_bytes(broken_dir) == _output_bytes(clean_dir)
+
+    def test_resume_with_different_params_refused(self, tmp_path,
+                                                  fake_experiments):
+        out = tmp_path / "out"
+        export_all(str(out), ExperimentContext(seed=1, workloads=["bfs"]),
+                   ["alpha"])
+        with pytest.raises(CheckpointMismatchError):
+            export_all(str(out),
+                       ExperimentContext(seed=2, workloads=["bfs"]),
+                       ["alpha"], resume=True)
+
+    def test_non_strict_export_reports_partial(self, tmp_path,
+                                               fake_experiments):
+        fake_experiments["beta_crashes"] = 10
+        written = export_all(str(tmp_path / "partial"),
+                             ExperimentContext(workloads=["bfs"]),
+                             ["alpha", "beta"], strict=False)
+        assert "alpha" in written
+        assert "beta" not in written
+
+    def test_transient_crash_retries_within_one_export(
+            self, tmp_path, fake_experiments, monkeypatch):
+        from repro.runner import TransientRunError
+
+        state = {"left": 1}
+
+        def flaky(context):
+            if state["left"] > 0:
+                state["left"] -= 1
+                raise TransientRunError("blip")
+            return _result("flaky")
+
+        monkeypatch.setattr(export_module, "EXPERIMENTS", {"flaky": flaky})
+        written = export_all(str(tmp_path / "flaky"),
+                             ExperimentContext(workloads=["bfs"]),
+                             ["flaky"], backoff_s=0.0)
+        assert written == {"flaky": "flaky"}

@@ -1,0 +1,157 @@
+"""FaultedTopology link derating and the pool evacuator."""
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultEvent, FaultKind, FaultSchedule, faulted_topology
+from repro.faults.apply import POOL_FAILURE_LATENCY_FACTOR
+from repro.faults.degraded import PoolEvacuator
+from repro.migration.records import MigrationBatch
+from repro.migration.regions import RegionTable
+from repro.placement.capacity import PoolCapacityManager
+from repro.placement.pagemap import PageMap
+from repro.topology.model import POOL_LOCATION, AccessType
+
+
+def state_of(*events):
+    return FaultSchedule(list(events)).state_at(
+        max(event.phase for event in events))
+
+
+class TestFaultedTopology:
+    def test_failed_link_removed(self, star_topology):
+        topology = faulted_topology(star_topology, state_of(
+            FaultEvent(FaultKind.LINK_FAIL, link_id="numa:c0-c1")))
+        assert "numa:c0-c1" not in topology.links
+        assert "numa:c0-c2" in topology.links
+        assert topology.removed_links == frozenset({"numa:c0-c1"})
+
+    def test_degraded_link_capacity_scaled(self, star_topology):
+        topology = faulted_topology(star_topology, state_of(
+            FaultEvent(FaultKind.LINK_DEGRADE, link_id="numa:c0-c1",
+                       capacity_factor=0.5)))
+        base = star_topology.link("numa:c0-c1").capacity_gbps
+        assert topology.link("numa:c0-c1").capacity_gbps == base * 0.5
+        assert topology.link("numa:c0-c2").capacity_gbps == \
+            star_topology.link("numa:c0-c2").capacity_gbps
+
+    def test_asic_failure_expands_to_its_links(self, star_topology):
+        topology = faulted_topology(star_topology, state_of(
+            FaultEvent(FaultKind.ASIC_FAIL, chassis=1)))
+        for socket in star_topology.sockets_in_chassis(1):
+            assert star_topology.upi_asic_link_id(socket) \
+                in topology.removed_links
+        for other in (0, 2, 3):
+            assert star_topology.numalink_id(1, other) \
+                in topology.removed_links
+        # Intra-chassis peer links survive an ASIC failure.
+        assert "upi:s4-s5" in topology.links
+
+    def test_pool_degrade_inflates_pool_latency_only(self, star_topology):
+        topology = faulted_topology(star_topology, state_of(
+            FaultEvent(FaultKind.POOL_DEGRADE, latency_factor=2.0,
+                       capacity_factor=0.5)))
+        assert topology.unloaded_latency_ns(AccessType.POOL) == \
+            2.0 * star_topology.unloaded_latency_ns(AccessType.POOL)
+        assert topology.unloaded_latency_ns(AccessType.LOCAL) == \
+            star_topology.unloaded_latency_ns(AccessType.LOCAL)
+        # CXL links derated, DRAM pool channel derated, socket DRAM not.
+        assert topology.link("cxl:s0").capacity_gbps == \
+            0.5 * star_topology.link("cxl:s0").capacity_gbps
+        assert topology.link("dram:pool").capacity_gbps == \
+            0.5 * star_topology.link("dram:pool").capacity_gbps
+        assert topology.link("dram:s0").capacity_gbps == \
+            star_topology.link("dram:s0").capacity_gbps
+
+    def test_pool_failure_blocks_placement_keeps_cxl(self, star_topology):
+        topology = faulted_topology(star_topology, state_of(
+            FaultEvent(FaultKind.POOL_FAIL)))
+        assert star_topology.pool_usable
+        assert not topology.pool_usable
+        assert topology.has_pool  # drain traffic still flows
+        assert "cxl:s0" in topology.links
+        assert topology.unloaded_latency_ns(AccessType.POOL) == \
+            POOL_FAILURE_LATENCY_FACTOR * \
+            star_topology.unloaded_latency_ns(AccessType.POOL)
+
+
+def make_evacuator(n_pages=64, pages_per_region=4, n_sockets=4,
+                   pool_regions=(0, 3, 7)):
+    # Regions are derived from a socket-homed initial map (first touch
+    # never targets the pool); the pool residency is applied afterwards.
+    page_map = PageMap(np.zeros(n_pages, dtype=np.int16),
+                       n_sockets=n_sockets, has_pool=True)
+    regions = RegionTable(page_map, pages_per_region)
+    n_regions = regions.n_regions
+    capacity = PoolCapacityManager(n_pages, capacity_fraction=1.0)
+    for region in pool_regions:
+        pages = regions.pages_of(region)
+        capacity.allocate(int(pages.size))
+        page_map.move(pages, POOL_LOCATION)
+    sharer_mask = np.full(n_pages, 0b0100, dtype=np.uint32)  # socket 2
+    evacuator = PoolEvacuator(regions, capacity, sharer_mask, n_sockets)
+    region_locations = regions.region_locations(page_map)
+    counts = np.zeros((n_sockets, n_regions), dtype=np.float64)
+    return evacuator, page_map, region_locations, counts, capacity
+
+
+class TestPoolEvacuator:
+    def test_evacuates_hottest_first_to_top_accessor(self):
+        evacuator, page_map, locations, counts, capacity = make_evacuator()
+        counts[1, 3] = 100.0  # region 3 is hot, mostly from socket 1
+        counts[0, 3] = 10.0
+        batch = MigrationBatch(phase=1)
+        moved = evacuator.evacuate_phase(counts, locations, page_map,
+                                         budget_pages=4, batch=batch)
+        assert moved == 4
+        assert locations[3] == 1
+        assert all(page_map.location_of(p) == 1
+                   for p in range(12, 16))  # region 3's pages
+        assert locations[0] == POOL_LOCATION  # budget spent, others wait
+
+    def test_untouched_region_goes_to_lowest_sharer(self):
+        evacuator, page_map, locations, counts, capacity = make_evacuator(
+            pool_regions=(5,))
+        batch = MigrationBatch(phase=1)
+        evacuator.evacuate_phase(counts, locations, page_map,
+                                 budget_pages=64, batch=batch)
+        assert locations[5] == 2  # sharer mask bit 2
+
+    def test_budget_respected_across_phases(self):
+        evacuator, page_map, locations, counts, capacity = make_evacuator()
+        total_resident = 12
+        budget = 4
+        phases = 0
+        while not evacuator.drained(locations):
+            batch = MigrationBatch(phase=phases)
+            moved = evacuator.evacuate_phase(counts, locations, page_map,
+                                             budget_pages=budget,
+                                             batch=batch)
+            assert moved <= budget
+            assert batch.n_pages == moved
+            phases += 1
+            assert phases <= 10  # must terminate
+        assert phases == total_resident // budget
+        assert page_map.pool_page_count() == 0
+
+    def test_capacity_released_on_drain(self):
+        evacuator, page_map, locations, counts, capacity = make_evacuator()
+        used_before = capacity.used_pages
+        batch = MigrationBatch(phase=1)
+        moved = evacuator.evacuate_phase(counts, locations, page_map,
+                                         budget_pages=64, batch=batch)
+        assert moved == 12
+        assert capacity.used_pages == used_before - 12
+
+    def test_moves_record_pool_source(self):
+        evacuator, page_map, locations, counts, capacity = make_evacuator()
+        batch = MigrationBatch(phase=1)
+        evacuator.evacuate_phase(counts, locations, page_map,
+                                 budget_pages=64, batch=batch)
+        assert batch.pages_from_pool == 12
+        assert batch.pages_to_pool == 0
+
+    def test_drained_on_empty_pool(self):
+        evacuator, page_map, locations, counts, capacity = make_evacuator(
+            pool_regions=())
+        assert evacuator.drained(locations)

@@ -1,0 +1,157 @@
+"""Fault events, schedules, state folding, serialization."""
+
+import pytest
+
+from repro.faults import (
+    FaultEvent,
+    FaultKind,
+    FaultModelError,
+    FaultSchedule,
+)
+
+
+class TestFaultEvent:
+    def test_link_fail_needs_link_id(self):
+        with pytest.raises(FaultModelError):
+            FaultEvent(FaultKind.LINK_FAIL)
+
+    def test_dram_link_fail_rejected(self):
+        with pytest.raises(FaultModelError, match="LINK_DEGRADE instead"):
+            FaultEvent(FaultKind.LINK_FAIL, link_id="dram:s0")
+
+    def test_dram_degrade_allowed(self):
+        event = FaultEvent(FaultKind.LINK_DEGRADE, link_id="dram:s0",
+                           capacity_factor=0.5)
+        assert event.capacity_factor == 0.5
+
+    def test_asic_fail_needs_chassis(self):
+        with pytest.raises(FaultModelError):
+            FaultEvent(FaultKind.ASIC_FAIL)
+
+    def test_capacity_factor_bounds(self):
+        with pytest.raises(FaultModelError):
+            FaultEvent(FaultKind.LINK_DEGRADE, link_id="upi:s0-s1",
+                       capacity_factor=0.0)
+        with pytest.raises(FaultModelError):
+            FaultEvent(FaultKind.LINK_DEGRADE, link_id="upi:s0-s1",
+                       capacity_factor=1.5)
+
+    def test_latency_factor_bound(self):
+        with pytest.raises(FaultModelError):
+            FaultEvent(FaultKind.POOL_DEGRADE, latency_factor=0.5)
+
+    def test_negative_phase_rejected(self):
+        with pytest.raises(FaultModelError):
+            FaultEvent(FaultKind.POOL_FAIL, phase=-1)
+
+
+class TestStateFolding:
+    def test_empty_schedule_is_clean(self):
+        schedule = FaultSchedule()
+        assert schedule.is_empty
+        assert schedule.state_at(0).is_clean
+        assert schedule.first_fault_phase() is None
+        assert schedule.pool_failure_phase() is None
+
+    def test_event_inactive_before_its_phase(self):
+        schedule = FaultSchedule([
+            FaultEvent(FaultKind.LINK_FAIL, phase=3, link_id="numa:c0-c1"),
+        ])
+        assert schedule.state_at(2).is_clean
+        assert "numa:c0-c1" in schedule.state_at(3).failed_links
+        assert "numa:c0-c1" in schedule.state_at(10).failed_links
+
+    def test_degrade_factors_compound(self):
+        schedule = FaultSchedule([
+            FaultEvent(FaultKind.LINK_DEGRADE, phase=0,
+                       link_id="upi:s0-s1", capacity_factor=0.5),
+            FaultEvent(FaultKind.LINK_DEGRADE, phase=2,
+                       link_id="upi:s0-s1", capacity_factor=0.5),
+        ])
+        assert schedule.state_at(1).capacity_factor("upi:s0-s1") == 0.5
+        assert schedule.state_at(2).capacity_factor("upi:s0-s1") == 0.25
+
+    def test_pool_degrade_targets_cxl_and_pool_dram(self):
+        schedule = FaultSchedule([
+            FaultEvent(FaultKind.POOL_DEGRADE, phase=0,
+                       latency_factor=2.0, capacity_factor=0.5),
+        ])
+        state = schedule.state_at(0)
+        assert state.pool_latency_factor == 2.0
+        assert state.capacity_factor("cxl:*") == 0.5
+        assert state.capacity_factor("dram:pool") == 0.5
+
+    def test_states_are_hashable_and_shared(self):
+        schedule = FaultSchedule([
+            FaultEvent(FaultKind.POOL_FAIL, phase=2),
+        ])
+        assert hash(schedule.state_at(2)) == hash(schedule.state_at(9))
+        assert schedule.state_at(2) == schedule.state_at(9)
+        assert schedule.state_at(0) != schedule.state_at(2)
+
+    def test_pool_failure_phase_is_earliest(self):
+        schedule = FaultSchedule([
+            FaultEvent(FaultKind.POOL_FAIL, phase=5),
+            FaultEvent(FaultKind.POOL_FAIL, phase=2),
+        ])
+        assert schedule.pool_failure_phase() == 2
+
+    def test_at_phase_zero_moves_everything(self):
+        schedule = FaultSchedule([
+            FaultEvent(FaultKind.LINK_FAIL, phase=4, link_id="numa:c0-c1"),
+            FaultEvent(FaultKind.POOL_FAIL, phase=7),
+        ])
+        worst = schedule.at_phase_zero()
+        assert all(event.phase == 0 for event in worst)
+        assert worst.state_at(0) == schedule.state_at(7)
+
+
+class TestValidation:
+    def test_unknown_link_rejected(self, star_topology):
+        schedule = FaultSchedule([
+            FaultEvent(FaultKind.LINK_FAIL, link_id="numa:c7-c9"),
+        ])
+        with pytest.raises(FaultModelError, match="unknown link"):
+            schedule.validate(star_topology)
+
+    def test_unknown_chassis_rejected(self, star_topology):
+        schedule = FaultSchedule([
+            FaultEvent(FaultKind.ASIC_FAIL, chassis=99),
+        ])
+        with pytest.raises(FaultModelError, match="unknown chassis"):
+            schedule.validate(star_topology)
+
+    def test_pool_fault_on_poolless_system_rejected(self, base_topology):
+        schedule = FaultSchedule([FaultEvent(FaultKind.POOL_FAIL)])
+        with pytest.raises(FaultModelError, match="without a pool"):
+            schedule.validate(base_topology)
+
+    def test_valid_schedule_accepted(self, star_topology):
+        FaultSchedule([
+            FaultEvent(FaultKind.LINK_FAIL, link_id="numa:c0-c1"),
+            FaultEvent(FaultKind.ASIC_FAIL, chassis=3),
+            FaultEvent(FaultKind.POOL_FAIL, phase=4),
+        ]).validate(star_topology)
+
+
+class TestSerialization:
+    def test_json_round_trip(self):
+        schedule = FaultSchedule([
+            FaultEvent(FaultKind.LINK_DEGRADE, phase=1,
+                       link_id="upi:s0-s1", capacity_factor=0.25),
+            FaultEvent(FaultKind.ASIC_FAIL, phase=2, chassis=1),
+            FaultEvent(FaultKind.POOL_DEGRADE, phase=3,
+                       latency_factor=1.9),
+            FaultEvent(FaultKind.POOL_FAIL, phase=4),
+        ])
+        restored = FaultSchedule.from_json(schedule.to_json())
+        assert restored.events == schedule.events
+
+    def test_bad_json_raises_model_error(self):
+        with pytest.raises(FaultModelError):
+            FaultSchedule.from_json("not json at all {")
+
+    def test_bad_kind_raises_model_error(self):
+        with pytest.raises(FaultModelError):
+            FaultSchedule.from_dict(
+                {"events": [{"kind": "meteor-strike"}]})

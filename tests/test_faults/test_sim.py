@@ -1,0 +1,148 @@
+"""Fault schedules threaded through the simulator's Step B/C loop."""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    FaultEvent,
+    FaultKind,
+    FaultSchedule,
+    PartitionedTopologyError,
+)
+from repro.sim import Simulator
+from repro.topology.model import POOL_LOCATION
+
+
+@pytest.fixture(scope="module")
+def tiny_calibration(base_system, tiny_setup):
+    return Simulator(base_system, tiny_setup).calibrate()
+
+
+@pytest.fixture(scope="module")
+def tiny_baseline(base_system, tiny_setup, tiny_calibration):
+    return Simulator(base_system, tiny_setup).run(
+        calibration=tiny_calibration, warmup_phases=1)
+
+
+def star_run(star_system, tiny_setup, tiny_calibration, schedule=None):
+    simulator = Simulator(star_system, tiny_setup, faults=schedule)
+    result = simulator.run(calibration=tiny_calibration, warmup_phases=1)
+    return simulator, result
+
+
+class TestNoFaultIdentity:
+    def test_empty_schedule_is_bit_identical(self, star_system, tiny_setup,
+                                             tiny_calibration):
+        _, vanilla = star_run(star_system, tiny_setup, tiny_calibration)
+        _, with_empty = star_run(star_system, tiny_setup, tiny_calibration,
+                                 FaultSchedule())
+        for a, b in zip(vanilla.phases, with_empty.phases):
+            assert a.ipc == b.ipc
+            assert a.amat_ns == b.amat_ns
+            assert a.duration_ns == b.duration_ns
+            assert a.migrated_pages == b.migrated_pages
+        assert vanilla.pages_migrated_to_pool == \
+            with_empty.pages_migrated_to_pool
+
+
+class TestPoolFailure:
+    def test_full_failure_at_phase_zero_matches_baseline(
+            self, star_system, tiny_setup, tiny_calibration, tiny_baseline):
+        schedule = FaultSchedule([FaultEvent(FaultKind.POOL_FAIL, phase=0)])
+        _, result = star_run(star_system, tiny_setup, tiny_calibration,
+                             schedule)
+        assert result.pages_migrated_to_pool == 0
+        # Acceptance floor: graceful degradation never falls below ~1x.
+        assert result.speedup_over(tiny_baseline) >= 0.98
+
+    def test_midrun_failure_drains_the_pool(self, star_system, tiny_setup,
+                                            tiny_calibration):
+        fail_phase = 2
+        schedule = FaultSchedule(
+            [FaultEvent(FaultKind.POOL_FAIL, phase=fail_phase)])
+        simulator, result = star_run(star_system, tiny_setup,
+                                     tiny_calibration, schedule)
+        residency = [checkpoint.page_map.pool_page_count()
+                     for checkpoint in simulator.checkpoints()]
+        assert residency[fail_phase - 1] > 0  # the pool was in use
+        assert residency[-1] == 0  # fully drained by run end
+        # No pool-bound migration lands at or after the failure phase.
+        for phase in result.phases:
+            if phase.phase >= fail_phase:
+                assert phase.migrated_pages_to_pool == 0
+
+    def test_midrun_failure_respects_migration_budget(
+            self, star_system, tiny_setup, tiny_calibration):
+        schedule = FaultSchedule([FaultEvent(FaultKind.POOL_FAIL, phase=2)])
+        simulator, result = star_run(star_system, tiny_setup,
+                                     tiny_calibration, schedule)
+        budget = simulator.effective_migration_limit
+        for phase in result.phases:
+            assert phase.migrated_pages <= budget
+
+
+class TestDegradedFabric:
+    def test_link_failure_slows_but_runs(self, star_system, tiny_setup,
+                                         tiny_calibration):
+        _, healthy = star_run(star_system, tiny_setup, tiny_calibration)
+        schedule = FaultSchedule(
+            [FaultEvent(FaultKind.LINK_FAIL, phase=0,
+                        link_id="numa:c0-c1")])
+        _, degraded = star_run(star_system, tiny_setup, tiny_calibration,
+                               schedule)
+        assert degraded.amat_ns >= healthy.amat_ns
+
+    def test_partition_raises_structured_error(self, star_system,
+                                               tiny_setup,
+                                               tiny_calibration):
+        schedule = FaultSchedule(
+            [FaultEvent(FaultKind.ASIC_FAIL, phase=1, chassis=0)])
+        with pytest.raises(PartitionedTopologyError):
+            star_run(star_system, tiny_setup, tiny_calibration, schedule)
+
+    def test_unknown_target_rejected_at_construction(self, star_system,
+                                                     tiny_setup):
+        schedule = FaultSchedule(
+            [FaultEvent(FaultKind.LINK_FAIL, link_id="numa:c8-c9")])
+        from repro.faults import FaultModelError
+
+        with pytest.raises(FaultModelError):
+            Simulator(star_system, tiny_setup, faults=schedule)
+
+
+class TestWorstCaseProperty:
+    """Any staggering of a schedule beats folding it all onto phase 0.
+
+    A fault only hurts for the phases it is in force, so delaying events
+    can never do worse than the all-at-phase-0 variant of the same
+    events (modulo fixed-point noise, hence the small tolerance).
+    """
+
+    SCHEDULES = [
+        FaultSchedule([
+            FaultEvent(FaultKind.POOL_FAIL, phase=2),
+        ]),
+        FaultSchedule([
+            FaultEvent(FaultKind.LINK_DEGRADE, phase=1,
+                       link_id="numa:c0-c1", capacity_factor=0.5),
+            FaultEvent(FaultKind.POOL_DEGRADE, phase=2,
+                       latency_factor=2.0),
+        ]),
+        FaultSchedule([
+            FaultEvent(FaultKind.LINK_FAIL, phase=1, link_id="upi:s0-s1"),
+            FaultEvent(FaultKind.POOL_FAIL, phase=3),
+        ]),
+    ]
+
+    @pytest.mark.parametrize("index", range(len(SCHEDULES)))
+    def test_staggered_not_worse_than_phase_zero(
+            self, index, star_system, tiny_setup, tiny_calibration,
+            tiny_baseline):
+        schedule = self.SCHEDULES[index]
+        _, staggered = star_run(star_system, tiny_setup, tiny_calibration,
+                                schedule)
+        _, worst = star_run(star_system, tiny_setup, tiny_calibration,
+                            schedule.at_phase_zero())
+        staggered_speedup = staggered.speedup_over(tiny_baseline)
+        worst_speedup = worst.speedup_over(tiny_baseline)
+        assert staggered_speedup >= worst_speedup - 0.02

@@ -73,6 +73,65 @@ class TestExport:
         assert (tmp_path / "table3.csv").exists()
         assert (tmp_path / "manifest.json").exists()
 
-    def test_export_requires_out(self):
-        with pytest.raises(SystemExit):
-            main(["export"])
+    def test_export_requires_out(self, capsys):
+        assert main(["export"]) == 2
+        assert "--out" in capsys.readouterr().err
+
+    def test_export_out_resume_conflict(self, capsys):
+        code = main(["export", "--out", "/tmp/a", "--resume", "/tmp/b"])
+        assert code == 2
+        assert "different" in capsys.readouterr().err
+
+    def test_export_unknown_experiment(self, tmp_path, capsys):
+        code = main(["export", "--out", str(tmp_path),
+                     "--experiments", "not-real"])
+        assert code == 2
+        assert "not-real" in capsys.readouterr().err
+
+
+class TestValidation:
+    def test_warmup_must_be_below_phases(self, capsys):
+        code = main(["run", "fig8", "--warmup", "12", "--phases", "12"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1  # one-line message
+        assert "warmup" in err
+
+    def test_phases_must_be_positive(self, capsys):
+        assert main(["run", "fig8", "--phases", "0"]) == 2
+        assert "--phases" in capsys.readouterr().err
+
+    def test_seed_must_be_non_negative(self, capsys):
+        assert main(["run", "fig8", "--seed", "-1"]) == 2
+        assert "--seed" in capsys.readouterr().err
+
+    def test_export_validated_too(self, capsys, tmp_path):
+        code = main(["export", "--out", str(tmp_path),
+                     "--warmup", "9", "--phases", "4"])
+        assert code == 2
+        assert "warmup" in capsys.readouterr().err
+
+    def test_export_negative_retries(self, capsys, tmp_path):
+        code = main(["export", "--out", str(tmp_path), "--retries", "-1"])
+        assert code == 2
+        assert "--retries" in capsys.readouterr().err
+
+    def test_export_non_positive_timeout(self, capsys, tmp_path):
+        code = main(["export", "--out", str(tmp_path),
+                     "--run-timeout", "0"])
+        assert code == 2
+        assert "--run-timeout" in capsys.readouterr().err
+
+
+class TestRunResume:
+    def test_run_resume_skips_completed(self, tmp_path, capsys):
+        args = ["run", "fig2", "--phases", "4", "--warmup", "1",
+                "--workloads", "bfs", "--resume", str(tmp_path)]
+        assert main(args) == 0
+        assert (tmp_path / "checkpoint.json").exists()
+        assert "sharers" in capsys.readouterr().out
+
+        assert main(args) == 0
+        captured = capsys.readouterr()
+        assert "skipping" in captured.err
+        assert "sharers" not in captured.out  # not recomputed

@@ -1,0 +1,197 @@
+"""SweepRunner isolation, retry, timeout, and checkpoint semantics."""
+
+import json
+import time
+
+import pytest
+
+from repro.runner import (
+    CheckpointMismatchError,
+    RunTimeoutError,
+    SweepCheckpoint,
+    SweepError,
+    SweepRunner,
+    TransientRunError,
+)
+
+
+class TestIsolation:
+    def test_one_failure_does_not_stop_the_sweep(self):
+        def run(task_id):
+            if task_id == "b":
+                raise ValueError("deterministic model error")
+            return {"task": task_id}
+
+        outcomes = SweepRunner(run).run(["a", "b", "c"])
+        assert [outcome.status for outcome in outcomes] == \
+            ["ok", "failed", "ok"]
+        failure = outcomes[1].failure
+        assert failure.error_type == "ValueError"
+        assert "deterministic model error" in failure.message
+        assert "ValueError" in failure.traceback
+        assert not failure.transient
+
+    def test_strict_callers_get_sweep_error(self):
+        failures = [
+            outcome.failure
+            for outcome in SweepRunner(lambda t: 1 / 0).run(["x"])
+            if outcome.failure
+        ]
+        error = SweepError(failures)
+        assert "x" in str(error)
+        assert "ZeroDivisionError" in str(error)
+
+    def test_keyboard_interrupt_propagates(self):
+        def run(task_id):
+            raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            SweepRunner(run).run(["a"])
+
+
+class TestRetry:
+    def test_transient_errors_retry_with_backoff(self):
+        attempts = {"n": 0}
+        delays = []
+
+        def run(task_id):
+            attempts["n"] += 1
+            if attempts["n"] < 3:
+                raise TransientRunError("blip")
+            return {"ok": True}
+
+        runner = SweepRunner(run, max_retries=3, backoff_s=0.5,
+                             sleep=delays.append)
+        outcomes = runner.run(["a"])
+        assert outcomes[0].status == "ok"
+        assert outcomes[0].attempts == 3
+        assert delays == [0.5, 1.0]  # exponential
+
+    def test_retry_budget_is_bounded(self):
+        attempts = {"n": 0}
+
+        def run(task_id):
+            attempts["n"] += 1
+            raise TransientRunError("always")
+
+        runner = SweepRunner(run, max_retries=2, backoff_s=0.0,
+                             sleep=lambda s: None)
+        outcomes = runner.run(["a"])
+        assert outcomes[0].status == "failed"
+        assert attempts["n"] == 3  # initial try + 2 retries
+        assert outcomes[0].failure.transient
+
+    def test_deterministic_errors_never_retry(self):
+        attempts = {"n": 0}
+
+        def run(task_id):
+            attempts["n"] += 1
+            raise ValueError("model bug")
+
+        runner = SweepRunner(run, max_retries=5, sleep=lambda s: None)
+        assert runner.run(["a"])[0].status == "failed"
+        assert attempts["n"] == 1
+
+    def test_os_errors_are_transient_by_default(self):
+        attempts = {"n": 0}
+
+        def run(task_id):
+            attempts["n"] += 1
+            if attempts["n"] == 1:
+                raise OSError("fd exhausted")
+            return None
+
+        runner = SweepRunner(run, max_retries=1, backoff_s=0.0,
+                             sleep=lambda s: None)
+        assert runner.run(["a"])[0].status == "ok"
+
+
+class TestTimeout:
+    def test_hung_task_times_out_and_fails(self):
+        def run(task_id):
+            time.sleep(5.0)
+
+        runner = SweepRunner(run, max_retries=0, timeout_s=0.1)
+        outcome = runner.run(["slow"])[0]
+        assert outcome.status == "failed"
+        assert outcome.failure.error_type == "RunTimeoutError"
+        assert outcome.failure.transient  # timeouts are retryable
+
+    def test_fast_task_unaffected(self):
+        runner = SweepRunner(lambda t: {"v": 1}, timeout_s=30.0)
+        assert runner.run(["fast"])[0].status == "ok"
+
+    def test_timeout_error_is_a_timeout(self):
+        assert issubclass(RunTimeoutError, TimeoutError)
+
+
+class TestCheckpoint:
+    def test_completed_tasks_skip_on_resume(self, tmp_path):
+        path = tmp_path / "checkpoint.json"
+        calls = []
+
+        def run(task_id):
+            calls.append(task_id)
+            if task_id == "b":
+                raise RuntimeError("killed here")
+            return {"task": task_id}
+
+        params = {"seed": 1}
+        first = SweepCheckpoint(path, params)
+        first.reset()
+        SweepRunner(run, checkpoint=first).run(["a", "b"])
+        assert calls == ["a", "b"]
+
+        second = SweepCheckpoint(path, params)
+        assert second.load()
+        outcomes = SweepRunner(run, checkpoint=second).run(["a", "b"])
+        assert calls == ["a", "b", "b"]  # 'a' skipped, 'b' retried
+        assert outcomes[0].status == "cached"
+        assert outcomes[0].payload == {"task": "a"}
+
+    def test_params_mismatch_refused(self, tmp_path):
+        path = tmp_path / "checkpoint.json"
+        original = SweepCheckpoint(path, {"seed": 1})
+        original.reset()
+        original.mark_completed("a", None)
+        with pytest.raises(CheckpointMismatchError, match="parameters"):
+            SweepCheckpoint(path, {"seed": 2}).load()
+
+    def test_corrupt_checkpoint_refused(self, tmp_path):
+        path = tmp_path / "checkpoint.json"
+        path.write_text("{ not json")
+        with pytest.raises(CheckpointMismatchError, match="corrupt"):
+            SweepCheckpoint(path, {}).load()
+
+    def test_load_returns_false_when_absent(self, tmp_path):
+        assert not SweepCheckpoint(tmp_path / "nope.json", {}).load()
+
+    def test_write_is_atomic_no_tmp_left_behind(self, tmp_path):
+        path = tmp_path / "checkpoint.json"
+        checkpoint = SweepCheckpoint(path, {"seed": 1})
+        checkpoint.reset()
+        checkpoint.mark_completed("a", {"x": 1})
+        assert path.exists()
+        assert not list(tmp_path.glob("*.tmp"))
+        data = json.loads(path.read_text())
+        assert data["completed"]["a"]["payload"] == {"x": 1}
+
+    def test_failures_recorded_on_disk(self, tmp_path):
+        path = tmp_path / "checkpoint.json"
+        checkpoint = SweepCheckpoint(path, {})
+        checkpoint.reset()
+        runner = SweepRunner(lambda t: 1 / 0, checkpoint=checkpoint)
+        runner.run(["x"])
+        data = json.loads(path.read_text())
+        assert data["failures"][0]["task_id"] == "x"
+        assert data["failures"][0]["error_type"] == "ZeroDivisionError"
+
+
+class TestValidation:
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError):
+            SweepRunner(lambda t: None, max_retries=-1)
+
+    def test_negative_backoff_rejected(self):
+        with pytest.raises(ValueError):
+            SweepRunner(lambda t: None, backoff_s=-0.1)
