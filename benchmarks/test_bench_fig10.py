@@ -7,7 +7,6 @@ drop.
 """
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import run_once
 from repro.experiments import fig10

@@ -7,7 +7,6 @@ by 12%); StarNUMA at half CXL bandwidth still beats ISO-BW (paper: by
 """
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import run_once
 from repro.experiments import fig11

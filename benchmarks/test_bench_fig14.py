@@ -6,8 +6,6 @@ fresh traces (SC3) yields qualitatively identical results -- every
 speedup stays well above 1x and within a modest band of SC1.
 """
 
-import pytest
-
 from benchmarks.conftest import run_once
 from repro.experiments import fig14
 

@@ -6,8 +6,6 @@ for every workload except FMI (whose index is partly chassis-local) and
 POA (which never migrates at all).
 """
 
-import pytest
-
 from benchmarks.conftest import run_once
 from repro.experiments import table4
 

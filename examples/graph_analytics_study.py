@@ -15,7 +15,7 @@ Usage::
     python examples/graph_analytics_study.py
 """
 
-from repro import TrackerKind, baseline_config, starnuma_config
+from repro import TrackerKind
 from repro.experiments import ExperimentContext
 from repro.metrics import format_table
 from repro.topology import AccessType

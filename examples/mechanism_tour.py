@@ -18,7 +18,7 @@ Usage::
 
 import numpy as np
 
-from repro.coherence import Directory, TransferKind
+from repro.coherence import Directory
 from repro.config import MigrationConfig, TrackerKind, full_scale_config
 from repro.memory import DramChannel, RequestKind
 from repro.metrics import format_table

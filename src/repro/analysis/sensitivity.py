@@ -65,13 +65,11 @@ def coupling_sensitivity(workload: str,
             seed=seed, layout="clustered",
         )
         from repro.trace import TraceSynthesizer
-        from repro.sim.engine import NOMINAL_PHASE_INSTRUCTIONS
 
-        scale = SimulationSetup.footprint_scale(varied)
         synthesizer = TraceSynthesizer(
             population, threads_per_socket=base_system.cores_per_socket,
-            instructions_per_thread=max(
-                1_000_000, int(NOMINAL_PHASE_INSTRUCTIONS * scale)
+            instructions_per_thread=SimulationSetup.scaled_phase_instructions(
+                varied, base_system
             ),
             seed=seed,
         )

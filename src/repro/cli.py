@@ -17,6 +17,9 @@ from typing import List, Optional
 from repro.experiments import EXPERIMENTS, ExperimentContext
 from repro.workloads import WORKLOADS
 
+#: Committed baseline of accepted lint findings, at the repo root.
+DEFAULT_BASELINE = "lint-baseline.json"
+
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -68,6 +71,34 @@ def _build_parser() -> argparse.ArgumentParser:
     describe.add_argument("system", choices=["baseline", "starnuma",
                                              "full-scale"],
                           help="which preset to describe")
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the project static-analysis pass",
+        description="Check the tree against the StarNUMA invariants: "
+                    "unit-suffix consistency, determinism, sim purity, "
+                    "hashable cache keys, config/model agreement. See "
+                    "docs/static-analysis.md.",
+    )
+    lint.add_argument("paths", nargs="*", metavar="PATH",
+                      help="files or directories to lint "
+                           "(default: src/repro)")
+    lint.add_argument("--format", choices=["text", "json"], default="text",
+                      help="report format (default text)")
+    lint.add_argument("--baseline", metavar="FILE",
+                      default=DEFAULT_BASELINE,
+                      help=f"baseline file of accepted findings "
+                           f"(default {DEFAULT_BASELINE}; a missing file "
+                           f"is an empty baseline)")
+    lint.add_argument("--no-baseline", action="store_true",
+                      help="report every finding, ignoring the baseline")
+    lint.add_argument("--update-baseline", action="store_true",
+                      help="accept all current findings into the baseline "
+                           "file and exit 0")
+    lint.add_argument("--rules", nargs="+", metavar="RULE",
+                      help="run only these rules")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="list available rules and exit")
     return parser
 
 
@@ -224,6 +255,12 @@ def _cmd_describe(args: argparse.Namespace) -> int:
     print(f"  {config.n_chassis} chassis x {config.sockets_per_chassis} "
           f"sockets x {config.cores_per_socket} cores = "
           f"{config.n_cores} cores")
+    core = config.core
+    print(f"  core: {core.frequency_ghz:.1f} GHz, {core.issue_width}-wide, "
+          f"{core.rob_entries}-entry ROB, "
+          f"L1 {core.l1_kb} KB / L2 {core.l2_kb} KB / "
+          f"LLC {core.llc_kb_per_core} KB/core "
+          f"({core.llc_latency_cycles} cycles)")
     print(f"  memory: {config.memory_per_socket_gb:.0f} GB/socket"
           + (f" + {config.pool_memory_gb:.0f} GB pool"
              if config.pool.enabled else " (no pool)"))
@@ -231,8 +268,9 @@ def _cmd_describe(args: argparse.Namespace) -> int:
     print(f"  latency ns: local {latency.local_ns:.0f} / 1-hop "
           f"{latency.intra_chassis_ns:.0f} / 2-hop "
           f"{latency.inter_chassis_ns:.0f}"
-          + (f" / pool {latency.pool_ns:.0f}" if config.pool.enabled
-             else ""))
+          + (f" / pool {latency.pool_ns:.0f} "
+             f"(incl. {config.pool.directory_margin_ns:.0f} ns MHD "
+             f"directory)" if config.pool.enabled else ""))
     counts = {}
     for link in topology.links.values():
         counts.setdefault(link.kind, [0, link.capacity_gbps])
@@ -251,6 +289,55 @@ def _cmd_describe(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.lint import (Baseline, BaselineError, build_project,
+                            create_rules, render_json, render_text,
+                            rule_descriptions, run_lint)
+
+    if args.list_rules:
+        for name, description in sorted(rule_descriptions().items()):
+            print(f"{name:14s} {description}")
+        return 0
+
+    paths = args.paths or ["src/repro"]
+    for path in paths:
+        if not Path(path).exists():
+            print(f"starnuma: error: no such path: {path}", file=sys.stderr)
+            return 2
+
+    try:
+        rules = create_rules(args.rules)
+    except KeyError as exc:
+        print(f"starnuma: error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    project, parse_errors = build_project(paths)
+    baseline_path = Path(args.baseline)
+
+    if args.update_baseline:
+        report = run_lint(project, rules=rules,
+                          extra_findings=parse_errors)
+        Baseline.from_findings(report.findings, project).save(baseline_path)
+        print(f"wrote {len(report.findings)} finding(s) to {baseline_path}")
+        return 0
+
+    baseline = None
+    if not args.no_baseline:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except BaselineError as exc:
+            print(f"starnuma: error: {exc}", file=sys.stderr)
+            return 2
+    report = run_lint(project, rules=rules, baseline=baseline,
+                      extra_findings=parse_errors)
+    rendered = (render_json(report) if args.format == "json"
+                else render_text(report))
+    print(rendered)
+    return 0 if report.is_clean else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command in ("run", "export"):
@@ -264,6 +351,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_export(args)
     if args.command == "describe":
         return _cmd_describe(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     return _cmd_run(args)
 
 

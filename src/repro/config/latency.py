@@ -38,6 +38,11 @@ class LatencyConfig:
     intra_chassis_ns: float = 130.0
     inter_chassis_ns: float = 360.0
     pool_ns: float = 180.0
+    #: DRAM array-access share of ``local_ns`` (row activation + column
+    #: read of an open-page hit). The record-level replay subtracts this
+    #: nominal share before substituting the functional DRAM channel's
+    #: actual service time.
+    local_dram_service_ns: float = 40.0
     #: Average 3-hop (requester -> home -> owner -> requester) block
     #: transfer, socket home (Section III-C).
     block_transfer_socket_ns: float = 413.0
@@ -86,6 +91,12 @@ class LatencyConfig:
             raise ValueError(
                 f"pool latency {self.pool_ns} ns cannot be below local "
                 f"latency {self.local_ns} ns"
+            )
+        if not 0 < self.local_dram_service_ns <= self.local_ns:
+            raise ValueError(
+                f"DRAM service share {self.local_dram_service_ns} ns must "
+                f"be positive and within the {self.local_ns} ns local "
+                f"latency"
             )
         if self.block_transfer_socket_ns <= 0 or self.block_transfer_pool_ns <= 0:
             raise ValueError("block transfer latencies must be positive")

@@ -6,6 +6,7 @@ import enum
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from repro.config import units
 from repro.config.bandwidth import BandwidthConfig
 from repro.config.latency import LatencyConfig
 
@@ -53,13 +54,13 @@ class CoreConfig:
     @property
     def cycle_ns(self) -> float:
         """Duration of one core clock cycle in nanoseconds."""
-        return 1.0 / self.frequency_ghz
+        return units.cycles_to_ns(1.0, self.frequency_ghz)
 
     def ns_to_cycles(self, ns: float) -> float:
-        return ns * self.frequency_ghz
+        return units.ns_to_cycles(ns, self.frequency_ghz)
 
     def cycles_to_ns(self, cycles: float) -> float:
-        return cycles / self.frequency_ghz
+        return units.cycles_to_ns(cycles, self.frequency_ghz)
 
 
 @dataclass(frozen=True)

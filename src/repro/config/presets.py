@@ -6,8 +6,6 @@ from dataclasses import replace
 
 from repro.config.bandwidth import BandwidthConfig
 from repro.config.parameters import (
-    MigrationConfig,
-    PoolConfig,
     SystemConfig,
     TrackerKind,
 )

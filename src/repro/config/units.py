@@ -1,0 +1,62 @@
+"""Canonical unit conversions -- the one module allowed to mix units.
+
+Quantities throughout the reproduction carry their unit in the
+identifier suffix (``_ns``, ``_cycles``, ``_gbps``, ``_bytes``,
+``_gb``); the ``starnuma lint`` units rule flags any cross-unit
+arithmetic outside this module. Every conversion therefore goes through
+these helpers (directly, or via the :class:`~repro.config.CoreConfig`
+wrappers that bind the core frequency).
+
+Conventions:
+
+* **GB are decimal** (1e9 bytes), matching the link-rate convention of
+  Tables I/II -- a 40 GB/s link moves 40 bytes per nanosecond.
+* **1 GB/s == 1 byte/ns**, so transfer times divide bytes by GB/s.
+"""
+
+from __future__ import annotations
+
+#: Bytes per (decimal) gigabyte.
+BYTES_PER_GB = 1e9
+
+
+def ns_to_cycles(latency_ns: float, frequency_ghz: float) -> float:
+    """Nanoseconds -> core clock cycles at ``frequency_ghz``."""
+    return latency_ns * frequency_ghz
+
+
+def cycles_to_ns(cycles: float, frequency_ghz: float) -> float:
+    """Core clock cycles at ``frequency_ghz`` -> nanoseconds."""
+    return cycles / frequency_ghz
+
+
+def gb_to_bytes(capacity_gb: float) -> float:
+    """Decimal gigabytes -> bytes."""
+    return capacity_gb * BYTES_PER_GB
+
+
+def bytes_to_gb(size_bytes: float) -> float:
+    """Bytes -> decimal gigabytes."""
+    return size_bytes / BYTES_PER_GB
+
+
+def transfer_time_ns(size_bytes: float, rate_gbps: float) -> float:
+    """Time to move ``size_bytes`` at ``rate_gbps`` (GB/s per direction).
+
+    1 GB/s moves one byte per nanosecond, so this is ``bytes / GBps``.
+    """
+    if rate_gbps <= 0:
+        raise ValueError(f"rate must be positive, got {rate_gbps}")
+    return size_bytes / rate_gbps
+
+
+def bytes_in_window(rate_gbps: float, window_ns: float) -> float:
+    """Bytes a ``rate_gbps`` link moves in a ``window_ns`` interval."""
+    return rate_gbps * window_ns
+
+
+def offered_gbps(traffic_bytes: float, window_ns: float) -> float:
+    """Offered bandwidth of ``traffic_bytes`` spread over ``window_ns``."""
+    if window_ns <= 0:
+        raise ValueError(f"window must be positive, got {window_ns}")
+    return traffic_bytes / window_ns

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.config import SystemConfig, baseline_config, starnuma_config
@@ -101,7 +101,6 @@ class ExperimentContext:
                         multiplier: int) -> SimulationSetup:
         from repro.trace import TraceSynthesizer
         from repro.workloads import build_population
-        from repro.sim.engine import NOMINAL_PHASE_INSTRUCTIONS
 
         profile = self.profile(workload)
         population = build_population(
@@ -109,9 +108,8 @@ class ExperimentContext:
             sockets_per_chassis=system.sockets_per_chassis,
             seed=self.seed, layout="clustered",
         )
-        scale = SimulationSetup.footprint_scale(profile)
-        instructions = max(
-            1_000_000, int(NOMINAL_PHASE_INSTRUCTIONS * scale * multiplier)
+        instructions = SimulationSetup.scaled_phase_instructions(
+            profile, system, multiplier
         )
         synthesizer = TraceSynthesizer(
             population, threads_per_socket=system.cores_per_socket,

@@ -17,7 +17,7 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.experiments import EXPERIMENTS
 from repro.experiments.context import ExperimentContext, ExperimentResult
@@ -82,7 +82,8 @@ def export_all(out_dir: str, context: Optional[ExperimentContext] = None,
                backoff_s: float = 0.5,
                timeout_s: Optional[float] = None,
                strict: bool = True,
-               on_event=None) -> Dict[str, str]:
+               on_event: Optional[Callable[[str], None]] = None,
+               ) -> Dict[str, str]:
     """Run and export experiments; return {experiment id: file stem}.
 
     ``resume=True`` adopts an existing ``checkpoint.json`` in ``out_dir``

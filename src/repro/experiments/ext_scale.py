@@ -23,14 +23,20 @@ from repro.config import (
     scaled_config,
     with_pool_latency_penalty,
 )
+from repro.config.latency import CXL_SWITCH_PENALTY_NS
 from repro.experiments.context import ExperimentContext, ExperimentResult
-from repro.metrics.calibration import calibrate_cpi
 from repro.sim import SimulationSetup, Simulator
 
 DEFAULT_WORKLOADS = ("bfs", "tc", "masstree")
 
-#: CXL penalty with one switch level (Section III-B).
-SWITCHED_POOL_PENALTY_NS = 190.0
+
+def switched_pool_penalty_ns(base: SystemConfig) -> float:
+    """Pool penalty with one CXL switch level (Section III-B).
+
+    The switch's 90 ns round trip stacks on top of the base config's CXL
+    path penalty (100 ns -> 190 ns at the paper's parameters).
+    """
+    return base.latency.pool_penalty_ns + CXL_SWITCH_PENALTY_NS
 
 
 def thirty_two_socket_config(name: str = "starnuma-32") -> SystemConfig:
@@ -45,8 +51,9 @@ def run(context: Optional[ExperimentContext] = None,
         workloads: Sequence[str] = DEFAULT_WORKLOADS) -> ExperimentResult:
     context = context or ExperimentContext()
 
+    star32_base = thirty_two_socket_config()
     star32 = with_pool_latency_penalty(
-        thirty_two_socket_config(), SWITCHED_POOL_PENALTY_NS
+        star32_base, switched_pool_penalty_ns(star32_base)
     )
     base32 = thirty_two_socket_config().without_pool("baseline-32")
 

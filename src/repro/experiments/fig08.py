@@ -14,7 +14,7 @@ Three views over the same pair of runs per workload:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.config import TrackerKind
 from repro.experiments.context import ExperimentContext, ExperimentResult

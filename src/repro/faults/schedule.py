@@ -12,10 +12,14 @@ from __future__ import annotations
 
 import enum
 import json
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import (TYPE_CHECKING, Dict, FrozenSet, Iterator, List, Optional,
+                    Sequence, Tuple)
 
 from repro.faults.errors import FaultModelError
+
+if TYPE_CHECKING:
+    from repro.topology import Topology
 
 
 class FaultKind(enum.Enum):
@@ -153,7 +157,7 @@ class FaultSchedule:
     def __len__(self) -> int:
         return len(self.events)
 
-    def __iter__(self):
+    def __iter__(self) -> "Iterator[FaultEvent]":
         return iter(self.events)
 
     def events_at(self, phase: int) -> List[FaultEvent]:
@@ -222,7 +226,7 @@ class FaultSchedule:
         self._state_cache[phase] = state
         return state
 
-    def validate(self, topology) -> None:
+    def validate(self, topology: "Topology") -> None:
         """Check every event targets something that exists in ``topology``."""
         for event in self.events:
             if event.link_id is not None and event.link_id not in topology.links:

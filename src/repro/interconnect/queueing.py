@@ -16,6 +16,8 @@ simply keeps the iteration monotone and finite on the way there.
 
 from __future__ import annotations
 
+from repro.config import units
+
 #: Utilization at which the analytic M/D/1 curve hands over to the linear
 #: extension.
 MAX_STABLE_UTILIZATION = 0.95
@@ -40,7 +42,7 @@ def service_time_ns(block_bytes: float, capacity_gbps: float) -> float:
         raise ValueError(f"capacity must be positive, got {capacity_gbps}")
     if block_bytes < 0:
         raise ValueError(f"block size must be >= 0, got {block_bytes}")
-    return block_bytes / capacity_gbps
+    return units.transfer_time_ns(block_bytes, capacity_gbps)
 
 
 def mdl_wait_ns(utilization: float, service_ns: float,

@@ -1,0 +1,52 @@
+"""``starnuma lint``: project-specific static analysis.
+
+An AST-based framework enforcing the invariants the StarNUMA
+reproduction's headline numbers rest on -- unit correctness (never add
+nanoseconds to cycles), determinism (byte-identical ``--resume``),
+sim purity (no I/O in timing hot paths), hashable cache keys, and
+config/model agreement. See ``docs/static-analysis.md``.
+"""
+
+from repro.lint.baseline import Baseline, BaselineError, fingerprint
+from repro.lint.engine import (
+    LintReport,
+    build_project,
+    collect_files,
+    lint_paths,
+    lint_sources,
+    run_lint,
+)
+from repro.lint.findings import Finding, Severity
+from repro.lint.module import LintModule, LintProject, module_name_for
+from repro.lint.registry import (
+    LintRule,
+    all_rule_names,
+    create_rules,
+    register,
+    rule_descriptions,
+)
+from repro.lint.reporters import render_json, render_text
+
+__all__ = [
+    "Baseline",
+    "BaselineError",
+    "Finding",
+    "LintModule",
+    "LintProject",
+    "LintReport",
+    "LintRule",
+    "Severity",
+    "all_rule_names",
+    "build_project",
+    "collect_files",
+    "create_rules",
+    "fingerprint",
+    "lint_paths",
+    "lint_sources",
+    "module_name_for",
+    "register",
+    "render_json",
+    "render_text",
+    "rule_descriptions",
+    "run_lint",
+]

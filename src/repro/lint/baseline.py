@@ -1,0 +1,113 @@
+"""Baseline suppression of known findings.
+
+A baseline records fingerprints of accepted findings so ``starnuma
+lint`` only fails on *new* violations. Fingerprints hash the rule id,
+the module's dotted name, the finding message, and the stripped source
+line text -- deliberately **not** the line number, so unrelated edits
+that shift code do not invalidate the baseline. Each fingerprint stores
+a count, so two identical violations on identical lines need two
+baseline slots.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.lint.findings import Finding
+from repro.lint.module import LintProject
+
+BASELINE_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """Raised for an unreadable or malformed baseline file."""
+
+
+def fingerprint(finding: Finding, line_text: str) -> str:
+    payload = "\x1f".join(
+        (finding.rule, finding.module, line_text.strip(), finding.message)
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:20]
+
+
+class Baseline:
+    """A multiset of accepted finding fingerprints."""
+
+    def __init__(self, counts: Optional[Dict[str, int]] = None,
+                 notes: Optional[Dict[str, str]] = None):
+        self.counts: Dict[str, int] = dict(counts or {})
+        #: Human-readable context per fingerprint, written to the file for
+        #: reviewability; never consulted when matching.
+        self.notes: Dict[str, str] = dict(notes or {})
+
+    def __len__(self) -> int:
+        return sum(self.counts.values())
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        if not path.exists():
+            return cls()
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise BaselineError(f"cannot read baseline {path}: {exc}") from None
+        if not isinstance(data, dict) or "findings" not in data:
+            raise BaselineError(
+                f"baseline {path} is not a starnuma-lint baseline file"
+            )
+        counts: Dict[str, int] = {}
+        for entry in data["findings"]:
+            counts[entry["fingerprint"]] = (
+                counts.get(entry["fingerprint"], 0) + int(entry.get("count", 1))
+            )
+        return cls(counts)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding],
+                      project: LintProject) -> "Baseline":
+        counts: Dict[str, int] = {}
+        notes: Dict[str, str] = {}
+        for finding in findings:
+            key = fingerprint(finding, _line_text(project, finding))
+            counts[key] = counts.get(key, 0) + 1
+            notes[key] = f"{finding.rule}: {finding.module}: {finding.message}"
+        return cls(counts, notes)
+
+    def save(self, path: Path) -> None:
+        entries = [
+            {"fingerprint": key, "count": count,
+             **({"note": self.notes[key]} if key in self.notes else {})}
+            for key, count in sorted(self.counts.items())
+        ]
+        payload = {
+            "comment": "starnuma lint baseline; regenerate with "
+                       "`starnuma lint --update-baseline`",
+            "version": BASELINE_VERSION,
+            "findings": entries,
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+
+    def split(self, findings: Iterable[Finding],
+              project: LintProject) -> Tuple[List[Finding], int]:
+        """Partition ``findings`` into (new, suppressed-count)."""
+        remaining = dict(self.counts)
+        fresh: List[Finding] = []
+        suppressed = 0
+        for finding in findings:
+            key = fingerprint(finding, _line_text(project, finding))
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                suppressed += 1
+            else:
+                fresh.append(finding)
+        return fresh, suppressed
+
+
+def _line_text(project: LintProject, finding: Finding) -> str:
+    module = project.module(finding.module)
+    return module.line_text(finding.line) if module is not None else ""

@@ -1,0 +1,124 @@
+"""Lint driver: collect files, run rules, apply the baseline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.lint.baseline import Baseline
+from repro.lint.findings import Finding, Severity
+from repro.lint.module import LintModule, LintProject
+from repro.lint.registry import LintRule, create_rules
+
+#: Directory names never descended into when expanding path arguments.
+_SKIP_DIRS = {"__pycache__", ".git", ".mypy_cache", ".ruff_cache"}
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    n_files: int = 0
+    rule_names: List[str] = field(default_factory=list)
+
+    @property
+    def is_clean(self) -> bool:
+        return not self.findings
+
+    def count(self, severity: Severity) -> int:
+        return sum(1 for finding in self.findings
+                   if finding.severity is severity)
+
+
+def collect_files(paths: Iterable[object]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)  # type: ignore[arg-type]
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not _SKIP_DIRS.intersection(candidate.parts):
+                    files.append(candidate)
+        elif path.suffix == ".py":
+            files.append(path)
+        else:
+            raise FileNotFoundError(f"not a Python file or directory: {path}")
+    seen = set()
+    unique = []
+    for candidate in files:
+        if candidate not in seen:
+            seen.add(candidate)
+            unique.append(candidate)
+    return unique
+
+
+def build_project(paths: Iterable[Path]) -> Tuple[LintProject, List[Finding]]:
+    """Parse every file; syntax errors become findings, not crashes."""
+    modules: List[LintModule] = []
+    errors: List[Finding] = []
+    for path in collect_files(paths):
+        try:
+            modules.append(LintModule.from_path(path))
+        except SyntaxError as exc:
+            errors.append(Finding(
+                rule="parse-error",
+                severity=Severity.ERROR,
+                module=path.stem,
+                path=str(path),
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                message=f"cannot parse file: {exc.msg}",
+            ))
+    return LintProject(modules), errors
+
+
+def run_lint(project: LintProject,
+             rules: Optional[Sequence[LintRule]] = None,
+             baseline: Optional[Baseline] = None,
+             extra_findings: Sequence[Finding] = ()) -> LintReport:
+    """Run ``rules`` over ``project`` and filter through ``baseline``."""
+    active = list(rules) if rules is not None else create_rules()
+    findings: List[Finding] = list(extra_findings)
+    for rule in active:
+        for module in project:
+            findings.extend(rule.check_module(module, project))
+        findings.extend(rule.check_project(project))
+    findings.sort(key=lambda finding: finding.sort_key)
+
+    suppressed = 0
+    if baseline is not None:
+        findings, suppressed = baseline.split(findings, project)
+    return LintReport(
+        findings=findings,
+        suppressed=suppressed,
+        n_files=len(project),
+        rule_names=[rule.name for rule in active],
+    )
+
+
+def lint_paths(paths: Iterable[object],
+               rule_names: Optional[Iterable[str]] = None,
+               baseline_path: Optional[object] = None) -> LintReport:
+    """Convenience wrapper: parse, run, baseline -- one call."""
+    project, parse_errors = build_project(paths)
+    baseline = (Baseline.load(Path(baseline_path))  # type: ignore[arg-type]
+                if baseline_path is not None else None)
+    return run_lint(
+        project,
+        rules=create_rules(rule_names),
+        baseline=baseline,
+        extra_findings=parse_errors,
+    )
+
+
+def lint_sources(sources: dict,
+                 rule_names: Optional[Iterable[str]] = None) -> LintReport:
+    """Lint in-memory ``{dotted_name: source}`` mappings (test fixtures)."""
+    project = LintProject([
+        LintModule.from_source(name, text, path=f"<{name}>")
+        for name, text in sources.items()
+    ])
+    return run_lint(project, rules=create_rules(rule_names))

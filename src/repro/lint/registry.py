@@ -1,0 +1,90 @@
+"""Rule base class and the global rule registry.
+
+Rules self-register at import time via :func:`register`; the engine asks
+:func:`create_rules` for fresh instances per run so rules may keep
+per-run state without leaking between invocations.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Type
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.module import LintModule, LintProject
+
+
+class LintRule:
+    """Base class of every project lint rule.
+
+    Subclasses set ``name`` (the stable id used in reports, baselines and
+    ``--rules`` selection), ``severity``, and ``description``, and
+    override :meth:`check_module` (called once per module) and/or
+    :meth:`check_project` (called once per run with the whole project).
+    """
+
+    name: str = ""
+    severity: Severity = Severity.ERROR
+    description: str = ""
+
+    def check_module(self, module: LintModule,
+                     project: LintProject) -> Iterable[Finding]:
+        return ()
+
+    def check_project(self, project: LintProject) -> Iterable[Finding]:
+        return ()
+
+    def finding(self, module: LintModule, node: ast.AST, message: str,
+                severity: Optional[Severity] = None) -> Finding:
+        return Finding(
+            rule=self.name,
+            severity=severity or self.severity,
+            module=module.name,
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+_REGISTRY: Dict[str, Type[LintRule]] = {}
+
+
+def register(cls: Type[LintRule]) -> Type[LintRule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.name:
+        raise ValueError(f"rule {cls.__name__} must set a name")
+    if cls.name in _REGISTRY and _REGISTRY[cls.name] is not cls:
+        raise ValueError(f"duplicate rule name {cls.name!r}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def _load_builtin_rules() -> None:
+    import repro.lint.rules  # noqa: F401  (imports register the rules)
+
+
+def all_rule_names() -> List[str]:
+    _load_builtin_rules()
+    return sorted(_REGISTRY)
+
+
+def rule_descriptions() -> Dict[str, str]:
+    _load_builtin_rules()
+    return {name: _REGISTRY[name].description for name in sorted(_REGISTRY)}
+
+
+def create_rules(names: Optional[Iterable[str]] = None) -> List[LintRule]:
+    """Instantiate the selected rules (all registered rules by default)."""
+    _load_builtin_rules()
+    if names is None:
+        selected = sorted(_REGISTRY)
+    else:
+        selected = list(names)
+        unknown = [name for name in selected if name not in _REGISTRY]
+        if unknown:
+            raise KeyError(
+                f"unknown lint rule(s) {', '.join(sorted(unknown))}; "
+                f"available: {', '.join(sorted(_REGISTRY))}"
+            )
+    return [_REGISTRY[name]() for name in selected]

@@ -1,0 +1,50 @@
+"""Text and JSON renderings of a lint report."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.findings import Severity
+from repro.lint.engine import LintReport
+
+
+def render_text(report: LintReport) -> str:
+    """Human-readable report, one ``path:line:col`` finding per line."""
+    lines = [finding.render() for finding in report.findings]
+    errors = report.count(Severity.ERROR)
+    warnings = report.count(Severity.WARNING)
+    if report.is_clean:
+        summary = (f"starnuma lint: clean -- {report.n_files} file(s), "
+                   f"{len(report.rule_names)} rule(s)")
+    else:
+        summary = (f"starnuma lint: {errors} error(s), {warnings} "
+                   f"warning(s) in {report.n_files} file(s)")
+    if report.suppressed:
+        summary += f" ({report.suppressed} baselined finding(s) suppressed)"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """Machine-readable report for CI annotation tooling."""
+    payload = {
+        "clean": report.is_clean,
+        "files": report.n_files,
+        "rules": report.rule_names,
+        "suppressed": report.suppressed,
+        "errors": report.count(Severity.ERROR),
+        "warnings": report.count(Severity.WARNING),
+        "findings": [
+            {
+                "rule": finding.rule,
+                "severity": finding.severity.label,
+                "module": finding.module,
+                "path": finding.path,
+                "line": finding.line,
+                "col": finding.col,
+                "message": finding.message,
+            }
+            for finding in report.findings
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

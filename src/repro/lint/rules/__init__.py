@@ -1,0 +1,11 @@
+"""Project-specific lint rules; importing this package registers them."""
+
+from repro.lint.rules import (  # noqa: F401
+    config_drift,
+    determinism,
+    frozen,
+    purity,
+    units,
+)
+
+__all__ = ["config_drift", "determinism", "frozen", "purity", "units"]

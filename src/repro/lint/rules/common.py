@@ -1,0 +1,119 @@
+"""Shared AST helpers for the project lint rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional, Tuple
+
+#: Identifier suffix -> unit label, longest suffix first so ``_gbps``
+#: wins over ``_gb``. These are the quantity kinds the timing model mixes
+#: at its peril: nanoseconds, core cycles, GB/s rates, byte counts.
+UNIT_SUFFIXES: Tuple[Tuple[str, str], ...] = (
+    ("_cycles", "cycles"),
+    ("_bytes", "bytes"),
+    ("_gbps", "gbps"),
+    ("_ghz", "ghz"),
+    ("_ns", "ns"),
+    ("_gb", "gb"),
+)
+
+
+def suffix_unit(identifier: str) -> Optional[str]:
+    """Unit implied by an identifier's suffix (``None`` if unitless)."""
+    lowered = identifier.lower()
+    for suffix, unit in UNIT_SUFFIXES:
+        if lowered.endswith(suffix):
+            return unit
+    return None
+
+
+def unit_of(node: ast.AST) -> Optional[str]:
+    """Infer the unit of an expression from identifier suffixes.
+
+    Multiplication and division legitimately *convert* units, so they
+    yield ``None``; addition and subtraction propagate a known unit when
+    the other operand is unitless (``total_ns = base_ns + slack``). A
+    known-vs-known mismatch under ``+``/``-`` also yields ``None`` here;
+    the units rule reports the mismatch at the operator itself.
+    """
+    if isinstance(node, ast.Name):
+        return suffix_unit(node.id)
+    if isinstance(node, ast.Attribute):
+        return suffix_unit(node.attr)
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name):
+            return suffix_unit(func.id)
+        if isinstance(func, ast.Attribute):
+            return suffix_unit(func.attr)
+        return None
+    if isinstance(node, ast.UnaryOp):
+        return unit_of(node.operand)
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            left = unit_of(node.left)
+            right = unit_of(node.right)
+            if left is not None and right is not None:
+                return left if left == right else None
+            return left or right
+        return None
+    if isinstance(node, ast.IfExp):
+        body = unit_of(node.body)
+        orelse = unit_of(node.orelse)
+        return body if body == orelse else None
+    if isinstance(node, ast.Starred):
+        return None
+    return None
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Render ``a.b.c`` attribute/name chains; ``None`` for anything else."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = dotted_name(node.value)
+        return f"{base}.{node.attr}" if base is not None else None
+    return None
+
+
+def import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Map local names to the canonical modules bound by plain imports.
+
+    ``import numpy as np`` yields ``{"np": "numpy"}``; ``from datetime
+    import datetime`` yields ``{"datetime": "datetime.datetime"}``.
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                canonical = alias.name if alias.asname else alias.name.split(".")[0]
+                aliases[local] = canonical
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                aliases[alias.asname or alias.name] = \
+                    f"{node.module}.{alias.name}"
+    return aliases
+
+
+def resolve_call(node: ast.Call, aliases: Dict[str, str]) -> Optional[str]:
+    """Canonical dotted target of a call, resolving import aliases."""
+    name = dotted_name(node.func)
+    if name is None:
+        return None
+    head, _, rest = name.partition(".")
+    canonical = aliases.get(head, head)
+    return f"{canonical}.{rest}" if rest else canonical
+
+
+def numeric_literal(node: ast.AST) -> Optional[float]:
+    """The value of an (optionally negated) int/float literal, else None."""
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = numeric_literal(node.operand)
+        return -inner if inner is not None else None
+    if isinstance(node, ast.Constant) and not isinstance(node.value, bool) \
+            and isinstance(node.value, (int, float)):
+        return float(node.value)
+    return None

@@ -1,0 +1,227 @@
+"""Config drift: parameters must be consumed, and constants centralized.
+
+Two failure modes of a growing simulator are checked:
+
+1. **Dead parameters** -- a field declared on a config dataclass in
+   :mod:`repro.config.parameters` that no other module ever reads. Such
+   a field silently stops describing the simulated system (the engine
+   hardcoding its own copy of the value is the classic cause), so sweeps
+   that vary it do nothing.
+2. **Magic latency/bandwidth literals** -- a numeric literal combined
+   with a ``_ns``/``_gbps`` quantity outside ``repro.config``. Latencies
+   and bandwidths are calibrated paper parameters; burying one as a
+   literal in a model file detaches it from the config it must track.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Set, Tuple
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.module import LintModule, LintProject
+from repro.lint.registry import LintRule, register
+from repro.lint.rules.common import numeric_literal, suffix_unit, unit_of
+
+#: The module whose dataclass fields define the simulated system.
+PARAMETERS_MODULE = "repro.config.parameters"
+
+#: Package whose modules may define latency/bandwidth literals.
+CONFIG_PACKAGE = "repro.config"
+
+#: Units whose literals are calibrated parameters, not incidental math.
+_GUARDED_UNITS = {"ns", "gbps"}
+
+#: Literal values that are structurally harmless (identity elements,
+#: sign flips, halving) rather than smuggled calibration constants.
+_ALLOWED_LITERALS = {0.0, 1.0, 2.0, -1.0}
+
+
+def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) \
+            else decorator
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return True
+    return False
+
+
+def _declared_fields(module: LintModule) -> List[Tuple[str, str, ast.AST]]:
+    """(class, field, node) for every dataclass field in ``module``."""
+    fields = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ClassDef) \
+                or not _is_dataclass_decorated(node):
+            continue
+        for stmt in node.body:
+            if isinstance(stmt, ast.AnnAssign) \
+                    and isinstance(stmt.target, ast.Name) \
+                    and not stmt.target.id.startswith("_"):
+                fields.append((node.name, stmt.target.id, stmt))
+    return fields
+
+
+def _consumed_names(project: LintProject) -> Set[str]:
+    """Attribute and keyword names read anywhere in the project.
+
+    Attribute reads inside the declaring module count too: a field like
+    ``frequency_ghz`` consumed only through same-module conversion
+    properties is still consumed. Bare declarations never produce an
+    ``Attribute`` node, so an unread field cannot satisfy itself.
+    """
+    consumed: Set[str] = set()
+    for module in project:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Attribute):
+                consumed.add(node.attr)
+            elif isinstance(node, ast.Call):
+                for keyword in node.keywords:
+                    if keyword.arg is not None:
+                        consumed.add(keyword.arg)
+            elif isinstance(node, ast.Constant) \
+                    and isinstance(node.value, str):
+                # getattr(..., "field") / replace-style string references.
+                consumed.add(node.value)
+    return consumed
+
+
+def _bad_literal(node: ast.AST) -> bool:
+    value = numeric_literal(node)
+    return value is not None and value not in _ALLOWED_LITERALS
+
+
+@register
+class ConfigDriftRule(LintRule):
+    name = "config-drift"
+    severity = Severity.WARNING
+    description = (
+        "flags config fields no module consumes and magic ns/GB/s "
+        "literals outside repro.config"
+    )
+
+    def check_project(self, project: LintProject) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        self._check_dead_fields(project, findings)
+        for module in project:
+            if not module.in_package((CONFIG_PACKAGE,)):
+                self._check_magic_literals(module, findings)
+        findings.sort(key=lambda finding: finding.sort_key)
+        return findings
+
+    # -- dead parameters ---------------------------------------------------
+
+    def _check_dead_fields(self, project: LintProject,
+                           findings: List[Finding]) -> None:
+        parameters = project.module(PARAMETERS_MODULE)
+        if parameters is None:
+            return
+        consumed = _consumed_names(project)
+        for class_name, field_name, node in _declared_fields(parameters):
+            if field_name not in consumed:
+                findings.append(self.finding(
+                    parameters, node,
+                    f"config field {class_name}.{field_name} is never "
+                    f"consumed outside {PARAMETERS_MODULE}; wire it into "
+                    f"the model (or a report) or remove it",
+                ))
+
+    # -- magic literals ----------------------------------------------------
+
+    def _check_magic_literals(self, module: LintModule,
+                              findings: List[Finding]) -> None:
+        field_defaults = self._dataclass_field_nodes(module)
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                if id(node) not in field_defaults:
+                    self._check_binding(module, node, findings)
+            elif isinstance(node, ast.BinOp) \
+                    and isinstance(node.op, (ast.Add, ast.Sub)):
+                self._check_operands(module, node, node.left, node.right,
+                                     findings)
+            elif isinstance(node, ast.Compare):
+                operands = [node.left] + list(node.comparators)
+                for left, right in zip(operands, operands[1:]):
+                    self._check_operands(module, node, left, right, findings)
+            elif isinstance(node, ast.Call):
+                for keyword in node.keywords:
+                    if keyword.arg is None:
+                        continue
+                    unit = suffix_unit(keyword.arg)
+                    if unit in _GUARDED_UNITS \
+                            and _bad_literal(keyword.value):
+                        self._flag(module, keyword.value, keyword.arg, unit,
+                                   findings)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._check_defaults(module, node, findings)
+
+    @staticmethod
+    def _dataclass_field_nodes(module: LintModule) -> Set[int]:
+        """Field-declaration statements of dataclasses in ``module``.
+
+        A defaulted, annotated dataclass field is a *declared* parameter
+        (named, documented, overridable), not a magic literal.
+        """
+        nodes: Set[int] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef) \
+                    and _is_dataclass_decorated(node):
+                for stmt in node.body:
+                    if isinstance(stmt, ast.AnnAssign):
+                        nodes.add(id(stmt))
+        return nodes
+
+    def _check_binding(self, module: LintModule, node: ast.AST,
+                       findings: List[Finding]) -> None:
+        targets: List[ast.AST]
+        if isinstance(node, ast.Assign):
+            targets, value = list(node.targets), node.value
+        else:
+            targets, value = [node.target], node.value  # type: ignore[attr-defined]
+        if value is None or not _bad_literal(value):
+            return
+        for target in targets:
+            name = None
+            if isinstance(target, ast.Name):
+                name = target.id
+            elif isinstance(target, ast.Attribute):
+                name = target.attr
+            if name is None:
+                continue
+            unit = suffix_unit(name)
+            if unit in _GUARDED_UNITS:
+                self._flag(module, value, name, unit, findings)
+
+    def _check_operands(self, module: LintModule, node: ast.AST,
+                        left: ast.AST, right: ast.AST,
+                        findings: List[Finding]) -> None:
+        for literal, other in ((left, right), (right, left)):
+            if _bad_literal(literal) and unit_of(other) in _GUARDED_UNITS:
+                label = getattr(other, "attr", getattr(other, "id", "value"))
+                self._flag(module, literal, str(label),
+                           str(unit_of(other)), findings)
+                return
+
+    def _check_defaults(self, module: LintModule, node: ast.AST,
+                        findings: List[Finding]) -> None:
+        args = node.args  # type: ignore[attr-defined]
+        positional = list(args.posonlyargs) + list(args.args)
+        pairs = list(zip(reversed(positional), reversed(args.defaults)))
+        pairs += [(arg, default) for arg, default
+                  in zip(args.kwonlyargs, args.kw_defaults)
+                  if default is not None]
+        for arg, default in pairs:
+            unit = suffix_unit(arg.arg)
+            if unit in _GUARDED_UNITS and _bad_literal(default):
+                self._flag(module, default, arg.arg, unit, findings)
+
+    def _flag(self, module: LintModule, node: ast.AST, name: str,
+              unit: str, findings: List[Finding]) -> None:
+        value = numeric_literal(node)
+        rendered = f"{value:g}" if value is not None else "literal"
+        findings.append(self.finding(
+            module, node,
+            f"magic {unit} literal {rendered} combined with '{name}' "
+            f"outside repro.config; name it in the system configuration",
+        ))

@@ -1,0 +1,238 @@
+"""Determinism: simulation code must be replayable bit for bit.
+
+The checkpoint/resume guarantee (byte-identical ``--resume`` re-runs)
+and the per-state timing-model caches both assume that simulating the
+same inputs twice produces the same bytes. Three things silently break
+that: unseeded or global RNG state, wall-clock reads, and iteration over
+``set`` objects (whose order varies under hash randomization). This rule
+forbids all three inside the simulation packages.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.module import LintModule, LintProject
+from repro.lint.registry import LintRule, register
+from repro.lint.rules.common import import_aliases, resolve_call
+
+#: Packages whose behavior feeds simulation results and checkpoints.
+DETERMINISM_SCOPES = (
+    "repro.sim",
+    "repro.migration",
+    "repro.interconnect",
+    "repro.faults",
+)
+
+#: numpy.random members that construct explicitly seeded generators.
+_SEEDED_NP_RANDOM = {
+    "default_rng", "Generator", "SeedSequence", "BitGenerator",
+    "PCG64", "PCG64DXSM", "Philox", "MT19937", "SFC64",
+}
+
+#: Wall-clock reads: nondeterministic across runs by definition.
+_WALL_CLOCK_CALLS = {
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.clock_gettime",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+}
+
+#: Other inherently nondeterministic value sources.
+_ENTROPY_CALLS = {"os.urandom", "uuid.uuid1", "uuid.uuid4"}
+
+#: Builtins whose call materializes its argument in iteration order.
+_ORDER_SENSITIVE_BUILTINS = {"list", "tuple", "enumerate"}
+
+#: Callables whose result does not depend on argument iteration order,
+#: so feeding them a set (or a generator over one) is deterministic.
+_ORDER_INSENSITIVE_SINKS = {"set", "frozenset", "sum", "min", "max",
+                            "any", "all", "len", "sorted"}
+
+
+def _is_set_expression(node: ast.AST, set_names: Set[str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+            and node.func.id in ("set", "frozenset"):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    return False
+
+
+def _walk_scope(root: ast.AST):
+    """Yield nodes of one lexical scope, not descending into nested defs."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(root))
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+            stack.extend(ast.iter_child_nodes(node))
+
+
+def _local_set_names(scope: ast.AST) -> Set[str]:
+    """Names assigned a set in ``scope`` and never re-bound to non-sets."""
+    assigned_set: Set[str] = set()
+    assigned_other: Set[str] = set()
+    for node in _walk_scope(scope):
+        if isinstance(node, ast.Assign):
+            is_set = _is_set_expression(node.value, set())
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    (assigned_set if is_set else assigned_other).add(target.id)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None \
+                and isinstance(node.target, ast.Name):
+            if _is_set_expression(node.value, set()):
+                assigned_set.add(node.target.id)
+            else:
+                assigned_other.add(node.target.id)
+    return assigned_set - assigned_other
+
+
+@register
+class DeterminismRule(LintRule):
+    name = "determinism"
+    severity = Severity.ERROR
+    description = (
+        "forbids unseeded/global RNG, wall-clock reads, and bare-set "
+        "iteration in repro.sim/migration/interconnect/faults"
+    )
+
+    def check_module(self, module: LintModule,
+                     project: LintProject) -> Iterable[Finding]:
+        if not module.in_package(DETERMINISM_SCOPES):
+            return ()
+        findings: List[Finding] = []
+        aliases = import_aliases(module.tree)
+        self._check_imports(module, findings)
+        self._check_calls(module, aliases, findings)
+        self._check_set_iteration(module, findings)
+        return findings
+
+    # -- imports -----------------------------------------------------------
+
+    def _check_imports(self, module: LintModule,
+                       findings: List[Finding]) -> None:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ImportFrom) or node.level:
+                continue
+            if node.module == "random":
+                findings.append(self.finding(
+                    module, node,
+                    "importing from the global 'random' module; use a "
+                    "seeded numpy Generator (np.random.default_rng(seed))",
+                ))
+            elif node.module == "numpy.random":
+                bad = [alias.name for alias in node.names
+                       if alias.name not in _SEEDED_NP_RANDOM]
+                if bad:
+                    findings.append(self.finding(
+                        module, node,
+                        f"importing unseeded numpy.random state "
+                        f"({', '.join(bad)}); construct a seeded Generator "
+                        f"instead",
+                    ))
+            elif node.module in ("secrets",) or (
+                    node.module or "").startswith("secrets."):
+                findings.append(self.finding(
+                    module, node,
+                    "'secrets' is entropy-backed and never reproducible",
+                ))
+
+    # -- calls -------------------------------------------------------------
+
+    def _check_calls(self, module: LintModule, aliases: Dict[str, str],
+                     findings: List[Finding]) -> None:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_call(node, aliases)
+            if target is None:
+                continue
+            message = self._call_message(target)
+            if message is not None:
+                findings.append(self.finding(module, node, message))
+
+    def _call_message(self, target: str) -> Optional[str]:
+        if target == "random" or target.startswith("random."):
+            return (f"'{target}' uses the global (unseeded) RNG; "
+                    f"thread a seeded np.random.default_rng(seed) through "
+                    f"instead")
+        if target.startswith("numpy.random."):
+            member = target.rsplit(".", 1)[1]
+            if member not in _SEEDED_NP_RANDOM:
+                return (f"'{target}' draws from numpy's global RNG; use a "
+                        f"seeded np.random.default_rng(seed)")
+        if target in _WALL_CLOCK_CALLS:
+            return (f"'{target}' reads the wall clock; simulated time must "
+                    f"come from the phase model, not the host")
+        if target in _ENTROPY_CALLS or target.startswith("secrets."):
+            return f"'{target}' is entropy-backed and never reproducible"
+        return None
+
+    # -- set iteration -----------------------------------------------------
+
+    def _check_set_iteration(self, module: LintModule,
+                             findings: List[Finding]) -> None:
+        scopes: List[ast.AST] = [module.tree]
+        scopes.extend(node for node in ast.walk(module.tree)
+                      if isinstance(node, (ast.FunctionDef,
+                                           ast.AsyncFunctionDef)))
+        for scope in scopes:
+            set_names = _local_set_names(scope)
+            self._scan_scope_body(module, scope, set_names, findings)
+
+    def _scan_scope_body(self, module: LintModule, scope: ast.AST,
+                         set_names: Set[str],
+                         findings: List[Finding]) -> None:
+        exempt = self._order_insensitive_comprehensions(scope)
+        for node in _walk_scope(scope):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                self._flag_if_set(module, node.iter, set_names, findings)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                if id(node) in exempt:
+                    continue
+                for generator in node.generators:
+                    self._flag_if_set(module, generator.iter, set_names,
+                                      findings)
+            elif isinstance(node, ast.Call) and isinstance(node.func,
+                                                           ast.Name) \
+                    and node.func.id in _ORDER_SENSITIVE_BUILTINS:
+                for arg in node.args[:1]:
+                    self._flag_if_set(module, arg, set_names, findings)
+
+    @staticmethod
+    def _order_insensitive_comprehensions(scope: ast.AST) -> Set[int]:
+        """Comprehension nodes whose iteration order cannot leak out.
+
+        A set comprehension rebuilds a set (same elements regardless of
+        order), and a generator consumed whole by an order-insensitive
+        callable (``frozenset``, ``sum``, ``sorted``...) is equally safe.
+        """
+        exempt: Set[int] = set()
+        for node in _walk_scope(scope):
+            if isinstance(node, ast.SetComp):
+                exempt.add(id(node))
+            elif isinstance(node, ast.Call) and isinstance(node.func,
+                                                           ast.Name) \
+                    and node.func.id in _ORDER_INSENSITIVE_SINKS:
+                for arg in node.args[:1]:
+                    if isinstance(arg, (ast.GeneratorExp, ast.SetComp)):
+                        exempt.add(id(arg))
+        return exempt
+
+    def _flag_if_set(self, module: LintModule, node: ast.AST,
+                     set_names: Set[str],
+                     findings: List[Finding]) -> None:
+        if _is_set_expression(node, set_names):
+            findings.append(self.finding(
+                module, node,
+                "iterating a bare set is order-nondeterministic under hash "
+                "randomization; iterate sorted(...) instead (protects "
+                "byte-identical --resume)",
+            ))

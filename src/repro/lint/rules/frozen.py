@@ -1,0 +1,184 @@
+"""Frozen-hashable: dataclasses used as dict/set keys must be frozen.
+
+The simulator caches one timing model per distinct
+:class:`~repro.faults.FaultState` (``Dict[FaultState, ...]``); any
+dataclass used that way must be ``frozen=True`` (or ``eq=False``, which
+falls back to identity hashing) and must hold only hashable fields --
+a ``list`` field inside a frozen dataclass still raises ``TypeError``
+at the first cache insert.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.module import LintModule, LintProject
+from repro.lint.registry import LintRule, register
+
+#: Subscripted container heads whose FIRST type parameter is a key.
+_KEYED_HEADS = {"Dict", "dict", "Mapping", "MutableMapping", "DefaultDict",
+                "OrderedDict", "Counter"}
+#: Subscripted container heads whose only parameter must be hashable.
+_SET_HEADS = {"Set", "set", "FrozenSet", "frozenset", "AbstractSet"}
+
+#: Annotation heads that make a field unhashable.
+_UNHASHABLE_HEADS = {"List", "list", "Dict", "dict", "Set", "set",
+                     "bytearray", "ndarray", "DefaultDict", "defaultdict"}
+
+
+@dataclass
+class _DataclassInfo:
+    name: str
+    module: str
+    path: str
+    node: ast.ClassDef
+    frozen: bool
+    eq: bool
+    field_annotations: List[Tuple[str, ast.AST]] = field(default_factory=list)
+
+
+def _head_name(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _dataclass_flags(decorator: ast.AST) -> Optional[Tuple[bool, bool]]:
+    """(frozen, eq) if ``decorator`` is a dataclass decorator, else None."""
+    keywords: List[ast.keyword] = []
+    target = decorator
+    if isinstance(decorator, ast.Call):
+        target = decorator.func
+        keywords = decorator.keywords
+    if _head_name(target) != "dataclass":
+        return None
+    frozen, eq = False, True
+    for keyword in keywords:
+        if keyword.arg in ("frozen", "eq") \
+                and isinstance(keyword.value, ast.Constant):
+            if keyword.arg == "frozen":
+                frozen = bool(keyword.value.value)
+            else:
+                eq = bool(keyword.value.value)
+    return frozen, eq
+
+
+def _collect_dataclasses(
+        project: LintProject) -> Dict[str, List[_DataclassInfo]]:
+    classes: Dict[str, List[_DataclassInfo]] = {}
+    for module in project:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for decorator in node.decorator_list:
+                flags = _dataclass_flags(decorator)
+                if flags is None:
+                    continue
+                fields = [
+                    (stmt.target.id, stmt.annotation)
+                    for stmt in node.body
+                    if isinstance(stmt, ast.AnnAssign)
+                    and isinstance(stmt.target, ast.Name)
+                ]
+                classes.setdefault(node.name, []).append(_DataclassInfo(
+                    name=node.name, module=module.name, path=module.path,
+                    node=node, frozen=flags[0], eq=flags[1],
+                    field_annotations=fields,
+                ))
+                break
+    return classes
+
+
+def _subscript_slice(node: ast.Subscript) -> ast.AST:
+    sliced: ast.AST = node.slice
+    # Python < 3.9 wraps subscript slices in ast.Index.
+    if sliced.__class__.__name__ == "Index":
+        sliced = sliced.value  # type: ignore[attr-defined]
+    return sliced
+
+
+def _key_expressions(node: ast.Subscript) -> List[ast.AST]:
+    """Type expressions occupying a key slot in a Dict/Set subscript."""
+    head = _head_name(node.value)
+    sliced = _subscript_slice(node)
+    if head in _KEYED_HEADS:
+        if isinstance(sliced, ast.Tuple) and sliced.elts:
+            return [sliced.elts[0]]
+        return []
+    if head in _SET_HEADS and not isinstance(sliced, ast.Tuple):
+        return [sliced]
+    return []
+
+
+def _unhashable_annotation(annotation: ast.AST) -> Optional[str]:
+    """Name of the first unhashable container in ``annotation``, if any."""
+    for node in ast.walk(annotation):
+        name = _head_name(node)
+        if name in _UNHASHABLE_HEADS:
+            return name
+    return None
+
+
+@register
+class FrozenKeyRule(LintRule):
+    name = "frozen-key"
+    severity = Severity.ERROR
+    description = (
+        "dataclasses used as dict/set keys must be frozen=True with "
+        "hashable fields"
+    )
+
+    def check_project(self, project: LintProject) -> Iterable[Finding]:
+        classes = _collect_dataclasses(project)
+        findings: List[Finding] = []
+        flagged: Set[Tuple[str, ...]] = set()
+        for module in project:
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Subscript):
+                    continue
+                for key_expr in _key_expressions(node):
+                    key_name = _head_name(key_expr)
+                    if key_name is None or key_name not in classes:
+                        continue
+                    for info in classes[key_name]:
+                        self._check_key_class(info, module, node, flagged,
+                                              findings)
+        findings.sort(key=lambda finding: finding.sort_key)
+        return findings
+
+    def _check_key_class(self, info: _DataclassInfo, use_module: LintModule,
+                         use_node: ast.AST, flagged: Set[Tuple[str, ...]],
+                         findings: List[Finding]) -> None:
+        if info.eq and not info.frozen:
+            key = ("frozen", info.module, info.name)
+            if key not in flagged:
+                flagged.add(key)
+                findings.append(Finding(
+                    rule=self.name, severity=self.severity,
+                    module=info.module, path=info.path,
+                    line=info.node.lineno, col=info.node.col_offset + 1,
+                    message=(f"dataclass '{info.name}' is used as a "
+                             f"dict/set key (e.g. in {use_module.name}) "
+                             f"but is not frozen=True"),
+                ))
+            return
+        for field_name, annotation in info.field_annotations:
+            container = _unhashable_annotation(annotation)
+            if container is not None:
+                key = ("field", info.module, info.name, field_name)
+                if key not in flagged:
+                    flagged.add(key)
+                    findings.append(Finding(
+                        rule=self.name, severity=self.severity,
+                        module=info.module, path=info.path,
+                        line=annotation.lineno,
+                        col=annotation.col_offset + 1,
+                        message=(f"key dataclass '{info.name}' has "
+                                 f"unhashable field '{field_name}' "
+                                 f"({container}); use Tuple/FrozenSet"),
+                    ))

@@ -1,0 +1,107 @@
+"""Sim purity: no I/O or console output inside the timing hot paths.
+
+``repro.sim`` and ``repro.metrics`` sit inside the per-phase inner loop
+of every experiment; a stray ``print`` or file read there skews timing
+sweeps, breaks JSON output capture, and couples simulation results to
+the host filesystem. All I/O belongs at the edges (``repro.cli``,
+``repro.experiments.export``, ``repro.runner``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.module import LintModule, LintProject
+from repro.lint.registry import LintRule, register
+from repro.lint.rules.common import import_aliases, resolve_call
+
+#: Packages that must stay free of I/O side effects.
+PURE_SCOPES = ("repro.sim", "repro.metrics")
+
+#: Builtins that touch the console or the filesystem.
+_IMPURE_BUILTINS = {"print", "input", "open", "breakpoint"}
+
+#: Dotted call targets that perform I/O or spawn processes.
+_IMPURE_CALLS = {
+    "sys.stdout.write", "sys.stderr.write", "sys.stdout.flush",
+    "os.system", "os.popen", "os.remove", "os.unlink", "os.mkdir",
+    "os.makedirs", "os.rename", "os.replace",
+}
+
+#: Module imports that have no business in a pure timing model.
+_IMPURE_IMPORT_ROOTS = {
+    "subprocess", "socket", "requests", "urllib", "http", "shutil",
+}
+
+#: Attribute methods that read or write files regardless of receiver
+#: (pathlib.Path and file-object idioms).
+_IO_METHODS = {
+    "write_text", "read_text", "write_bytes", "read_bytes",
+    "unlink", "mkdir", "rmdir", "touch", "rename",
+}
+
+
+@register
+class SimPurityRule(LintRule):
+    name = "sim-purity"
+    severity = Severity.ERROR
+    description = (
+        "forbids print/file/network I/O inside repro.sim and repro.metrics "
+        "hot paths"
+    )
+
+    def check_module(self, module: LintModule,
+                     project: LintProject) -> Iterable[Finding]:
+        if not module.in_package(PURE_SCOPES):
+            return ()
+        findings: List[Finding] = []
+        aliases = import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                self._check_import(module, node,
+                                   [alias.name for alias in node.names],
+                                   findings)
+            elif isinstance(node, ast.ImportFrom) and not node.level:
+                self._check_import(module, node, [node.module or ""],
+                                   findings)
+            elif isinstance(node, ast.Call):
+                self._check_call(module, node, aliases, findings)
+        return findings
+
+    def _check_import(self, module: LintModule, node: ast.AST,
+                      names: List[str], findings: List[Finding]) -> None:
+        for name in names:
+            root = name.split(".")[0]
+            if root in _IMPURE_IMPORT_ROOTS:
+                findings.append(self.finding(
+                    module, node,
+                    f"importing '{root}' in a pure simulation module; "
+                    f"I/O belongs in repro.cli/repro.experiments.export",
+                ))
+
+    def _check_call(self, module: LintModule, node: ast.Call,
+                    aliases: dict, findings: List[Finding]) -> None:
+        if isinstance(node.func, ast.Name) \
+                and node.func.id in _IMPURE_BUILTINS:
+            findings.append(self.finding(
+                module, node,
+                f"'{node.func.id}()' in a simulation hot path; return data "
+                f"and let the caller do I/O",
+            ))
+            return
+        target = resolve_call(node, aliases)
+        if target is not None and target in _IMPURE_CALLS:
+            findings.append(self.finding(
+                module, node,
+                f"'{target}' performs I/O inside a pure simulation module",
+            ))
+            return
+        if isinstance(node.func, ast.Attribute) \
+                and node.func.attr in _IO_METHODS:
+            findings.append(self.finding(
+                module, node,
+                f"'.{node.func.attr}()' looks like file I/O inside a pure "
+                f"simulation module",
+            ))

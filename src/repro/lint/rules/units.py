@@ -1,0 +1,151 @@
+"""Dimensional analysis: never add nanoseconds to cycles.
+
+Quantities in this codebase carry their unit in the identifier suffix
+(``_ns``, ``_cycles``, ``_gbps``, ``_bytes``, ``_gb``, ``_ghz``). This
+rule tracks those suffixes through assignments and arithmetic and flags
+any ``+``/``-``/comparison that combines two *different* known units, as
+well as assignments, keyword arguments, and returns whose target suffix
+contradicts the value's inferred unit.
+
+Multiplication and division are exempt -- they are how conversions are
+expressed -- and :mod:`repro.config.units` is whitelisted wholesale: it
+is the one module whose job is to mix units, and every conversion
+elsewhere should go through its helpers (or ``CoreConfig``'s wrappers).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.module import LintModule, LintProject
+from repro.lint.registry import LintRule, register
+from repro.lint.rules.common import suffix_unit, unit_of
+
+#: Modules allowed to mix units freely: the canonical conversion helpers.
+CONVERSION_MODULES = ("repro.config.units",)
+
+_COMPARE_OPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)
+
+
+@register
+class UnitMixRule(LintRule):
+    name = "units"
+    severity = Severity.ERROR
+    description = (
+        "flags arithmetic or comparisons mixing _ns/_cycles/_gbps/_bytes "
+        "quantities outside repro.config.units"
+    )
+
+    def check_module(self, module: LintModule,
+                     project: LintProject) -> Iterable[Finding]:
+        if module.in_package(CONVERSION_MODULES):
+            return ()
+        findings: List[Finding] = []
+        visitor = _UnitVisitor(self, module, findings)
+        visitor.visit(module.tree)
+        return findings
+
+
+class _UnitVisitor(ast.NodeVisitor):
+    def __init__(self, rule: UnitMixRule, module: LintModule,
+                 findings: List[Finding]):
+        self.rule = rule
+        self.module = module
+        self.findings = findings
+        self._function_stack: List[str] = []
+
+    # -- helpers -----------------------------------------------------------
+
+    def _flag(self, node: ast.AST, message: str) -> None:
+        self.findings.append(self.rule.finding(self.module, node, message))
+
+    def _check_pair(self, node: ast.AST, left: ast.AST, right: ast.AST,
+                    context: str) -> None:
+        left_unit = unit_of(left)
+        right_unit = unit_of(right)
+        if left_unit and right_unit and left_unit != right_unit:
+            self._flag(node, f"{context} mixes {left_unit} and {right_unit}; "
+                             f"convert explicitly via repro.config.units")
+
+    def _check_target(self, node: ast.AST, target: ast.AST,
+                      value: ast.AST, context: str) -> None:
+        if isinstance(target, ast.Name):
+            target_unit = suffix_unit(target.id)
+            label = target.id
+        elif isinstance(target, ast.Attribute):
+            target_unit = suffix_unit(target.attr)
+            label = target.attr
+        else:
+            return
+        value_unit = unit_of(value)
+        if target_unit and value_unit and target_unit != value_unit:
+            self._flag(node, f"{context} binds a {value_unit} expression to "
+                             f"'{label}' ({target_unit}); convert explicitly "
+                             f"via repro.config.units")
+
+    # -- visitors ----------------------------------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._function_stack.append(node.name)
+        self.generic_visit(node)
+        self._function_stack.pop()
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._function_stack.append(node.name)
+        self.generic_visit(node)
+        self._function_stack.pop()
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            op = "+" if isinstance(node.op, ast.Add) else "-"
+            self._check_pair(node, node.left, node.right, f"'{op}'")
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left] + list(node.comparators)
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if isinstance(op, _COMPARE_OPS):
+                self._check_pair(node, left, right, "comparison")
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_target(node, target, node.value, "assignment")
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._check_target(node, node.target, node.value, "assignment")
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            self._check_target(node, node.target, node.value,
+                               "augmented assignment")
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        for keyword in node.keywords:
+            if keyword.arg is None:
+                continue
+            arg_unit = suffix_unit(keyword.arg)
+            value_unit = unit_of(keyword.value)
+            if arg_unit and value_unit and arg_unit != value_unit:
+                self._flag(keyword.value,
+                           f"keyword '{keyword.arg}' ({arg_unit}) receives a "
+                           f"{value_unit} expression; convert explicitly via "
+                           f"repro.config.units")
+        self.generic_visit(node)
+
+    def visit_Return(self, node: ast.Return) -> None:
+        if node.value is not None and self._function_stack:
+            function = self._function_stack[-1]
+            expected = suffix_unit(function)
+            actual = unit_of(node.value)
+            if expected and actual and expected != actual:
+                self._flag(node, f"function '{function}' ({expected}) "
+                                 f"returns a {actual} expression; convert "
+                                 f"explicitly via repro.config.units")
+        self.generic_visit(node)

@@ -8,8 +8,8 @@ queue). Timing parameters default to DDR5-4800 class values.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
 
 from repro.config.parameters import CACHE_BLOCK_BYTES
 

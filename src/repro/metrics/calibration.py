@@ -28,8 +28,9 @@ since all reported speedups are relative to the 16-socket baseline.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
-from repro.config import CoreConfig
+from repro.config import CoreConfig, LatencyConfig
 from repro.workloads.profile import WorkloadProfile
 
 #: Latency-overlap exponent of the memory CPI term.
@@ -64,9 +65,17 @@ class CalibratedCpi:
 
 
 def calibrate_cpi(profile: WorkloadProfile, baseline_amat_ns: float,
-                  core: CoreConfig, local_latency_ns: float = 80.0,
+                  core: CoreConfig,
+                  local_latency_ns: Optional[float] = None,
                   alpha: float = DEFAULT_ALPHA) -> CalibratedCpi:
-    """Solve (CPI_core, K) from the two Table III anchors."""
+    """Solve (CPI_core, K) from the two Table III anchors.
+
+    ``local_latency_ns`` is the single-socket anchor's AMAT; it defaults
+    to the configured local access latency (Table I) rather than a copy
+    of that number.
+    """
+    if local_latency_ns is None:
+        local_latency_ns = LatencyConfig().local_ns
     if baseline_amat_ns < local_latency_ns:
         raise ValueError(
             f"baseline AMAT {baseline_amat_ns} ns below local latency "

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.config import MigrationConfig, SystemConfig
+from repro.config import SystemConfig, units
 from repro.config.parameters import PAGE_SIZE_BYTES
 from repro.migration.records import MigrationBatch
 
@@ -54,7 +54,9 @@ class MigrationCostModel:
         path; we bound it with the NUMALink bandwidth (the slowest coherent
         link) and add the initiating core's shootdown latency.
         """
-        copy_ns = PAGE_SIZE_BYTES / self.system.bandwidth.numalink_gbps
+        copy_ns = units.transfer_time_ns(
+            PAGE_SIZE_BYTES, self.system.bandwidth.numalink_gbps
+        )
         shootdown_ns = self.system.core.cycles_to_ns(
             self.migration.shootdown_cycles_per_page
         )

@@ -157,8 +157,8 @@ class DetailedReplay:
                     now_ns,
                 )
                 dram_ns = done - now_ns
-                nominal_dram_ns = 40.0  # DRAM share of the 80 ns local figure
-                access_latency = unloaded - nominal_dram_ns + dram_ns
+                access_latency = (unloaded - latency.local_dram_service_ns
+                                  + dram_ns)
 
             if result.writeback_block is not None:
                 self.stats.writebacks += 1

@@ -12,11 +12,11 @@ applies to cores, channels, and link bandwidths (Table II).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 import numpy as np
 
-from repro.config import SystemConfig
+from repro.config import SystemConfig, units
 from repro.config.parameters import PAGE_SIZE_BYTES
 from repro.faults import FaultSchedule, FaultState, faulted_topology
 from repro.faults.degraded import PoolEvacuator
@@ -36,8 +36,12 @@ from repro.topology import RouteTable, Topology
 from repro.trace import PhaseTrace, TraceSynthesizer
 from repro.workloads import PagePopulation, WorkloadProfile, build_population
 
-#: Nominal phase length on the real system, instructions per thread.
-NOMINAL_PHASE_INSTRUCTIONS = 1_000_000_000
+if TYPE_CHECKING:
+    from repro.replication import ReplicationPlan
+
+#: Floor on the simulated per-phase instruction count after footprint
+#: scaling, so tiny simulated footprints still execute meaningful phases.
+MIN_PHASE_INSTRUCTIONS = 1_000_000
 
 #: Minimum effective per-phase migration budget, in regions, after
 #: footprint scaling. The paper picks the best-performing limit per
@@ -82,9 +86,7 @@ class SimulationSetup:
             seed=seed,
             layout=layout,
         )
-        scale = cls.footprint_scale(profile)
-        instructions = max(1_000_000,
-                           int(NOMINAL_PHASE_INSTRUCTIONS * scale))
+        instructions = cls.scaled_phase_instructions(profile, system)
         synthesizer = TraceSynthesizer(
             population,
             threads_per_socket=system.cores_per_socket,
@@ -101,9 +103,25 @@ class SimulationSetup:
     @staticmethod
     def footprint_scale(profile: WorkloadProfile) -> float:
         """Simulated-to-real footprint ratio."""
-        real_bytes = profile.footprint_gb * 1e9
+        real_bytes = units.gb_to_bytes(profile.footprint_gb)
         sim_bytes = profile.n_pages_sim * PAGE_SIZE_BYTES
         return sim_bytes / real_bytes
+
+    @staticmethod
+    def scaled_phase_instructions(profile: WorkloadProfile,
+                                  system: SystemConfig,
+                                  multiplier: int = 1) -> int:
+        """Per-thread instructions of one simulated phase.
+
+        The nominal phase length comes from the system configuration
+        (``migration.phase_instructions``), scaled by the footprint ratio
+        and floored so small simulated instances still run meaningful
+        phases. ``multiplier`` lengthens phases (the SC2 configuration of
+        Fig. 14 runs 3x-longer phases).
+        """
+        nominal = system.migration.phase_instructions
+        scale = SimulationSetup.footprint_scale(profile)
+        return max(MIN_PHASE_INSTRUCTIONS, int(nominal * scale * multiplier))
 
     def total_counts(self) -> np.ndarray:
         """Whole-run (socket, page) access counts -- the oracle's input."""
@@ -115,7 +133,7 @@ class Simulator:
 
     def __init__(self, system: SystemConfig, setup: SimulationSetup,
                  settings: Optional[FixedPointSettings] = None,
-                 replication=None,
+                 replication: Optional["ReplicationPlan"] = None,
                  faults: Optional[FaultSchedule] = None):
         system.validate()
         if setup.population.n_sockets != system.n_sockets:

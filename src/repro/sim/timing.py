@@ -20,9 +20,7 @@ DRAM queues are shared between directions and counted once).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
-
-import numpy as np
+from typing import TYPE_CHECKING, Optional
 
 from repro.config import SystemConfig
 from repro.config.parameters import PAGE_SIZE_BYTES
@@ -43,6 +41,9 @@ from repro.topology.model import (
 from repro.topology.routing import Route, RouteTable
 from repro.trace.records import PhaseTrace
 from repro.workloads.population import PagePopulation
+
+if TYPE_CHECKING:
+    from repro.replication import ReplicationPlan
 
 #: Per-access bytes of tracker-update traffic (annex flushes by the PTW
 #: into the metadata region); a small constant charge on local DRAM.
@@ -77,7 +78,7 @@ class PhaseTimingModel:
     def __init__(self, system: SystemConfig, topology: Topology,
                  routes: RouteTable, population: PagePopulation,
                  settings: Optional[FixedPointSettings] = None,
-                 replication=None):
+                 replication: Optional["ReplicationPlan"] = None):
         self.system = system
         self.topology = topology
         self.routes = routes

@@ -14,6 +14,11 @@ from repro.config import LatencyConfig
 from repro.sim.results import SimulationResult
 
 
+#: Float-noise tolerance for comparisons between derived quantities; a
+#: unitless guard, not a latency.
+_EPSILON = 1e-6
+
+
 class ValidationError(AssertionError):
     """One or more result invariants were violated."""
 
@@ -29,7 +34,7 @@ def check_result(result: SimulationResult,
     violations: List[str] = []
 
     slowest = max(latency.inter_chassis_ns, latency.block_transfer_socket_ns)
-    if result.unloaded_amat_ns < latency.local_ns - 1e-6:
+    if result.unloaded_amat_ns < latency.local_ns - _EPSILON:
         violations.append(
             f"unloaded AMAT {result.unloaded_amat_ns:.1f} ns below local "
             f"latency {latency.local_ns} ns"
@@ -41,14 +46,14 @@ def check_result(result: SimulationResult,
             f"unloaded AMAT {result.unloaded_amat_ns:.1f} ns grossly above "
             f"the slowest access class {slowest} ns"
         )
-    if result.amat_ns < result.unloaded_amat_ns - 1e-6:
+    if result.amat_ns < result.unloaded_amat_ns - _EPSILON:
         violations.append("loaded AMAT below unloaded AMAT")
     if result.ipc <= 0:
         violations.append(f"non-positive IPC {result.ipc}")
 
     fractions = result.access_fractions()
     total = sum(fractions.values())
-    if fractions and abs(total - 1.0) > 1e-6:
+    if fractions and abs(total - 1.0) > _EPSILON:
         violations.append(f"access fractions sum to {total:.6f}")
     if any(value < 0 for value in fractions.values()):
         violations.append("negative access fraction")

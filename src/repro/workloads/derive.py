@@ -16,7 +16,7 @@ the migration policies exactly like a synthetic one.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

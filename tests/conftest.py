@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.config import baseline_config, scaled_config, starnuma_config
+from repro.config import baseline_config, scaled_config
 from repro.sim import SimulationSetup, Simulator
 from repro.topology import RouteTable, Topology
 from repro.workloads import SharingClass, WorkloadProfile, build_population

@@ -1,7 +1,5 @@
 """Tests for the MESI directory."""
 
-import pytest
-
 from repro.coherence import CoherenceState, Directory, TransferKind
 from repro.topology import POOL_LOCATION
 

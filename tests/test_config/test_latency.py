@@ -60,6 +60,23 @@ class TestPoolPenaltyVariant:
         assert varied.inter_chassis_ns == 360.0
 
 
+class TestDramServiceShare:
+    def test_default_is_half_the_local_figure(self):
+        latency = LatencyConfig()
+        assert latency.local_dram_service_ns == pytest.approx(40.0)
+        assert latency.local_dram_service_ns <= latency.local_ns
+
+    def test_rejects_share_above_local_latency(self):
+        bad = LatencyConfig(local_dram_service_ns=100.0)
+        with pytest.raises(ValueError):
+            bad.validate()
+
+    def test_rejects_nonpositive_share(self):
+        bad = LatencyConfig(local_dram_service_ns=0.0)
+        with pytest.raises(ValueError):
+            bad.validate()
+
+
 class TestValidation:
     def test_rejects_inverted_ordering(self):
         bad = LatencyConfig(local_ns=200.0, intra_chassis_ns=130.0)

@@ -1,0 +1,49 @@
+"""Tests for the canonical unit-conversion module."""
+
+import pytest
+
+from repro.config import CoreConfig, units
+
+
+class TestConversions:
+    def test_ns_cycles_roundtrip(self):
+        cycles = units.ns_to_cycles(80.0, 2.4)
+        assert cycles == pytest.approx(192.0)
+        assert units.cycles_to_ns(cycles, 2.4) == pytest.approx(80.0)
+
+    def test_gb_bytes_roundtrip(self):
+        assert units.gb_to_bytes(1.5) == pytest.approx(1.5e9)
+        assert units.bytes_to_gb(units.gb_to_bytes(42.0)) == pytest.approx(
+            42.0
+        )
+
+    def test_one_gbps_moves_one_byte_per_ns(self):
+        assert units.transfer_time_ns(64.0, 1.0) == pytest.approx(64.0)
+        assert units.transfer_time_ns(4096.0, 16.0) == pytest.approx(256.0)
+
+    def test_bytes_in_window_inverts_transfer_time(self):
+        window = units.transfer_time_ns(4096.0, 40.0)
+        assert units.bytes_in_window(40.0, window) == pytest.approx(4096.0)
+
+    def test_offered_gbps(self):
+        assert units.offered_gbps(8000.0, 100.0) == pytest.approx(80.0)
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            units.transfer_time_ns(64.0, 0.0)
+
+    def test_rejects_nonpositive_window(self):
+        with pytest.raises(ValueError):
+            units.offered_gbps(64.0, 0.0)
+
+
+class TestCoreConfigDelegation:
+    def test_core_wrappers_match_module(self):
+        core = CoreConfig(frequency_ghz=3.0)
+        assert core.ns_to_cycles(10.0) == pytest.approx(
+            units.ns_to_cycles(10.0, 3.0)
+        )
+        assert core.cycles_to_ns(30.0) == pytest.approx(
+            units.cycles_to_ns(30.0, 3.0)
+        )
+        assert core.cycle_ns == pytest.approx(1.0 / 3.0)

@@ -1,7 +1,6 @@
 """FaultedTopology link derating and the pool evacuator."""
 
 import numpy as np
-import pytest
 
 from repro.faults import FaultEvent, FaultKind, FaultSchedule, faulted_topology
 from repro.faults.apply import POOL_FAILURE_LATENCY_FACTOR

@@ -1,6 +1,5 @@
 """Fault schedules threaded through the simulator's Step B/C loop."""
 
-import numpy as np
 import pytest
 
 from repro.faults import (
@@ -10,7 +9,6 @@ from repro.faults import (
     PartitionedTopologyError,
 )
 from repro.sim import Simulator
-from repro.topology.model import POOL_LOCATION
 
 
 @pytest.fixture(scope="module")

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.interconnect import LinkLoads
-from repro.interconnect.loads import MESSAGE_HEADER_BYTES
 from repro.topology import POOL_LOCATION
 
 

@@ -1,0 +1,119 @@
+"""Baseline suppression: fingerprints, persistence, matching."""
+
+import json
+
+import pytest
+
+from repro.lint import (
+    Baseline,
+    BaselineError,
+    build_project,
+    fingerprint,
+    run_lint,
+)
+from repro.lint.module import LintModule, LintProject
+
+VIOLATION = "from random import shuffle\n"
+
+
+def project_for(tmp_path, prefix_lines=0):
+    package = tmp_path / "repro"
+    sim = package / "sim"
+    sim.mkdir(parents=True, exist_ok=True)
+    (package / "__init__.py").write_text("")
+    (sim / "__init__.py").write_text("")
+    (sim / "engine.py").write_text("# pad\n" * prefix_lines + VIOLATION)
+    return build_project([tmp_path])[0]
+
+
+class TestFingerprint:
+    def test_independent_of_line_number(self, tmp_path):
+        shifted = tmp_path / "shifted"
+        plain = tmp_path / "plain"
+        report_a = run_lint(project_for(plain))
+        report_b = run_lint(project_for(shifted, prefix_lines=10))
+        assert len(report_a.findings) == len(report_b.findings) == 1
+        assert report_a.findings[0].line != report_b.findings[0].line
+        key_a = fingerprint(report_a.findings[0], VIOLATION)
+        key_b = fingerprint(report_b.findings[0], VIOLATION)
+        assert key_a == key_b
+
+    def test_distinct_rules_distinct_keys(self, tmp_path):
+        project = project_for(tmp_path)
+        report = run_lint(project)
+        finding = report.findings[0]
+        other = fingerprint(finding, "some other line")
+        assert other != fingerprint(finding, VIOLATION)
+
+
+class TestPersistence:
+    def test_round_trip_suppresses(self, tmp_path):
+        project = project_for(tmp_path)
+        report = run_lint(project)
+        assert len(report.findings) == 1
+
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings(report.findings, project).save(path)
+        reloaded = Baseline.load(path)
+        suppressed_report = run_lint(project, baseline=reloaded)
+        assert suppressed_report.is_clean
+        assert suppressed_report.suppressed == 1
+
+    def test_missing_file_is_empty(self, tmp_path):
+        baseline = Baseline.load(tmp_path / "absent.json")
+        assert len(baseline) == 0
+
+    def test_malformed_file_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(BaselineError):
+            Baseline.load(path)
+
+    def test_wrong_shape_raises(self, tmp_path):
+        path = tmp_path / "wrong.json"
+        path.write_text(json.dumps({"something": "else"}))
+        with pytest.raises(BaselineError):
+            Baseline.load(path)
+
+    def test_saved_file_carries_notes(self, tmp_path):
+        project = project_for(tmp_path)
+        report = run_lint(project)
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings(report.findings, project).save(path)
+        data = json.loads(path.read_text())
+        assert data["findings"][0]["note"].startswith("determinism:")
+
+
+class TestCounts:
+    def test_count_is_a_multiset(self):
+        source = ("import time\n"
+                  "def f():\n"
+                  "    return time.time() + time.time()\n")
+        module = LintModule.from_source("repro.sim.example", source,
+                                        path="<x>")
+        project = LintProject([module])
+        report = run_lint(project)
+        assert len(report.findings) == 2
+
+        one = Baseline.from_findings(report.findings[:1], project)
+        partial = run_lint(project, baseline=one)
+        assert len(partial.findings) == 1
+        assert partial.suppressed == 1
+
+    def test_new_violation_not_absorbed(self, tmp_path):
+        project = project_for(tmp_path)
+        report = run_lint(project)
+        baseline = Baseline.from_findings(report.findings, project)
+
+        grown = tmp_path / "grown"
+        package = grown / "repro" / "sim"
+        package.mkdir(parents=True)
+        (grown / "repro" / "__init__.py").write_text("")
+        (package / "__init__.py").write_text("")
+        (package / "engine.py").write_text(
+            VIOLATION + "from secrets import token_bytes\n"
+        )
+        new_project = build_project([grown])[0]
+        new_report = run_lint(new_project, baseline=baseline)
+        assert len(new_report.findings) == 1
+        assert "secrets" in new_report.findings[0].message

@@ -1,0 +1,137 @@
+"""End-to-end tests of the ``starnuma lint`` subcommand."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: One guaranteed violation per rule, as it would appear inside the
+#: simulation packages. Each must fail ``starnuma lint`` on its own.
+RULE_VIOLATIONS = {
+    "units": (
+        "def f(latency_ns, stall_cycles):\n"
+        "    return latency_ns + stall_cycles\n"
+    ),
+    "determinism": (
+        "import random\n"
+        "def f():\n"
+        "    return random.random()\n"
+    ),
+    "sim-purity": (
+        "def f(x):\n"
+        "    print(x)\n"
+    ),
+    "frozen-key": (
+        "from dataclasses import dataclass\n"
+        "from typing import Dict\n"
+        "@dataclass\n"
+        "class State:\n"
+        "    x: int = 0\n"
+        "cache: Dict[State, float] = {}\n"
+    ),
+    "config-drift": (
+        "def f():\n"
+        "    penalty_ns = 190.0\n"
+        "    return penalty_ns\n"
+    ),
+}
+
+
+def write_module(tmp_path: Path, source: str) -> Path:
+    package = tmp_path / "repro" / "sim"
+    package.mkdir(parents=True, exist_ok=True)
+    (tmp_path / "repro" / "__init__.py").write_text("")
+    (package / "__init__.py").write_text("")
+    target = package / "engine.py"
+    target.write_text(source)
+    return target
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        write_module(tmp_path, "x = 1\n")
+        assert main(["lint", str(tmp_path), "--no-baseline"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("rule", sorted(RULE_VIOLATIONS))
+    def test_each_rule_fails_the_build(self, rule, tmp_path, capsys):
+        write_module(tmp_path, RULE_VIOLATIONS[rule])
+        assert main(["lint", str(tmp_path), "--no-baseline"]) == 1
+        out = capsys.readouterr().out
+        assert f"{rule} " in out
+
+    def test_unknown_rule_is_usage_error(self, tmp_path, capsys):
+        write_module(tmp_path, "x = 1\n")
+        assert main(["lint", str(tmp_path), "--rules", "bogus"]) == 2
+        assert "bogus" in capsys.readouterr().err
+
+    def test_missing_path_is_usage_error(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "absent")]) == 2
+
+    def test_malformed_baseline_is_usage_error(self, tmp_path, capsys):
+        write_module(tmp_path, "x = 1\n")
+        bad = tmp_path / "baseline.json"
+        bad.write_text("{oops")
+        assert main(["lint", str(tmp_path), "--baseline", str(bad)]) == 2
+
+    def test_syntax_error_fails_the_build(self, tmp_path, capsys):
+        write_module(tmp_path, "def broken(:\n")
+        assert main(["lint", str(tmp_path), "--no-baseline"]) == 1
+        assert "parse-error" in capsys.readouterr().out
+
+
+class TestBaselineFlow:
+    def test_update_then_clean(self, tmp_path, capsys):
+        write_module(tmp_path, RULE_VIOLATIONS["determinism"])
+        baseline = tmp_path / "baseline.json"
+        assert main(["lint", str(tmp_path),
+                     "--baseline", str(baseline),
+                     "--update-baseline"]) == 0
+        assert main(["lint", str(tmp_path),
+                     "--baseline", str(baseline)]) == 0
+        assert "suppressed" in capsys.readouterr().out
+
+    def test_new_violation_still_fails(self, tmp_path):
+        write_module(tmp_path, RULE_VIOLATIONS["determinism"])
+        baseline = tmp_path / "baseline.json"
+        assert main(["lint", str(tmp_path),
+                     "--baseline", str(baseline),
+                     "--update-baseline"]) == 0
+        write_module(tmp_path, RULE_VIOLATIONS["determinism"]
+                     + RULE_VIOLATIONS["sim-purity"])
+        assert main(["lint", str(tmp_path),
+                     "--baseline", str(baseline)]) == 1
+
+
+class TestOutputFormats:
+    def test_json_format(self, tmp_path, capsys):
+        write_module(tmp_path, RULE_VIOLATIONS["units"])
+        assert main(["lint", str(tmp_path), "--no-baseline",
+                     "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["errors"] == 1
+        assert payload["findings"][0]["rule"] == "units"
+
+    def test_rule_subset(self, tmp_path):
+        write_module(tmp_path, RULE_VIOLATIONS["sim-purity"])
+        assert main(["lint", str(tmp_path), "--no-baseline",
+                     "--rules", "units"]) == 0
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in RULE_VIOLATIONS:
+            assert rule in out
+
+
+class TestRepoIsClean:
+    def test_tree_clean_against_committed_baseline(self, capsys,
+                                                   monkeypatch):
+        """The gate CI enforces: src/repro must lint clean."""
+        monkeypatch.chdir(REPO_ROOT)
+        assert main(["lint"]) == 0
+        assert "clean" in capsys.readouterr().out

@@ -1,0 +1,103 @@
+"""Framework tests: file collection, parsing, reporters, registry."""
+
+import json
+
+import pytest
+
+from repro.lint import (
+    Severity,
+    all_rule_names,
+    build_project,
+    collect_files,
+    create_rules,
+    lint_sources,
+    render_json,
+    render_text,
+    run_lint,
+)
+
+
+class TestRegistry:
+    def test_five_builtin_rules(self):
+        assert set(all_rule_names()) == {
+            "units", "determinism", "sim-purity", "frozen-key",
+            "config-drift",
+        }
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(KeyError):
+            create_rules(["no-such-rule"])
+
+    def test_subset_selection(self):
+        rules = create_rules(["units", "determinism"])
+        assert [rule.name for rule in rules] == ["units", "determinism"]
+
+
+class TestCollectFiles:
+    def test_directory_expansion_skips_pycache(self, tmp_path):
+        package = tmp_path / "pkg"
+        package.mkdir()
+        (package / "a.py").write_text("x = 1\n")
+        cache = package / "__pycache__"
+        cache.mkdir()
+        (cache / "a.cpython-311.py").write_text("x = 1\n")
+        files = collect_files([package])
+        assert [f.name for f in files] == ["a.py"]
+
+    def test_explicit_file_and_dedup(self, tmp_path):
+        target = tmp_path / "a.py"
+        target.write_text("x = 1\n")
+        assert collect_files([target, target]) == [target]
+
+    def test_non_python_path_rejected(self, tmp_path):
+        target = tmp_path / "notes.txt"
+        target.write_text("hello\n")
+        with pytest.raises(FileNotFoundError):
+            collect_files([target])
+
+
+class TestParseErrors:
+    def test_syntax_error_becomes_finding(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        project, errors = build_project([tmp_path])
+        assert len(errors) == 1
+        assert errors[0].rule == "parse-error"
+        assert errors[0].severity is Severity.ERROR
+        report = run_lint(project, extra_findings=errors)
+        assert not report.is_clean
+
+
+class TestReporters:
+    def _report(self):
+        return lint_sources(
+            {"repro.sim.example": (
+                "def f(a_ns, b_cycles):\n"
+                "    return a_ns + b_cycles\n"
+            )},
+        )
+
+    def test_text_lists_location_and_summary(self):
+        text = render_text(self._report())
+        assert "<repro.sim.example>:2" in text
+        assert "units error" in text
+        assert "1 error(s)" in text
+
+    def test_clean_summary(self):
+        report = lint_sources({"repro.sim.example": "x = 1\n"})
+        assert "clean" in render_text(report)
+
+    def test_json_round_trips(self):
+        payload = json.loads(render_json(self._report()))
+        assert payload["errors"] == 1
+        assert payload["clean"] is False
+        assert payload["findings"][0]["rule"] == "units"
+        assert payload["findings"][0]["line"] == 2
+
+    def test_findings_sorted_by_location(self):
+        report = lint_sources({
+            "repro.sim.b": "from random import shuffle\n",
+            "repro.sim.a": "from random import shuffle\n",
+        }, rule_names=["determinism"])
+        paths = [finding.path for finding in report.findings]
+        assert paths == sorted(paths)

@@ -1,0 +1,126 @@
+"""Regression tests for the bugs the static-analysis pass surfaced.
+
+Each test pins a behavior that was silently wrong before the lint rules
+flagged it: configuration fields that the model hardcoded its own copy
+of, and calibration defaults detached from the configured system.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.config import LatencyConfig, scaled_config
+from repro.config.latency import CXL_SWITCH_PENALTY_NS
+from repro.metrics.calibration import calibrate_cpi
+from repro.sim.engine import MIN_PHASE_INSTRUCTIONS, SimulationSetup
+from repro.workloads import get_workload
+
+
+class TestPhaseInstructionsConsumed:
+    """migration.phase_instructions must drive the synthesized traces."""
+
+    def test_doubling_the_config_doubles_instructions(self):
+        profile = get_workload("bfs")
+        system = scaled_config()
+        stretched = dataclasses.replace(
+            system,
+            migration=dataclasses.replace(
+                system.migration,
+                phase_instructions=2 * system.migration.phase_instructions,
+            ),
+        )
+        base = SimulationSetup.scaled_phase_instructions(profile, system)
+        doubled = SimulationSetup.scaled_phase_instructions(profile,
+                                                            stretched)
+        assert doubled == pytest.approx(2 * base, rel=1e-6)
+
+    def test_multiplier_stretches_phases(self):
+        profile = get_workload("bfs")
+        system = scaled_config()
+        base = SimulationSetup.scaled_phase_instructions(profile, system)
+        tripled = SimulationSetup.scaled_phase_instructions(profile, system,
+                                                            multiplier=3)
+        assert tripled == pytest.approx(3 * base, rel=1e-6)
+
+    def test_floor_protects_tiny_footprints(self):
+        profile = get_workload("bfs")
+        system = scaled_config()
+        starved = dataclasses.replace(
+            system,
+            migration=dataclasses.replace(system.migration,
+                                          phase_instructions=1),
+        )
+        assert SimulationSetup.scaled_phase_instructions(
+            profile, starved) == MIN_PHASE_INSTRUCTIONS
+
+
+class TestSwitchedPoolPenalty:
+    """The 32-socket penalty derives from config, not a copied 190.0."""
+
+    def test_derived_from_base_penalty_plus_switch(self):
+        from repro.experiments.ext_scale import switched_pool_penalty_ns
+
+        system = scaled_config()
+        expected = system.latency.pool_penalty_ns + CXL_SWITCH_PENALTY_NS
+        assert switched_pool_penalty_ns(system) == pytest.approx(expected)
+        assert switched_pool_penalty_ns(system) == pytest.approx(190.0)
+
+    def test_tracks_a_different_base_latency(self):
+        from repro.experiments.ext_scale import switched_pool_penalty_ns
+
+        system = scaled_config()
+        varied = dataclasses.replace(
+            system, latency=system.latency.with_pool_penalty(120.0)
+        )
+        assert switched_pool_penalty_ns(varied) == pytest.approx(
+            120.0 + CXL_SWITCH_PENALTY_NS
+        )
+
+
+class TestCalibrationAnchor:
+    """calibrate_cpi's single-socket anchor follows LatencyConfig."""
+
+    def test_default_matches_configured_local_latency(self):
+        profile = get_workload("bfs")
+        core = scaled_config().core
+        implicit = calibrate_cpi(profile, 400.0, core)
+        explicit = calibrate_cpi(profile, 400.0, core,
+                                 local_latency_ns=LatencyConfig().local_ns)
+        assert implicit == explicit
+
+
+class TestReplayDramShare:
+    """The replay's DRAM share comes from LatencyConfig, validated."""
+
+    def test_share_bounded_by_local_latency(self):
+        latency = LatencyConfig()
+        assert 0 < latency.local_dram_service_ns <= latency.local_ns
+
+    def test_replay_uses_the_configured_share(self):
+        import numpy as np
+
+        from repro.placement.pagemap import PageMap
+        from repro.replay.engine import DetailedReplay
+        from repro.trace.records import TraceRecord
+
+        system = scaled_config()
+        n_pages = 8
+        page_map = PageMap(np.zeros(n_pages, dtype=np.int16),
+                           n_sockets=system.n_sockets, has_pool=True)
+        records = [TraceRecord(socket=1, thread=0, instruction_index=i,
+                               page=i % n_pages, is_write=False)
+                   for i in range(16)]
+
+        def miss_latency(dram_share_ns):
+            varied = dataclasses.replace(
+                system,
+                latency=dataclasses.replace(
+                    system.latency, local_dram_service_ns=dram_share_ns
+                ),
+            )
+            replay = DetailedReplay(varied, page_map)
+            return replay.replay(records).total_latency_ns
+
+        # Raising the nominal share lowers the modeled latency (more of
+        # the unloaded figure is replaced by the functional channel).
+        assert miss_latency(60.0) < miss_latency(20.0)

@@ -1,0 +1,127 @@
+"""Flag / no-flag fixtures for the config-drift rule."""
+
+from repro.lint import lint_sources
+
+PARAMETERS = "repro.config.parameters"
+
+
+def findings_for(sources):
+    report = lint_sources(sources, rule_names=["config-drift"])
+    return report.findings
+
+
+class TestDeadFields:
+    def test_unconsumed_field_flagged(self):
+        findings = findings_for({
+            PARAMETERS: (
+                "from dataclasses import dataclass\n"
+                "@dataclass(frozen=True)\n"
+                "class CoreConfig:\n"
+                "    issue_width: int = 4\n"
+                "    unused_knob: int = 7\n"
+            ),
+            "repro.sim.engine": (
+                "def f(config):\n"
+                "    return config.issue_width\n"
+            ),
+        })
+        assert len(findings) == 1
+        assert "unused_knob" in findings[0].message
+
+    def test_same_module_property_counts_as_consumption(self):
+        findings = findings_for({
+            PARAMETERS: (
+                "from dataclasses import dataclass\n"
+                "@dataclass(frozen=True)\n"
+                "class CoreConfig:\n"
+                "    frequency_ghz: float = 2.4\n"
+                "    @property\n"
+                "    def cycle_ns(self):\n"
+                "        return 1.0 / self.frequency_ghz\n"
+            ),
+            "repro.sim.engine": (
+                "def f(config):\n"
+                "    return config.cycle_ns\n"
+            ),
+        })
+        assert not findings
+
+    def test_private_fields_ignored(self):
+        findings = findings_for({
+            PARAMETERS: (
+                "from dataclasses import dataclass\n"
+                "@dataclass\n"
+                "class C:\n"
+                "    _internal: int = 0\n"
+            ),
+        })
+        assert not findings
+
+
+class TestMagicLiterals:
+    def test_ns_literal_in_sim_flagged(self):
+        findings = findings_for({
+            "repro.sim.engine": (
+                "def f():\n"
+                "    penalty_ns = 190.0\n"
+                "    return penalty_ns\n"
+            ),
+        })
+        assert len(findings) == 1
+        assert "190" in findings[0].message
+
+    def test_ns_literal_in_config_allowed(self):
+        findings = findings_for({
+            "repro.config.latency": "POOL_PENALTY_NS = 100.0\n",
+        })
+        assert not findings
+
+    def test_literal_added_to_ns_quantity(self):
+        findings = findings_for({
+            "repro.sim.engine": (
+                "def f(base_ns):\n"
+                "    return base_ns + 40.0\n"
+            ),
+        })
+        assert len(findings) == 1
+
+    def test_ns_default_argument(self):
+        findings = findings_for({
+            "repro.replay.engine": (
+                "def f(interval_ns=10.0):\n"
+                "    return interval_ns\n"
+            ),
+        })
+        assert len(findings) == 1
+
+    def test_identity_literals_allowed(self):
+        findings = findings_for({
+            "repro.sim.engine": (
+                "def f(wait_ns):\n"
+                "    if wait_ns > 0.0:\n"
+                "        return wait_ns + 0.0\n"
+                "    return wait_ns / 2.0\n"
+            ),
+        })
+        assert not findings
+
+    def test_dataclass_field_default_is_declared_not_magic(self):
+        findings = findings_for({
+            "repro.memory.dram": (
+                "from dataclasses import dataclass\n"
+                "@dataclass(frozen=True)\n"
+                "class DramTiming:\n"
+                "    t_cas_ns: float = 16.0\n"
+            ),
+        })
+        assert not findings
+
+    def test_unitless_literal_ignored(self):
+        findings = findings_for({
+            "repro.sim.engine": (
+                "def f():\n"
+                "    damping = 0.5\n"
+                "    return damping\n"
+            ),
+        })
+        assert not findings

@@ -1,0 +1,102 @@
+"""Flag / no-flag fixtures for the frozen-hashable-key rule."""
+
+from repro.lint import lint_sources
+
+
+def findings_for(*sources):
+    mapping = {f"repro.sim.mod{i}": text for i, text in enumerate(sources)}
+    report = lint_sources(mapping, rule_names=["frozen-key"])
+    return report.findings
+
+
+class TestFlags:
+    def test_unfrozen_dataclass_as_dict_key(self):
+        findings = findings_for(
+            "from dataclasses import dataclass\n"
+            "from typing import Dict\n"
+            "@dataclass\n"
+            "class State:\n"
+            "    x: int = 0\n"
+            "cache: Dict[State, float] = {}\n"
+        )
+        assert len(findings) == 1
+        assert "frozen" in findings[0].message
+
+    def test_unfrozen_dataclass_in_set(self):
+        findings = findings_for(
+            "from dataclasses import dataclass\n"
+            "from typing import Set\n"
+            "@dataclass\n"
+            "class State:\n"
+            "    x: int = 0\n"
+            "seen: Set[State] = set()\n"
+        )
+        assert len(findings) == 1
+
+    def test_frozen_dataclass_with_list_field(self):
+        findings = findings_for(
+            "from dataclasses import dataclass\n"
+            "from typing import Dict, List\n"
+            "@dataclass(frozen=True)\n"
+            "class State:\n"
+            "    items: List[int] = None\n"
+            "cache: Dict[State, float] = {}\n"
+        )
+        assert len(findings) == 1
+        assert "items" in findings[0].message
+
+    def test_key_usage_in_another_module(self):
+        findings = findings_for(
+            "from dataclasses import dataclass\n"
+            "@dataclass\n"
+            "class State:\n"
+            "    x: int = 0\n",
+            "from typing import Dict\n"
+            "from repro.sim.mod0 import State\n"
+            "cache: Dict[State, float] = {}\n",
+        )
+        assert len(findings) == 1
+
+
+class TestNoFlags:
+    def test_frozen_hashable_key(self):
+        assert not findings_for(
+            "from dataclasses import dataclass\n"
+            "from typing import Dict, Tuple\n"
+            "@dataclass(frozen=True)\n"
+            "class State:\n"
+            "    links: Tuple[str, ...] = ()\n"
+            "cache: Dict[State, float] = {}\n"
+        )
+
+    def test_unfrozen_dataclass_never_used_as_key(self):
+        assert not findings_for(
+            "from dataclasses import dataclass\n"
+            "from typing import Dict\n"
+            "@dataclass\n"
+            "class Stats:\n"
+            "    total: float = 0.0\n"
+            "by_name: Dict[str, Stats] = {}\n"
+        )
+
+    def test_eq_false_dataclass_uses_identity_hash(self):
+        assert not findings_for(
+            "from dataclasses import dataclass\n"
+            "from typing import Dict\n"
+            "@dataclass(eq=False)\n"
+            "class Node:\n"
+            "    x: int = 0\n"
+            "cache: Dict[Node, float] = {}\n"
+        )
+
+    def test_fault_state_is_clean(self):
+        from pathlib import Path
+
+        from repro.lint import lint_paths
+
+        report = lint_paths(
+            [Path("src/repro/faults/schedule.py"),
+             Path("src/repro/sim/engine.py")],
+            rule_names=["frozen-key"],
+        )
+        assert report.is_clean

@@ -1,0 +1,58 @@
+"""Flag / no-flag fixtures for the sim-purity rule."""
+
+from repro.lint import lint_sources
+
+
+def findings_for(source, name="repro.sim.example"):
+    report = lint_sources({name: source}, rule_names=["sim-purity"])
+    return report.findings
+
+
+class TestFlags:
+    def test_print(self):
+        findings = findings_for(
+            "def f(x):\n"
+            "    print(x)\n"
+        )
+        assert len(findings) == 1
+        assert findings[0].rule == "sim-purity"
+
+    def test_open(self):
+        findings = findings_for(
+            "def f(path):\n"
+            "    return open(path).read()\n"
+        )
+        assert len(findings) == 1
+
+    def test_subprocess_import(self):
+        findings = findings_for("import subprocess\n")
+        assert len(findings) == 1
+
+    def test_pathlib_write(self):
+        findings = findings_for(
+            "def f(path, text):\n"
+            "    path.write_text(text)\n"
+        )
+        assert len(findings) == 1
+
+    def test_metrics_scope_is_covered(self):
+        report = lint_sources(
+            {"repro.metrics.example": "def f(x):\n    print(x)\n"},
+            rule_names=["sim-purity"],
+        )
+        assert len(report.findings) == 1
+
+
+class TestNoFlags:
+    def test_pure_computation(self):
+        assert not findings_for(
+            "def f(a, b):\n"
+            "    return a + b\n"
+        )
+
+    def test_io_outside_pure_scopes(self):
+        report = lint_sources(
+            {"repro.experiments.example": "def f(x):\n    print(x)\n"},
+            rule_names=["sim-purity"],
+        )
+        assert not report.findings

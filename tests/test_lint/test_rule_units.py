@@ -1,0 +1,113 @@
+"""Flag / no-flag fixtures for the unit-suffix rule."""
+
+from repro.lint import lint_sources
+
+
+def findings_for(source, name="repro.sim.example"):
+    report = lint_sources({name: source}, rule_names=["units"])
+    return report.findings
+
+
+class TestFlags:
+    def test_adding_ns_to_cycles(self):
+        findings = findings_for(
+            "def f(latency_ns, stall_cycles):\n"
+            "    return latency_ns + stall_cycles\n"
+        )
+        assert len(findings) == 1
+        assert findings[0].rule == "units"
+        assert "ns" in findings[0].message and "cycles" in findings[0].message
+
+    def test_subtracting_bytes_from_gbps(self):
+        findings = findings_for(
+            "def f(rate_gbps, size_bytes):\n"
+            "    return rate_gbps - size_bytes\n"
+        )
+        assert len(findings) == 1
+
+    def test_comparing_ns_to_gbps(self):
+        findings = findings_for(
+            "def f(wait_ns, capacity_gbps):\n"
+            "    return wait_ns > capacity_gbps\n"
+        )
+        assert len(findings) == 1
+
+    def test_assigning_cycles_to_ns_name(self):
+        findings = findings_for(
+            "def f(stall_cycles):\n"
+            "    total_ns = stall_cycles\n"
+            "    return total_ns\n"
+        )
+        assert len(findings) == 1
+
+    def test_keyword_argument_mismatch(self):
+        findings = findings_for(
+            "def f(g, penalty_cycles):\n"
+            "    return g(delay_ns=penalty_cycles)\n"
+        )
+        assert len(findings) == 1
+
+    def test_return_mismatches_function_suffix(self):
+        findings = findings_for(
+            "def latency_ns(stall_cycles):\n"
+            "    return stall_cycles\n"
+        )
+        assert len(findings) == 1
+
+    def test_augmented_assignment(self):
+        findings = findings_for(
+            "def f(total_ns, extra_cycles):\n"
+            "    total_ns += extra_cycles\n"
+            "    return total_ns\n"
+        )
+        assert len(findings) == 1
+
+
+class TestNoFlags:
+    def test_same_unit_arithmetic(self):
+        assert not findings_for(
+            "def f(a_ns, b_ns):\n"
+            "    return a_ns + b_ns\n"
+        )
+
+    def test_multiplication_is_a_conversion(self):
+        # Mult/Div change dimension by design (ns * GHz = cycles).
+        assert not findings_for(
+            "def f(latency_ns, frequency_ghz):\n"
+            "    return latency_ns * frequency_ghz\n"
+        )
+
+    def test_unsuffixed_operand_is_unknown(self):
+        assert not findings_for(
+            "def f(latency_ns, margin):\n"
+            "    return latency_ns + margin\n"
+        )
+
+    def test_conversion_module_is_whitelisted(self):
+        report = lint_sources(
+            {"repro.config.units": (
+                "def f(latency_ns, stall_cycles):\n"
+                "    return latency_ns + stall_cycles\n"
+            )},
+            rule_names=["units"],
+        )
+        assert not report.findings
+
+    def test_call_suffix_propagates(self):
+        assert not findings_for(
+            "def wait_ns():\n"
+            "    return 0.0\n"
+            "def f(base_ns):\n"
+            "    return base_ns + wait_ns()\n"
+        )
+
+
+class TestRealModules:
+    def test_timing_model_is_unit_clean(self):
+        from pathlib import Path
+
+        from repro.lint import lint_paths
+
+        report = lint_paths([Path("src/repro/sim/timing.py")],
+                            rule_names=["units"])
+        assert report.is_clean

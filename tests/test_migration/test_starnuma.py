@@ -1,7 +1,6 @@
 """Tests for Algorithm 1 (the StarNUMA migration policy)."""
 
 import numpy as np
-import pytest
 
 from repro.config import MigrationConfig, TrackerKind
 from repro.migration import RegionTable, StarNumaPolicy

@@ -1,7 +1,6 @@
 """Deeper Algorithm 1 edge cases."""
 
 import numpy as np
-import pytest
 
 from repro.config import TrackerKind
 from repro.topology import POOL_LOCATION

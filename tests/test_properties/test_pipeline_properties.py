@@ -1,6 +1,5 @@
 """Property-based tests of whole-pipeline invariants on random workloads."""
 
-import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 

@@ -1,11 +1,9 @@
 """Tests for the simulation engine (Steps B and C orchestration)."""
 
-import numpy as np
 import pytest
 
-from repro.config import baseline_config, starnuma_config
+from repro.config import baseline_config
 from repro.sim import SimulationSetup, Simulator
-from repro.topology import POOL_LOCATION
 
 
 @pytest.fixture(scope="module")

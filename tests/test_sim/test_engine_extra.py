@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.config import baseline_config, starnuma_config
 from repro.placement import PageMap
 from repro.sim import SimulationSetup, Simulator
 from repro.topology import POOL_LOCATION

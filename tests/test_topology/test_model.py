@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.config import scaled_config
-from repro.topology import AccessType, LinkKind, POOL_LOCATION, Topology
+from repro.topology import AccessType, LinkKind, POOL_LOCATION
 
 
 class TestStructure:
