@@ -45,6 +45,9 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--resume", metavar="DIR",
                      help="checkpoint directory: skip experiments already "
                           "completed there, record new completions")
+    run.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="run up to N experiments in parallel worker "
+                          "processes (default 1: sequential)")
 
     export = sub.add_parser("export",
                             help="run experiments and write JSON/CSV")
@@ -65,6 +68,9 @@ def _build_parser() -> argparse.ArgumentParser:
     export.add_argument("--run-timeout", type=float, default=None,
                         metavar="SECONDS",
                         help="per-experiment wall-clock limit")
+    export.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="run up to N experiments in parallel worker "
+                             "processes (default 1: sequential)")
 
     describe = sub.add_parser("describe",
                               help="print a system configuration")
@@ -126,6 +132,8 @@ def _validate_common(args: argparse.Namespace) -> Optional[str]:
     for workload in args.workloads or []:
         if workload not in WORKLOADS:
             return f"unknown workload {workload!r}"
+    if getattr(args, "jobs", 1) < 1:
+        return f"--jobs must be >= 1 (got {args.jobs})"
     return None
 
 
@@ -153,38 +161,59 @@ def _cmd_run(args: argparse.Namespace) -> int:
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [
         args.experiment
     ]
-    if args.resume is None:
+    if args.resume is None and args.jobs == 1:
         for name in names:
             _print_result(name, EXPERIMENTS[name](context))
         return 0
 
+    import contextlib
+    import io
     from pathlib import Path
 
     from repro.experiments.export import sweep_params
     from repro.runner import (CheckpointMismatchError, SweepCheckpoint,
                               SweepRunner)
 
-    checkpoint = SweepCheckpoint(Path(args.resume) / "checkpoint.json",
-                                 sweep_params(context, names))
-    try:
-        checkpoint.load()
-    except CheckpointMismatchError as exc:
-        print(f"starnuma: error: {exc}", file=sys.stderr)
-        return 2
+    checkpoint = None
+    if args.resume is not None:
+        checkpoint = SweepCheckpoint(Path(args.resume) / "checkpoint.json",
+                                     sweep_params(context, names))
+        try:
+            checkpoint.load()
+        except CheckpointMismatchError as exc:
+            print(f"starnuma: error: {exc}", file=sys.stderr)
+            return 2
 
-    def run_one(name: str) -> None:
-        _print_result(name, EXPERIMENTS[name](context))
-        return None
+    if args.jobs == 1:
+
+        def run_one(name: str) -> None:
+            _print_result(name, EXPERIMENTS[name](context))
+            return None
+
+    else:
+        # Parallel workers render off-screen and return the text; the
+        # parent prints outcomes in submission order, so tables never
+        # interleave and the output order matches a sequential run.
+        def run_one(name: str) -> dict:
+            rendered = io.StringIO()
+            with contextlib.redirect_stdout(rendered):
+                _print_result(name, EXPERIMENTS[name](context))
+            return {"rendered": rendered.getvalue()}
 
     runner = SweepRunner(
-        run_one, checkpoint=checkpoint,
+        run_one, checkpoint=checkpoint, jobs=args.jobs,
         on_event=lambda message: print(message, file=sys.stderr),
     )
     outcomes = runner.run(names)
+    if args.jobs > 1:
+        for outcome in outcomes:
+            if outcome.status == "ok" and outcome.payload:
+                print(outcome.payload["rendered"], end="")
     failed = [outcome for outcome in outcomes if not outcome.succeeded]
     if failed:
+        where = args.resume or "DIR"
         print(f"starnuma: {len(failed)} experiment(s) failed; rerun with "
-              f"--resume {args.resume} to retry them", file=sys.stderr)
+              f"--resume {where} to retry them", file=sys.stderr)
         return 1
     return 0
 
@@ -221,6 +250,7 @@ def _cmd_export(args: argparse.Namespace) -> int:
             resume=args.resume is not None,
             max_retries=args.retries,
             timeout_s=args.run_timeout,
+            jobs=args.jobs,
             on_event=lambda message: print(message, file=sys.stderr),
         )
     except KeyError as exc:

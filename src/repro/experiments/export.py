@@ -83,6 +83,7 @@ def export_all(out_dir: str, context: Optional[ExperimentContext] = None,
                timeout_s: Optional[float] = None,
                strict: bool = True,
                on_event: Optional[Callable[[str], None]] = None,
+               jobs: int = 1,
                ) -> Dict[str, str]:
     """Run and export experiments; return {experiment id: file stem}.
 
@@ -91,7 +92,10 @@ def export_all(out_dir: str, context: Optional[ExperimentContext] = None,
     completed; the final outputs are identical to an uninterrupted run.
     With ``strict`` (the default) a :class:`~repro.runner.SweepError` is
     raised at the end if any experiment failed after retries; the
-    completed ones are exported either way.
+    completed ones are exported either way. ``jobs`` > 1 fans the
+    experiments out over a process pool (each worker computes and writes
+    its own result files; checkpoint and manifest writes stay in this
+    process), producing byte-identical outputs to a sequential export.
     """
     context = context or ExperimentContext()
     out_path = Path(out_dir)
@@ -119,7 +123,8 @@ def export_all(out_dir: str, context: Optional[ExperimentContext] = None,
 
     runner = SweepRunner(run_one, max_retries=max_retries,
                          backoff_s=backoff_s, timeout_s=timeout_s,
-                         checkpoint=checkpoint, on_event=on_event)
+                         checkpoint=checkpoint, on_event=on_event,
+                         jobs=jobs)
     outcomes = runner.run(selected)
 
     written: Dict[str, str] = {}

@@ -1,22 +1,38 @@
-"""Per-link, per-direction traffic accounting over a simulation window."""
+"""Per-link, per-direction traffic accounting over a simulation window.
+
+Storage is a flat byte vector indexed by the topology's dense directed
+:class:`~repro.topology.linkindex.LinkIndex` slots (one slot per
+direction of every coherent link, one shared slot per DRAM channel
+bundle). The historical keyed interface -- ``add(hop, ...)``,
+``delay_ns(hop, ...)`` and friends -- remains as a thin facade over the
+vector, while the timing kernel reads/writes whole vectors: scatter-adds
+of precompiled route index arrays on the recording side, and one
+element-wise M/D/1 expression per fixed-point iteration on the
+evaluation side.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Tuple
+from typing import Iterable, List, Union
+
+import numpy as np
 
 from repro.config.parameters import CACHE_BLOCK_BYTES
 from repro.interconnect.queueing import (
     DEFAULT_BURSTINESS,
     mdl_wait_ns,
+    mdl_wait_ns_array,
     service_time_ns,
 )
-from repro.topology.model import DirectedLink, LinkKind, Topology
+from repro.topology.linkindex import CompiledRoute
+from repro.topology.model import DirectedLink, Topology
 
 #: Bytes of header/CRC overhead accompanying each request or data message.
 MESSAGE_HEADER_BYTES = 8.0
 
-DirectionKey = Tuple[str, bool]
+#: A route argument: hop objects, or the precompiled slot-array form.
+RouteLike = Union[Iterable[DirectedLink], CompiledRoute]
 
 
 @dataclass(frozen=True)
@@ -41,8 +57,7 @@ class LinkLoads:
     offered bandwidth given the window duration decided by the caller (the
     timing model knows the phase's wall-clock span). DRAM "links" are not
     directional: both directions of a DRAM link id alias the same queue,
-    which we implement by always charging and reading the forward
-    direction.
+    which the slot assignment collapses onto a single shared slot.
     """
 
     def __init__(self, topology: Topology,
@@ -51,10 +66,16 @@ class LinkLoads:
             raise ValueError(f"burstiness must be positive, got {burstiness}")
         self.topology = topology
         self.burstiness = burstiness
-        self._bytes: Dict[DirectionKey, float] = {}
+        self.index = topology.link_index()
+        self._vec = np.zeros(self.index.n_slots, dtype=np.float64)
 
     def reset(self) -> None:
-        self._bytes.clear()
+        self._vec[:] = 0.0
+
+    @property
+    def bytes_vector(self) -> np.ndarray:
+        """The per-slot charged bytes (a live view, not a copy)."""
+        return self._vec
 
     # -- recording ---------------------------------------------------------
 
@@ -62,10 +83,9 @@ class LinkLoads:
         """Charge ``n_bytes`` of traffic to one direction of a link."""
         if n_bytes < 0:
             raise ValueError(f"traffic bytes must be >= 0, got {n_bytes}")
-        key = self._key(hop)
-        self._bytes[key] = self._bytes.get(key, 0.0) + n_bytes
+        self._vec[self.index.slot(hop)] += n_bytes
 
-    def add_access_traffic(self, route: Iterable[DirectedLink],
+    def add_access_traffic(self, route: RouteLike,
                            accesses: float, writeback_fraction: float,
                            block_bytes: float = CACHE_BLOCK_BYTES) -> None:
         """Charge the traffic of ``accesses`` LLC misses along ``route``.
@@ -85,11 +105,15 @@ class LinkLoads:
             + writeback_fraction * (block_bytes + MESSAGE_HEADER_BYTES)
         )
         fill_bytes = accesses * (block_bytes + MESSAGE_HEADER_BYTES)
+        if isinstance(route, CompiledRoute):
+            np.add.at(self._vec, route.forward_slots, request_bytes)
+            np.add.at(self._vec, route.reverse_slots, fill_bytes)
+            return
         for hop in route:
             self.add(hop, request_bytes)
             self.add(hop.reversed(), fill_bytes)
 
-    def add_transfer_traffic(self, route: Iterable[DirectedLink],
+    def add_transfer_traffic(self, route: RouteLike,
                              transfers: float,
                              block_bytes: float = CACHE_BLOCK_BYTES) -> None:
         """Charge coherence block-transfer data movement along ``route``.
@@ -100,17 +124,44 @@ class LinkLoads:
         """
         if transfers < 0:
             raise ValueError(f"transfer count must be >= 0, got {transfers}")
+        data_bytes = transfers * (block_bytes + MESSAGE_HEADER_BYTES)
+        ack_bytes = transfers * MESSAGE_HEADER_BYTES
+        if isinstance(route, CompiledRoute):
+            np.add.at(self._vec, route.forward_slots, data_bytes)
+            np.add.at(self._vec, route.reverse_slots, ack_bytes)
+            return
         for hop in route:
-            self.add(hop, transfers * (block_bytes + MESSAGE_HEADER_BYTES))
-            self.add(hop.reversed(), transfers * MESSAGE_HEADER_BYTES)
+            self.add(hop, data_bytes)
+            self.add(hop.reversed(), ack_bytes)
 
-    # -- evaluation --------------------------------------------------------
+    # -- vector evaluation ---------------------------------------------------
+
+    def utilization_vector(self, window_ns: float) -> np.ndarray:
+        """Per-slot offered load over capacity for the window."""
+        if window_ns <= 0:
+            raise ValueError(f"window must be positive, got {window_ns}")
+        return self._vec / (window_ns * self.index.capacity_gbps)
+
+    def wait_ns_vector(self, window_ns: float) -> np.ndarray:
+        """Per-slot M/D/1 waiting time of one block transfer, burst-scaled.
+
+        Element ``s`` equals ``delay_ns(hop_of(s), window_ns)``; the whole
+        vector costs a handful of array expressions rather than one
+        Python-level queueing call per charged link direction.
+        """
+        return mdl_wait_ns_array(
+            self.utilization_vector(window_ns),
+            self.index.service_ns,
+            burstiness=self.burstiness,
+        )
+
+    # -- keyed evaluation ----------------------------------------------------
 
     def offered_gbps(self, hop: DirectedLink, window_ns: float) -> float:
         """Offered bandwidth on one link direction over the window, GB/s."""
         if window_ns <= 0:
             raise ValueError(f"window must be positive, got {window_ns}")
-        return self._bytes.get(self._key(hop), 0.0) / window_ns
+        return float(self._vec[self.index.slot(hop)]) / window_ns
 
     def utilization(self, hop: DirectedLink, window_ns: float) -> float:
         return self.offered_gbps(hop, window_ns) / hop.link.capacity_gbps
@@ -148,21 +199,12 @@ class LinkLoads:
             wait_ns=self.delay_ns(hop, window_ns),
         )
 
-    def busiest(self, window_ns: float, top: int = 5) -> list:
+    def busiest(self, window_ns: float, top: int = 5) -> List[TrafficSample]:
         """Return the ``top`` most utilized link directions (diagnostics)."""
-        samples = []
-        for (link_id, forward), n_bytes in self._bytes.items():
-            link = self.topology.link(link_id)
-            hop = DirectedLink(link, forward)
-            samples.append(self.sample(hop, window_ns))
-        samples.sort(key=lambda sample: sample.utilization, reverse=True)
-        return samples[:top]
-
-    # -- internals ---------------------------------------------------------
-
-    def _key(self, hop: DirectedLink) -> DirectionKey:
-        # DRAM channel bundles are a single shared queue: collapse both
-        # directions onto the forward key.
-        if hop.link.kind is LinkKind.DRAM:
-            return (hop.link.link_id, True)
-        return hop.direction_key
+        charged = np.flatnonzero(self._vec)
+        if charged.size == 0:
+            return []
+        utilization = self.utilization_vector(window_ns)[charged]
+        order = charged[np.argsort(-utilization, kind="stable")[:top]]
+        return [self.sample(self.index.hop_at(slot), window_ns)
+                for slot in order]

@@ -16,6 +16,8 @@ simply keeps the iteration monotone and finite on the way there.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.config import units
 
 #: Utilization at which the analytic M/D/1 curve hands over to the linear
@@ -82,3 +84,32 @@ def mdl_wait_ns(utilization: float, service_ns: float,
         slope = 1.0 / (2.0 * (1.0 - max_utilization) ** 2)
         wait = service_ns * (base + slope * (utilization - max_utilization))
     return burstiness * wait
+
+
+def mdl_wait_ns_array(utilization: np.ndarray, service_ns: np.ndarray,
+                      max_utilization: float = MAX_STABLE_UTILIZATION,
+                      burstiness: float = 1.0) -> np.ndarray:
+    """Whole-vector :func:`mdl_wait_ns` over per-slot arrays.
+
+    Evaluates the identical expressions branch for branch -- analytic
+    M/D/1 below the handover, the matching linear extension above, zero
+    at or below zero utilization -- so each element agrees with the
+    scalar function to the last bit.
+    """
+    if not 0.0 < max_utilization < 1.0:
+        raise ValueError(
+            f"max_utilization must be in (0, 1), got {max_utilization}"
+        )
+    if burstiness <= 0:
+        raise ValueError(f"burstiness must be positive, got {burstiness}")
+    utilization = np.asarray(utilization, dtype=np.float64)
+    # Clamp the analytic branch's denominator away from zero before the
+    # division; np.where evaluates both branches, and the saturated
+    # elements take the linear-extension value anyway.
+    safe = np.minimum(utilization, max_utilization)
+    analytic = service_ns * safe / (2.0 * (1.0 - safe))
+    base = max_utilization / (2.0 * (1.0 - max_utilization))
+    slope = 1.0 / (2.0 * (1.0 - max_utilization) ** 2)
+    linear = service_ns * (base + slope * (utilization - max_utilization))
+    wait = np.where(utilization < max_utilization, analytic, linear)
+    return burstiness * np.where(utilization <= 0.0, 0.0, wait)

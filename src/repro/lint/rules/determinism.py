@@ -24,6 +24,7 @@ DETERMINISM_SCOPES = (
     "repro.migration",
     "repro.interconnect",
     "repro.faults",
+    "repro.topology",
 )
 
 #: numpy.random members that construct explicitly seeded generators.
@@ -99,7 +100,7 @@ class DeterminismRule(LintRule):
     severity = Severity.ERROR
     description = (
         "forbids unseeded/global RNG, wall-clock reads, and bare-set "
-        "iteration in repro.sim/migration/interconnect/faults"
+        "iteration in repro.sim/migration/interconnect/faults/topology"
     )
 
     def check_module(self, module: LintModule,

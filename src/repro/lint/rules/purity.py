@@ -18,7 +18,8 @@ from repro.lint.registry import LintRule, register
 from repro.lint.rules.common import import_aliases, resolve_call
 
 #: Packages that must stay free of I/O side effects.
-PURE_SCOPES = ("repro.sim", "repro.metrics")
+PURE_SCOPES = ("repro.sim", "repro.metrics", "repro.interconnect",
+               "repro.topology")
 
 #: Builtins that touch the console or the filesystem.
 _IMPURE_BUILTINS = {"print", "input", "open", "breakpoint"}
@@ -48,8 +49,8 @@ class SimPurityRule(LintRule):
     name = "sim-purity"
     severity = Severity.ERROR
     description = (
-        "forbids print/file/network I/O inside repro.sim and repro.metrics "
-        "hot paths"
+        "forbids print/file/network I/O inside the repro.sim, repro.metrics, "
+        "repro.interconnect, and repro.topology hot paths"
     )
 
     def check_module(self, module: LintModule,

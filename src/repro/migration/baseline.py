@@ -89,19 +89,35 @@ class BaselinePolicy:
         np.add.at(remote_served, current[cols],
                   (totals[cols] - current_count[cols]).astype(np.float64))
 
+        # The destination scan is sequential (each move shifts
+        # ``remote_served`` for later tie-breaks), but the tie structure
+        # is not: precompute, per candidate, which sockets are within 10%
+        # of its peak count. Pages with a single clear winner -- the
+        # common case -- take the precomputed argmax without touching
+        # ``remote_served``, leaving the per-page flatnonzero/argmin work
+        # to the genuinely tied pages only.
+        cand_counts = page_counts[:, candidates]
+        tied = cand_counts >= (cand_counts.max(axis=0) * 0.9)[None, :]
+        tie_degree = tied.sum(axis=0)
+        clear_winner = cand_counts.argmax(axis=0)
+
         budget = self.config.migration_limit_pages
         moved_pages = []
         moved_dest = []
-        for page in candidates:
+        for rank, page in enumerate(candidates):
             if len(moved_pages) >= budget:
                 break
-            counts = page_counts[:, page]
-            threshold = counts.max() * 0.9
-            near_tied = np.flatnonzero(counts >= threshold)
-            destination = int(near_tied[np.argmin(remote_served[near_tied])])
+            if tie_degree[rank] == 1:
+                destination = int(clear_winner[rank])
+            else:
+                near_tied = np.flatnonzero(tied[:, rank])
+                destination = int(
+                    near_tied[np.argmin(remote_served[near_tied])]
+                )
             source = int(current[page])
             if destination == source:
                 continue
+            counts = page_counts[:, page]
             total = float(totals[page])
             remote_served[source] -= total - float(counts[source])
             remote_served[destination] += total - float(counts[destination])

@@ -8,16 +8,27 @@ retried with exponential backoff up to a bound; a per-task timeout
 retryable :class:`RunTimeoutError`. Completed tasks are recorded in an
 atomically rewritten JSON checkpoint, so a killed sweep resumes by
 skipping them.
+
+With ``jobs > 1`` tasks fan out over a fork-based
+:class:`~concurrent.futures.ProcessPoolExecutor`. The retry/backoff
+loop runs inside each worker (whose main thread can arm SIGALRM), the
+task callable travels by fork inheritance (sweep tasks are closures, so
+they cannot be pickled), and the parent serializes every checkpoint
+write -- futures are consumed in submission order, so the checkpoint
+and event stream match a sequential run of the same task list.
 """
 
 from __future__ import annotations
 
 import json
+import multiprocessing
 import os
 import signal
 import threading
 import time
 import traceback as traceback_module
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
@@ -216,8 +227,79 @@ DEFAULT_TRANSIENT_TYPES: Tuple[Type[BaseException], ...] = (
 )
 
 
+def _attempt_task(task_id: str,
+                  run_task: Callable[[str], Optional[Dict[str, object]]],
+                  timeout_s: Optional[float],
+                  max_retries: int,
+                  backoff_s: float,
+                  transient_types: Tuple[Type[BaseException], ...],
+                  sleep: Callable[[float], None],
+                  emit: Callable[[str], None]) -> RunOutcome:
+    """One task through the retry/timeout loop; no checkpoint access.
+
+    Shared by the sequential path (``emit`` is the runner's event sink)
+    and the pool workers (``emit`` collects messages for the parent to
+    replay); the caller records the outcome in the checkpoint.
+    """
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            with _deadline(timeout_s):
+                payload = run_task(task_id)
+        except KeyboardInterrupt:
+            raise
+        except BaseException as exc:  # noqa: BLE001 -- isolation is the point
+            transient = isinstance(exc, transient_types)
+            if transient and attempts <= max_retries:
+                delay = backoff_s * (2.0 ** (attempts - 1))
+                emit(
+                    f"{task_id}: transient {type(exc).__name__} "
+                    f"({exc}); retry {attempts}/{max_retries} "
+                    f"in {delay:.1f}s"
+                )
+                sleep(delay)
+                continue
+            failure = RunFailure.from_exception(task_id, exc, attempts,
+                                                transient)
+            return RunOutcome(task_id=task_id, status="failed",
+                              attempts=attempts, failure=failure)
+        return RunOutcome(task_id=task_id, status="ok",
+                          attempts=attempts, payload=payload)
+
+
+#: The forked workers' view of the sweep: ProcessPoolExecutor pickles
+#: submitted callables, and sweep tasks are closures over live state
+#: (an export closes over its context and output directory), so the
+#: parent parks the task callable here right before forking the pool
+#: and the children inherit it.
+_POOL_RUNNER: Optional["SweepRunner"] = None
+
+
+def _pool_worker(task_id: str) -> Tuple[RunOutcome, List[str]]:
+    """Run one task in a forked worker; events return with the outcome.
+
+    The worker's main thread can arm SIGALRM, so the per-task deadline
+    behaves exactly as in a sequential sweep.
+    """
+    runner = _POOL_RUNNER
+    assert runner is not None, "worker forked without a parked runner"
+    events: List[str] = []
+    outcome = _attempt_task(
+        task_id, runner.run_task, runner.timeout_s, runner.max_retries,
+        runner.backoff_s, runner.transient_types, runner.sleep,
+        events.append,
+    )
+    return outcome, events
+
+
 class SweepRunner:
-    """Runs a list of task ids through one callable, robustly."""
+    """Runs a list of task ids through one callable, robustly.
+
+    ``jobs`` > 1 fans tasks out over a fork-based process pool; where
+    the fork start method is unavailable the sweep degrades to
+    sequential execution with an event message.
+    """
 
     def __init__(self, run_task: Callable[[str], Optional[Dict[str, object]]],
                  *,
@@ -228,11 +310,14 @@ class SweepRunner:
                  = DEFAULT_TRANSIENT_TYPES,
                  checkpoint: Optional[SweepCheckpoint] = None,
                  sleep: Callable[[float], None] = time.sleep,
-                 on_event: Optional[Callable[[str], None]] = None):
+                 on_event: Optional[Callable[[str], None]] = None,
+                 jobs: int = 1):
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         if backoff_s < 0:
             raise ValueError(f"backoff_s must be >= 0, got {backoff_s}")
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.run_task = run_task
         self.max_retries = max_retries
         self.backoff_s = backoff_s
@@ -241,49 +326,123 @@ class SweepRunner:
         self.checkpoint = checkpoint
         self.sleep = sleep
         self.on_event = on_event or (lambda message: None)
+        self.jobs = jobs
 
     def run(self, task_ids: Sequence[str]) -> List[RunOutcome]:
-        outcomes: List[RunOutcome] = []
-        for task_id in task_ids:
-            outcomes.append(self._run_one(task_id))
-        return outcomes
+        if self.jobs > 1 and len(task_ids) > 1:
+            return self._run_parallel(task_ids)
+        return [self._run_one(task_id) for task_id in task_ids]
+
+    # -- sequential ----------------------------------------------------------
 
     def _run_one(self, task_id: str) -> RunOutcome:
+        cached = self._cached_outcome(task_id)
+        if cached is not None:
+            return cached
+        outcome = _attempt_task(
+            task_id, self.run_task, self.timeout_s, self.max_retries,
+            self.backoff_s, self.transient_types, self.sleep, self.on_event,
+        )
+        self._record(outcome)
+        return outcome
+
+    # -- parallel ------------------------------------------------------------
+
+    def _run_parallel(self, task_ids: Sequence[str]) -> List[RunOutcome]:
+        by_id: Dict[str, RunOutcome] = {}
+        pending: List[str] = []
+        for task_id in task_ids:
+            cached = self._cached_outcome(task_id)
+            if cached is not None:
+                by_id[task_id] = cached
+            else:
+                pending.append(task_id)
+
+        if pending:
+            try:
+                fork = multiprocessing.get_context("fork")
+            except ValueError:
+                fork = None
+            if fork is None:
+                self.on_event(
+                    "fork start method unavailable; running sequentially"
+                )
+                for task_id in pending:
+                    by_id[task_id] = self._run_one(task_id)
+            else:
+                self._run_pool(pending, fork, by_id)
+        return [by_id[task_id] for task_id in task_ids]
+
+    def _run_pool(self, pending: List[str], fork, by_id) -> None:
+        global _POOL_RUNNER
+        workers = min(self.jobs, len(pending))
+        _POOL_RUNNER = self
+        try:
+            with ProcessPoolExecutor(max_workers=workers,
+                                     mp_context=fork) as pool:
+                futures = [(task_id, pool.submit(_pool_worker, task_id))
+                           for task_id in pending]
+                # Submission order, not completion order: checkpoint
+                # writes and events then match a sequential sweep of the
+                # same list byte for byte.
+                for task_id, future in futures:
+                    try:
+                        outcome, events = future.result(
+                            timeout=self._future_timeout()
+                        )
+                    except FutureTimeoutError:
+                        failure = RunFailure.from_exception(
+                            task_id,
+                            RunTimeoutError(
+                                f"worker exceeded the "
+                                f"{self._future_timeout():.1f}s future-level "
+                                f"timeout"
+                            ),
+                            attempts=1, transient=True,
+                        )
+                        outcome = RunOutcome(task_id=task_id, status="failed",
+                                             attempts=1, failure=failure)
+                        events = []
+                    for message in events:
+                        self.on_event(message)
+                    self._record(outcome)
+                    by_id[task_id] = outcome
+        finally:
+            _POOL_RUNNER = None
+
+    def _future_timeout(self) -> Optional[float]:
+        """Parent-side guard when workers cannot arm SIGALRM themselves.
+
+        Covers the whole retry budget (every attempt plus backoff) with
+        slack; on POSIX the worker-side deadline fires long before this.
+        """
+        if self.timeout_s is None or hasattr(signal, "SIGALRM"):
+            return None
+        attempts = self.max_retries + 1
+        backoff = sum(self.backoff_s * (2.0 ** n)
+                      for n in range(self.max_retries))
+        return self.timeout_s * attempts + backoff + 30.0
+
+    # -- shared bookkeeping --------------------------------------------------
+
+    def _cached_outcome(self, task_id: str) -> Optional[RunOutcome]:
         if self.checkpoint is not None and task_id in self.checkpoint.completed:
             self.on_event(f"{task_id}: already completed, skipping")
             return RunOutcome(task_id=task_id, status="cached",
-                             payload=self.checkpoint.payload_of(task_id))
+                              payload=self.checkpoint.payload_of(task_id))
+        return None
 
-        attempts = 0
-        while True:
-            attempts += 1
-            try:
-                with _deadline(self.timeout_s):
-                    payload = self.run_task(task_id)
-            except KeyboardInterrupt:
-                raise
-            except BaseException as exc:  # noqa: BLE001 -- isolation is the point
-                transient = isinstance(exc, self.transient_types)
-                if transient and attempts <= self.max_retries:
-                    delay = self.backoff_s * (2.0 ** (attempts - 1))
-                    self.on_event(
-                        f"{task_id}: transient {type(exc).__name__} "
-                        f"({exc}); retry {attempts}/{self.max_retries} "
-                        f"in {delay:.1f}s"
-                    )
-                    self.sleep(delay)
-                    continue
-                failure = RunFailure.from_exception(task_id, exc, attempts,
-                                                    transient)
-                if self.checkpoint is not None:
-                    self.checkpoint.record_failure(failure)
-                self.on_event(
-                    f"{task_id}: FAILED after {attempts} attempt(s): "
-                    f"{failure.error_type}: {failure.message}"
-                )
-                return RunOutcome(task_id=task_id, status="failed",
-                                  attempts=attempts, failure=failure)
+    def _record(self, outcome: RunOutcome) -> None:
+        """Checkpoint one finished task (parent process only)."""
+        if outcome.status == "ok":
             if self.checkpoint is not None:
-                self.checkpoint.mark_completed(task_id, payload)
-            return RunOutcome(task_id=task_id, status="ok",
-                              attempts=attempts, payload=payload)
+                self.checkpoint.mark_completed(outcome.task_id,
+                                               outcome.payload)
+        elif outcome.failure is not None:
+            if self.checkpoint is not None:
+                self.checkpoint.record_failure(outcome.failure)
+            self.on_event(
+                f"{outcome.task_id}: FAILED after {outcome.attempts} "
+                f"attempt(s): {outcome.failure.error_type}: "
+                f"{outcome.failure.message}"
+            )

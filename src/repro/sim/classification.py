@@ -60,13 +60,20 @@ def block_transfer_fractions(population: PagePopulation) -> np.ndarray:
 
     Vectorized form of
     :meth:`repro.coherence.transfers.SharingModel.block_transfer_fraction`.
+    Cached on the population: its inputs (profile coupling, sharer
+    counts, write fractions) are fixed once the population is built, and
+    every phase evaluation of every system variant re-reads them.
     """
-    coupling = population.profile.coupling
-    sharers = population.sharer_count.astype(np.float64)
-    writes = population.write_fraction
-    intensity = writes * (2.0 - writes)
-    remote_writer = np.where(sharers > 1, (sharers - 1) / sharers, 0.0)
-    return np.minimum(1.0, coupling * intensity * remote_writer)
+    cached = getattr(population, "_bt_fractions", None)
+    if cached is None:
+        coupling = population.profile.coupling
+        sharers = population.sharer_count.astype(np.float64)
+        writes = population.write_fraction
+        intensity = writes * (2.0 - writes)
+        remote_writer = np.where(sharers > 1, (sharers - 1) / sharers, 0.0)
+        cached = np.minimum(1.0, coupling * intensity * remote_writer)
+        population._bt_fractions = cached
+    return cached
 
 
 def classify_phase(counts: np.ndarray, page_map: PageMap,
@@ -112,27 +119,41 @@ def classify_phase(counts: np.ndarray, page_map: PageMap,
     demand_counts = counts - bt_counts
 
     n_locations = n_sockets + 1
-    demand = np.zeros((n_sockets, n_locations))
-    demand_writes = np.zeros((n_sockets, n_locations))
-    bt_socket = np.zeros((n_sockets, n_sockets))
-    bt_pool = np.zeros(n_sockets)
-
     writes = population.write_fraction
     pool_pages = locations == POOL_LOCATION
-    for socket in range(n_sockets):
-        np.add.at(demand[socket], location_index, demand_counts[socket])
-        np.add.at(demand_writes[socket], location_index,
-                  demand_counts[socket] * writes)
-        np.add.at(bt_socket[socket], locations[~pool_pages],
-                  bt_counts[socket][~pool_pages])
-        bt_pool[socket] = bt_counts[socket][pool_pages].sum()
+
+    # One 2-D scatter over flattened (socket, location) indices instead
+    # of a Python-level loop of per-socket np.add.at calls: bincount
+    # accumulates in the same element order, row-major by socket. Pool
+    # pages map to the last column, so the same flat index serves both
+    # the demand aggregates and the block-transfer split (its pool
+    # column IS bt_pool -- no boolean masking copies).
+    socket_base = np.arange(n_sockets, dtype=np.int64)[:, None]
+    flat_index = (socket_base * n_locations
+                  + location_index[None, :]).ravel()
+    n_bins = n_sockets * n_locations
+    demand = np.bincount(
+        flat_index, weights=demand_counts.ravel(), minlength=n_bins,
+    ).reshape(n_sockets, n_locations)
+    demand_writes = np.bincount(
+        flat_index, weights=(demand_counts * writes).ravel(),
+        minlength=n_bins,
+    ).reshape(n_sockets, n_locations)
+    bt_by_location = np.bincount(
+        flat_index, weights=bt_counts.ravel(), minlength=n_bins,
+    ).reshape(n_sockets, n_locations)
+    bt_socket = bt_by_location[:, :n_sockets]
+    bt_pool = bt_by_location[:, n_sockets]
 
     # Owner-side CXL load of pool-homed transfers: the owner is a uniform
     # random sharer of the page, so each sharer carries weight/k of the
     # page's transfer volume.
     bt_pool_per_page = bt_counts.sum(axis=0) * pool_pages
     per_sharer = bt_pool_per_page / population.sharer_count
-    membership = population.membership()
+    membership = getattr(population, "_membership_f64", None)
+    if membership is None:
+        membership = population.membership().astype(np.float64)
+        population._membership_f64 = membership
     bt_pool_owner = membership @ per_sharer
 
     if replica_local is not None:

@@ -22,8 +22,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
+import numpy as np
+
 from repro.config import SystemConfig
-from repro.config.parameters import PAGE_SIZE_BYTES
+from repro.config.parameters import CACHE_BLOCK_BYTES, PAGE_SIZE_BYTES
 from repro.interconnect.loads import MESSAGE_HEADER_BYTES, LinkLoads
 from repro.metrics.breakdown import AccessBreakdown
 from repro.metrics.calibration import CalibratedCpi
@@ -64,12 +66,195 @@ class FixedPointSettings:
     #: Arrival-burstiness multiplier fed to the queueing model (defaults
     #: to :data:`repro.interconnect.queueing.DEFAULT_BURSTINESS`).
     burstiness: Optional[float] = None
+    #: Which AMAT evaluation runs inside the fixed point: ``"vector"``
+    #: (array kernel over the route-incidence matrix, the default) or
+    #: ``"scalar"`` (the historical per-route Python loop, kept as the
+    #: reference implementation for the equivalence suite).
+    kernel: str = "vector"
 
     def __post_init__(self) -> None:
         if self.burstiness is None:
             from repro.interconnect.queueing import DEFAULT_BURSTINESS
 
             self.burstiness = DEFAULT_BURSTINESS
+        if self.kernel not in ("vector", "scalar"):
+            raise ValueError(
+                f"kernel must be 'vector' or 'scalar', got {self.kernel!r}"
+            )
+
+
+class _VectorKernel:
+    """Precompiled array form of one model's route/latency geometry.
+
+    Routes and unloaded latencies are fixed per (topology, route table)
+    pair -- one kernel per timing model, so each fault state's model
+    compiles its own incidence against its own rerouted table. Rows are
+    the access families the scalar kernel iterates:
+
+    * ``demand`` rows, one per (socket, location column) pair;
+    * ``bt-socket`` rows, one per (requester, home) pair (the data leg
+      of the 3-hop transfer, zero incidence on the diagonal);
+    * ``bt-pool`` rows, one per socket, pre-scaled by the pool
+      contention factor.
+
+    ``incidence[r] @ wait_ns_vector`` reproduces the scalar kernel's
+    request+fill queueing sum of family ``r``'s route; the per-phase
+    contraction ``counts @ incidence`` collapses all families into one
+    charge vector, making each fixed-point iteration a single
+    utilization -> waiting-time -> dot-product pipeline.
+    """
+
+    def __init__(self, model: "PhaseTimingModel"):
+        topology = model.topology
+        routes = model.routes
+        index = topology.link_index()
+        n = topology.n_sockets
+        n_locations = n + 1
+        self.has_pool = topology.has_pool
+        self.n_demand_rows = n * n_locations
+        self.n_bt_rows = n * n
+        rows = self.n_demand_rows + self.n_bt_rows + n
+        incidence = np.zeros((rows, index.n_slots), dtype=np.float64)
+        unloaded = np.zeros(rows, dtype=np.float64)
+        #: Byte-charge matrices: row r scattered onto the slots its
+        #: request (route direction) and fill (reverse direction)
+        #: messages traverse; block-transfer rows carry the data block
+        #: forward and the header-sized ack backward.
+        request_inc = np.zeros_like(incidence)
+        fill_inc = np.zeros_like(incidence)
+
+        def scatter(matrix: np.ndarray, row: int,
+                    slots: np.ndarray) -> None:
+            np.add.at(matrix[row], slots, 1.0)
+
+        for socket in range(n):
+            for column in range(n_locations):
+                location = POOL_LOCATION if column == n else column
+                if location == POOL_LOCATION and not topology.has_pool:
+                    continue  # row stays zero; counts there must be zero
+                row = socket * n_locations + column
+                kind = topology.classify(socket, location)
+                unloaded[row] = (
+                    topology.unloaded_latency_ns(kind)
+                    + routes.detour_penalty_ns(socket, location)
+                )
+                incidence[row] = index.incidence_row(
+                    routes.route(socket, location)
+                )
+                compiled = routes.compiled(socket, location)
+                scatter(request_inc, row, compiled.forward_slots)
+                scatter(fill_inc, row, compiled.reverse_slots)
+
+        bt_socket_ns = topology.unloaded_latency_ns(
+            AccessType.BLOCK_TRANSFER_SOCKET
+        )
+        for socket in range(n):
+            for home in range(n):
+                row = self.n_demand_rows + socket * n + home
+                unloaded[row] = bt_socket_ns
+                if home != socket:
+                    leg = routes.route(socket, home)[:-1]
+                    incidence[row] = index.incidence_row(leg)
+                    compiled = index.compile_route(leg)
+                    scatter(request_inc, row, compiled.forward_slots)
+                    scatter(fill_inc, row, compiled.reverse_slots)
+
+        if topology.has_pool:
+            bt_pool_ns = topology.unloaded_latency_ns(
+                AccessType.BLOCK_TRANSFER_POOL
+            )
+            #: First hop of each socket's pool route (the CXL link on the
+            #: ideal fabric, possibly a detour under faults): pool-homed
+            #: transfer data flows to the requester on its reverse, the
+            #: owner's supply on its forward.
+            self.pool_fwd_slots = np.empty(n, dtype=np.intp)
+            self.pool_rev_slots = np.empty(n, dtype=np.intp)
+            self.dram_slots = np.empty(n, dtype=np.intp)
+            for socket in range(n):
+                row = self.n_demand_rows + self.n_bt_rows + socket
+                unloaded[row] = bt_pool_ns
+                incidence[row] = index.incidence_row(
+                    routes.route(socket, POOL_LOCATION),
+                    weight=BT_POOL_CONTENTION_FACTOR,
+                )
+                first_hop = routes.route(socket, POOL_LOCATION)[0]
+                self.pool_fwd_slots[socket] = index.slot(first_hop)
+                self.pool_rev_slots[socket] = index.slot(
+                    first_hop.reversed()
+                )
+                self.dram_slots[socket] = index.slot(
+                    routes.route(socket, socket)[0]
+                )
+
+        self.incidence = incidence
+        self.unloaded = unloaded
+        self.request_inc = request_inc
+        self.fill_inc = fill_inc
+
+    def charge(self, classification: PhaseClassification,
+               loads: LinkLoads) -> None:
+        """Vectorized :meth:`PhaseTimingModel._build_loads` charging.
+
+        Charges demand, socket-homed block transfers, pool-homed
+        transfer legs, and tracker traffic as a handful of
+        matrix-vector contractions against the per-slot byte vector --
+        the array equivalent of the scalar kernel's per-route
+        ``add_access_traffic``/``add_transfer_traffic`` loops.
+        """
+        if not self.has_pool and classification.demand_to_pool() > 0:
+            raise ValueError("pool accesses on a pool-less system")
+        header = MESSAGE_HEADER_BYTES
+        block = CACHE_BLOCK_BYTES + MESSAGE_HEADER_BYTES
+        demand = classification.demand.ravel()
+        writes = classification.demand_writes.ravel()
+        bt = classification.bt_socket.ravel()
+        n_demand, n_bt = self.n_demand_rows, self.n_bt_rows
+        row_request = np.zeros(self.unloaded.size, dtype=np.float64)
+        row_fill = np.zeros(self.unloaded.size, dtype=np.float64)
+        # Demand: per-access request header (+ writeback block share)
+        # forward, one data fill backward.
+        row_request[:n_demand] = demand * header + writes * block
+        row_fill[:n_demand] = demand * block
+        # Socket-homed block transfers: data block forward, header ack
+        # backward, along the DRAM-less data leg.
+        row_request[n_demand:n_demand + n_bt] = bt * block
+        row_fill[n_demand:n_demand + n_bt] = bt * header
+        vec = loads.bytes_vector
+        vec += row_request @ self.request_inc
+        vec += row_fill @ self.fill_inc
+
+        if self.has_pool:
+            # Pool-homed transfers: data to the requester flows pool ->
+            # socket (reverse of the request route's first hop); the
+            # owner's supply flows socket -> pool (forward).
+            down = classification.bt_pool * (64 + MESSAGE_HEADER_BYTES)
+            up = classification.bt_pool_owner * (64 + MESSAGE_HEADER_BYTES)
+            np.add.at(vec, self.pool_rev_slots, down)
+            np.add.at(vec, self.pool_fwd_slots, up)
+            # Tracker-update traffic (StarNUMA's monitoring hardware).
+            issued = (classification.demand.sum(axis=1)
+                      + classification.bt_socket.sum(axis=1)
+                      + classification.bt_pool)
+            np.add.at(vec, self.dram_slots,
+                      issued * TRACKER_BYTES_PER_ACCESS)
+
+    def phase_weights(self, classification: PhaseClassification
+                      ) -> tuple:
+        """Contract one phase's counts against the precompiled geometry.
+
+        Returns ``(charge, weighted_unloaded)``: the per-slot charge
+        vector whose dot product with the waiting-time vector is the
+        phase's total queueing-weighted delay, and the IPC-independent
+        unloaded-latency sum.
+        """
+        counts = np.concatenate((
+            classification.demand.ravel(),
+            classification.bt_socket.ravel(),
+            classification.bt_pool,
+        ))
+        charge = counts @ self.incidence
+        weighted_unloaded = float(counts @ self.unloaded)
+        return charge, weighted_unloaded
 
 
 class PhaseTimingModel:
@@ -90,6 +275,13 @@ class PhaseTimingModel:
         #: software-coherence penalty.
         self.replication = replication
         self._pool_index = topology.n_sockets
+        self._kernel: Optional[_VectorKernel] = None
+
+    def _vector_kernel(self) -> _VectorKernel:
+        """The compiled array kernel of this model (built on first use)."""
+        if self._kernel is None:
+            self._kernel = _VectorKernel(self)
+        return self._kernel
 
     # -- public ------------------------------------------------------------
 
@@ -112,16 +304,21 @@ class PhaseTimingModel:
         stall_per_access = (stall_total_ns / classification.total_accesses
                             if classification.total_accesses else 0.0)
 
+        weights = None
+        if self.settings.kernel == "vector":
+            weights = self._vector_kernel().phase_weights(classification)
+
         if fixed_ipc is not None:
             ipc = fixed_ipc
             amat_ns, unloaded_ns = self._amat_at(ipc, trace, classification,
-                                                 loads, stall_per_access)
+                                                 loads, stall_per_access,
+                                                 weights)
             iterations, converged = 0, True
         else:
             ipc, amat_ns, unloaded_ns, iterations, converged = (
                 self._fixed_point(trace, classification, loads,
                                   stall_per_access, calibration, extra_cpi,
-                                  initial_ipc)
+                                  initial_ipc, weights)
             )
 
         breakdown = self._breakdown(classification)
@@ -158,6 +355,16 @@ class PhaseTimingModel:
     def _build_loads(self, classification: PhaseClassification,
                      batch: Optional[MigrationBatch]) -> LinkLoads:
         loads = LinkLoads(self.topology, burstiness=self.settings.burstiness)
+        if self.settings.kernel == "vector":
+            self._vector_kernel().charge(classification, loads)
+        else:
+            self._build_loads_scalar(classification, loads)
+        if batch is not None:
+            self._charge_migrations(loads, batch)
+        return loads
+
+    def _build_loads_scalar(self, classification: PhaseClassification,
+                            loads: LinkLoads) -> None:
         n_sockets = classification.n_sockets
 
         for socket in range(n_sockets):
@@ -208,10 +415,6 @@ class PhaseTimingModel:
                 dram = self.routes.route(socket, socket)[0]
                 loads.add(dram, issued * TRACKER_BYTES_PER_ACCESS)
 
-        if batch is not None:
-            self._charge_migrations(loads, batch)
-        return loads
-
     def _charge_migrations(self, loads: LinkLoads,
                            batch: MigrationBatch) -> None:
         for move in batch.moves:
@@ -248,7 +451,36 @@ class PhaseTimingModel:
 
     def _amat_at(self, ipc: float, trace: PhaseTrace,
                  classification: PhaseClassification, loads: LinkLoads,
-                 stall_per_access: float) -> tuple:
+                 stall_per_access: float,
+                 weights: Optional[tuple] = None) -> tuple:
+        """Loaded and unloaded AMAT at one IPC guess (kernel dispatch)."""
+        if weights is not None:
+            return self._amat_at_vector(ipc, trace, classification, loads,
+                                        stall_per_access, weights)
+        return self._amat_at_scalar(ipc, trace, classification, loads,
+                                    stall_per_access)
+
+    def _amat_at_vector(self, ipc: float, trace: PhaseTrace,
+                        classification: PhaseClassification,
+                        loads: LinkLoads, stall_per_access: float,
+                        weights: tuple) -> tuple:
+        """Array kernel: one waiting-time vector, one dot product."""
+        total = classification.total_accesses
+        if total == 0:
+            local = self.system.latency.local_ns
+            return local, local
+        charge, weighted_unloaded = weights
+        window = self._duration_ns(ipc, trace)
+        wait = loads.wait_ns_vector(window)
+        weighted_loaded = weighted_unloaded + float(charge @ wait)
+        amat = weighted_loaded / total + stall_per_access
+        unloaded_amat = weighted_unloaded / total
+        return self._apply_replication_penalty(classification, total,
+                                               amat, unloaded_amat)
+
+    def _amat_at_scalar(self, ipc: float, trace: PhaseTrace,
+                        classification: PhaseClassification,
+                        loads: LinkLoads, stall_per_access: float) -> tuple:
         window = self._duration_ns(ipc, trace)
         latency = self.system.latency
         n_sockets = classification.n_sockets
@@ -303,6 +535,12 @@ class PhaseTimingModel:
             return local, local
         amat = weighted_loaded / total + stall_per_access
         unloaded_amat = weighted_unloaded / total
+        return self._apply_replication_penalty(classification, total,
+                                               amat, unloaded_amat)
+
+    def _apply_replication_penalty(self, classification: PhaseClassification,
+                                   total: float, amat: float,
+                                   unloaded_amat: float) -> tuple:
         if self.replication is not None and classification.replicated_writes:
             # Software coherence for replicas: every write to a replicated
             # page pays the invalidation broadcast.
@@ -316,14 +554,15 @@ class PhaseTimingModel:
                      classification: PhaseClassification, loads: LinkLoads,
                      stall_per_access: float, calibration: CalibratedCpi,
                      extra_cpi: float,
-                     initial_ipc: Optional[float]) -> tuple:
+                     initial_ipc: Optional[float],
+                     weights: Optional[tuple] = None) -> tuple:
         settings = self.settings
         core = self.system.core
         ipc = initial_ipc or self.population.profile.ipc_16
         amat_ns = unloaded_ns = 0.0
         for iteration in range(1, settings.max_iterations + 1):
             amat_ns, unloaded_ns = self._amat_at(
-                ipc, trace, classification, loads, stall_per_access
+                ipc, trace, classification, loads, stall_per_access, weights
             )
             target = calibration.ipc(core.ns_to_cycles(amat_ns), extra_cpi)
             new_ipc = (settings.damping * target

@@ -4,9 +4,12 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Tuple
 
 from repro.config import SystemConfig
+
+if TYPE_CHECKING:
+    from repro.topology.linkindex import LinkIndex
 
 #: Sentinel page location denoting the shared memory pool (as opposed to a
 #: socket id in ``range(n_sockets)``).
@@ -169,6 +172,21 @@ class Topology:
     def links(self) -> Dict[str, Link]:
         """All links of the system, keyed by link id."""
         return self._links
+
+    def link_index(self) -> "LinkIndex":
+        """The dense directed-link index of this topology (memoized).
+
+        Uses ``getattr`` rather than an ``__init__``-assigned field so
+        subclasses that bypass ``Topology.__init__`` (the faulted views)
+        still get a correctly scoped cache over their own link table.
+        """
+        index = getattr(self, "_link_index", None)
+        if index is None:
+            from repro.topology.linkindex import LinkIndex
+
+            index = LinkIndex(self)
+            self._link_index = index
+        return index
 
     def link(self, link_id: str) -> Link:
         try:

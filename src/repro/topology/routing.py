@@ -10,7 +10,10 @@ pair and cached, since route lookup is on the hot path of the timing model.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:
+    from repro.topology.linkindex import CompiledRoute
 
 from repro.topology.model import (
     POOL_LOCATION,
@@ -53,6 +56,7 @@ class RouteTable:
     def __init__(self, topology: Topology):
         self.topology = topology
         self._routes: Dict[Tuple[int, int], Route] = {}
+        self._compiled: Dict[Tuple[int, int], "CompiledRoute"] = {}
         self._detour_ns: Dict[Tuple[int, int], float] = {}
         self._graph: Optional[Dict[_Node, List[Tuple[_Node, DirectedLink]]]] = None
         for requester in topology.sockets():
@@ -78,6 +82,21 @@ class RouteTable:
     def detour_penalty_ns(self, requester: int, location: int) -> float:
         """Extra unloaded latency of a fault-detoured route (0 if direct)."""
         return self._detour_ns.get((requester, location), 0.0)
+
+    def compiled(self, requester: int, location: int) -> "CompiledRoute":
+        """Flat slot-array form of :meth:`route` (cached per pair).
+
+        Compiled against this table's topology, so a faulted table's
+        compiled routes index the faulted link inventory.
+        """
+        key = (requester, location)
+        compiled = self._compiled.get(key)
+        if compiled is None:
+            compiled = self.topology.link_index().compile_route(
+                self.route(requester, location)
+            )
+            self._compiled[key] = compiled
+        return compiled
 
     def block_transfer_route(self, requester: int, owner: int,
                              home: int) -> Route:

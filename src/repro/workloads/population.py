@@ -36,9 +36,20 @@ class PagePopulation:
         return int(self.sharer_mask.size)
 
     def membership(self) -> np.ndarray:
-        """Boolean (n_sockets, n_pages) matrix of who shares what."""
-        sockets = np.arange(self.n_sockets, dtype=np.uint32)
-        return ((self.sharer_mask[None, :] >> sockets[:, None]) & 1) == 1
+        """Boolean (n_sockets, n_pages) matrix of who shares what.
+
+        Cached after the first call: the sharer masks never change once
+        a population is built, and the matrix sits on the per-phase
+        classification path of every timing evaluation.
+        """
+        cached = getattr(self, "_membership", None)
+        if cached is None:
+            sockets = np.arange(self.n_sockets, dtype=np.uint32)
+            cached = (
+                (self.sharer_mask[None, :] >> sockets[:, None]) & 1
+            ) == 1
+            self._membership = cached
+        return cached
 
     def socket_access_rates(self) -> np.ndarray:
         """Per-socket access distribution over pages.

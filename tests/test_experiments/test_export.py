@@ -58,3 +58,22 @@ class TestExportAll:
         target = tmp_path / "nested" / "dir"
         export_all(str(target), context, experiments=("table3",))
         assert (Path(target) / "table3.json").exists()
+
+
+class TestParallelExport:
+    def test_jobs_export_is_byte_identical(self, tmp_path):
+        """--jobs 4 and --jobs 1 must write identical files."""
+        experiments = ("fig2", "table3", "table4")
+        outputs = {}
+        for jobs in (1, 4):
+            out = tmp_path / f"jobs{jobs}"
+            # Fresh context per run: workers must not depend on what the
+            # parent happened to have cached.
+            context = ExperimentContext(seed=2, n_phases=4, warmup_phases=1,
+                                        workloads=("poa",))
+            export_all(str(out), context, experiments, jobs=jobs)
+            outputs[jobs] = {
+                path.name: path.read_bytes()
+                for path in sorted(out.iterdir())
+            }
+        assert outputs[1] == outputs[4]

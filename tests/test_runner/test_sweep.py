@@ -195,3 +195,109 @@ class TestValidation:
     def test_negative_backoff_rejected(self):
         with pytest.raises(ValueError):
             SweepRunner(lambda t: None, backoff_s=-0.1)
+
+
+class TestParallel:
+    """jobs > 1: fork-pool fan-out with sequential semantics."""
+
+    def test_outcomes_keep_task_order(self):
+        def run(task_id):
+            return {"task": task_id}
+
+        outcomes = SweepRunner(run, jobs=4).run(["a", "b", "c", "d", "e"])
+        assert [outcome.task_id for outcome in outcomes] == \
+            ["a", "b", "c", "d", "e"]
+        assert all(outcome.status == "ok" for outcome in outcomes)
+        assert outcomes[2].payload == {"task": "c"}
+
+    def test_failure_isolation_across_workers(self):
+        def run(task_id):
+            if task_id == "b":
+                raise ValueError("deterministic model error")
+            return {"task": task_id}
+
+        outcomes = SweepRunner(run, jobs=2).run(["a", "b", "c"])
+        assert [outcome.status for outcome in outcomes] == \
+            ["ok", "failed", "ok"]
+        failure = outcomes[1].failure
+        assert failure.error_type == "ValueError"
+        assert "ValueError" in failure.traceback
+
+    def test_retries_happen_inside_the_worker(self):
+        attempts = {"n": 0}
+
+        def run(task_id):
+            # Forked workers copy attempts at 0; retries of one task all
+            # run in the same worker, so the counter climbs there.
+            attempts["n"] += 1
+            if attempts["n"] < 3:
+                raise TransientRunError("blip")
+            return {"ok": True}
+
+        outcomes = SweepRunner(run, jobs=2, max_retries=3, backoff_s=0.0,
+                               sleep=lambda s: None).run(["a", "b"])
+        assert all(outcome.status == "ok" for outcome in outcomes)
+        assert outcomes[0].attempts == 3
+
+    def test_retry_events_replay_in_parent(self):
+        events = []
+
+        def run(task_id):
+            raise ValueError("boom")
+
+        SweepRunner(run, jobs=2, on_event=events.append).run(["a", "b"])
+        assert any("FAILED" in message and "a" in message
+                   for message in events)
+
+    def test_worker_deadline_fires(self):
+        def run(task_id):
+            time.sleep(5.0)
+
+        outcome = SweepRunner(run, jobs=2, max_retries=0,
+                              timeout_s=0.1).run(["slow", "slower"])[0]
+        assert outcome.status == "failed"
+        assert outcome.failure.error_type == "RunTimeoutError"
+
+    def test_checkpoint_written_by_parent_in_submission_order(self, tmp_path):
+        sequential = SweepCheckpoint(tmp_path / "seq.json", {"seed": 1})
+        sequential.reset()
+        parallel = SweepCheckpoint(tmp_path / "par.json", {"seed": 1})
+        parallel.reset()
+
+        def run(task_id):
+            if task_id == "b":
+                raise ValueError("boom")
+            return {"task": task_id}
+
+        tasks = ["a", "b", "c", "d"]
+        SweepRunner(run, checkpoint=sequential).run(tasks)
+        SweepRunner(run, checkpoint=parallel, jobs=4).run(tasks)
+        seq = json.loads((tmp_path / "seq.json").read_text())
+        par = json.loads((tmp_path / "par.json").read_text())
+        assert seq["completed"] == par["completed"]
+        assert [f["task_id"] for f in seq["failures"]] == \
+            [f["task_id"] for f in par["failures"]]
+
+    def test_cached_tasks_skip_without_forking(self, tmp_path):
+        checkpoint = SweepCheckpoint(tmp_path / "checkpoint.json", {})
+        checkpoint.reset()
+        checkpoint.mark_completed("a", {"task": "a"})
+        checkpoint.mark_completed("b", {"task": "b"})
+        outcomes = SweepRunner(
+            lambda t: {"task": t}, checkpoint=checkpoint, jobs=4,
+        ).run(["a", "b"])
+        assert [outcome.status for outcome in outcomes] == \
+            ["cached", "cached"]
+
+    def test_single_task_stays_sequential(self):
+        calls = []
+        outcomes = SweepRunner(
+            lambda t: calls.append(t) or {"t": t}, jobs=8,
+        ).run(["only"])
+        # Ran in-process: the parent's closure state was mutated.
+        assert calls == ["only"]
+        assert outcomes[0].status == "ok"
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError, match="jobs"):
+            SweepRunner(lambda t: None, jobs=0)
