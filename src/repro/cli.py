@@ -11,14 +11,31 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
 from repro.experiments import EXPERIMENTS, ExperimentContext
+from repro.obs import OBS
+from repro.obs.logconfig import get_logger, setup_logging
 from repro.workloads import WORKLOADS
 
 #: Committed baseline of accepted lint findings, at the repo root.
 DEFAULT_BASELINE = "lint-baseline.json"
+
+_log = get_logger()
+
+
+def _add_obs_arguments(command: argparse.ArgumentParser) -> None:
+    command.add_argument("--obs-trace", metavar="PATH",
+                         help="write an instrumentation trace (JSONL) "
+                              "to PATH; summarize it later with "
+                              "'starnuma obs summary PATH'")
+    command.add_argument("--obs-level", choices=["basic", "detail"],
+                         default="basic",
+                         help="instrumentation verbosity (default basic; "
+                              "detail adds per-page decisions and "
+                              "residual trajectories)")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -26,6 +43,11 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="starnuma",
         description="StarNUMA (MICRO 2024) reproduction harness",
     )
+    verbosity = parser.add_mutually_exclusive_group()
+    verbosity.add_argument("-v", "--verbose", action="store_true",
+                           help="debug-level progress messages on stderr")
+    verbosity.add_argument("-q", "--quiet", action="store_true",
+                           help="only warnings and errors on stderr")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list experiments and workloads")
@@ -48,6 +70,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--jobs", type=int, default=1, metavar="N",
                      help="run up to N experiments in parallel worker "
                           "processes (default 1: sequential)")
+    _add_obs_arguments(run)
 
     export = sub.add_parser("export",
                             help="run experiments and write JSON/CSV")
@@ -71,6 +94,27 @@ def _build_parser() -> argparse.ArgumentParser:
     export.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="run up to N experiments in parallel worker "
                              "processes (default 1: sequential)")
+    _add_obs_arguments(export)
+
+    obs = sub.add_parser(
+        "obs",
+        help="inspect an instrumentation trace",
+        description="Summarize or validate a JSONL trace written by "
+                    "'run --obs-trace' / 'export --obs-trace'. See "
+                    "docs/observability.md.",
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    summary = obs_sub.add_parser("summary",
+                                 help="phase timeline and metric tables")
+    summary.add_argument("trace", metavar="PATH",
+                         help="JSONL trace file")
+    summary.add_argument("--width", type=int, default=40,
+                         help="bar width of the phase timeline "
+                              "(default 40)")
+    validate = obs_sub.add_parser("validate",
+                                  help="check a trace against the schema")
+    validate.add_argument("trace", metavar="PATH",
+                          help="JSONL trace file")
 
     describe = sub.add_parser("describe",
                               help="print a system configuration")
@@ -83,8 +127,8 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run the project static-analysis pass",
         description="Check the tree against the StarNUMA invariants: "
                     "unit-suffix consistency, determinism, sim purity, "
-                    "hashable cache keys, config/model agreement. See "
-                    "docs/static-analysis.md.",
+                    "obs purity, hashable cache keys, config/model "
+                    "agreement. See docs/static-analysis.md.",
     )
     lint.add_argument("paths", nargs="*", metavar="PATH",
                       help="files or directories to lint "
@@ -137,6 +181,11 @@ def _validate_common(args: argparse.Namespace) -> Optional[str]:
     return None
 
 
+def _run_experiment(name: str, context: ExperimentContext):
+    with OBS.span("experiment", experiment=name):
+        return EXPERIMENTS[name](context)
+
+
 def _print_result(name: str, result) -> None:
     print(result.table)
     if name == "fig8":
@@ -163,7 +212,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     ]
     if args.resume is None and args.jobs == 1:
         for name in names:
-            _print_result(name, EXPERIMENTS[name](context))
+            _print_result(name, _run_experiment(name, context))
         return 0
 
     import contextlib
@@ -181,13 +230,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         try:
             checkpoint.load()
         except CheckpointMismatchError as exc:
-            print(f"starnuma: error: {exc}", file=sys.stderr)
+            _log.error(f"error: {exc}")
             return 2
 
     if args.jobs == 1:
 
         def run_one(name: str) -> None:
-            _print_result(name, EXPERIMENTS[name](context))
+            _print_result(name, _run_experiment(name, context))
             return None
 
     else:
@@ -197,12 +246,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         def run_one(name: str) -> dict:
             rendered = io.StringIO()
             with contextlib.redirect_stdout(rendered):
-                _print_result(name, EXPERIMENTS[name](context))
+                _print_result(name, _run_experiment(name, context))
             return {"rendered": rendered.getvalue()}
 
     runner = SweepRunner(
         run_one, checkpoint=checkpoint, jobs=args.jobs,
-        on_event=lambda message: print(message, file=sys.stderr),
+        on_event=_log.info,
     )
     outcomes = runner.run(names)
     if args.jobs > 1:
@@ -212,8 +261,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     failed = [outcome for outcome in outcomes if not outcome.succeeded]
     if failed:
         where = args.resume or "DIR"
-        print(f"starnuma: {len(failed)} experiment(s) failed; rerun with "
-              f"--resume {where} to retry them", file=sys.stderr)
+        _log.warning(f"{len(failed)} experiment(s) failed; rerun with "
+                     f"--resume {where} to retry them")
         return 1
     return 0
 
@@ -224,20 +273,18 @@ def _cmd_export(args: argparse.Namespace) -> int:
 
     out = args.resume or args.out
     if out is None:
-        print("starnuma: error: export needs --out DIR (or --resume DIR)",
-              file=sys.stderr)
+        _log.error("error: export needs --out DIR (or --resume DIR)")
         return 2
     if args.retries < 0:
-        print(f"starnuma: error: --retries must be >= 0 "
-              f"(got {args.retries})", file=sys.stderr)
+        _log.error(f"error: --retries must be >= 0 (got {args.retries})")
         return 2
     if args.run_timeout is not None and args.run_timeout <= 0:
-        print(f"starnuma: error: --run-timeout must be > 0 "
-              f"(got {args.run_timeout})", file=sys.stderr)
+        _log.error(f"error: --run-timeout must be > 0 "
+                   f"(got {args.run_timeout})")
         return 2
     if args.resume and args.out and args.resume != args.out:
-        print("starnuma: error: --out and --resume point at different "
-              "directories", file=sys.stderr)
+        _log.error("error: --out and --resume point at different "
+                   "directories")
         return 2
 
     context = ExperimentContext(
@@ -251,20 +298,44 @@ def _cmd_export(args: argparse.Namespace) -> int:
             max_retries=args.retries,
             timeout_s=args.run_timeout,
             jobs=args.jobs,
-            on_event=lambda message: print(message, file=sys.stderr),
+            on_event=_log.info,
         )
     except KeyError as exc:
-        print(f"starnuma: error: {exc.args[0]}", file=sys.stderr)
+        _log.error(f"error: {exc.args[0]}")
         return 2
     except CheckpointMismatchError as exc:
-        print(f"starnuma: error: {exc}", file=sys.stderr)
+        _log.error(f"error: {exc}")
         return 2
     except SweepError as exc:
-        print(f"starnuma: {exc}; completed experiments are checkpointed -- "
-              f"rerun with --resume {out} to retry the rest",
-              file=sys.stderr)
+        _log.warning(f"{exc}; completed experiments are checkpointed -- "
+                     f"rerun with --resume {out} to retry the rest")
         return 1
     print(f"wrote {len(written)} result files to {out}")
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs import read_trace, render_summary, summarize_trace, \
+        validate_trace
+
+    try:
+        if args.obs_command == "validate":
+            problems = validate_trace(args.trace)
+            if problems:
+                for line_number, problem in problems:
+                    print(f"{args.trace}:{line_number}: {problem}")
+                print(f"{len(problems)} problem(s)")
+                return 1
+            print(f"{args.trace}: valid obs trace")
+            return 0
+        if args.width < 1:
+            _log.error(f"error: --width must be >= 1 (got {args.width})")
+            return 2
+        records = read_trace(args.trace)
+    except FileNotFoundError:
+        _log.error(f"error: no such trace: {args.trace}")
+        return 2
+    print(render_summary(summarize_trace(records), width=args.width))
     return 0
 
 
@@ -334,13 +405,13 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     paths = args.paths or ["src/repro"]
     for path in paths:
         if not Path(path).exists():
-            print(f"starnuma: error: no such path: {path}", file=sys.stderr)
+            _log.error(f"error: no such path: {path}")
             return 2
 
     try:
         rules = create_rules(args.rules)
     except KeyError as exc:
-        print(f"starnuma: error: {exc.args[0]}", file=sys.stderr)
+        _log.error(f"error: {exc.args[0]}")
         return 2
 
     project, parse_errors = build_project(paths)
@@ -358,7 +429,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         try:
             baseline = Baseline.load(baseline_path)
         except BaselineError as exc:
-            print(f"starnuma: error: {exc}", file=sys.stderr)
+            _log.error(f"error: {exc}")
             return 2
     report = run_lint(project, rules=rules, baseline=baseline,
                       extra_findings=parse_errors)
@@ -368,22 +439,46 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0 if report.is_clean else 1
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    args = _build_parser().parse_args(argv)
-    if args.command in ("run", "export"):
-        message = _validate_common(args)
-        if message is not None:
-            print(f"starnuma: error: {message}", file=sys.stderr)
-            return 2
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "export":
         return _cmd_export(args)
+    if args.command == "obs":
+        return _cmd_obs(args)
     if args.command == "describe":
         return _cmd_describe(args)
     if args.command == "lint":
         return _cmd_lint(args)
     return _cmd_run(args)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    setup_logging(verbose=args.verbose, quiet=args.quiet)
+    try:
+        if args.command in ("run", "export"):
+            message = _validate_common(args)
+            if message is not None:
+                _log.error(f"error: {message}")
+                return 2
+            if args.obs_trace:
+                from repro.obs import configure as obs_configure
+                from repro.obs import shutdown as obs_shutdown
+
+                obs_configure(trace_path=args.obs_trace, level=args.obs_level)
+                try:
+                    return _dispatch(args)
+                finally:
+                    obs_shutdown()
+                    _log.info(f"obs trace written to {args.obs_trace}")
+        return _dispatch(args)
+    except BrokenPipeError:
+        # Downstream closed the pipe (e.g. `starnuma obs summary | head`);
+        # detach stdout so the interpreter's shutdown flush stays quiet.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -16,12 +16,30 @@ from __future__ import annotations
 
 import csv
 import json
+import os
+import time
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.experiments import EXPERIMENTS
 from repro.experiments.context import ExperimentContext, ExperimentResult
+from repro.obs import OBS
 from repro.runner import RunFailure, SweepCheckpoint, SweepError, SweepRunner
+
+#: Version of the ``manifest.json`` layout written next to every export.
+MANIFEST_SCHEMA_VERSION = 2
+
+#: Environment variables consulted (in order) for the source revision;
+#: the harness never shells out to git itself, CI injects the answer.
+_GIT_ENV_VARS = ("STARNUMA_GIT_DESCRIBE", "GITHUB_SHA")
+
+
+def _git_describe() -> Optional[str]:
+    for variable in _GIT_ENV_VARS:
+        value = os.environ.get(variable)
+        if value:
+            return value
+    return None
 
 
 def _coerce(value):
@@ -98,6 +116,7 @@ def export_all(out_dir: str, context: Optional[ExperimentContext] = None,
     process), producing byte-identical outputs to a sequential export.
     """
     context = context or ExperimentContext()
+    started_monotonic = time.monotonic()
     out_path = Path(out_dir)
     out_path.mkdir(parents=True, exist_ok=True)
 
@@ -135,12 +154,19 @@ def export_all(out_dir: str, context: Optional[ExperimentContext] = None,
         elif outcome.failure is not None:
             failures.append(outcome.failure)
 
+    from repro.config import baseline_config, starnuma_config
+
     manifest = {
+        "schema": MANIFEST_SCHEMA_VERSION,
         "seed": context.seed,
         "n_phases": context.n_phases,
         "warmup_phases": context.warmup_phases,
         "workloads": context.workload_names,
         "experiments": written,
+        "presets": [baseline_config().name, starnuma_config().name],
+        "git": _git_describe(),
+        "wall_time_s": round(time.monotonic() - started_monotonic, 3),
+        "obs_trace": OBS.trace_path,
     }
     (out_path / "manifest.json").write_text(json.dumps(manifest, indent=2))
     if failures and strict:

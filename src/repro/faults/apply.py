@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet
 
 from repro.faults.schedule import FaultState
+from repro.obs import OBS
 from repro.topology.model import AccessType, Link, LinkKind, Topology
 
 #: Latency multiplier on accesses that still hit a *failed* pool device
@@ -90,4 +91,20 @@ def faulted_topology(base: Topology, state: FaultState) -> Topology:
     """The topology as seen under ``state`` (the base itself when clean)."""
     if state.is_clean:
         return base
-    return FaultedTopology(base, state)
+    view = FaultedTopology(base, state)
+    if OBS.enabled:
+        derated = sum(
+            1 for link_id, link in view.links.items()
+            if link.capacity_gbps != base.links[link_id].capacity_gbps
+        )
+        OBS.counter("faults.topologies_applied")
+        OBS.event(
+            "faults.applied",
+            n_removed_links=len(view.removed_links),
+            n_failed_links=len(state.failed_links),
+            n_failed_asics=len(state.failed_asics),
+            n_derated_links=derated,
+            pool_failed=state.pool_failed,
+            pool_latency_factor=state.pool_latency_factor,
+        )
+    return view

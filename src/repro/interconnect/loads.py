@@ -49,6 +49,17 @@ class TrafficSample:
     def utilization(self) -> float:
         return self.offered_gbps / self.capacity_gbps
 
+    def as_attrs(self) -> dict:
+        """Flat JSON-ready form, used by the obs utilization events."""
+        return {
+            "link": self.link_id,
+            "forward": self.forward,
+            "utilization": self.utilization,
+            "offered_gbps": self.offered_gbps,
+            "capacity_gbps": self.capacity_gbps,
+            "wait_ns": self.wait_ns,
+        }
+
 
 class LinkLoads:
     """Accumulates traffic and evaluates queueing delay per link direction.

@@ -4,8 +4,10 @@ from repro.lint.rules import (  # noqa: F401
     config_drift,
     determinism,
     frozen,
+    obs_purity,
     purity,
     units,
 )
 
-__all__ = ["config_drift", "determinism", "frozen", "purity", "units"]
+__all__ = ["config_drift", "determinism", "frozen", "obs_purity",
+           "purity", "units"]

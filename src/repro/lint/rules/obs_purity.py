@@ -1,0 +1,96 @@
+"""Obs purity: model code writes telemetry, it never reads it back.
+
+Instrumentation is only provably inert if results cannot depend on it.
+The model packages (``repro.sim``, ``repro.migration``,
+``repro.interconnect``, ``repro.topology``, ``repro.faults``) may
+therefore touch exactly one obs object -- the global ``OBS`` facade --
+and only its write-side members: ``enabled`` (the guard flag), ``span``,
+``event``, ``detail``, ``counter``, ``gauge``, and ``observe``. Reading
+metric values, draining records, or reconfiguring the pipeline from
+inside the model would let telemetry feed back into simulation results,
+so any other import from ``repro.obs`` or attribute of ``OBS`` is
+flagged. The runner and CLI are deliberately out of scope: they own the
+pipeline's lifecycle (configure/shutdown/capture).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Set
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.module import LintModule, LintProject
+from repro.lint.registry import LintRule, register
+
+#: Packages whose results must never depend on telemetry state.
+OBS_PURE_SCOPES = ("repro.sim", "repro.migration", "repro.interconnect",
+                   "repro.topology", "repro.faults")
+
+#: The write-side surface of the OBS facade (see repro.obs.core).
+OBS_ALLOWED_ATTRS = frozenset(
+    {"enabled", "span", "event", "detail", "counter", "gauge", "observe"}
+)
+
+
+@register
+class ObsPurityRule(LintRule):
+    name = "obs-purity"
+    severity = Severity.ERROR
+    description = (
+        "model packages may only write telemetry through OBS "
+        "(enabled/span/event/detail/counter/gauge/observe), never read "
+        "obs state back"
+    )
+
+    def check_module(self, module: LintModule,
+                     project: LintProject) -> Iterable[Finding]:
+        if not module.in_package(OBS_PURE_SCOPES):
+            return ()
+        findings: List[Finding] = []
+        obs_names = self._collect_imports(module, findings)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Attribute) \
+                    and isinstance(node.value, ast.Name) \
+                    and node.value.id in obs_names \
+                    and node.attr not in OBS_ALLOWED_ATTRS:
+                findings.append(self.finding(
+                    module, node,
+                    f"'OBS.{node.attr}' is not on the write-side "
+                    f"allowlist; model code may only use "
+                    f"{self._allowlist_label()}",
+                ))
+        return findings
+
+    def _collect_imports(self, module: LintModule,
+                         findings: List[Finding]) -> Set[str]:
+        """Local names bound to OBS; flags every other obs import."""
+        obs_names: Set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] == "repro" \
+                            and alias.name.startswith("repro.obs"):
+                        findings.append(self.finding(
+                            module, node,
+                            f"'import {alias.name}' in a model package; "
+                            f"only 'from repro.obs import OBS' is allowed",
+                        ))
+            elif isinstance(node, ast.ImportFrom) and not node.level \
+                    and node.module \
+                    and (node.module == "repro.obs"
+                         or node.module.startswith("repro.obs.")):
+                for alias in node.names:
+                    if node.module == "repro.obs" and alias.name == "OBS":
+                        obs_names.add(alias.asname or alias.name)
+                    else:
+                        findings.append(self.finding(
+                            module, node,
+                            f"'from {node.module} import {alias.name}' in "
+                            f"a model package; only 'from repro.obs "
+                            f"import OBS' is allowed",
+                        ))
+        return obs_names
+
+    @staticmethod
+    def _allowlist_label() -> str:
+        return "OBS." + "/".join(sorted(OBS_ALLOWED_ATTRS))

@@ -7,7 +7,7 @@ speedup table, :func:`bar_chart` renders labeled horizontal bars, and
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 #: Glyphs: full blocks plus an eighth-resolution final cell.
 _FULL = "█"
@@ -22,22 +22,39 @@ def _bar(value: float, scale: float, width: int) -> str:
     return (_FULL * min(full, width) + partial).ljust(width)
 
 
+def _clip(label: str, max_label: Optional[int]) -> str:
+    """Truncate to ``max_label`` columns, ellipsized when cut."""
+    if max_label is None or len(label) <= max_label:
+        return label
+    if max_label <= 1:
+        return label[:max_label]
+    return label[:max_label - 1] + "…"
+
+
 def bar_chart(items: Sequence[Tuple[str, float]], width: int = 40,
-              title: str = "", unit: str = "") -> str:
-    """Render labeled horizontal bars, scaled to the maximum value."""
+              title: str = "", unit: str = "",
+              max_label: Optional[int] = None) -> str:
+    """Render labeled horizontal bars, scaled to the maximum value.
+
+    ``max_label`` caps the label column (long trace-derived labels
+    would otherwise push every bar off-screen); ``None`` never cuts.
+    """
     if not items:
         raise ValueError("need at least one bar")
     if width < 4:
         raise ValueError(f"width must be >= 4, got {width}")
+    if max_label is not None and max_label < 1:
+        raise ValueError(f"max_label must be >= 1, got {max_label}")
     scale = max(value for _, value in items)
     if scale <= 0:
         scale = 1.0
-    label_width = max(len(label) for label, _ in items)
+    labels = [_clip(label, max_label) for label, _ in items]
+    label_width = max(len(label) for label in labels)
 
     lines: List[str] = []
     if title:
         lines.append(title)
-    for label, value in items:
+    for label, (_, value) in zip(labels, items):
         bar = _bar(value, scale, width)
         lines.append(f"{label.ljust(label_width)}  {bar} {value:.2f}{unit}")
     return "\n".join(lines)

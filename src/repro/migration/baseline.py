@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.config import MigrationConfig
 from repro.migration.records import MigrationBatch, RegionMove
+from repro.obs import OBS
 from repro.placement.pagemap import PageMap
 
 
@@ -123,9 +124,27 @@ class BaselinePolicy:
             remote_served[destination] += total - float(counts[destination])
             moved_pages.append(int(page))
             moved_dest.append(destination)
+            if OBS.enabled:
+                OBS.counter("migration.decisions")
+                OBS.counter("migration.pages_moved")
+                # Per-page provenance is detail-level: the baseline moves
+                # thousands of pages per phase under a scaled budget.
+                OBS.detail(
+                    "migration.decision", policy="baseline",
+                    phase=self.phases_run, page=int(page), pages=1,
+                    source=source, destination=destination,
+                    accesses=total,
+                    current_accesses=float(current_count[page]),
+                    best_accesses=float(best_count[page]),
+                    rule=("dominant-accessor" if tie_degree[rank] == 1
+                          else "tie-balance"),
+                    hysteresis=self.hysteresis,
+                )
 
         if not moved_pages:
             return batch
+        OBS.event("migration.batch", policy="baseline",
+                  phase=self.phases_run, pages=len(moved_pages))
         pages = np.array(moved_pages, dtype=np.int64)
         destinations = np.array(moved_dest, dtype=np.int64)
         for destination in np.unique(destinations):

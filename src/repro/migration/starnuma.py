@@ -23,10 +23,16 @@ import numpy as np
 from repro.config import MigrationConfig, TrackerKind
 from repro.migration.records import MigrationBatch, RegionMove
 from repro.migration.regions import RegionTable
+from repro.obs import OBS
 from repro.placement.capacity import PoolCapacityManager
 from repro.placement.pagemap import PageMap
 from repro.tracking.tracker import RegionTrackerArray
 from repro.topology.model import POOL_LOCATION
+
+
+def location_label(location: int) -> object:
+    """JSON-friendly location: the socket index, or ``"pool"``."""
+    return "pool" if location == POOL_LOCATION else int(location)
 
 
 class StarNumaPolicy:
@@ -70,13 +76,16 @@ class StarNumaPolicy:
             sharers = tracker.sharers_of(region)
             if sharers.size == 0:
                 continue
+            pool_bound = (sharer_counts[region]
+                          >= self.config.pool_sharer_threshold)
             best_location = int(self.rng.choice(sharers))
-            if sharer_counts[region] >= self.config.pool_sharer_threshold:
+            if pool_bound:
                 best_location = POOL_LOCATION
             current = int(locations[region])
             if best_location == current:
                 continue
             if self._is_ping_ponging(region, phase):
+                OBS.counter("migration.pingpong_skips")
                 continue
 
             size = int(region_sizes[region])
@@ -101,6 +110,26 @@ class StarNumaPolicy:
 
             self._move(region, current, best_location, locations, page_map,
                        batch)
+            if OBS.enabled:
+                # Decision provenance: enough to answer "why did this
+                # region go there?" -- its score, the threshold that
+                # fired, and the rule that picked the destination.
+                OBS.counter("migration.decisions")
+                OBS.counter("migration.pages_moved", size)
+                OBS.event(
+                    "migration.decision", policy="starnuma", phase=phase,
+                    region=int(region), pages=size,
+                    source=location_label(current),
+                    destination=location_label(best_location),
+                    accesses=float(accesses[region]),
+                    sharers=int(sharer_counts[region]),
+                    rule="pool-sharers" if pool_bound else "hot-region",
+                    tracker=self.config.tracker.name,
+                    hi_threshold=self.hi_threshold,
+                    pool_sharer_threshold=(
+                        self.config.pool_sharer_threshold
+                    ),
+                )
 
         self._adapt_thresholds(accesses, candidates, sharer_counts,
                                locations, region_sizes,
@@ -155,6 +184,15 @@ class StarNumaPolicy:
         self.capacity.release(size)
         self._move(victim, POOL_LOCATION, destination, locations, page_map,
                    batch)
+        if OBS.enabled:
+            OBS.counter("migration.evictions")
+            OBS.event(
+                "migration.evict", policy="starnuma",
+                phase=self.phases_run, region=int(victim), pages=size,
+                destination=location_label(destination),
+                lo_threshold=self.lo_threshold,
+                tracker=self.config.tracker.name,
+            )
 
     def _move(self, region: int, source: int, destination: int,
               locations: np.ndarray, page_map: PageMap,
@@ -200,3 +238,10 @@ class StarNumaPolicy:
         else:
             self.lo_threshold = max(self.lo_threshold * 0.9,
                                     float(config.lo_threshold_init))
+        OBS.detail(
+            "migration.thresholds", policy="starnuma",
+            phase=self.phases_run, hi_threshold=self.hi_threshold,
+            lo_threshold=self.lo_threshold,
+            candidate_pages=candidate_pages,
+            victim_search_failures=victim_search_failures,
+        )

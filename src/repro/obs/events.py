@@ -1,0 +1,137 @@
+"""The obs trace record schema and its validator.
+
+A trace is JSONL: one record per line. Four record kinds exist:
+
+``meta``
+    First record of every trace. Fields: ``schema`` (int, the version),
+    ``level`` (``"basic"``/``"detail"``), ``clock``
+    (``"monotonic_ns"``).
+``span``
+    A closed timed region. Fields: ``name``, ``t_ns`` (start, relative
+    to pipeline configuration), ``dur_ns`` (>= 0), ``attrs`` (flat
+    object).
+``event``
+    A point observation. Fields: ``name``, ``t_ns``, ``attrs``.
+``metric``
+    A registry summary flushed at shutdown. Fields: ``name``, ``type``
+    (``counter``/``gauge``/``histogram``) and the type's payload --
+    ``value`` for counters and gauges; ``edges``/``buckets``/``count``/
+    ``total`` for histograms (``len(buckets) == len(edges) + 1``).
+
+:func:`validate_record` checks one parsed record; :func:`validate_trace`
+checks a whole file and returns per-line problems (used by
+``starnuma obs validate`` and the CI smoke job).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+import json
+
+SCHEMA_VERSION = 1
+
+#: Accepted values of the meta record's ``level`` field.
+LEVEL_NAMES = ("basic", "detail")
+
+_KINDS = ("meta", "span", "event", "metric")
+_METRIC_TYPES = ("counter", "gauge", "histogram")
+
+
+class ObsSchemaError(ValueError):
+    """A record (or trace) violates the obs schema."""
+
+
+def _problem(message: str) -> List[str]:
+    return [message]
+
+
+def validate_record(record: object) -> List[str]:
+    """Problems with one parsed record (empty list when valid)."""
+    if not isinstance(record, dict):
+        return _problem(f"record must be an object, got "
+                        f"{type(record).__name__}")
+    kind = record.get("kind")
+    if kind not in _KINDS:
+        return _problem(f"unknown record kind {kind!r}")
+    problems: List[str] = []
+    if kind == "meta":
+        if record.get("schema") != SCHEMA_VERSION:
+            problems.append(
+                f"meta.schema is {record.get('schema')!r}, expected "
+                f"{SCHEMA_VERSION}"
+            )
+        if record.get("level") not in LEVEL_NAMES:
+            problems.append(f"meta.level is {record.get('level')!r}, "
+                            f"expected one of {LEVEL_NAMES}")
+        return problems
+
+    name = record.get("name")
+    if not isinstance(name, str) or not name:
+        problems.append(f"{kind}.name must be a non-empty string, "
+                        f"got {name!r}")
+
+    if kind in ("span", "event"):
+        t_ns = record.get("t_ns")
+        if not isinstance(t_ns, int) or t_ns < 0:
+            problems.append(f"{kind}.t_ns must be a non-negative int, "
+                            f"got {t_ns!r}")
+        attrs = record.get("attrs", {})
+        if not isinstance(attrs, dict):
+            problems.append(f"{kind}.attrs must be an object, "
+                            f"got {type(attrs).__name__}")
+        if kind == "span":
+            dur = record.get("dur_ns")
+            if not isinstance(dur, int) or dur < 0:
+                problems.append(f"span.dur_ns must be a non-negative "
+                                f"int, got {dur!r}")
+        return problems
+
+    metric_type = record.get("type")
+    if metric_type not in _METRIC_TYPES:
+        problems.append(f"metric.type is {metric_type!r}, expected one "
+                        f"of {_METRIC_TYPES}")
+        return problems
+    if metric_type in ("counter", "gauge"):
+        if not isinstance(record.get("value"), (int, float)):
+            problems.append(f"{metric_type} metric needs a numeric "
+                            f"'value'")
+    else:
+        edges = record.get("edges")
+        buckets = record.get("buckets")
+        if not isinstance(edges, list) or not edges:
+            problems.append("histogram metric needs a non-empty "
+                            "'edges' list")
+        if not isinstance(buckets, list):
+            problems.append("histogram metric needs a 'buckets' list")
+        elif isinstance(edges, list) and len(buckets) != len(edges) + 1:
+            problems.append(
+                f"histogram has {len(buckets)} buckets for "
+                f"{len(edges)} edges (expected {len(edges) + 1})"
+            )
+        if not isinstance(record.get("count"), int):
+            problems.append("histogram metric needs an int 'count'")
+    return problems
+
+
+def validate_trace(path: Union[str, Path]) -> List[Tuple[int, str]]:
+    """All (1-based line number, problem) pairs of a JSONL trace file."""
+    problems: List[Tuple[int, str]] = []
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    if not lines:
+        return [(0, "trace is empty")]
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            record: Dict[str, object] = json.loads(line)
+        except json.JSONDecodeError as exc:
+            problems.append((number, f"not valid JSON: {exc}"))
+            continue
+        for message in validate_record(record):
+            problems.append((number, message))
+        if number == 1 and isinstance(record, dict) \
+                and record.get("kind") != "meta":
+            problems.append((1, "first record must be the meta header"))
+    return problems

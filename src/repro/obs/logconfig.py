@@ -1,0 +1,56 @@
+"""The ``starnuma`` root logger behind ``--verbose``/``--quiet``.
+
+All operator-facing diagnostics (sweep events, retries, errors) flow
+through ``logging.getLogger("starnuma")`` to stderr; stdout stays
+reserved for tables, charts, and machine-readable output, byte for byte.
+The handler resolves ``sys.stderr`` at emit time, so output lands on the
+stream active *now* (pytest's capsys swaps it per test).
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+LOGGER_NAME = "starnuma"
+
+
+class _DynamicStderrHandler(logging.StreamHandler):
+    """A stream handler pinned to whatever ``sys.stderr`` currently is."""
+
+    def __init__(self) -> None:
+        super().__init__(sys.stderr)
+
+    @property
+    def stream(self):  # type: ignore[override]
+        return sys.stderr
+
+    @stream.setter
+    def stream(self, value) -> None:
+        pass
+
+
+def get_logger() -> logging.Logger:
+    return logging.getLogger(LOGGER_NAME)
+
+
+def setup_logging(verbose: bool = False, quiet: bool = False) -> logging.Logger:
+    """(Re)configure the starnuma logger; idempotent across CLI calls.
+
+    ``--quiet`` keeps warnings and errors only; ``--verbose`` opens the
+    debug level; the default is info (sweep progress events).
+    """
+    logger = get_logger()
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    handler = _DynamicStderrHandler()
+    handler.setFormatter(logging.Formatter("starnuma: %(message)s"))
+    logger.addHandler(handler)
+    logger.propagate = False
+    if quiet:
+        logger.setLevel(logging.WARNING)
+    elif verbose:
+        logger.setLevel(logging.DEBUG)
+    else:
+        logger.setLevel(logging.INFO)
+    return logger

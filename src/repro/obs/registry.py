@@ -1,0 +1,170 @@
+"""Typed metrics: counters, gauges, and fixed-edge histograms.
+
+Metrics accumulate in memory and are flushed as ``metric`` records when
+the pipeline shuts down (one summary record per metric, sorted by name
+for deterministic traces). Histogram bucket edges are fixed at first
+observation -- runtime-derived edges would make two traces of the same
+run structurally different, which the summary tooling and the CI schema
+check both rely on not happening.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Default bucket edges of iteration-count-shaped histograms.
+ITERATION_EDGES: Tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64)
+
+
+class Counter:
+    """A monotonically growing sum."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: amount must be >= 0, "
+                             f"got {amount}")
+        self.value += amount
+
+    def to_record(self) -> Dict[str, object]:
+        return {"kind": "metric", "type": "counter", "name": self.name,
+                "value": self.value}
+
+
+class Gauge:
+    """A last-write-wins sampled value."""
+
+    __slots__ = ("name", "value", "n_samples")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+        self.n_samples = 0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        self.n_samples += 1
+
+    def to_record(self) -> Dict[str, object]:
+        return {"kind": "metric", "type": "gauge", "name": self.name,
+                "value": self.value, "samples": self.n_samples}
+
+
+class Histogram:
+    """Counts of observations against fixed, strictly increasing edges.
+
+    ``edges = (e0, .., ek)`` produce ``k + 2`` buckets: ``(-inf, e0]``,
+    ``(e0, e1]``, ..., ``(ek, +inf)``. Fixed edges keep two traces of
+    the same run structurally identical.
+    """
+
+    __slots__ = ("name", "edges", "bucket_counts", "count", "total")
+
+    def __init__(self, name: str, edges: Sequence[float]):
+        ordered = tuple(float(edge) for edge in edges)
+        if not ordered:
+            raise ValueError(f"histogram {name}: needs at least one edge")
+        if any(b <= a for a, b in zip(ordered, ordered[1:])):
+            raise ValueError(
+                f"histogram {name}: edges must be strictly increasing, "
+                f"got {ordered}"
+            )
+        self.name = name
+        self.edges = ordered
+        self.bucket_counts = [0] * (len(ordered) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect.bisect_left(self.edges, value)] += 1
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_record(self) -> Dict[str, object]:
+        return {
+            "kind": "metric", "type": "histogram", "name": self.name,
+            "edges": list(self.edges), "buckets": list(self.bucket_counts),
+            "count": self.count, "total": self.total,
+        }
+
+
+class MetricsRegistry:
+    """The pipeline's live metric instruments, keyed by name.
+
+    A name identifies exactly one instrument kind for the lifetime of
+    the registry; re-registering ``x`` as a different kind (or a
+    histogram with different edges) is a programming error and raises.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            self._check_unclaimed(name, self._counters)
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            self._check_unclaimed(name, self._gauges)
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str,
+                  edges: Optional[Sequence[float]] = None) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            self._check_unclaimed(name, self._histograms)
+            instrument = self._histograms[name] = Histogram(
+                name, edges if edges is not None else ITERATION_EDGES
+            )
+        elif edges is not None and tuple(float(e) for e in edges) \
+                != instrument.edges:
+            raise ValueError(
+                f"histogram {name!r} already registered with edges "
+                f"{instrument.edges}"
+            )
+        return instrument
+
+    def _check_unclaimed(self, name: str, owner: Dict) -> None:
+        for family in (self._counters, self._gauges, self._histograms):
+            if family is not owner and name in family:
+                raise ValueError(
+                    f"metric name {name!r} already registered as a "
+                    f"different instrument kind"
+                )
+
+    def __len__(self) -> int:
+        return (len(self._counters) + len(self._gauges)
+                + len(self._histograms))
+
+    def flush_records(self) -> List[Dict[str, object]]:
+        """One summary record per instrument, sorted by name."""
+        instruments: Iterable = (
+            list(self._counters.values())
+            + list(self._gauges.values())
+            + list(self._histograms.values())
+        )
+        return [instrument.to_record()
+                for instrument in sorted(instruments,
+                                         key=lambda i: i.name)]
+
+    def clear(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()

@@ -1,0 +1,133 @@
+"""Summarize a JSONL obs trace: phase timeline plus per-metric tables.
+
+The rendering core is :mod:`repro.metrics.ascii_chart` (the same bars
+``starnuma run fig8`` prints) plus the project's monospace table
+formatter, so ``starnuma obs summary`` needs no plotting stack.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from repro.metrics.ascii_chart import bar_chart
+from repro.metrics.report import format_table
+
+#: Span name whose instances form the phase timeline.
+PHASE_SPAN = "sim.phase"
+
+
+def read_trace(path: Union[str, Path]) -> List[Dict[str, object]]:
+    """Parse every record of a JSONL trace (invalid lines raise)."""
+    records: List[Dict[str, object]] = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        if line.strip():
+            records.append(json.loads(line))
+    return records
+
+
+def summarize_trace(records: List[Dict[str, object]]) -> Dict[str, object]:
+    """Fold a trace into the structures :func:`render_summary` prints."""
+    meta: Dict[str, object] = {}
+    spans: "OrderedDict[str, Dict[str, float]]" = OrderedDict()
+    phase_ns: "OrderedDict[object, float]" = OrderedDict()
+    events: "OrderedDict[str, int]" = OrderedDict()
+    metrics: List[Dict[str, object]] = []
+
+    for record in records:
+        kind = record.get("kind")
+        if kind == "meta":
+            meta = record
+        elif kind == "span":
+            name = str(record.get("name"))
+            entry = spans.setdefault(
+                name, {"count": 0, "total_ns": 0.0}
+            )
+            entry["count"] += 1
+            entry["total_ns"] += float(record.get("dur_ns", 0))
+            if name == PHASE_SPAN:
+                attrs = record.get("attrs") or {}
+                phase = attrs.get("phase", len(phase_ns))
+                phase_ns[phase] = (phase_ns.get(phase, 0.0)
+                                   + float(record.get("dur_ns", 0)))
+        elif kind == "event":
+            name = str(record.get("name"))
+            events[name] = events.get(name, 0) + 1
+        elif kind == "metric":
+            metrics.append(record)
+
+    return {
+        "meta": meta,
+        "n_records": len(records),
+        "spans": spans,
+        "phase_ns": phase_ns,
+        "events": events,
+        "metrics": metrics,
+    }
+
+
+def _format_ms(ns: float) -> float:
+    return ns / 1e6
+
+
+def render_summary(summary: Dict[str, object], width: int = 40) -> str:
+    """The text report of ``starnuma obs summary``."""
+    parts: List[str] = []
+    meta = summary["meta"]
+    parts.append(
+        f"[obs] {summary['n_records']} records, level "
+        f"{meta.get('level', '?')}, schema {meta.get('schema', '?')}"
+    )
+
+    phase_ns: Dict[object, float] = summary["phase_ns"]  # type: ignore
+    if phase_ns:
+        items: List[Tuple[str, float]] = [
+            (f"phase {phase}", _format_ms(total))
+            for phase, total in sorted(phase_ns.items(),
+                                       key=lambda kv: str(kv[0]))
+        ]
+        parts.append("")
+        parts.append(bar_chart(items, width=width,
+                               title="phase timeline (eval ms):",
+                               unit=" ms", max_label=24))
+
+    spans: Dict[str, Dict[str, float]] = summary["spans"]  # type: ignore
+    if spans:
+        rows = [
+            (name, int(entry["count"]), _format_ms(entry["total_ns"]),
+             _format_ms(entry["total_ns"] / entry["count"]))
+            for name, entry in sorted(spans.items())
+        ]
+        parts.append("")
+        parts.append(format_table(
+            ("span", "count", "total ms", "mean ms"), rows,
+            title="spans:",
+        ))
+
+    events: Dict[str, int] = summary["events"]  # type: ignore
+    if events:
+        rows = [(name, count) for name, count in sorted(events.items())]
+        parts.append("")
+        parts.append(format_table(("event", "count"), rows,
+                                  title="events:"))
+
+    metrics: List[Dict[str, object]] = summary["metrics"]  # type: ignore
+    if metrics:
+        rows = []
+        for metric in sorted(metrics, key=lambda m: str(m.get("name"))):
+            if metric.get("type") == "histogram":
+                count = int(metric.get("count", 0))
+                total = float(metric.get("total", 0.0))
+                mean = total / count if count else 0.0
+                rows.append((metric["name"], "histogram",
+                             f"n={count} mean={mean:.2f}"))
+            else:
+                rows.append((metric["name"], str(metric.get("type")),
+                             f"{float(metric.get('value', 0.0)):g}"))
+        parts.append("")
+        parts.append(format_table(("metric", "type", "value"), rows,
+                                  title="metrics:"))
+
+    return "\n".join(parts)

@@ -34,6 +34,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type
 
+from repro.obs import OBS
+
 CHECKPOINT_VERSION = 1
 
 
@@ -242,30 +244,43 @@ def _attempt_task(task_id: str,
     replay); the caller records the outcome in the checkpoint.
     """
     attempts = 0
-    while True:
-        attempts += 1
-        try:
-            with _deadline(timeout_s):
-                payload = run_task(task_id)
-        except KeyboardInterrupt:
-            raise
-        except BaseException as exc:  # noqa: BLE001 -- isolation is the point
-            transient = isinstance(exc, transient_types)
-            if transient and attempts <= max_retries:
-                delay = backoff_s * (2.0 ** (attempts - 1))
-                emit(
-                    f"{task_id}: transient {type(exc).__name__} "
-                    f"({exc}); retry {attempts}/{max_retries} "
-                    f"in {delay:.1f}s"
-                )
-                sleep(delay)
-                continue
-            failure = RunFailure.from_exception(task_id, exc, attempts,
-                                                transient)
-            return RunOutcome(task_id=task_id, status="failed",
-                              attempts=attempts, failure=failure)
-        return RunOutcome(task_id=task_id, status="ok",
-                          attempts=attempts, payload=payload)
+    # The pid attribute attributes the span to the worker that ran it;
+    # in a sequential sweep it is simply the parent's pid.
+    span = OBS.span("runner.task", task=task_id, pid=os.getpid())
+    with span:
+        while True:
+            attempts += 1
+            try:
+                with _deadline(timeout_s):
+                    payload = run_task(task_id)
+            except KeyboardInterrupt:
+                raise
+            except BaseException as exc:  # noqa: BLE001 -- isolation is the point
+                transient = isinstance(exc, transient_types)
+                if isinstance(exc, RunTimeoutError):
+                    OBS.counter("runner.timeouts")
+                if transient and attempts <= max_retries:
+                    delay = backoff_s * (2.0 ** (attempts - 1))
+                    OBS.counter("runner.retries")
+                    OBS.event("runner.retry", task=task_id,
+                              attempt=attempts,
+                              error=type(exc).__name__, delay_s=delay)
+                    emit(
+                        f"{task_id}: transient {type(exc).__name__} "
+                        f"({exc}); retry {attempts}/{max_retries} "
+                        f"in {delay:.1f}s"
+                    )
+                    sleep(delay)
+                    continue
+                failure = RunFailure.from_exception(task_id, exc, attempts,
+                                                    transient)
+                span.set(status="failed", attempts=attempts,
+                         error=failure.error_type)
+                return RunOutcome(task_id=task_id, status="failed",
+                                  attempts=attempts, failure=failure)
+            span.set(status="ok", attempts=attempts)
+            return RunOutcome(task_id=task_id, status="ok",
+                              attempts=attempts, payload=payload)
 
 
 #: The forked workers' view of the sweep: ProcessPoolExecutor pickles
@@ -276,21 +291,27 @@ def _attempt_task(task_id: str,
 _POOL_RUNNER: Optional["SweepRunner"] = None
 
 
-def _pool_worker(task_id: str) -> Tuple[RunOutcome, List[str]]:
+def _pool_worker(
+    task_id: str,
+) -> Tuple[RunOutcome, List[str], List[Dict[str, object]]]:
     """Run one task in a forked worker; events return with the outcome.
 
     The worker's main thread can arm SIGALRM, so the per-task deadline
-    behaves exactly as in a sequential sweep.
+    behaves exactly as in a sequential sweep. Obs records are captured
+    in memory (the inherited JSONL handle belongs to the parent) and
+    travel home with the outcome for the parent to absorb.
     """
     runner = _POOL_RUNNER
     assert runner is not None, "worker forked without a parked runner"
     events: List[str] = []
-    outcome = _attempt_task(
-        task_id, runner.run_task, runner.timeout_s, runner.max_retries,
-        runner.backoff_s, runner.transient_types, runner.sleep,
-        events.append,
-    )
-    return outcome, events
+    obs_records: List[Dict[str, object]] = []
+    with OBS.capture(obs_records):
+        outcome = _attempt_task(
+            task_id, runner.run_task, runner.timeout_s, runner.max_retries,
+            runner.backoff_s, runner.transient_types, runner.sleep,
+            events.append,
+        )
+    return outcome, events, obs_records
 
 
 class SweepRunner:
@@ -329,9 +350,19 @@ class SweepRunner:
         self.jobs = jobs
 
     def run(self, task_ids: Sequence[str]) -> List[RunOutcome]:
-        if self.jobs > 1 and len(task_ids) > 1:
-            return self._run_parallel(task_ids)
-        return [self._run_one(task_id) for task_id in task_ids]
+        span = OBS.span("runner.sweep", tasks=len(task_ids), jobs=self.jobs)
+        with span:
+            if self.jobs > 1 and len(task_ids) > 1:
+                outcomes = self._run_parallel(task_ids)
+            else:
+                outcomes = [self._run_one(task_id) for task_id in task_ids]
+            if OBS.enabled:
+                span.set(
+                    ok=sum(1 for o in outcomes if o.status == "ok"),
+                    cached=sum(1 for o in outcomes if o.status == "cached"),
+                    failed=sum(1 for o in outcomes if o.status == "failed"),
+                )
+            return outcomes
 
     # -- sequential ----------------------------------------------------------
 
@@ -385,9 +416,9 @@ class SweepRunner:
                 # Submission order, not completion order: checkpoint
                 # writes and events then match a sequential sweep of the
                 # same list byte for byte.
-                for task_id, future in futures:
+                for done, (task_id, future) in enumerate(futures, start=1):
                     try:
-                        outcome, events = future.result(
+                        outcome, events, obs_records = future.result(
                             timeout=self._future_timeout()
                         )
                     except FutureTimeoutError:
@@ -403,8 +434,13 @@ class SweepRunner:
                         outcome = RunOutcome(task_id=task_id, status="failed",
                                              attempts=1, failure=failure)
                         events = []
+                        obs_records = []
+                        OBS.counter("runner.timeouts")
                     for message in events:
                         self.on_event(message)
+                    for record in obs_records:
+                        OBS.absorb(record)
+                    OBS.gauge("runner.queue_depth", len(futures) - done)
                     self._record(outcome)
                     by_id[task_id] = outcome
         finally:

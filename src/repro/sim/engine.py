@@ -28,6 +28,7 @@ from repro.migration import (
     StarNumaPolicy,
     oracular_static_placement,
 )
+from repro.obs import OBS
 from repro.placement import PoolCapacityManager, first_touch_placement
 from repro.placement.pagemap import PageMap
 from repro.sim.results import PhaseTiming, SimulationResult
@@ -172,12 +173,40 @@ class Simulator:
             return self.timing
         if state not in self._fault_timing:
             topology = faulted_topology(self.topology, state)
+            routes = RouteTable(topology)
             self._fault_timing[state] = PhaseTimingModel(
-                self.system, topology, RouteTable(topology),
+                self.system, topology, routes,
                 self.setup.population, self._settings,
                 replication=self._replication,
             )
+            if OBS.enabled:
+                OBS.counter("faults.states_compiled")
+                OBS.event(
+                    "faults.transition", phase=phase,
+                    n_removed_links=len(
+                        getattr(topology, "removed_links", ())
+                    ),
+                    pool_failed=bool(getattr(state, "pool_failed",
+                                             False)),
+                    reroutes=self._count_reroutes(routes),
+                )
         return self._fault_timing[state]
+
+    def _count_reroutes(self, routes: RouteTable) -> int:
+        """(requester, location) pairs forced onto a detour path."""
+        n = self.topology.n_sockets
+        locations = list(range(n))
+        if self.topology.has_pool:
+            from repro.topology.model import POOL_LOCATION
+
+            locations.append(POOL_LOCATION)
+        return sum(
+            1
+            for socket in range(n)
+            for location in locations
+            if socket != location
+            and routes.detour_penalty_ns(socket, location) > 0.0
+        )
 
     # -- Step B --------------------------------------------------------------
 
@@ -233,7 +262,12 @@ class Simulator:
         """
         key = f"{mode}:{id(static_map) if static_map is not None else ''}"
         if key not in self._checkpoint_cache:
-            self._checkpoint_cache[key] = self._run_step_b(mode, static_map)
+            with OBS.span("sim.step_b", mode=mode,
+                          workload=self.setup.profile.name,
+                          config=self.system.name):
+                self._checkpoint_cache[key] = self._run_step_b(
+                    mode, static_map
+                )
         return self._checkpoint_cache[key]
 
     def _run_step_b(self, mode: str,
@@ -352,17 +386,20 @@ class Simulator:
 
         timings: List[PhaseTiming] = []
         previous_ipc: Optional[float] = None
-        for checkpoint, trace in zip(checkpoints, self.setup.traces):
-            timing = self._phase_timing_model(trace.phase).evaluate(
-                trace,
-                checkpoint.page_map,
-                calibration,
-                batch=checkpoint.batch,
-                fixed_ipc=fixed_ipc,
-                initial_ipc=previous_ipc,
-            )
-            previous_ipc = timing.ipc
-            timings.append(timing)
+        with OBS.span("sim.run", workload=self.setup.profile.name,
+                      config=self.system.name, mode=mode,
+                      phases=len(checkpoints)):
+            for checkpoint, trace in zip(checkpoints, self.setup.traces):
+                timing = self._phase_timing_model(trace.phase).evaluate(
+                    trace,
+                    checkpoint.page_map,
+                    calibration,
+                    batch=checkpoint.batch,
+                    fixed_ipc=fixed_ipc,
+                    initial_ipc=previous_ipc,
+                )
+                previous_ipc = timing.ipc
+                timings.append(timing)
 
         measured = timings[warmup_phases:]
         demand_pages = 0

@@ -30,6 +30,7 @@ from repro.interconnect.loads import MESSAGE_HEADER_BYTES, LinkLoads
 from repro.metrics.breakdown import AccessBreakdown
 from repro.metrics.calibration import CalibratedCpi
 from repro.migration.costs import MigrationCostModel
+from repro.obs import OBS
 from repro.migration.records import MigrationBatch
 from repro.sim.classification import PhaseClassification, classify_phase
 from repro.sim.results import PhaseTiming
@@ -297,36 +298,72 @@ class PhaseTimingModel:
         loop is bypassed -- used for the calibration pass, where the
         baseline runs at its published IPC.
         """
-        classification = classify_phase(trace.counts, page_map,
-                                        self.population, self.replication)
-        loads = self._build_loads(classification, batch)
-        stall_total_ns, extra_cpi = self._migration_overheads(trace, batch)
-        stall_per_access = (stall_total_ns / classification.total_accesses
-                            if classification.total_accesses else 0.0)
-
-        weights = None
-        if self.settings.kernel == "vector":
-            weights = self._vector_kernel().phase_weights(classification)
-
-        if fixed_ipc is not None:
-            ipc = fixed_ipc
-            amat_ns, unloaded_ns = self._amat_at(ipc, trace, classification,
-                                                 loads, stall_per_access,
-                                                 weights)
-            iterations, converged = 0, True
-        else:
-            ipc, amat_ns, unloaded_ns, iterations, converged = (
-                self._fixed_point(trace, classification, loads,
-                                  stall_per_access, calibration, extra_cpi,
-                                  initial_ipc, weights)
+        obs_span = OBS.span("sim.phase", phase=trace.phase,
+                            kernel=self.settings.kernel,
+                            loop="open" if fixed_ipc is not None
+                            else "closed")
+        with obs_span:
+            classification = classify_phase(trace.counts, page_map,
+                                            self.population,
+                                            self.replication)
+            with OBS.span("sim.charge", phase=trace.phase,
+                          kernel=self.settings.kernel):
+                loads = self._build_loads(classification, batch)
+            stall_total_ns, extra_cpi = self._migration_overheads(trace,
+                                                                  batch)
+            stall_per_access = (
+                stall_total_ns / classification.total_accesses
+                if classification.total_accesses else 0.0
             )
 
-        breakdown = self._breakdown(classification)
-        duration = self._duration_ns(ipc, trace)
-        hottest = {
-            sample.link_id: sample.utilization
-            for sample in loads.busiest(duration, top=3)
-        }
+            weights = None
+            if self.settings.kernel == "vector":
+                weights = self._vector_kernel().phase_weights(
+                    classification
+                )
+
+            if fixed_ipc is not None:
+                ipc = fixed_ipc
+                amat_ns, unloaded_ns = self._amat_at(
+                    ipc, trace, classification, loads, stall_per_access,
+                    weights
+                )
+                iterations, converged = 0, True
+            else:
+                ipc, amat_ns, unloaded_ns, iterations, converged = (
+                    self._fixed_point(trace, classification, loads,
+                                      stall_per_access, calibration,
+                                      extra_cpi, initial_ipc, weights)
+                )
+
+            breakdown = self._breakdown(classification)
+            duration = self._duration_ns(ipc, trace)
+            busiest = loads.busiest(duration, top=3)
+            hottest = {
+                sample.link_id: sample.utilization
+                for sample in busiest
+            }
+
+        if OBS.enabled:
+            obs_span.set(ipc=ipc, iterations=iterations,
+                         converged=converged)
+            OBS.counter("sim.phases")
+            OBS.counter("sim.fixed_point.iterations", iterations)
+            OBS.observe("sim.fixed_point.iterations_per_phase",
+                        iterations)
+            OBS.event(
+                "sim.timing", phase=trace.phase,
+                kernel=self.settings.kernel, ipc=ipc, amat_ns=amat_ns,
+                unloaded_amat_ns=unloaded_ns, duration_ns=duration,
+                iterations=iterations, converged=converged,
+                total_accesses=classification.total_accesses,
+                migrated_pages=batch.n_pages if batch else 0,
+            )
+            if busiest:
+                OBS.event(
+                    "interconnect.utilization", phase=trace.phase,
+                    top=[sample.as_attrs() for sample in busiest],
+                )
         return PhaseTiming(
             phase=trace.phase,
             ipc=ipc,
@@ -560,6 +597,9 @@ class PhaseTimingModel:
         core = self.system.core
         ipc = initial_ipc or self.population.profile.ipc_16
         amat_ns = unloaded_ns = 0.0
+        #: Relative-step trajectory, recorded only when obs is armed; the
+        #: iteration itself is byte-identical either way.
+        residuals: Optional[list] = [] if OBS.enabled else None
         for iteration in range(1, settings.max_iterations + 1):
             amat_ns, unloaded_ns = self._amat_at(
                 ipc, trace, classification, loads, stall_per_access, weights
@@ -567,10 +607,25 @@ class PhaseTimingModel:
             target = calibration.ipc(core.ns_to_cycles(amat_ns), extra_cpi)
             new_ipc = (settings.damping * target
                        + (1.0 - settings.damping) * ipc)
+            if residuals is not None:
+                residuals.append(abs(new_ipc - ipc) / ipc)
             if abs(new_ipc - ipc) <= settings.tolerance * ipc:
+                self._emit_fixed_point(trace, iteration, True, residuals)
                 return new_ipc, amat_ns, unloaded_ns, iteration, True
             ipc = new_ipc
+        self._emit_fixed_point(trace, settings.max_iterations, False,
+                               residuals)
         return ipc, amat_ns, unloaded_ns, settings.max_iterations, False
+
+    def _emit_fixed_point(self, trace: PhaseTrace, iterations: int,
+                          converged: bool,
+                          residuals: Optional[list]) -> None:
+        """Detail-level provenance of one closed-loop solve."""
+        if residuals is None:
+            return
+        OBS.detail("sim.fixed_point", phase=trace.phase,
+                   kernel=self.settings.kernel, iterations=iterations,
+                   converged=converged, residuals=residuals)
 
     # -- overheads -----------------------------------------------------------
 

@@ -45,6 +45,33 @@ class TestExportAll:
         assert manifest["seed"] == 2
         assert manifest["workloads"] == ["poa"]
 
+    def test_manifest_schema(self, context, tmp_path, monkeypatch):
+        monkeypatch.setenv("STARNUMA_GIT_DESCRIBE", "v1.2.3-4-gabcdef0")
+        export_all(str(tmp_path), context, experiments=("table3",))
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert set(manifest) == {
+            "schema", "seed", "n_phases", "warmup_phases", "workloads",
+            "experiments", "presets", "git", "wall_time_s", "obs_trace",
+        }
+        assert manifest["schema"] == 2
+        assert manifest["n_phases"] == 4
+        assert manifest["warmup_phases"] == 1
+        assert manifest["experiments"] == {"table3": "table3"}
+        assert len(manifest["presets"]) == 2
+        assert all(isinstance(preset, str) for preset in manifest["presets"])
+        assert manifest["git"] == "v1.2.3-4-gabcdef0"
+        assert isinstance(manifest["wall_time_s"], float)
+        assert manifest["wall_time_s"] >= 0
+        assert manifest["obs_trace"] is None  # obs disabled in tests
+
+    def test_manifest_git_falls_back_to_github_sha(self, context, tmp_path,
+                                                   monkeypatch):
+        monkeypatch.delenv("STARNUMA_GIT_DESCRIBE", raising=False)
+        monkeypatch.setenv("GITHUB_SHA", "abc123")
+        export_all(str(tmp_path), context, experiments=("table3",))
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert manifest["git"] == "abc123"
+
     def test_fig8_flattens_to_three_files(self, context, tmp_path):
         written = export_all(str(tmp_path), context, experiments=("fig8",))
         assert set(written) == {"fig8a", "fig8b", "fig8c"}
@@ -72,8 +99,14 @@ class TestParallelExport:
             context = ExperimentContext(seed=2, n_phases=4, warmup_phases=1,
                                         workloads=("poa",))
             export_all(str(out), context, experiments, jobs=jobs)
+            # The manifest carries volatile fields (wall time); compare
+            # it structurally below, everything else byte for byte.
             outputs[jobs] = {
                 path.name: path.read_bytes()
                 for path in sorted(out.iterdir())
+                if path.name != "manifest.json"
             }
+            manifest = json.loads((out / "manifest.json").read_text())
+            manifest.pop("wall_time_s")
+            outputs[jobs]["manifest"] = manifest
         assert outputs[1] == outputs[4]

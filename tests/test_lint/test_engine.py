@@ -18,10 +18,10 @@ from repro.lint import (
 
 
 class TestRegistry:
-    def test_five_builtin_rules(self):
+    def test_six_builtin_rules(self):
         assert set(all_rule_names()) == {
             "units", "determinism", "sim-purity", "frozen-key",
-            "config-drift",
+            "config-drift", "obs-purity",
         }
 
     def test_unknown_rule_rejected(self):

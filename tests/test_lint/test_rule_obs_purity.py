@@ -1,0 +1,108 @@
+"""Flag / no-flag fixtures for the obs-purity rule."""
+
+from repro.lint import lint_sources
+
+
+def findings_for(source, name="repro.sim.example"):
+    report = lint_sources({name: source}, rule_names=["obs-purity"])
+    return report.findings
+
+
+class TestFlags:
+    def test_reading_metrics_back(self):
+        findings = findings_for(
+            "from repro.obs import OBS\n"
+            "def f():\n"
+            "    return OBS.metrics_snapshot()\n"
+        )
+        assert len(findings) == 1
+        assert findings[0].rule == "obs-purity"
+        assert "metrics_snapshot" in findings[0].message
+
+    def test_reconfiguring_from_model_code(self):
+        findings = findings_for(
+            "from repro.obs import OBS\n"
+            "def f():\n"
+            "    OBS.shutdown()\n"
+        )
+        assert len(findings) == 1
+
+    def test_private_state_access(self):
+        findings = findings_for(
+            "from repro.obs import OBS\n"
+            "def f():\n"
+            "    return OBS._registry\n"
+        )
+        assert len(findings) == 1
+
+    def test_importing_beyond_the_facade(self):
+        findings = findings_for(
+            "from repro.obs import configure\n"
+        )
+        assert len(findings) == 1
+        assert "configure" in findings[0].message
+
+    def test_importing_obs_submodule(self):
+        findings = findings_for(
+            "from repro.obs.sinks import MemorySink\n"
+        )
+        assert len(findings) == 1
+
+    def test_plain_import_of_obs_package(self):
+        findings = findings_for("import repro.obs\n")
+        assert len(findings) == 1
+
+    def test_aliased_obs_is_still_tracked(self):
+        findings = findings_for(
+            "from repro.obs import OBS as telemetry\n"
+            "def f():\n"
+            "    return telemetry.trace_path\n"
+        )
+        assert len(findings) == 1
+
+    def test_all_model_scopes_covered(self):
+        for package in ("repro.sim", "repro.migration",
+                        "repro.interconnect", "repro.topology",
+                        "repro.faults"):
+            findings = findings_for(
+                "from repro.obs import OBS\n"
+                "def f():\n"
+                "    return OBS.capture\n",
+                name=f"{package}.example",
+            )
+            assert len(findings) == 1, package
+
+
+class TestNoFlags:
+    def test_write_side_allowlist(self):
+        assert not findings_for(
+            "from repro.obs import OBS\n"
+            "def f(x):\n"
+            "    if OBS.enabled:\n"
+            "        OBS.counter('n')\n"
+            "        OBS.gauge('g', x)\n"
+            "        OBS.observe('h', x)\n"
+            "        OBS.event('e', value=x)\n"
+            "        OBS.detail('d', value=x)\n"
+            "    with OBS.span('s'):\n"
+            "        return x\n"
+        )
+
+    def test_runner_may_manage_the_pipeline(self):
+        report = lint_sources(
+            {"repro.runner.example":
+             "from repro.obs import OBS\n"
+             "def f(records):\n"
+             "    with OBS.capture(records):\n"
+             "        pass\n"},
+            rule_names=["obs-purity"],
+        )
+        assert not report.findings
+
+    def test_unrelated_attribute_chains_ignored(self):
+        assert not findings_for(
+            "class OBSLike:\n"
+            "    pass\n"
+            "def f(obs):\n"
+            "    return obs.capture\n"
+        )

@@ -37,6 +37,55 @@ class TestBarChart:
         with pytest.raises(ValueError):
             bar_chart([("a", 1.0)], width=2)
 
+    def test_rejects_width_one(self):
+        with pytest.raises(ValueError, match="width"):
+            bar_chart([("a", 1.0)], width=1)
+
+    def test_all_zero_values_render_empty_bars(self):
+        chart = bar_chart([("a", 0.0), ("b", 0.0)])
+        assert "█" not in chart
+        assert chart.count("0.00") == 2
+
+    def test_negative_values_clamp_to_empty(self):
+        chart = bar_chart([("a", -3.0), ("b", 2.0)], width=10)
+        lines = chart.splitlines()
+        assert "█" not in lines[0]
+        assert "-3.00" in lines[0]
+        assert lines[1].count("█") == 10
+
+    def test_single_negative_value_safe(self):
+        # max(values) < 0 must not make the scale negative.
+        chart = bar_chart([("a", -1.0)])
+        assert "█" not in chart
+
+
+class TestLabelTruncation:
+    def test_long_labels_ellipsized(self):
+        chart = bar_chart([("a" * 40, 1.0), ("b", 2.0)], max_label=10)
+        lines = chart.splitlines()
+        assert lines[0].startswith("a" * 9 + "…")
+        # Column stays aligned at the truncated width.
+        assert lines[0].index("█") == lines[1].index("█")
+
+    def test_short_labels_untouched(self):
+        with_cap = bar_chart([("abc", 1.0)], max_label=10)
+        without = bar_chart([("abc", 1.0)])
+        assert with_cap == without
+
+    def test_exact_fit_not_ellipsized(self):
+        chart = bar_chart([("abcde", 1.0)], max_label=5)
+        assert "abcde" in chart
+        assert "…" not in chart
+
+    def test_max_label_one_keeps_first_char(self):
+        chart = bar_chart([("abcde", 1.0)], max_label=1)
+        assert chart.startswith("a ")
+        assert "…" not in chart
+
+    def test_rejects_nonpositive_max_label(self):
+        with pytest.raises(ValueError, match="max_label"):
+            bar_chart([("a", 1.0)], max_label=0)
+
 
 class TestSpeedupChart:
     def test_neutral_workload_empty_bar(self):

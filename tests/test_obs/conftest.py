@@ -1,0 +1,22 @@
+"""Shared fixtures for the obs tests: always leave OBS disarmed."""
+
+import pytest
+
+from repro.obs import OBS, MemorySink, shutdown
+
+
+@pytest.fixture(autouse=True)
+def disarm_obs():
+    """The global pipeline must not leak between tests."""
+    shutdown()
+    yield
+    shutdown()
+
+
+@pytest.fixture
+def armed():
+    """An armed pipeline writing to memory; yields the record list."""
+    records = []
+    OBS.configure(MemorySink(records), level="basic")
+    yield records
+    shutdown()

@@ -1,0 +1,155 @@
+"""The Obs facade: zero-cost when disabled, correct when armed."""
+
+import pytest
+
+from repro.obs import OBS, JsonlSink, MemorySink, configure, shutdown
+from repro.obs.core import _NULL_SPAN
+
+
+class TestDisabled:
+    def test_write_side_is_inert(self):
+        assert not OBS.enabled
+        OBS.event("x")
+        OBS.detail("x")
+        OBS.counter("x")
+        OBS.gauge("x", 1)
+        OBS.observe("x", 1)
+        assert OBS.metrics_snapshot() == []
+
+    def test_span_is_the_shared_null_span(self):
+        # Identity, not just behavior: the disabled span path must not
+        # allocate per call.
+        assert OBS.span("a") is _NULL_SPAN
+        assert OBS.span("b", attr=1) is _NULL_SPAN
+        with OBS.span("c") as span:
+            span.set(anything=True)
+
+    def test_capture_still_yields(self):
+        records = []
+        with OBS.capture(records):
+            OBS.event("x")
+        assert records == []
+
+
+class TestLifecycle:
+    def test_configure_emits_meta_header(self, armed):
+        assert armed[0]["kind"] == "meta"
+        assert armed[0]["clock"] == "monotonic_ns"
+
+    def test_double_configure_raises(self, armed):
+        with pytest.raises(RuntimeError, match="already configured"):
+            OBS.configure(MemorySink())
+
+    def test_bad_level_rejected(self):
+        with pytest.raises(ValueError, match="level"):
+            OBS.configure(MemorySink(), level="chatty")
+        assert not OBS.enabled
+
+    def test_shutdown_flushes_metrics_and_disarms(self):
+        records = []
+        OBS.configure(MemorySink(records))
+        OBS.counter("jobs", 3)
+        shutdown()
+        assert not OBS.enabled
+        metrics = [r for r in records if r["kind"] == "metric"]
+        assert metrics == [{"kind": "metric", "type": "counter",
+                            "name": "jobs", "value": 3.0}]
+        shutdown()  # idempotent
+
+    def test_trace_path_tracks_jsonl_sink(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        OBS.configure(JsonlSink(path))
+        assert OBS.trace_path == str(path)
+        shutdown()
+        assert OBS.trace_path is None
+
+    def test_module_level_configure_builds_jsonl(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        configure(trace_path=str(path), level="detail")
+        OBS.event("x")
+        shutdown()
+        assert path.read_text().count("\n") == 2  # meta + event
+
+
+class TestWriteSide:
+    def test_span_records_duration_and_attrs(self, armed):
+        with OBS.span("work", phase=3) as span:
+            span.set(ipc=1.5)
+        record = armed[-1]
+        assert record["kind"] == "span"
+        assert record["name"] == "work"
+        assert record["dur_ns"] >= 0
+        assert record["attrs"] == {"phase": 3, "ipc": 1.5}
+
+    def test_event_timestamps_are_monotonic(self, armed):
+        OBS.event("a")
+        OBS.event("b")
+        a, b = armed[-2], armed[-1]
+        assert 0 <= a["t_ns"] <= b["t_ns"]
+
+    def test_detail_suppressed_at_basic_level(self, armed):
+        OBS.detail("fine")
+        OBS.event("coarse")
+        names = [r["name"] for r in armed if r["kind"] == "event"]
+        assert names == ["coarse"]
+
+    def test_detail_emitted_at_detail_level(self):
+        records = []
+        OBS.configure(MemorySink(records), level="detail")
+        OBS.detail("fine")
+        assert [r["name"] for r in records if r["kind"] == "event"] \
+            == ["fine"]
+
+
+class TestCaptureAbsorb:
+    def test_capture_isolates_sink_and_registry(self, armed):
+        OBS.counter("outer", 5)
+        captured = []
+        with OBS.capture(captured):
+            OBS.event("inner")
+            OBS.counter("inner_count", 2)
+        # Nothing from the block reached the outer sink...
+        assert not [r for r in armed if r.get("name") == "inner"]
+        # ...the capture has the event plus only the *block's* metrics,
+        # not the outer registry's pre-existing totals.
+        assert [r["name"] for r in captured] == ["inner", "inner_count"]
+        assert captured[1]["value"] == 2.0
+        # ...and the outer registry is intact afterwards.
+        OBS.counter("outer", 1)
+        snapshot = {r["name"]: r["value"] for r in OBS.metrics_snapshot()}
+        assert snapshot == {"outer": 6.0}
+
+    def test_absorb_merges_counters(self, armed):
+        OBS.counter("jobs", 1)
+        OBS.absorb({"kind": "metric", "type": "counter", "name": "jobs",
+                    "value": 4.0})
+        snapshot = {r["name"]: r["value"] for r in OBS.metrics_snapshot()}
+        assert snapshot["jobs"] == 5.0
+
+    def test_absorb_merges_histograms(self, armed):
+        OBS.observe("iters", 3, edges=(1, 2, 4))
+        OBS.absorb({"kind": "metric", "type": "histogram", "name": "iters",
+                    "edges": [1, 2, 4], "buckets": [1, 0, 2, 0],
+                    "count": 3, "total": 7.0})
+        record = [r for r in OBS.metrics_snapshot()
+                  if r["name"] == "iters"][0]
+        assert record["count"] == 4
+        assert record["total"] == 10.0
+        assert record["buckets"] == [1, 0, 3, 0]
+
+    def test_absorb_forwards_events_to_sink(self, armed):
+        OBS.absorb({"kind": "event", "name": "replayed", "t_ns": 1,
+                    "attrs": {}})
+        assert armed[-1]["name"] == "replayed"
+
+    def test_roundtrip_capture_then_absorb(self, armed):
+        captured = []
+        with OBS.capture(captured):
+            OBS.event("task")
+            OBS.counter("done", 1)
+        for record in captured:
+            OBS.absorb(record)
+        assert [r["name"] for r in armed if r.get("kind") == "event"] \
+            == ["task"]
+        snapshot = {r["name"]: r["value"] for r in OBS.metrics_snapshot()}
+        assert snapshot == {"done": 1.0}

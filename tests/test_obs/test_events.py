@@ -1,0 +1,94 @@
+"""The trace record schema validator."""
+
+from repro.obs import SCHEMA_VERSION, validate_record, validate_trace
+
+
+def _valid_meta():
+    return {"kind": "meta", "schema": SCHEMA_VERSION, "level": "basic",
+            "clock": "monotonic_ns"}
+
+
+class TestValidateRecord:
+    def test_valid_records_pass(self):
+        assert validate_record(_valid_meta()) == []
+        assert validate_record({"kind": "span", "name": "s", "t_ns": 0,
+                                "dur_ns": 5, "attrs": {"a": 1}}) == []
+        assert validate_record({"kind": "event", "name": "e", "t_ns": 3,
+                                "attrs": {}}) == []
+        assert validate_record({"kind": "metric", "type": "counter",
+                                "name": "c", "value": 2.0}) == []
+        assert validate_record({"kind": "metric", "type": "histogram",
+                                "name": "h", "edges": [1, 2],
+                                "buckets": [0, 1, 0], "count": 1,
+                                "total": 1.5}) == []
+
+    def test_non_object_rejected(self):
+        assert validate_record([1, 2]) != []
+
+    def test_unknown_kind(self):
+        assert "unknown record kind" in validate_record({"kind": "x"})[0]
+
+    def test_meta_schema_mismatch(self):
+        meta = _valid_meta()
+        meta["schema"] = 999
+        assert any("schema" in p for p in validate_record(meta))
+
+    def test_span_needs_duration(self):
+        problems = validate_record({"kind": "span", "name": "s",
+                                    "t_ns": 0, "attrs": {}})
+        assert any("dur_ns" in p for p in problems)
+
+    def test_negative_timestamp_rejected(self):
+        problems = validate_record({"kind": "event", "name": "e",
+                                    "t_ns": -1, "attrs": {}})
+        assert any("t_ns" in p for p in problems)
+
+    def test_empty_name_rejected(self):
+        problems = validate_record({"kind": "event", "name": "",
+                                    "t_ns": 0, "attrs": {}})
+        assert any("name" in p for p in problems)
+
+    def test_histogram_bucket_arity(self):
+        problems = validate_record({"kind": "metric", "type": "histogram",
+                                    "name": "h", "edges": [1, 2],
+                                    "buckets": [0, 1], "count": 1,
+                                    "total": 1.0})
+        assert any("buckets" in p for p in problems)
+
+    def test_counter_needs_numeric_value(self):
+        problems = validate_record({"kind": "metric", "type": "counter",
+                                    "name": "c", "value": "three"})
+        assert any("value" in p for p in problems)
+
+
+class TestValidateTrace:
+    def test_valid_trace(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            '{"clock":"monotonic_ns","kind":"meta","level":"basic",'
+            '"schema":1}\n'
+            '{"attrs":{},"kind":"event","name":"e","t_ns":1}\n'
+        )
+        assert validate_trace(path) == []
+
+    def test_empty_trace_is_a_problem(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text("")
+        assert validate_trace(path) == [(0, "trace is empty")]
+
+    def test_first_record_must_be_meta(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"attrs":{},"kind":"event","name":"e","t_ns":1}\n')
+        assert any("meta header" in problem
+                   for _, problem in validate_trace(path))
+
+    def test_bad_json_line_located(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            '{"clock":"monotonic_ns","kind":"meta","level":"basic",'
+            '"schema":1}\n'
+            "not json\n"
+        )
+        problems = validate_trace(path)
+        assert problems[0][0] == 2
+        assert "not valid JSON" in problems[0][1]

@@ -1,0 +1,92 @@
+"""Typed metric instruments and the registry's naming discipline."""
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.registry import ITERATION_EDGES
+
+
+class TestCounter:
+    def test_accumulates(self):
+        counter = Counter("x")
+        counter.add()
+        counter.add(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            Counter("x").add(-1)
+
+    def test_record_shape(self):
+        counter = Counter("x")
+        counter.add(4)
+        assert counter.to_record() == {
+            "kind": "metric", "type": "counter", "name": "x", "value": 4.0,
+        }
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        gauge = Gauge("depth")
+        gauge.set(7)
+        gauge.set(3)
+        assert gauge.value == 3.0
+        assert gauge.n_samples == 2
+
+
+class TestHistogram:
+    def test_bucket_boundaries(self):
+        histogram = Histogram("h", edges=(1, 2, 4))
+        for value in (0.5, 1.0, 1.5, 4.0, 9.0):
+            histogram.observe(value)
+        # (-inf,1], (1,2], (2,4], (4,inf) with bisect_left semantics:
+        # exact edge hits land in the bucket *below* the edge index.
+        assert histogram.bucket_counts == [2, 1, 1, 1]
+        assert histogram.count == 5
+        assert histogram.mean == pytest.approx(16.0 / 5)
+
+    def test_edges_must_increase(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("h", edges=(1, 1))
+
+    def test_needs_edges(self):
+        with pytest.raises(ValueError, match="at least one edge"):
+            Histogram("h", edges=())
+
+    def test_record_has_one_more_bucket_than_edges(self):
+        record = Histogram("h", edges=ITERATION_EDGES).to_record()
+        assert len(record["buckets"]) == len(record["edges"]) + 1
+
+
+class TestRegistry:
+    def test_same_name_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_kind_collision_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="different instrument kind"):
+            registry.gauge("x")
+
+    def test_histogram_edge_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", edges=(1, 2))
+        registry.histogram("h")  # no edges: adopts the existing ones
+        with pytest.raises(ValueError, match="already registered"):
+            registry.histogram("h", edges=(1, 3))
+
+    def test_flush_is_sorted_by_name(self):
+        registry = MetricsRegistry()
+        registry.counter("zeta").add()
+        registry.gauge("alpha").set(1)
+        registry.histogram("mid").observe(2)
+        names = [record["name"] for record in registry.flush_records()]
+        assert names == ["alpha", "mid", "zeta"]
+
+    def test_clear(self):
+        registry = MetricsRegistry()
+        registry.counter("x").add()
+        registry.clear()
+        assert len(registry) == 0
+        assert registry.flush_records() == []

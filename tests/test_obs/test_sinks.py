@@ -1,0 +1,61 @@
+"""Sink backends: memory capture and JSONL emission."""
+
+import json
+
+import pytest
+
+from repro.obs import JsonlSink, MemorySink, NullSink
+
+
+class TestMemorySink:
+    def test_collects_and_filters(self):
+        sink = MemorySink()
+        sink.emit({"kind": "event", "name": "a"})
+        sink.emit({"kind": "span", "name": "b"})
+        assert len(sink.records) == 2
+        assert sink.of_kind("span") == [{"kind": "span", "name": "b"}]
+        assert sink.named("a") == [{"kind": "event", "name": "a"}]
+
+    def test_adopts_external_list(self):
+        records = []
+        MemorySink(records).emit({"kind": "event", "name": "a"})
+        assert records == [{"kind": "event", "name": "a"}]
+
+
+class TestNullSink:
+    def test_swallows(self):
+        sink = NullSink()
+        sink.emit({"kind": "event"})
+        sink.close()
+
+
+class TestJsonlSink:
+    def test_writes_compact_sorted_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path)
+        sink.emit({"b": 2, "a": 1})
+        sink.close()
+        line = path.read_text().strip()
+        assert line == '{"a":1,"b":2}'
+        assert json.loads(line) == {"a": 1, "b": 2}
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "t.jsonl"
+        JsonlSink(path).close()
+        assert path.exists()
+
+    def test_flushes_per_record(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path)
+        sink.emit({"n": 1})
+        # Readable before close: forked workers must never inherit
+        # half-written buffers.
+        assert path.read_text() == '{"n":1}\n'
+        sink.close()
+
+    def test_emit_after_close_raises(self, tmp_path):
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        sink.close()
+        sink.close()  # idempotent
+        with pytest.raises(ValueError, match="closed"):
+            sink.emit({"n": 1})
