@@ -96,6 +96,50 @@ def _build_parser() -> argparse.ArgumentParser:
                              "processes (default 1: sequential)")
     _add_obs_arguments(export)
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="soak the supervised runner against injected faults",
+        description="Run a synthetic multi-process sweep with seeded "
+                    "worker crashes, hangs, transient errors, and torn "
+                    "checkpoint writes, then verify: no hangs, no lost "
+                    "or duplicated results, poisoned tasks quarantined, "
+                    "and all surviving results byte-identical to the "
+                    "fault-free expectation. See docs/runner.md.",
+    )
+    chaos.add_argument("--tasks", type=int, default=200, metavar="N",
+                       help="synthetic tasks to sweep (default 200)")
+    chaos.add_argument("--jobs", type=int, default=4, metavar="N",
+                       help="worker processes (default 4; needs >= 2)")
+    chaos.add_argument("--seed", type=int, default=1,
+                       help="fault-injection seed (default 1); the same "
+                            "seed injects the same faults every run")
+    chaos.add_argument("--crash", type=float, default=0.05, metavar="RATE",
+                       help="per-attempt worker os._exit probability "
+                            "(default 0.05)")
+    chaos.add_argument("--hang", type=float, default=0.03, metavar="RATE",
+                       help="per-attempt SIGALRM-immune hang probability "
+                            "(default 0.03)")
+    chaos.add_argument("--transient", type=float, default=0.10,
+                       metavar="RATE",
+                       help="per-attempt retryable-error probability "
+                            "(default 0.10)")
+    chaos.add_argument("--poison", type=float, default=0.02, metavar="RATE",
+                       help="fraction of tasks that kill every worker "
+                            "they touch (default 0.02)")
+    chaos.add_argument("--torn", type=float, default=0.05, metavar="RATE",
+                       help="per-write torn-checkpoint probability "
+                            "(default 0.05)")
+    chaos.add_argument("--heartbeat-timeout", type=float, default=1.0,
+                       metavar="SECONDS",
+                       help="hang-detection deadline (default 1.0)")
+    chaos.add_argument("--max-wall", type=float, default=None,
+                       metavar="SECONDS",
+                       help="fail the soak if it runs longer than this")
+    chaos.add_argument("--out", metavar="DIR",
+                       help="persist the checkpoint and "
+                            "health-report.json here")
+    _add_obs_arguments(chaos)
+
     obs = sub.add_parser(
         "obs",
         help="inspect an instrumentation trace",
@@ -221,7 +265,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     from repro.experiments.export import sweep_params
     from repro.runner import (CheckpointMismatchError, SweepCheckpoint,
-                              SweepRunner)
+                              SweepDrained, SweepRunner)
 
     checkpoint = None
     if args.resume is not None:
@@ -253,7 +297,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         run_one, checkpoint=checkpoint, jobs=args.jobs,
         on_event=_log.info,
     )
-    outcomes = runner.run(names)
+    try:
+        outcomes = runner.run(names)
+    except SweepDrained as drained:
+        where = args.resume or "DIR"
+        _log.warning(f"{drained}; rerun with --resume {where} to finish")
+        return 130
     if args.jobs > 1:
         for outcome in outcomes:
             if outcome.status == "ok" and outcome.payload:
@@ -269,7 +318,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_export(args: argparse.Namespace) -> int:
     from repro.experiments.export import export_all
-    from repro.runner import CheckpointMismatchError, SweepError
+    from repro.runner import (CheckpointMismatchError, SweepDrained,
+                              SweepError)
 
     out = args.resume or args.out
     if out is None:
@@ -306,12 +356,68 @@ def _cmd_export(args: argparse.Namespace) -> int:
     except CheckpointMismatchError as exc:
         _log.error(f"error: {exc}")
         return 2
+    except SweepDrained as drained:
+        _log.warning(f"{drained}; rerun with --resume {out} to finish")
+        return 130
     except SweepError as exc:
         _log.warning(f"{exc}; completed experiments are checkpointed -- "
                      f"rerun with --resume {out} to retry the rest")
         return 1
     print(f"wrote {len(written)} result files to {out}")
     return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.runner import ChaosConfig, run_chaos
+
+    config = ChaosConfig(seed=args.seed, crash=args.crash, hang=args.hang,
+                         transient=args.transient, poison=args.poison,
+                         torn_write=args.torn)
+    complaint = config.validate()
+    if complaint is None and args.tasks < 2:
+        complaint = f"--tasks must be >= 2 (got {args.tasks})"
+    if complaint is None and args.jobs < 2:
+        complaint = (f"--jobs must be >= 2: worker-killing faults need "
+                     f"workers (got {args.jobs})")
+    if complaint is None and args.heartbeat_timeout <= 0:
+        complaint = (f"--heartbeat-timeout must be > 0 "
+                     f"(got {args.heartbeat_timeout})")
+    if complaint is None and args.max_wall is not None and args.max_wall <= 0:
+        complaint = f"--max-wall must be > 0 (got {args.max_wall})"
+    if complaint is not None:
+        _log.error(f"error: {complaint}")
+        return 2
+
+    report = run_chaos(
+        args.tasks, args.jobs, config=config,
+        heartbeat_timeout_s=args.heartbeat_timeout,
+        max_wall_s=args.max_wall, out_dir=args.out,
+        on_event=_log.info,
+    )
+    health = report.health
+    statuses = ", ".join(f"{status} {count}" for status, count
+                         in sorted(report.statuses.items()))
+    print(f"chaos soak: {report.n_tasks} tasks x {report.jobs} jobs, "
+          f"seed {report.seed}")
+    print(f"  wall time    {report.wall_s:.1f}s")
+    print(f"  statuses     {statuses}")
+    print(f"  supervision  crashes {health.get('crashes_detected', 0)}, "
+          f"hangs {health.get('hangs_detected', 0)}, "
+          f"requeues {health.get('tasks_requeued', 0)}, "
+          f"restarts {health.get('worker_restarts', 0)}")
+    print(f"  torn writes  {report.torn_writes}")
+    if report.quarantined:
+        print(f"  quarantined  {', '.join(report.quarantined)}")
+    if args.out:
+        print(f"  artifacts    {args.out}/health-report.json")
+    if report.passed:
+        print("chaos soak PASSED: no hangs, no lost or duplicated "
+              "results, surviving outputs byte-identical to fault-free")
+        return 0
+    for problem in report.problems:
+        print(f"  problem: {problem}")
+    print(f"chaos soak FAILED with {len(report.problems)} problem(s)")
+    return 1
 
 
 def _cmd_obs(args: argparse.Namespace) -> int:
@@ -450,6 +556,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_describe(args)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     return _cmd_run(args)
 
 
@@ -457,11 +565,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     setup_logging(verbose=args.verbose, quiet=args.quiet)
     try:
-        if args.command in ("run", "export"):
-            message = _validate_common(args)
-            if message is not None:
-                _log.error(f"error: {message}")
-                return 2
+        if args.command in ("run", "export", "chaos"):
+            if args.command != "chaos":
+                message = _validate_common(args)
+                if message is not None:
+                    _log.error(f"error: {message}")
+                    return 2
             if args.obs_trace:
                 from repro.obs import configure as obs_configure
                 from repro.obs import shutdown as obs_shutdown

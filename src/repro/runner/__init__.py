@@ -1,15 +1,44 @@
-"""Harness robustness: isolated, retried, resumable experiment sweeps.
+"""Harness robustness: supervised, retried, resumable experiment sweeps.
 
 Long multi-seed sweeps should survive one bad run instead of dying on
 the first raised exception. :class:`SweepRunner` executes a list of
 tasks with per-task try/except isolation (structured
 :class:`RunFailure` records instead of a half-finished process), bounded
-exponential-backoff retry for transient errors, per-task wall-clock
-timeouts, and JSON checkpointing via :class:`SweepCheckpoint` so an
-interrupted sweep resumes where it stopped (``starnuma export --out DIR
---resume DIR``).
+jittered exponential-backoff retry for transient errors, per-task
+wall-clock timeouts, and crash-safe JSON checkpointing via
+:class:`SweepCheckpoint` so an interrupted sweep resumes where it
+stopped (``starnuma export --out DIR --resume DIR``).
+
+With ``jobs > 1`` the sweep runs under :mod:`repro.runner.supervisor`:
+a supervised worker pool with per-worker heartbeats, hung-worker
+detection (kill + requeue), crash containment, quarantine of tasks
+that repeatedly kill workers (``quarantined`` outcome, checkpointed),
+a consecutive-failure circuit breaker degrading to sequential
+execution, and a graceful SIGINT/SIGTERM drain
+(:class:`SweepDrained`). :mod:`repro.runner.chaos` proves all of it
+with a deterministic seed-driven fault injector (``starnuma chaos``).
+See ``docs/runner.md``.
 """
 
+from repro.runner.chaos import (
+    ChaosConfig,
+    ChaosInjector,
+    ChaosReport,
+    TornWriteCheckpoint,
+    chaos_payload,
+    run_chaos,
+)
+from repro.runner.health import (
+    HealthReport,
+    HeartbeatBoard,
+    SupervisionPolicy,
+)
+from repro.runner.supervisor import (
+    SweepDrained,
+    WorkerLostError,
+    in_worker,
+    tick_heartbeat,
+)
 from repro.runner.sweep import (
     CheckpointMismatchError,
     RunFailure,
@@ -19,15 +48,30 @@ from repro.runner.sweep import (
     SweepError,
     SweepRunner,
     TransientRunError,
+    retry_delay,
 )
 
 __all__ = [
+    "ChaosConfig",
+    "ChaosInjector",
+    "ChaosReport",
     "CheckpointMismatchError",
+    "HealthReport",
+    "HeartbeatBoard",
     "RunFailure",
     "RunOutcome",
     "RunTimeoutError",
+    "SupervisionPolicy",
     "SweepCheckpoint",
+    "SweepDrained",
     "SweepError",
     "SweepRunner",
+    "TornWriteCheckpoint",
     "TransientRunError",
+    "WorkerLostError",
+    "chaos_payload",
+    "in_worker",
+    "retry_delay",
+    "run_chaos",
+    "tick_heartbeat",
 ]

@@ -1,0 +1,339 @@
+"""Deterministic chaos harness for the supervised sweep runner.
+
+Proof, not promise: the supervisor's claims (no hangs, no lost or
+duplicated results, poisoned tasks quarantined without stalling healthy
+ones) are only worth anything if they are exercised against real worker
+deaths. This module injects four fault kinds into a synthetic sweep --
+
+* **crash** -- the worker calls ``os._exit`` mid-task, exactly like a
+  segfault or OOM kill;
+* **hang** -- the worker blocks SIGALRM and spins, simulating a hang
+  inside a C extension where the per-attempt deadline cannot fire (only
+  the heartbeat supervisor can recover this one);
+* **transient** -- an ordinary retryable exception;
+* **torn checkpoint write** -- the checkpoint's temp file is truncated
+  mid-write and the atomic replace never happens, as if the parent died
+  at the worst moment;
+
+plus a **poison** class: tasks that crash their worker on *every*
+attempt and must end quarantined. Every decision derives from a sha256
+hash of ``(seed, task id, incarnation, attempt)`` -- no ``random``, so
+the same seed injects the same faults in the same places on every run,
+and :func:`run_chaos` can verify the chaotic sweep's surviving results
+byte-for-byte against the fault-free expectation.
+
+Exposed as ``starnuma chaos`` and as the CI ``chaos-smoke`` soak.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import signal
+import time
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from repro.obs import OBS
+from repro.runner import supervisor
+from repro.runner.health import SupervisionPolicy
+from repro.runner.sweep import (
+    SweepCheckpoint,
+    SweepRunner,
+    TransientRunError,
+)
+
+#: Exit status of chaos-crashed workers (visible in supervisor events).
+CRASH_EXIT_CODE = 86
+
+
+def chaos_fraction(*parts: object) -> float:
+    """A deterministic hash fraction in [0, 1) from any key parts."""
+    key = ":".join(str(part) for part in parts)
+    digest = hashlib.sha256(key.encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0 ** 64
+
+
+def chaos_payload(task_id: str) -> Dict[str, object]:
+    """The fault-free result of one synthetic chaos task."""
+    return {
+        "task": task_id,
+        "value": round(chaos_fraction("payload", task_id), 12),
+    }
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Per-attempt fault probabilities and shapes (all deterministic)."""
+
+    seed: int = 1
+    #: Worker calls ``os._exit`` mid-attempt.
+    crash: float = 0.05
+    #: Worker blocks SIGALRM and spins until killed by the supervisor.
+    hang: float = 0.03
+    #: Retryable exception (injected on the first two attempts only,
+    #: so the default retry budget always recovers from it).
+    transient: float = 0.10
+    #: Fraction of tasks that crash on *every* attempt -- these must
+    #: end quarantined.
+    poison: float = 0.02
+    #: Probability that one checkpoint write is torn mid-flight.
+    torn_write: float = 0.05
+    #: How long an injected hang spins if nobody kills it; bounds the
+    #: damage of a failed detection, and any soak that takes this long
+    #: has already failed its wall-clock check.
+    hang_s: float = 30.0
+
+    def validate(self) -> Optional[str]:
+        """One-line complaint for an invalid configuration, else None."""
+        for name in ("crash", "hang", "transient", "poison", "torn_write"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                return f"{name} rate must be in [0, 1], got {value}"
+        if self.crash + self.hang + self.transient > 1.0:
+            return (f"crash + hang + transient rates must not exceed 1 "
+                    f"(got {self.crash + self.hang + self.transient})")
+        if self.hang_s <= 0:
+            return f"hang_s must be > 0, got {self.hang_s}"
+        return None
+
+
+def poisoned_tasks(config: ChaosConfig, task_ids: List[str]) -> List[str]:
+    """Which tasks the injector poisons (derivable without running)."""
+    return [task_id for task_id in task_ids
+            if chaos_fraction(config.seed, task_id, "poison") < config.poison]
+
+
+class ChaosInjector:
+    """Wraps a task callable, injecting seeded faults around it.
+
+    Worker-killing faults (crash, hang) are only injected inside
+    supervised workers -- in the parent process they are contained by
+    design conversion into transient errors, because an ``os._exit``
+    of the parent is not a containable fault, it is the kill-mid-sweep
+    scenario (covered by the resume tests instead).
+    """
+
+    def __init__(self, config: ChaosConfig,
+                 run_task: Callable[[str], Optional[Dict[str, object]]]):
+        self.config = config
+        self.run_task = run_task
+        self._attempts: Counter = Counter()
+
+    def __call__(self, task_id: str) -> Optional[Dict[str, object]]:
+        config = self.config
+        incarnation = supervisor.task_incarnation()
+        self._attempts[(task_id, incarnation)] += 1
+        attempt = self._attempts[(task_id, incarnation)]
+        if chaos_fraction(config.seed, task_id, "poison") < config.poison:
+            self._crash_worker("poison")
+        roll = chaos_fraction(config.seed, task_id, incarnation, attempt,
+                              "fault")
+        if roll < config.crash:
+            self._crash_worker("crash")
+        elif roll < config.crash + config.hang:
+            self._hang_worker()
+        elif attempt <= 2 and \
+                roll < config.crash + config.hang + config.transient:
+            raise TransientRunError(
+                f"chaos: injected transient ({task_id} attempt {attempt})")
+        return self.run_task(task_id)
+
+    def _crash_worker(self, kind: str) -> None:
+        if supervisor.in_worker():
+            os._exit(CRASH_EXIT_CODE)
+        raise TransientRunError(f"chaos: {kind} fault contained in parent")
+
+    def _hang_worker(self) -> None:
+        if not supervisor.in_worker():
+            raise TransientRunError("chaos: hang fault contained in parent")
+        # A SIGALRM-immune hang: the per-attempt deadline cannot fire
+        # (as inside a C extension), so only the heartbeat supervisor
+        # can recover this worker -- by killing it.
+        if hasattr(signal, "pthread_sigmask") and hasattr(signal, "SIGALRM"):
+            signal.pthread_sigmask(signal.SIG_BLOCK, {signal.SIGALRM})
+        deadline = time.monotonic() + self.config.hang_s
+        while time.monotonic() < deadline:
+            time.sleep(0.05)
+        raise TransientRunError("chaos: hang outlived the supervisor")
+
+
+class TornWriteCheckpoint(SweepCheckpoint):
+    """A checkpoint whose writes are occasionally torn mid-flight.
+
+    A torn write leaves a truncated ``.tmp`` file behind and never
+    reaches the atomic replace -- exactly the disk state of a process
+    killed inside :meth:`SweepCheckpoint._write`. The on-disk
+    checkpoint simply stays one state behind (and self-heals on the
+    next intact write); ``load()`` must tolerate and remove the
+    leftover temp file.
+    """
+
+    def __init__(self, path, params: Dict[str, object], *,
+                 seed: int, torn_rate: float):
+        super().__init__(path, params)
+        self._seed = seed
+        self._torn_rate = torn_rate
+        self._writes = 0
+        self.torn_writes = 0
+
+    def _write(self) -> None:
+        self._writes += 1
+        if self._torn_rate > 0 and chaos_fraction(
+                self._seed, "torn", self._writes) < self._torn_rate:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            text = json.dumps(self._payload(), indent=2, sort_keys=True)
+            self._temporary_path().write_text(text[:max(1, len(text) // 2)])
+            self.torn_writes += 1
+            OBS.counter("chaos.torn_writes")
+            return
+        super()._write()
+
+
+@dataclass
+class ChaosReport:
+    """What one chaos soak did, and whether it held the line."""
+
+    n_tasks: int
+    jobs: int
+    seed: int
+    wall_s: float
+    statuses: Dict[str, int]
+    quarantined: List[str]
+    poisoned: List[str]
+    torn_writes: int
+    health: Dict[str, object]
+    problems: List[str]
+
+    @property
+    def passed(self) -> bool:
+        return not self.problems
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "n_tasks": self.n_tasks,
+            "jobs": self.jobs,
+            "seed": self.seed,
+            "wall_s": round(self.wall_s, 3),
+            "statuses": dict(self.statuses),
+            "quarantined": list(self.quarantined),
+            "poisoned": list(self.poisoned),
+            "torn_writes": self.torn_writes,
+            "health": self.health,
+            "problems": list(self.problems),
+            "passed": self.passed,
+        }
+
+
+def run_chaos(n_tasks: int = 200, jobs: int = 4, *,
+              config: Optional[ChaosConfig] = None,
+              heartbeat_timeout_s: float = 1.0,
+              breaker_threshold: int = 25,
+              max_wall_s: Optional[float] = None,
+              out_dir: Optional[str] = None,
+              on_event: Optional[Callable[[str], None]] = None,
+              ) -> ChaosReport:
+    """One seeded chaos soak of the supervised runner; returns a report.
+
+    The report fails (collects problems) if any task is lost,
+    duplicated, or left in a status other than ``ok``/``quarantined``;
+    if any surviving result differs byte-for-byte from the fault-free
+    expectation; if a poisoned task escaped quarantine; or if the soak
+    exceeded ``max_wall_s``. ``out_dir`` persists the checkpoint and a
+    ``health-report.json`` artifact.
+    """
+    if n_tasks < 2:
+        raise ValueError(f"n_tasks must be >= 2, got {n_tasks}")
+    if jobs < 2:
+        raise ValueError(
+            f"jobs must be >= 2: worker-killing faults need workers "
+            f"(got {jobs})")
+    config = config or ChaosConfig()
+    complaint = config.validate()
+    if complaint is not None:
+        raise ValueError(complaint)
+
+    task_ids = [f"task-{index:04d}" for index in range(n_tasks)]
+    expected = {task_id: json.dumps(chaos_payload(task_id), sort_keys=True)
+                for task_id in task_ids}
+    poisoned = poisoned_tasks(config, task_ids)
+
+    checkpoint: Optional[TornWriteCheckpoint] = None
+    if out_dir is not None:
+        checkpoint = TornWriteCheckpoint(
+            Path(out_dir) / "checkpoint.json",
+            params={"chaos_seed": config.seed, "n_tasks": n_tasks},
+            seed=config.seed, torn_rate=config.torn_write,
+        )
+        checkpoint.reset()
+
+    policy = SupervisionPolicy(
+        heartbeat_timeout_s=heartbeat_timeout_s,
+        poll_interval_s=0.02,
+        breaker_threshold=breaker_threshold,
+    )
+    runner = SweepRunner(
+        ChaosInjector(config, chaos_payload),
+        jobs=jobs, max_retries=3, backoff_s=0.01, max_backoff_s=0.05,
+        timeout_s=None, checkpoint=checkpoint, policy=policy,
+        on_event=on_event,
+    )
+    started = time.monotonic()
+    outcomes = runner.run(task_ids)
+    wall_s = time.monotonic() - started
+
+    problems: List[str] = []
+    statuses = Counter(outcome.status for outcome in outcomes)
+    quarantined = [outcome.task_id for outcome in outcomes
+                   if outcome.status == "quarantined"]
+    if sorted(outcome.task_id for outcome in outcomes) != sorted(task_ids):
+        problems.append("lost or duplicated task outcomes")
+    for outcome in outcomes:
+        if outcome.status == "ok":
+            got = json.dumps(outcome.payload, sort_keys=True)
+            if got != expected[outcome.task_id]:
+                problems.append(
+                    f"{outcome.task_id}: result diverged from the "
+                    f"fault-free run")
+        elif outcome.status != "quarantined":
+            problems.append(
+                f"{outcome.task_id}: unexpected status {outcome.status!r}"
+                + (f" ({outcome.failure.error_type}: "
+                   f"{outcome.failure.message})" if outcome.failure else ""))
+    for task_id in poisoned:
+        if task_id not in quarantined:
+            problems.append(f"{task_id}: poisoned but not quarantined")
+
+    if checkpoint is not None:
+        fresh = SweepCheckpoint(checkpoint.path, checkpoint.params)
+        fresh.load()  # also exercises stale-.tmp tolerance after torn writes
+        for task_id, entry in fresh.completed.items():
+            got = json.dumps(entry.get("payload"), sort_keys=True)
+            if got != expected.get(task_id):
+                problems.append(
+                    f"{task_id}: on-disk checkpoint payload diverged")
+        for task_id in fresh.quarantined:
+            if task_id not in quarantined:
+                problems.append(
+                    f"{task_id}: on-disk quarantine not reflected in "
+                    f"outcomes")
+
+    if max_wall_s is not None and wall_s > max_wall_s:
+        problems.append(
+            f"soak took {wall_s:.1f}s, over the {max_wall_s:.1f}s bound")
+
+    health = (runner.last_health.to_dict()
+              if runner.last_health is not None else {})
+    report = ChaosReport(
+        n_tasks=n_tasks, jobs=jobs, seed=config.seed, wall_s=wall_s,
+        statuses=dict(statuses), quarantined=quarantined, poisoned=poisoned,
+        torn_writes=checkpoint.torn_writes if checkpoint else 0,
+        health=health, problems=problems,
+    )
+    if out_dir is not None:
+        (Path(out_dir) / "health-report.json").write_text(
+            json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    return report

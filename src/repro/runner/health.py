@@ -1,0 +1,162 @@
+"""Worker-health primitives for the supervised sweep pool.
+
+Three small pieces, shared by :mod:`repro.runner.supervisor` and the
+chaos harness:
+
+* :class:`HeartbeatBoard` -- one shared-memory ``double`` slot per
+  worker. A worker writes ``time.monotonic()`` into its slot at every
+  attempt boundary (and, voluntarily, at phase boundaries via
+  :func:`repro.runner.supervisor.tick_heartbeat`); the parent compares
+  slot ages against the heartbeat deadline to spot workers hung where
+  SIGALRM cannot reach them (inside C extensions, with the signal
+  blocked).
+* :class:`SupervisionPolicy` -- the knobs of the supervision state
+  machine: heartbeat deadline, strike budget before quarantine,
+  consecutive-incident circuit breaker, drain grace.
+* :class:`HealthReport` -- counters of everything the supervisor did
+  (restarts, hangs, requeues, quarantines, breaker/drain state),
+  serializable for the ``starnuma chaos`` health artifact.
+
+On Linux ``time.monotonic()`` is CLOCK_MONOTONIC, which is consistent
+across processes, so parent-read ages of worker-written ticks are
+meaningful.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: Slot value meaning "no tick recorded" (cleared at assignment).
+NEVER_TICKED = 0.0
+
+
+class HeartbeatBoard:
+    """A fixed array of per-worker-slot heartbeat timestamps.
+
+    Backed by a fork-shared ``multiprocessing.Array`` when created via
+    :meth:`shared`, or a plain list for in-process tests. Only the
+    owning worker writes its slot; the parent reads and may reset a
+    slot when (re)assigning work, so no lock is needed -- a torn read
+    of a double at worst mis-ages one poll cycle.
+    """
+
+    def __init__(self, slots) -> None:
+        self._slots = slots
+
+    @classmethod
+    def shared(cls, n_slots: int, mp_context) -> "HeartbeatBoard":
+        return cls(mp_context.Array("d", [NEVER_TICKED] * n_slots,
+                                    lock=False))
+
+    @classmethod
+    def local(cls, n_slots: int) -> "HeartbeatBoard":
+        return cls([NEVER_TICKED] * n_slots)
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def tick(self, slot: int) -> None:
+        """Record liveness for ``slot`` (worker side)."""
+        self._slots[slot] = time.monotonic()
+
+    def reset(self, slot: int, now: Optional[float] = None) -> None:
+        """Start a slot's clock at assignment time (parent side)."""
+        self._slots[slot] = time.monotonic() if now is None else now
+
+    def age_s(self, slot: int, now: Optional[float] = None) -> float:
+        """Seconds since the slot last ticked (0 when never ticked)."""
+        last = self._slots[slot]
+        if last == NEVER_TICKED:
+            return 0.0
+        return (time.monotonic() if now is None else now) - last
+
+
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """How the supervised pool reacts to sick workers.
+
+    ``heartbeat_timeout_s`` of ``None`` derives a deadline from the
+    runner's per-attempt budget (``timeout_s`` plus the worst backoff
+    plus slack); when the runner has no ``timeout_s`` either, hang
+    detection is disabled -- without any budget hint a slow task is
+    indistinguishable from a hung one.
+    """
+
+    #: Kill a busy worker whose heartbeat is older than this.
+    heartbeat_timeout_s: Optional[float] = None
+    #: Parent poll cadence for results and health checks.
+    poll_interval_s: float = 0.05
+    #: Worker kills (crash or hang) a task survives before quarantine.
+    max_task_strikes: int = 2
+    #: Consecutive worker-level incidents before degrading the sweep
+    #: to sequential execution in the parent.
+    breaker_threshold: int = 5
+    #: Grace given to in-flight tasks on SIGINT/SIGTERM before the
+    #: drain kills the pool and exits resumably.
+    drain_grace_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_timeout_s is not None \
+                and self.heartbeat_timeout_s <= 0:
+            raise ValueError(
+                f"heartbeat_timeout_s must be > 0, "
+                f"got {self.heartbeat_timeout_s}")
+        if self.poll_interval_s <= 0:
+            raise ValueError(
+                f"poll_interval_s must be > 0, got {self.poll_interval_s}")
+        if self.max_task_strikes < 1:
+            raise ValueError(
+                f"max_task_strikes must be >= 1, "
+                f"got {self.max_task_strikes}")
+        if self.breaker_threshold < 1:
+            raise ValueError(
+                f"breaker_threshold must be >= 1, "
+                f"got {self.breaker_threshold}")
+        if self.drain_grace_s < 0:
+            raise ValueError(
+                f"drain_grace_s must be >= 0, got {self.drain_grace_s}")
+
+    def effective_heartbeat_s(self, timeout_s: Optional[float],
+                              max_backoff_s: float) -> Optional[float]:
+        """The deadline actually enforced, deriving from the runner."""
+        if self.heartbeat_timeout_s is not None:
+            return self.heartbeat_timeout_s
+        if timeout_s is None:
+            return None
+        return timeout_s + max_backoff_s + 5.0
+
+
+@dataclass
+class HealthReport:
+    """What the supervisor saw and did during one sweep."""
+
+    workers: int = 0
+    worker_restarts: int = 0
+    crashes_detected: int = 0
+    hangs_detected: int = 0
+    tasks_requeued: int = 0
+    tasks_quarantined: int = 0
+    quarantined_tasks: List[str] = field(default_factory=list)
+    breaker_tripped: bool = False
+    drained: bool = False
+    drain_signal: Optional[str] = None
+
+    @property
+    def incidents(self) -> int:
+        return self.crashes_detected + self.hangs_detected
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "workers": self.workers,
+            "worker_restarts": self.worker_restarts,
+            "crashes_detected": self.crashes_detected,
+            "hangs_detected": self.hangs_detected,
+            "tasks_requeued": self.tasks_requeued,
+            "tasks_quarantined": self.tasks_quarantined,
+            "quarantined_tasks": list(self.quarantined_tasks),
+            "breaker_tripped": self.breaker_tripped,
+            "drained": self.drained,
+            "drain_signal": self.drain_signal,
+        }

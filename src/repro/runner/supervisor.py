@@ -1,0 +1,566 @@
+"""Supervised execution: the fault-contained worker pool of a sweep.
+
+``SweepRunner(jobs=N)`` used to fan tasks out over a bare
+``ProcessPoolExecutor`` and consume futures in submission order -- one
+crashed worker raised ``BrokenProcessPool`` and aborted the whole
+sweep, and a worker hung where SIGALRM cannot fire (inside a C
+extension, or with the signal blocked) stalled it forever. This module
+replaces that loop with a supervised pool:
+
+* **One outstanding task per worker.** The parent assigns tasks over
+  per-worker queues and therefore always knows which task each worker
+  holds; results come home over per-worker pipes -- never a shared
+  queue, whose cross-process write lock a dying worker could take to
+  its grave and deadlock every survivor -- and are *flushed*
+  (checkpointed, events replayed, obs records absorbed) strictly in
+  submission order, so checkpoints and event streams stay
+  byte-identical to a sequential sweep.
+* **Heartbeats.** Workers tick a shared :class:`HeartbeatBoard` slot at
+  every attempt boundary (and during backoff sleeps); long-running task
+  code may volunteer extra ticks via :func:`tick_heartbeat`. A busy
+  worker whose heartbeat outlives the deadline is SIGKILLed and its
+  task requeued as a transient -- this catches hangs that are immune to
+  the worker-side SIGALRM deadline.
+* **Crash containment.** A worker that dies (``os._exit``, segfault,
+  OOM kill) costs one *strike* against its in-flight task; the task is
+  requeued at the front and a replacement worker is forked. A task
+  that kills workers ``max_task_strikes`` times is *quarantined*: a
+  ``quarantined`` outcome recorded in the checkpoint so a resumed
+  sweep does not re-run the poisoned task.
+* **Circuit breaker.** ``breaker_threshold`` consecutive worker losses
+  (with no successful result in between) means the pool machinery
+  itself is sick; the sweep degrades to sequential execution in the
+  parent for the remaining tasks.
+* **Graceful drain.** SIGINT/SIGTERM stop task assignment, give
+  in-flight work ``drain_grace_s`` to finish, flush what completed to
+  the checkpoint, then raise :class:`SweepDrained` -- the sweep exits
+  resumably instead of losing progress. A second signal aborts
+  immediately.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+from multiprocessing import connection as mp_connection
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.obs import OBS
+from repro.runner.health import HealthReport, HeartbeatBoard, SupervisionPolicy
+
+_RESULT = Tuple[int, str, object, List[str], List[Dict[str, object]]]
+
+
+class WorkerLostError(RuntimeError):
+    """A worker process died (crash) or was killed (hang) mid-task."""
+
+
+class SweepDrained(RuntimeError):
+    """The sweep stopped on SIGINT/SIGTERM after a graceful drain.
+
+    Progress up to the drain is checkpointed; rerunning with
+    ``--resume`` finishes the remaining tasks.
+    """
+
+    def __init__(self, signal_name: str, completed: int, remaining: int):
+        self.signal_name = signal_name
+        self.completed = completed
+        self.remaining = remaining
+        super().__init__(
+            f"sweep drained on {signal_name}: {completed} task(s) "
+            f"checkpointed, {remaining} remaining; resume to finish"
+        )
+
+
+# -- worker side -------------------------------------------------------------
+
+#: The runner a forked worker inherits (sweep tasks are closures, so
+#: they travel by fork, never by pickle). Parked by :func:`run_supervised`.
+_SUPERVISED_RUNNER: Optional[Any] = None
+
+#: Worker-process state: which heartbeat slot is mine, and which
+#: incarnation (= prior strikes) of the current task I am running.
+_WORKER_BOARD: Optional[HeartbeatBoard] = None
+_WORKER_SLOT: Optional[int] = None
+_TASK_INCARNATION: int = 0
+
+
+def in_worker() -> bool:
+    """True inside a supervised worker process."""
+    return _WORKER_SLOT is not None
+
+
+def task_incarnation() -> int:
+    """How many workers the current task has already killed (0 first)."""
+    return _TASK_INCARNATION
+
+
+def tick_heartbeat() -> None:
+    """Voluntary liveness tick for long-running task code.
+
+    Task callables that legitimately run longer than one heartbeat
+    deadline (e.g. one tick per simulated phase) call this to stay
+    alive; it is a no-op outside supervised workers.
+    """
+    if _WORKER_BOARD is not None and _WORKER_SLOT is not None:
+        _WORKER_BOARD.tick(_WORKER_SLOT)
+
+
+def _ticking_sleep(base_sleep: Callable[[float], None],
+                   tick: Callable[[], None]) -> Callable[[float], None]:
+    """Backoff sleeps must not read as hangs: tick while sleeping."""
+    if base_sleep is not time.sleep:
+        def wrapped(seconds: float) -> None:
+            tick()
+            base_sleep(seconds)
+            tick()
+        return wrapped
+
+    def chunked(seconds: float) -> None:
+        deadline = time.monotonic() + seconds
+        while True:
+            tick()
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return
+            time.sleep(min(remaining, 0.2))
+    return chunked
+
+
+def _worker_main(slot: int, board: HeartbeatBoard,
+                 task_queue, result_conn) -> None:
+    """One worker: receive (task_id, incarnation), run, ship the result."""
+    global _WORKER_BOARD, _WORKER_SLOT, _TASK_INCARNATION
+    # The parent coordinates interrupts: it drains gracefully on SIGINT
+    # while workers finish their in-flight task undisturbed.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    if hasattr(signal, "SIGTERM"):
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    from repro.runner.sweep import _attempt_task
+
+    runner = _SUPERVISED_RUNNER
+    assert runner is not None, "worker forked without a parked runner"
+    _WORKER_BOARD = board
+    _WORKER_SLOT = slot
+    tick = lambda: board.tick(slot)  # noqa: E731
+    sleep = _ticking_sleep(runner.sleep, tick)
+    while True:
+        item = task_queue.get()
+        if item is None:
+            return
+        task_id, incarnation = item
+        _TASK_INCARNATION = incarnation
+        tick()
+        events: List[str] = []
+        obs_records: List[Dict[str, object]] = []
+        with OBS.capture(obs_records):
+            outcome = _attempt_task(
+                task_id, runner.run_task, runner.timeout_s,
+                runner.max_retries, runner.backoff_s, runner.max_backoff_s,
+                runner.transient_types, sleep, events.append,
+                heartbeat=tick,
+            )
+        _TASK_INCARNATION = 0
+        # This worker is the pipe's only writer, so a SIGKILL here can
+        # at worst tear *this* pipe -- the parent discards it with the
+        # dead worker; the survivors' pipes share nothing with it.
+        result_conn.send((slot, task_id, outcome, events, obs_records))
+
+
+# -- parent side -------------------------------------------------------------
+
+
+class _Worker:
+    """Parent-side record of one worker process and its assignment."""
+
+    def __init__(self, slot: int, ctx, board: HeartbeatBoard) -> None:
+        self.slot = slot
+        self.task: Optional[str] = None
+        self.task_queue = ctx.SimpleQueue()
+        self.conn, send_conn = ctx.Pipe(duplex=False)
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(slot, board, self.task_queue, send_conn),
+            daemon=True,
+        )
+        self.process.start()
+        # Drop the parent's copy of the write end right away, before
+        # any sibling forks could inherit it: once this worker dies,
+        # its pipe must read as EOF, not hang open forever.
+        send_conn.close()
+
+    def assign(self, board: HeartbeatBoard, task_id: str,
+               incarnation: int) -> None:
+        self.task = task_id
+        board.reset(self.slot)
+        self.task_queue.put((task_id, incarnation))
+
+    def close_conn(self) -> None:
+        if self.conn is not None:
+            try:
+                self.conn.close()
+            except OSError:
+                pass
+            self.conn = None
+
+    def stop(self, join_s: float = 1.0) -> None:
+        if self.process.is_alive():
+            try:
+                self.task_queue.put(None)
+            except (OSError, ValueError):
+                pass
+            self.process.join(join_s)
+        if self.process.is_alive():
+            self.process.kill()
+            self.process.join(join_s)
+        self.close_conn()
+
+
+class SupervisedPool:
+    """Runs one pending task list for a :class:`SweepRunner`."""
+
+    def __init__(self, runner, ctx) -> None:
+        from repro.runner.sweep import RunFailure, RunOutcome
+        self._RunFailure = RunFailure
+        self._RunOutcome = RunOutcome
+        self.runner = runner
+        self.policy: SupervisionPolicy = runner.policy
+        self.ctx = ctx
+        self.health = HealthReport()
+        self._heartbeat_s = self.policy.effective_heartbeat_s(
+            runner.timeout_s, runner.max_backoff_s)
+        self._order: List[str] = []
+        self._pending: List[str] = []  # treated as a stack-front deque
+        self._results: Dict[str, Tuple[object, List[str],
+                                       List[Dict[str, object]]]] = {}
+        self._strikes: Dict[str, int] = {}
+        self._flushed = 0
+        self._consecutive_incidents = 0
+        self._drain_signal: Optional[str] = None
+        self._workers: List[_Worker] = []
+        self.board: HeartbeatBoard = HeartbeatBoard.local(0)
+        self.by_id: Dict[str, object] = {}
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def run(self, pending: List[str]) -> Dict[str, object]:
+        self._order = list(pending)
+        self._pending = list(pending)
+        n_workers = min(self.runner.jobs, len(pending))
+        self.health.workers = n_workers
+        self.board = HeartbeatBoard.shared(n_workers, self.ctx)
+        previous_handlers = self._install_signal_handlers()
+        try:
+            self._workers = [
+                _Worker(slot, self.ctx, self.board)
+                for slot in range(n_workers)
+            ]
+            while self._flushed < len(self._order):
+                if self._drain_signal is not None:
+                    self._drain()
+                self._assign_idle_workers()
+                self._collect(self.policy.poll_interval_s)
+                self._check_worker_health()
+                self._flush()
+                if self.health.breaker_tripped:
+                    self._run_rest_sequentially()
+        finally:
+            for worker in self._workers:
+                worker.stop()
+            self._restore_signal_handlers(previous_handlers)
+        return self.by_id
+
+    def _install_signal_handlers(self):
+        if threading.current_thread() is not threading.main_thread():
+            return {}
+        previous = {}
+        for signum in (signal.SIGINT, getattr(signal, "SIGTERM", None)):
+            if signum is None:
+                continue
+            try:
+                previous[signum] = signal.signal(signum, self._on_signal)
+            except (ValueError, OSError):
+                pass
+        return previous
+
+    def _restore_signal_handlers(self, previous) -> None:
+        for signum, handler in previous.items():
+            try:
+                signal.signal(signum, handler)
+            except (ValueError, OSError):
+                pass
+
+    def _on_signal(self, signum, frame) -> None:
+        if self._drain_signal is not None:
+            raise KeyboardInterrupt  # second signal: abort immediately
+        self._drain_signal = signal.Signals(signum).name
+
+    # -- task assignment and results ----------------------------------------
+
+    def _next_task(self) -> Optional[str]:
+        while self._pending:
+            task_id = self._pending.pop(0)
+            if task_id not in self._results:
+                return task_id
+        return None
+
+    def _assign_idle_workers(self) -> None:
+        if self._drain_signal is not None or self.health.breaker_tripped:
+            return
+        for worker in self._workers:
+            if worker.task is not None or not worker.process.is_alive():
+                continue
+            task_id = self._next_task()
+            if task_id is None:
+                return
+            worker.assign(self.board, task_id,
+                          self._strikes.get(task_id, 0))
+
+    def _collect(self, timeout: Optional[float]) -> None:
+        by_conn = {worker.conn: worker for worker in self._workers
+                   if worker.conn is not None}
+        if not by_conn:
+            if timeout:
+                time.sleep(timeout)
+            return
+        try:
+            ready = mp_connection.wait(list(by_conn), timeout=timeout)
+        except OSError:
+            return  # a pipe died under us; the health check sorts it out
+        for conn in ready:
+            self._read_result(by_conn[conn])
+
+    def _read_result(self, worker: _Worker) -> None:
+        """One readable pipe: a result, or EOF from a dead worker."""
+        if worker.conn is None:
+            return
+        try:
+            result: _RESULT = worker.conn.recv()
+        except (EOFError, OSError):
+            # Worker died; retire the pipe so wait() stops reporting it.
+            # The strike/requeue decision belongs to the health check.
+            worker.close_conn()
+            return
+        self._accept(result)
+
+    def _drain_conn(self, worker: _Worker) -> None:
+        """Absorb any complete results a (possibly dead) worker sent."""
+        while worker.conn is not None and worker.conn.poll(0):
+            self._read_result(worker)
+
+    def _accept(self, result: _RESULT) -> None:
+        slot, task_id, outcome, events, obs_records = result
+        # Any delivered result means the pool machinery works: the
+        # consecutive-incident breaker counts only silent worker losses.
+        self._consecutive_incidents = 0
+        for worker in self._workers:
+            if worker.slot == slot and worker.task == task_id:
+                worker.task = None
+        if task_id in self._results:
+            return  # late result of a worker killed as hung: keep the first
+        self._results[task_id] = (outcome, events, obs_records)
+
+    def _flush(self) -> None:
+        """Record finished tasks strictly in submission order."""
+        while self._flushed < len(self._order):
+            task_id = self._order[self._flushed]
+            entry = self._results.get(task_id)
+            if entry is None:
+                return
+            outcome, events, obs_records = entry
+            for message in events:
+                self.runner.on_event(message)
+            for record in obs_records:
+                OBS.absorb(record)
+            self.runner._record(outcome)
+            self.by_id[task_id] = outcome
+            self._flushed += 1
+            OBS.gauge("runner.queue_depth",
+                      len(self._order) - self._flushed)
+
+    # -- health -------------------------------------------------------------
+
+    def _check_worker_health(self) -> None:
+        max_age = 0.0
+        for index, worker in enumerate(self._workers):
+            process = worker.process
+            if worker.task is None:
+                continue
+            if not process.is_alive():
+                # A complete result may have landed just before death;
+                # losing the worker is then not a strike on the task.
+                self._drain_conn(worker)
+                if worker.task is None:
+                    if self._drain_signal is None \
+                            and not self.health.breaker_tripped:
+                        self._respawn(index)
+                    continue
+                self._incident(index, "crash", exitcode=process.exitcode)
+                continue
+            age = self.board.age_s(worker.slot)
+            max_age = max(max_age, age)
+            if self._heartbeat_s is not None and age > self._heartbeat_s:
+                process.kill()
+                process.join(5.0)
+                self._incident(index, "hang", age_s=age)
+        if OBS.enabled:
+            OBS.gauge("runner.heartbeat_age_s", round(max_age, 6))
+
+    def _incident(self, index: int, kind: str,
+                  exitcode: Optional[int] = None,
+                  age_s: Optional[float] = None) -> None:
+        worker = self._workers[index]
+        task_id = worker.task
+        worker.task = None
+        pid = worker.process.pid
+        self._consecutive_incidents += 1
+        if kind == "crash":
+            self.health.crashes_detected += 1
+            detail = f"worker pid {pid} died (exit {exitcode})"
+        else:
+            self.health.hangs_detected += 1
+            OBS.counter("runner.hangs")
+            detail = (f"worker pid {pid} missed its heartbeat "
+                      f"({age_s:.1f}s > {self._heartbeat_s:.1f}s), killed")
+        if OBS.enabled:
+            OBS.event("runner.worker_lost", kind=kind, task=task_id,
+                      pid=pid, exitcode=exitcode)
+        assert task_id is not None
+        strikes = self._strikes.get(task_id, 0) + 1
+        self._strikes[task_id] = strikes
+        if strikes >= self.policy.max_task_strikes:
+            self._quarantine(task_id, kind, strikes, pid)
+        else:
+            self._pending.insert(0, task_id)
+            self.health.tasks_requeued += 1
+            OBS.counter("runner.requeues")
+            self.runner.on_event(
+                f"{task_id}: {detail}; requeued "
+                f"(strike {strikes}/{self.policy.max_task_strikes})"
+            )
+        if self._consecutive_incidents >= self.policy.breaker_threshold:
+            self._trip_breaker()
+        elif self._drain_signal is None:
+            self._respawn(index)
+
+    def _quarantine(self, task_id: str, kind: str, strikes: int,
+                    pid: Optional[int]) -> None:
+        message = (f"task killed {strikes} worker(s) "
+                   f"(last loss: {kind}); quarantined as poisoned")
+        failure = self._RunFailure(
+            task_id=task_id, error_type=WorkerLostError.__name__,
+            message=message, traceback="", attempts=strikes,
+            transient=False,
+        )
+        outcome = self._RunOutcome(task_id=task_id, status="quarantined",
+                                   attempts=strikes, failure=failure)
+        self._results[task_id] = (outcome, [], [])
+        self.health.tasks_quarantined += 1
+        self.health.quarantined_tasks.append(task_id)
+        OBS.counter("runner.quarantined")
+        if OBS.enabled:
+            span = OBS.span("runner.task", task=task_id, pid=pid)
+            with span:
+                span.set(status="quarantined", attempts=strikes,
+                         error=WorkerLostError.__name__)
+
+    def _respawn(self, index: int) -> None:
+        old = self._workers[index]
+        old.process.join(1.0)
+        old.close_conn()
+        self._workers[index] = _Worker(old.slot, self.ctx, self.board)
+        self.health.worker_restarts += 1
+        OBS.counter("runner.worker_restarts")
+
+    # -- degraded modes -----------------------------------------------------
+
+    def _trip_breaker(self) -> None:
+        self.health.breaker_tripped = True
+        OBS.counter("runner.breaker_trips")
+        if OBS.enabled:
+            OBS.event("runner.breaker_open",
+                      incidents=self._consecutive_incidents)
+        self.runner.on_event(
+            f"circuit breaker open after {self._consecutive_incidents} "
+            f"consecutive worker losses; degrading to sequential execution"
+        )
+        for worker in self._workers:
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join(1.0)
+            worker.task = None
+            worker.close_conn()
+
+    def _run_rest_sequentially(self) -> None:
+        """Breaker fallback: finish the sweep in the parent process."""
+        global _TASK_INCARNATION
+        from repro.runner.sweep import _attempt_task
+
+        runner = self.runner
+        for task_id in self._order[self._flushed:]:
+            if task_id in self._results:
+                continue
+            if self._drain_signal is not None:
+                self._flush()
+                self._drain()
+            _TASK_INCARNATION = self._strikes.get(task_id, 0)
+            try:
+                outcome = _attempt_task(
+                    task_id, runner.run_task, runner.timeout_s,
+                    runner.max_retries, runner.backoff_s,
+                    runner.max_backoff_s, runner.transient_types,
+                    runner.sleep, runner.on_event,
+                )
+            finally:
+                _TASK_INCARNATION = 0
+            self._results[task_id] = (outcome, [], [])
+            self._flush()
+
+    def _drain(self) -> None:
+        """Signal received: bounded grace, checkpoint, resumable exit."""
+        assert self._drain_signal is not None
+        self.health.drained = True
+        self.health.drain_signal = self._drain_signal
+        OBS.counter("runner.drains")
+        if OBS.enabled:
+            OBS.event("runner.drain", signal=self._drain_signal,
+                      grace_s=self.policy.drain_grace_s)
+        self.runner.on_event(
+            f"{self._drain_signal} received: draining in-flight tasks "
+            f"(grace {self.policy.drain_grace_s:.1f}s)"
+        )
+        deadline = time.monotonic() + self.policy.drain_grace_s
+        while any(worker.task is not None for worker in self._workers):
+            remaining_grace = deadline - time.monotonic()
+            if remaining_grace <= 0:
+                break
+            self._collect(min(remaining_grace,
+                              self.policy.poll_interval_s))
+            self._flush()
+        for worker in self._workers:
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join(1.0)
+        for worker in self._workers:
+            self._drain_conn(worker)  # results that landed while killing
+        self._flush()
+        raise SweepDrained(self._drain_signal, completed=self._flushed,
+                           remaining=len(self._order) - self._flushed)
+
+
+def run_supervised(runner, pending: List[str], ctx) -> Dict[str, object]:
+    """Run ``pending`` under supervision; returns {task_id: RunOutcome}.
+
+    Parks ``runner`` in the module global that forked workers inherit
+    (sweep tasks are closures and cannot be pickled), and publishes the
+    pool's :class:`HealthReport` as ``runner.last_health``.
+    """
+    global _SUPERVISED_RUNNER
+    pool = SupervisedPool(runner, ctx)
+    _SUPERVISED_RUNNER = runner
+    try:
+        runner.last_health = pool.health
+        return pool.run(pending)
+    finally:
+        _SUPERVISED_RUNNER = None

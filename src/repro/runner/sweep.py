@@ -9,17 +9,23 @@ retryable :class:`RunTimeoutError`. Completed tasks are recorded in an
 atomically rewritten JSON checkpoint, so a killed sweep resumes by
 skipping them.
 
-With ``jobs > 1`` tasks fan out over a fork-based
-:class:`~concurrent.futures.ProcessPoolExecutor`. The retry/backoff
-loop runs inside each worker (whose main thread can arm SIGALRM), the
-task callable travels by fork inheritance (sweep tasks are closures, so
-they cannot be pickled), and the parent serializes every checkpoint
-write -- futures are consumed in submission order, so the checkpoint
-and event stream match a sequential run of the same task list.
+With ``jobs > 1`` tasks fan out over a *supervised* fork-based worker
+pool (:mod:`repro.runner.supervisor`): per-worker heartbeats catch
+hangs that SIGALRM cannot reach, a crashed worker costs its task one
+strike and is replaced (a task that kills two workers is quarantined as
+poisoned), a circuit breaker degrades the sweep to sequential execution
+when worker losses become systemic, and SIGINT/SIGTERM drain the pool
+gracefully into a resumable checkpoint. The retry/backoff loop runs
+inside each worker (whose main thread can arm SIGALRM), the task
+callable travels by fork inheritance (sweep tasks are closures, so they
+cannot be pickled), and the parent serializes every checkpoint write in
+submission order, so the checkpoint and event stream match a sequential
+run of the same task list.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import multiprocessing
 import os
@@ -27,14 +33,13 @@ import signal
 import threading
 import time
 import traceback as traceback_module
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures import TimeoutError as FutureTimeoutError
 from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type
 
 from repro.obs import OBS
+from repro.runner.health import HealthReport, SupervisionPolicy
 
 CHECKPOINT_VERSION = 1
 
@@ -91,7 +96,8 @@ class RunOutcome:
     """What happened to one task of the sweep."""
 
     task_id: str
-    #: ``ok`` (ran now), ``cached`` (resumed from checkpoint), ``failed``.
+    #: ``ok`` (ran now), ``cached`` (resumed from checkpoint), ``failed``,
+    #: or ``quarantined`` (killed a worker too many times; never re-run).
     status: str
     attempts: int = 0
     payload: Optional[Dict[str, object]] = None
@@ -129,12 +135,19 @@ class SweepCheckpoint:
         self.params = params
         self.completed: Dict[str, Dict[str, object]] = {}
         self.failures: List[Dict[str, object]] = []
+        self.quarantined: Dict[str, Dict[str, object]] = {}
 
     def exists(self) -> bool:
         return self.path.exists()
 
     def load(self) -> bool:
-        """Adopt an existing checkpoint; returns False when none exists."""
+        """Adopt an existing checkpoint; returns False when none exists.
+
+        A stale ``.tmp`` file (a write torn by a crash before the
+        atomic replace) is removed and otherwise ignored -- the main
+        checkpoint file is always a complete earlier state.
+        """
+        self._clean_stale_tmp()
         if not self.path.exists():
             return False
         try:
@@ -156,12 +169,16 @@ class SweepCheckpoint:
             )
         self.completed = dict(data.get("completed", {}))
         self.failures = []  # prior failures are retried on resume
+        # Quarantined tasks are poisoned, not flaky: they stay skipped.
+        self.quarantined = dict(data.get("quarantined", {}))
         return True
 
     def reset(self) -> None:
         """Start fresh, discarding any on-disk checkpoint."""
+        self._clean_stale_tmp()
         self.completed = {}
         self.failures = []
+        self.quarantined = {}
         self._write()
 
     def mark_completed(self, task_id: str,
@@ -173,21 +190,67 @@ class SweepCheckpoint:
         self.failures.append(failure.to_dict())
         self._write()
 
+    def mark_quarantined(self, failure: RunFailure) -> None:
+        """Record a poisoned task so resume never re-runs it."""
+        self.quarantined[failure.task_id] = {
+            "error_type": failure.error_type,
+            "message": failure.message,
+            "attempts": failure.attempts,
+        }
+        self._write()
+
     def payload_of(self, task_id: str) -> Optional[Dict[str, object]]:
         entry = self.completed.get(task_id)
         return entry.get("payload") if entry else None
 
-    def _write(self) -> None:
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        data = {
+    def quarantine_of(self, task_id: str) -> Optional[Dict[str, object]]:
+        return self.quarantined.get(task_id)
+
+    def _clean_stale_tmp(self) -> None:
+        try:
+            self._temporary_path().unlink()
+        except FileNotFoundError:
+            pass
+        except OSError:
+            pass  # unreadable leftovers never block a resume
+
+    def _temporary_path(self) -> Path:
+        return self.path.with_suffix(self.path.suffix + ".tmp")
+
+    def _payload(self) -> Dict[str, object]:
+        return {
             "version": CHECKPOINT_VERSION,
             "params": self.params,
             "completed": self.completed,
             "failures": self.failures,
+            "quarantined": self.quarantined,
         }
-        temporary = self.path.with_suffix(self.path.suffix + ".tmp")
-        temporary.write_text(json.dumps(data, indent=2, sort_keys=True))
+
+    def _write(self) -> None:
+        """Crash-safe rewrite: fsync the temp file, replace, fsync the dir.
+
+        Without the fsyncs a power loss (or SIGKILL plus an unlucky
+        page-cache flush) after ``os.replace`` could leave a truncated
+        file under the *final* name; fsync-before-replace makes the
+        rename the commit point, and the directory fsync persists the
+        rename itself.
+        """
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        temporary = self._temporary_path()
+        with open(temporary, "w") as handle:
+            handle.write(json.dumps(self._payload(), indent=2,
+                                    sort_keys=True))
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(temporary, self.path)
+        try:
+            directory_fd = os.open(self.path.parent, os.O_RDONLY)
+        except OSError:
+            return  # platform cannot open directories; best effort
+        try:
+            os.fsync(directory_fd)
+        finally:
+            os.close(directory_fd)
 
 
 @contextmanager
@@ -228,20 +291,46 @@ DEFAULT_TRANSIENT_TYPES: Tuple[Type[BaseException], ...] = (
     OSError,
 )
 
+#: Ceiling on one retry backoff, whatever the attempt count.
+DEFAULT_MAX_BACKOFF_S = 30.0
+
+
+def retry_delay(task_id: str, attempt: int, backoff_s: float,
+                max_backoff_s: float = DEFAULT_MAX_BACKOFF_S) -> float:
+    """Capped exponential backoff with deterministic per-task jitter.
+
+    The nominal ``backoff_s * 2**(attempt - 1)`` is clamped to
+    ``max_backoff_s`` and then scaled into ``[0.5, 1.0)`` of itself by
+    a sha256 hash of ``(task_id, attempt)`` -- no ``random``, so the
+    determinism lint rule stays clean and reruns sleep identically,
+    while concurrent workers retrying different tasks desynchronize
+    instead of thundering back in lockstep.
+    """
+    nominal = min(backoff_s * (2.0 ** (attempt - 1)), max_backoff_s)
+    if nominal <= 0:
+        return 0.0
+    digest = hashlib.sha256(f"{task_id}:{attempt}".encode()).digest()
+    fraction = int.from_bytes(digest[:8], "big") / 2.0 ** 64
+    return nominal * (0.5 + 0.5 * fraction)
+
 
 def _attempt_task(task_id: str,
                   run_task: Callable[[str], Optional[Dict[str, object]]],
                   timeout_s: Optional[float],
                   max_retries: int,
                   backoff_s: float,
+                  max_backoff_s: float,
                   transient_types: Tuple[Type[BaseException], ...],
                   sleep: Callable[[float], None],
-                  emit: Callable[[str], None]) -> RunOutcome:
+                  emit: Callable[[str], None],
+                  heartbeat: Callable[[], None] = lambda: None,
+                  ) -> RunOutcome:
     """One task through the retry/timeout loop; no checkpoint access.
 
     Shared by the sequential path (``emit`` is the runner's event sink)
     and the pool workers (``emit`` collects messages for the parent to
-    replay); the caller records the outcome in the checkpoint.
+    replay, ``heartbeat`` ticks the worker's supervision slot at every
+    attempt boundary); the caller records the outcome in the checkpoint.
     """
     attempts = 0
     # The pid attribute attributes the span to the worker that ran it;
@@ -250,6 +339,7 @@ def _attempt_task(task_id: str,
     with span:
         while True:
             attempts += 1
+            heartbeat()
             try:
                 with _deadline(timeout_s):
                     payload = run_task(task_id)
@@ -260,7 +350,8 @@ def _attempt_task(task_id: str,
                 if isinstance(exc, RunTimeoutError):
                     OBS.counter("runner.timeouts")
                 if transient and attempts <= max_retries:
-                    delay = backoff_s * (2.0 ** (attempts - 1))
+                    delay = retry_delay(task_id, attempts, backoff_s,
+                                        max_backoff_s)
                     OBS.counter("runner.retries")
                     OBS.event("runner.retry", task=task_id,
                               attempt=attempts,
@@ -283,71 +374,54 @@ def _attempt_task(task_id: str,
                               attempts=attempts, payload=payload)
 
 
-#: The forked workers' view of the sweep: ProcessPoolExecutor pickles
-#: submitted callables, and sweep tasks are closures over live state
-#: (an export closes over its context and output directory), so the
-#: parent parks the task callable here right before forking the pool
-#: and the children inherit it.
-_POOL_RUNNER: Optional["SweepRunner"] = None
-
-
-def _pool_worker(
-    task_id: str,
-) -> Tuple[RunOutcome, List[str], List[Dict[str, object]]]:
-    """Run one task in a forked worker; events return with the outcome.
-
-    The worker's main thread can arm SIGALRM, so the per-task deadline
-    behaves exactly as in a sequential sweep. Obs records are captured
-    in memory (the inherited JSONL handle belongs to the parent) and
-    travel home with the outcome for the parent to absorb.
-    """
-    runner = _POOL_RUNNER
-    assert runner is not None, "worker forked without a parked runner"
-    events: List[str] = []
-    obs_records: List[Dict[str, object]] = []
-    with OBS.capture(obs_records):
-        outcome = _attempt_task(
-            task_id, runner.run_task, runner.timeout_s, runner.max_retries,
-            runner.backoff_s, runner.transient_types, runner.sleep,
-            events.append,
-        )
-    return outcome, events, obs_records
 
 
 class SweepRunner:
     """Runs a list of task ids through one callable, robustly.
 
-    ``jobs`` > 1 fans tasks out over a fork-based process pool; where
-    the fork start method is unavailable the sweep degrades to
-    sequential execution with an event message.
+    ``jobs`` > 1 fans tasks out over the supervised fork pool
+    (:mod:`repro.runner.supervisor`), governed by ``policy``; where the
+    fork start method is unavailable the sweep degrades to sequential
+    execution with an event message. After a supervised run the pool's
+    :class:`~repro.runner.health.HealthReport` is published as
+    ``last_health``.
     """
 
     def __init__(self, run_task: Callable[[str], Optional[Dict[str, object]]],
                  *,
                  max_retries: int = 2,
                  backoff_s: float = 0.5,
+                 max_backoff_s: float = DEFAULT_MAX_BACKOFF_S,
                  timeout_s: Optional[float] = None,
                  transient_types: Tuple[Type[BaseException], ...]
                  = DEFAULT_TRANSIENT_TYPES,
                  checkpoint: Optional[SweepCheckpoint] = None,
                  sleep: Callable[[float], None] = time.sleep,
                  on_event: Optional[Callable[[str], None]] = None,
-                 jobs: int = 1):
+                 jobs: int = 1,
+                 policy: Optional[SupervisionPolicy] = None):
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         if backoff_s < 0:
             raise ValueError(f"backoff_s must be >= 0, got {backoff_s}")
+        if max_backoff_s < 0:
+            raise ValueError(
+                f"max_backoff_s must be >= 0, got {max_backoff_s}")
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.run_task = run_task
         self.max_retries = max_retries
         self.backoff_s = backoff_s
+        self.max_backoff_s = max_backoff_s
         self.timeout_s = timeout_s
         self.transient_types = transient_types
         self.checkpoint = checkpoint
         self.sleep = sleep
         self.on_event = on_event or (lambda message: None)
         self.jobs = jobs
+        self.policy = policy or SupervisionPolicy()
+        #: Health report of the last supervised (parallel) run.
+        self.last_health: Optional[HealthReport] = None
 
     def run(self, task_ids: Sequence[str]) -> List[RunOutcome]:
         span = OBS.span("runner.sweep", tasks=len(task_ids), jobs=self.jobs)
@@ -355,12 +429,17 @@ class SweepRunner:
             if self.jobs > 1 and len(task_ids) > 1:
                 outcomes = self._run_parallel(task_ids)
             else:
-                outcomes = [self._run_one(task_id) for task_id in task_ids]
+                outcomes = []
+                for done, task_id in enumerate(task_ids, start=1):
+                    outcomes.append(self._run_one(task_id))
+                    OBS.gauge("runner.queue_depth", len(task_ids) - done)
             if OBS.enabled:
                 span.set(
                     ok=sum(1 for o in outcomes if o.status == "ok"),
                     cached=sum(1 for o in outcomes if o.status == "cached"),
                     failed=sum(1 for o in outcomes if o.status == "failed"),
+                    quarantined=sum(1 for o in outcomes
+                                    if o.status == "quarantined"),
                 )
             return outcomes
 
@@ -372,7 +451,8 @@ class SweepRunner:
             return cached
         outcome = _attempt_task(
             task_id, self.run_task, self.timeout_s, self.max_retries,
-            self.backoff_s, self.transient_types, self.sleep, self.on_event,
+            self.backoff_s, self.max_backoff_s, self.transient_types,
+            self.sleep, self.on_event,
         )
         self._record(outcome)
         return outcome
@@ -401,71 +481,36 @@ class SweepRunner:
                 for task_id in pending:
                     by_id[task_id] = self._run_one(task_id)
             else:
-                self._run_pool(pending, fork, by_id)
+                from repro.runner.supervisor import run_supervised
+
+                by_id.update(run_supervised(self, pending, fork))
         return [by_id[task_id] for task_id in task_ids]
-
-    def _run_pool(self, pending: List[str], fork, by_id) -> None:
-        global _POOL_RUNNER
-        workers = min(self.jobs, len(pending))
-        _POOL_RUNNER = self
-        try:
-            with ProcessPoolExecutor(max_workers=workers,
-                                     mp_context=fork) as pool:
-                futures = [(task_id, pool.submit(_pool_worker, task_id))
-                           for task_id in pending]
-                # Submission order, not completion order: checkpoint
-                # writes and events then match a sequential sweep of the
-                # same list byte for byte.
-                for done, (task_id, future) in enumerate(futures, start=1):
-                    try:
-                        outcome, events, obs_records = future.result(
-                            timeout=self._future_timeout()
-                        )
-                    except FutureTimeoutError:
-                        failure = RunFailure.from_exception(
-                            task_id,
-                            RunTimeoutError(
-                                f"worker exceeded the "
-                                f"{self._future_timeout():.1f}s future-level "
-                                f"timeout"
-                            ),
-                            attempts=1, transient=True,
-                        )
-                        outcome = RunOutcome(task_id=task_id, status="failed",
-                                             attempts=1, failure=failure)
-                        events = []
-                        obs_records = []
-                        OBS.counter("runner.timeouts")
-                    for message in events:
-                        self.on_event(message)
-                    for record in obs_records:
-                        OBS.absorb(record)
-                    OBS.gauge("runner.queue_depth", len(futures) - done)
-                    self._record(outcome)
-                    by_id[task_id] = outcome
-        finally:
-            _POOL_RUNNER = None
-
-    def _future_timeout(self) -> Optional[float]:
-        """Parent-side guard when workers cannot arm SIGALRM themselves.
-
-        Covers the whole retry budget (every attempt plus backoff) with
-        slack; on POSIX the worker-side deadline fires long before this.
-        """
-        if self.timeout_s is None or hasattr(signal, "SIGALRM"):
-            return None
-        attempts = self.max_retries + 1
-        backoff = sum(self.backoff_s * (2.0 ** n)
-                      for n in range(self.max_retries))
-        return self.timeout_s * attempts + backoff + 30.0
 
     # -- shared bookkeeping --------------------------------------------------
 
     def _cached_outcome(self, task_id: str) -> Optional[RunOutcome]:
-        if self.checkpoint is not None and task_id in self.checkpoint.completed:
+        if self.checkpoint is None:
+            return None
+        if task_id in self.checkpoint.completed:
             self.on_event(f"{task_id}: already completed, skipping")
             return RunOutcome(task_id=task_id, status="cached",
                               payload=self.checkpoint.payload_of(task_id))
+        quarantine = self.checkpoint.quarantine_of(task_id)
+        if quarantine is not None:
+            self.on_event(
+                f"{task_id}: quarantined in a previous run, skipping")
+            attempts = int(quarantine.get("attempts", 0))  # type: ignore[call-overload]
+            failure = RunFailure(
+                task_id=task_id,
+                error_type=str(quarantine.get("error_type",
+                                              "WorkerLostError")),
+                message=str(quarantine.get("message", "quarantined")),
+                traceback="",
+                attempts=attempts,
+                transient=False,
+            )
+            return RunOutcome(task_id=task_id, status="quarantined",
+                              attempts=attempts, failure=failure)
         return None
 
     def _record(self, outcome: RunOutcome) -> None:
@@ -474,6 +519,15 @@ class SweepRunner:
             if self.checkpoint is not None:
                 self.checkpoint.mark_completed(outcome.task_id,
                                                outcome.payload)
+        elif outcome.status == "quarantined":
+            if outcome.failure is not None:
+                if self.checkpoint is not None:
+                    self.checkpoint.mark_quarantined(outcome.failure)
+                self.on_event(
+                    f"{outcome.task_id}: QUARANTINED after killing "
+                    f"{outcome.attempts} worker(s): "
+                    f"{outcome.failure.message}"
+                )
         elif outcome.failure is not None:
             if self.checkpoint is not None:
                 self.checkpoint.record_failure(outcome.failure)

@@ -140,6 +140,52 @@ class TestRunnerWiring:
         metrics = {r["name"]: r for r in records if r["kind"] == "metric"}
         assert metrics["runner.queue_depth"]["value"] == 0.0
 
+    def test_sequential_path_emits_queue_depth_too(self):
+        records = []
+        OBS.configure(MemorySink(records))
+        SweepRunner(lambda task_id: None, jobs=1).run(["a", "b", "c"])
+        shutdown()
+        # Gauges flush their last value: the queue drained to zero.
+        # (Before obs parity, the sequential path never set this gauge
+        # at all and the metric was absent.)
+        depths = [r["value"] for r in records
+                  if r["kind"] == "metric"
+                  and r["name"] == "runner.queue_depth"]
+        assert depths == [0.0]
+
+    def test_quarantine_emits_span_and_counter(self):
+        import os
+
+        from repro.runner.health import SupervisionPolicy
+
+        def run(task_id):
+            if task_id == "poison":
+                os._exit(66)
+            return None
+
+        records = []
+        OBS.configure(MemorySink(records))
+        runner = SweepRunner(
+            run, jobs=2, backoff_s=0.0,
+            policy=SupervisionPolicy(poll_interval_s=0.02))
+        outcomes = runner.run(["a", "poison"])
+        shutdown()
+        assert [o.status for o in outcomes] == ["ok", "quarantined"]
+
+        poison_span = next(
+            r for r in records if r.get("name") == "runner.task"
+            and r["attrs"]["task"] == "poison")
+        assert poison_span["attrs"]["status"] == "quarantined"
+        assert poison_span["attrs"]["error"] == "WorkerLostError"
+        sweep_span = next(r for r in records
+                          if r.get("name") == "runner.sweep")
+        assert sweep_span["attrs"]["quarantined"] == 1
+        metrics = {r["name"]: r for r in records if r["kind"] == "metric"}
+        assert metrics["runner.quarantined"]["value"] == 1.0
+        lost = [r for r in records if r.get("name") == "runner.worker_lost"]
+        assert len(lost) == 2  # two strikes, then quarantine
+        assert all(event["attrs"]["kind"] == "crash" for event in lost)
+
 
 class TestInertness:
     def test_export_bytes_identical_obs_on_vs_off(self, context, tmp_path):

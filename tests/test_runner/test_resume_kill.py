@@ -1,0 +1,125 @@
+"""Kill-mid-sweep resume: SIGKILL between checkpoint writes, then finish.
+
+These tests run a real sweep in a subprocess, SIGKILL it once the
+checkpoint shows partial progress, resume in a second process, and
+require the final checkpoint to be byte-identical to an uninterrupted
+run -- including when the first half's checkpoint writes are being
+torn by the chaos injector.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+
+import pytest
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(signal, "SIGKILL"), reason="needs SIGKILL")
+
+REPO_SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+SWEEP_SCRIPT = textwrap.dedent("""\
+    import json, sys, time
+    from repro.runner import SweepCheckpoint, SweepRunner
+    from repro.runner.chaos import TornWriteCheckpoint
+
+    path, mode, task_sleep_s = sys.argv[1], sys.argv[2], float(sys.argv[3])
+    params = {"seed": 11}
+    if mode == "torn":
+        checkpoint = TornWriteCheckpoint(path, params, seed=11,
+                                         torn_rate=0.4)
+    else:
+        checkpoint = SweepCheckpoint(path, params)
+    if not checkpoint.load():
+        checkpoint.reset()
+
+    def run(task_id):
+        time.sleep(task_sleep_s)
+        return {"task": task_id, "value": int(task_id.split("-")[1]) ** 2}
+
+    SweepRunner(run, checkpoint=checkpoint).run(
+        ["t-%02d" % i for i in range(24)])
+    print("SWEEP-COMPLETE")
+""")
+
+
+def _spawn(checkpoint_path, mode="plain", task_sleep_s=0.08):
+    env = dict(os.environ, PYTHONPATH=REPO_SRC)
+    return subprocess.Popen(
+        [sys.executable, "-c", SWEEP_SCRIPT, str(checkpoint_path), mode,
+         str(task_sleep_s)],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+
+
+def _completed_on_disk(path):
+    if not path.exists():
+        return {}
+    try:
+        return json.loads(path.read_text()).get("completed", {})
+    except json.JSONDecodeError:
+        return {}
+
+
+def _kill_once_partial(process, path, minimum=3, deadline_s=30.0):
+    """SIGKILL the sweep once >= ``minimum`` tasks are checkpointed."""
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            pytest.fail("sweep finished before it could be killed; "
+                        "raise task_sleep_s")
+        if len(_completed_on_disk(path)) >= minimum:
+            process.kill()
+            process.wait(timeout=10)
+            return
+        time.sleep(0.01)
+    pytest.fail("sweep made no checkpoint progress to kill into")
+
+
+def _reference_checkpoint(tmp_path):
+    """One uninterrupted run, for byte-level comparison."""
+    path = tmp_path / "reference.json"
+    process = _spawn(path, task_sleep_s=0.0)
+    out, err = process.communicate(timeout=120)
+    assert b"SWEEP-COMPLETE" in out, err.decode()
+    return path.read_bytes()
+
+
+class TestResumeAfterKill:
+    def test_sigkill_between_writes_resumes_byte_identical(self, tmp_path):
+        path = tmp_path / "checkpoint.json"
+        first = _spawn(path)
+        _kill_once_partial(first, path)
+        partial = _completed_on_disk(path)
+        assert 0 < len(partial) < 24
+
+        second = _spawn(path, task_sleep_s=0.0)
+        out, err = second.communicate(timeout=120)
+        assert b"SWEEP-COMPLETE" in out, err.decode()
+        final = _completed_on_disk(path)
+        assert sorted(final) == ["t-%02d" % i for i in range(24)]
+        # Resume did not clobber what the killed run completed.
+        for task_id, entry in partial.items():
+            assert final[task_id] == entry
+        assert path.read_bytes() == _reference_checkpoint(tmp_path)
+
+    def test_sigkill_under_torn_writes_still_resumes(self, tmp_path):
+        # First half: checkpoint writes are being torn by the chaos
+        # injector *and* the process dies mid-sweep. The on-disk file
+        # is some earlier complete state plus a stale .tmp; resume
+        # must shrug, redo a little work, and converge to the same
+        # bytes.
+        path = tmp_path / "checkpoint.json"
+        first = _spawn(path, mode="torn")
+        _kill_once_partial(first, path)
+
+        second = _spawn(path, task_sleep_s=0.0)
+        out, err = second.communicate(timeout=120)
+        assert b"SWEEP-COMPLETE" in out, err.decode()
+        assert not path.with_suffix(path.suffix + ".tmp").exists()
+        final = _completed_on_disk(path)
+        assert sorted(final) == ["t-%02d" % i for i in range(24)]
+        assert path.read_bytes() == _reference_checkpoint(tmp_path)

@@ -1,0 +1,214 @@
+"""Supervised pool semantics: crashes, hangs, quarantine, breaker, drain.
+
+Every test here drives real forked workers through ``SweepRunner``
+(jobs > 1) and injects faults via ``supervisor.task_incarnation()`` --
+the incarnation counter makes "fail on the first try, succeed after a
+requeue" deterministic without shared marker files.
+"""
+
+import json
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.runner import (
+    SupervisionPolicy,
+    SweepCheckpoint,
+    SweepDrained,
+    SweepRunner,
+)
+from repro.runner import supervisor
+from repro.runner.health import HeartbeatBoard
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="supervised pool needs fork")
+
+FAST_POLICY = SupervisionPolicy(heartbeat_timeout_s=1.0,
+                                poll_interval_s=0.02)
+
+
+def _runner(run_task, **kwargs):
+    kwargs.setdefault("jobs", 2)
+    kwargs.setdefault("policy", FAST_POLICY)
+    kwargs.setdefault("max_retries", 1)
+    kwargs.setdefault("backoff_s", 0.0)
+    return SweepRunner(run_task, **kwargs)
+
+
+class TestCrashContainment:
+    def test_crash_once_is_requeued_and_succeeds(self):
+        def run(task_id):
+            if task_id == "bad" and supervisor.task_incarnation() == 0:
+                os._exit(77)  # simulated segfault / OOM kill
+            return {"task": task_id, "pid": os.getpid()}
+
+        runner = _runner(run)
+        outcomes = runner.run(["a", "bad", "c"])
+        assert [o.status for o in outcomes] == ["ok", "ok", "ok"]
+        assert outcomes[1].payload["task"] == "bad"
+        health = runner.last_health
+        assert health.crashes_detected == 1
+        assert health.tasks_requeued == 1
+        assert health.worker_restarts >= 1
+        assert health.tasks_quarantined == 0
+
+    def test_healthy_tasks_survive_a_neighbor_crash(self):
+        def run(task_id):
+            if task_id == "bad" and supervisor.task_incarnation() == 0:
+                os._exit(77)
+            return {"task": task_id}
+
+        outcomes = _runner(run, jobs=3).run(
+            ["t-%d" % i for i in range(8)] + ["bad"])
+        assert all(o.status == "ok" for o in outcomes)
+        assert [o.task_id for o in outcomes] == \
+            ["t-%d" % i for i in range(8)] + ["bad"]
+
+
+class TestQuarantine:
+    def test_poison_task_is_quarantined_not_fatal(self, tmp_path):
+        def run(task_id):
+            if task_id == "poison":
+                os._exit(66)  # kills its worker on every incarnation
+            return {"task": task_id}
+
+        checkpoint = SweepCheckpoint(tmp_path / "checkpoint.json", {})
+        checkpoint.reset()
+        runner = _runner(run, checkpoint=checkpoint)
+        outcomes = runner.run(["a", "poison", "c"])
+        assert [o.status for o in outcomes] == ["ok", "quarantined", "ok"]
+        assert outcomes[1].failure.error_type == "WorkerLostError"
+        assert runner.last_health.tasks_quarantined == 1
+        assert runner.last_health.quarantined_tasks == ["poison"]
+
+        # Resume never re-runs the poisoned task (it would just kill
+        # two more workers).
+        fresh = SweepCheckpoint(tmp_path / "checkpoint.json", {})
+        assert fresh.load()
+        resumed = _runner(run, checkpoint=fresh)
+        outcomes = resumed.run(["a", "poison", "c"])
+        assert [o.status for o in outcomes] == \
+            ["cached", "quarantined", "cached"]
+        assert resumed.last_health is None  # nothing left to fork for
+
+
+class TestHangDetection:
+    def test_sigalrm_immune_hang_is_killed_via_heartbeat(self):
+        def run(task_id):
+            if task_id == "hang" and supervisor.task_incarnation() == 0:
+                # A hang the per-attempt SIGALRM deadline cannot see.
+                signal.pthread_sigmask(signal.SIG_BLOCK, {signal.SIGALRM})
+                time.sleep(60.0)
+            return {"task": task_id}
+
+        runner = _runner(run)
+        started = time.monotonic()
+        outcomes = runner.run(["a", "hang", "c"])
+        wall_s = time.monotonic() - started
+        assert [o.status for o in outcomes] == ["ok", "ok", "ok"]
+        assert wall_s < 20.0, "hang was not detected by heartbeat"
+        assert runner.last_health.hangs_detected == 1
+        assert runner.last_health.tasks_requeued == 1
+
+
+class TestCircuitBreaker:
+    def test_breaker_degrades_to_sequential_in_parent(self):
+        parent_pid = os.getpid()
+
+        def run(task_id):
+            if supervisor.in_worker():
+                os._exit(55)  # every worker dies: the pool is sick
+            return {"task": task_id, "pid": os.getpid()}
+
+        policy = SupervisionPolicy(heartbeat_timeout_s=5.0,
+                                   poll_interval_s=0.02,
+                                   breaker_threshold=2)
+        runner = _runner(run, policy=policy, jobs=2)
+        outcomes = runner.run(["a", "b", "c", "d"])
+        assert all(o.status == "ok" for o in outcomes)
+        assert all(o.payload["pid"] == parent_pid for o in outcomes)
+        assert runner.last_health.breaker_tripped
+        assert runner.last_health.incidents >= 2
+
+
+class TestDrain:
+    def test_sigterm_drains_checkpoints_and_resumes(self, tmp_path):
+        def run(task_id):
+            time.sleep(0.15)
+            return {"task": task_id}
+
+        task_ids = ["t-%02d" % i for i in range(30)]
+        path = tmp_path / "checkpoint.json"
+        checkpoint = SweepCheckpoint(path, {"seed": 7})
+        checkpoint.reset()
+        runner = _runner(run, checkpoint=checkpoint,
+                         policy=SupervisionPolicy(heartbeat_timeout_s=5.0,
+                                                  poll_interval_s=0.02,
+                                                  drain_grace_s=2.0))
+        timer = threading.Timer(0.4, os.kill, (os.getpid(), signal.SIGTERM))
+        timer.start()
+        try:
+            with pytest.raises(SweepDrained) as excinfo:
+                runner.run(task_ids)
+        finally:
+            timer.cancel()
+        drained = excinfo.value
+        assert drained.signal_name == "SIGTERM"
+        assert drained.completed + drained.remaining == len(task_ids)
+        assert drained.remaining > 0, "sweep finished before the signal"
+        assert runner.last_health.drained
+        assert runner.last_health.drain_signal == "SIGTERM"
+
+        # Progress reached the checkpoint; a resumed sweep finishes the
+        # rest without re-running what completed.
+        on_disk = json.loads(path.read_text())
+        assert len(on_disk["completed"]) == drained.completed
+        fresh = SweepCheckpoint(path, {"seed": 7})
+        assert fresh.load()
+        outcomes = _runner(lambda t: {"task": t},
+                           checkpoint=fresh).run(task_ids)
+        # Checkpointed tasks come back cached; only the remainder reran.
+        by_status = {o.task_id: o.status for o in outcomes}
+        assert all(status in ("ok", "cached")
+                   for status in by_status.values())
+        assert sorted(t for t, s in by_status.items() if s == "cached") == \
+            sorted(on_disk["completed"])
+        assert sum(1 for s in by_status.values() if s == "ok") == \
+            drained.remaining
+
+
+class TestHeartbeatPrimitives:
+    def test_board_age_tracks_ticks(self):
+        board = HeartbeatBoard.local(2)
+        assert board.age_s(0) == 0.0  # never ticked
+        board.tick(0)
+        assert board.age_s(0, now=time.monotonic() + 1.0) >= 1.0
+        board.reset(1, now=5.0)
+        assert board.age_s(1, now=7.5) == 2.5
+
+    def test_tick_heartbeat_is_a_noop_in_the_parent(self):
+        supervisor.tick_heartbeat()  # must not raise
+        assert not supervisor.in_worker()
+        assert supervisor.task_incarnation() == 0
+
+    def test_policy_derives_deadline_from_task_budget(self):
+        policy = SupervisionPolicy()
+        assert policy.effective_heartbeat_s(None, 30.0) is None
+        assert policy.effective_heartbeat_s(10.0, 30.0) == 45.0
+        pinned = SupervisionPolicy(heartbeat_timeout_s=2.0)
+        assert pinned.effective_heartbeat_s(10.0, 30.0) == 2.0
+
+    def test_policy_rejects_nonsense(self):
+        with pytest.raises(ValueError):
+            SupervisionPolicy(heartbeat_timeout_s=0.0)
+        with pytest.raises(ValueError):
+            SupervisionPolicy(poll_interval_s=-1.0)
+        with pytest.raises(ValueError):
+            SupervisionPolicy(max_task_strikes=0)
+        with pytest.raises(ValueError):
+            SupervisionPolicy(breaker_threshold=0)
+        with pytest.raises(ValueError):
+            SupervisionPolicy(drain_grace_s=-0.1)

@@ -7,11 +7,13 @@ import pytest
 
 from repro.runner import (
     CheckpointMismatchError,
+    RunFailure,
     RunTimeoutError,
     SweepCheckpoint,
     SweepError,
     SweepRunner,
     TransientRunError,
+    retry_delay,
 )
 
 
@@ -65,7 +67,20 @@ class TestRetry:
         outcomes = runner.run(["a"])
         assert outcomes[0].status == "ok"
         assert outcomes[0].attempts == 3
-        assert delays == [0.5, 1.0]  # exponential
+        # Jittered exponential: each delay lands in [nominal/2, nominal).
+        assert delays == [retry_delay("a", 1, 0.5), retry_delay("a", 2, 0.5)]
+        assert 0.25 <= delays[0] < 0.5
+        assert 0.5 <= delays[1] < 1.0
+
+    def test_retry_delay_is_deterministic_capped_and_jittered(self):
+        # Same (task, attempt) -> same delay, always.
+        assert retry_delay("t", 3, 0.5) == retry_delay("t", 3, 0.5)
+        # Different tasks desynchronize (the whole point of the jitter).
+        assert retry_delay("t1", 1, 0.5) != retry_delay("t2", 1, 0.5)
+        # The ceiling bounds the exponential blow-up.
+        assert retry_delay("t", 30, 0.5, max_backoff_s=2.0) <= 2.0
+        # Zero base backoff stays zero.
+        assert retry_delay("t", 1, 0.0) == 0.0
 
     def test_retry_budget_is_bounded(self):
         attempts = {"n": 0}
@@ -175,6 +190,58 @@ class TestCheckpoint:
         assert not list(tmp_path.glob("*.tmp"))
         data = json.loads(path.read_text())
         assert data["completed"]["a"]["payload"] == {"x": 1}
+
+    def test_stale_tmp_is_tolerated_and_cleaned_on_load(self, tmp_path):
+        # Disk state of a process killed mid-write: a (possibly
+        # truncated) temp file next to the last complete checkpoint.
+        path = tmp_path / "checkpoint.json"
+        checkpoint = SweepCheckpoint(path, {"seed": 1})
+        checkpoint.reset()
+        checkpoint.mark_completed("a", {"x": 1})
+        stale = path.with_suffix(path.suffix + ".tmp")
+        stale.write_text('{"completed": {"a"')
+
+        fresh = SweepCheckpoint(path, {"seed": 1})
+        assert fresh.load()
+        assert fresh.payload_of("a") == {"x": 1}
+        assert not stale.exists()
+
+    def test_stale_tmp_cleaned_even_when_checkpoint_absent(self, tmp_path):
+        path = tmp_path / "checkpoint.json"
+        stale = path.with_suffix(path.suffix + ".tmp")
+        stale.write_text("torn")
+        assert not SweepCheckpoint(path, {}).load()
+        assert not stale.exists()
+
+    def test_quarantine_round_trips_through_disk(self, tmp_path):
+        path = tmp_path / "checkpoint.json"
+        checkpoint = SweepCheckpoint(path, {"seed": 1})
+        checkpoint.reset()
+        failure = RunFailure(
+            task_id="poison", error_type="WorkerLostError",
+            message="killed 2 workers", traceback="", attempts=2,
+            transient=False)
+        checkpoint.mark_quarantined(failure)
+        assert checkpoint.quarantine_of("poison") is not None
+
+        fresh = SweepCheckpoint(path, {"seed": 1})
+        assert fresh.load()
+        entry = fresh.quarantine_of("poison")
+        assert entry["error_type"] == "WorkerLostError"
+        assert entry["attempts"] == 2
+
+        # A resumed sweep must not re-run the poisoned task.
+        calls = []
+
+        def run(task_id):
+            calls.append(task_id)
+            return {"task": task_id}
+
+        outcomes = SweepRunner(run, checkpoint=fresh).run(["poison", "b"])
+        assert calls == ["b"]
+        assert outcomes[0].status == "quarantined"
+        assert outcomes[0].failure.error_type == "WorkerLostError"
+        assert outcomes[1].status == "ok"
 
     def test_failures_recorded_on_disk(self, tmp_path):
         path = tmp_path / "checkpoint.json"
