@@ -177,8 +177,14 @@ def _build_parser() -> argparse.ArgumentParser:
     lint.add_argument("paths", nargs="*", metavar="PATH",
                       help="files or directories to lint "
                            "(default: src/repro)")
-    lint.add_argument("--format", choices=["text", "json"], default="text",
-                      help="report format (default text)")
+    lint.add_argument("--format", choices=["text", "json", "sarif"],
+                      default="text",
+                      help="report format (default text; sarif for "
+                           "code-scanning upload)")
+    lint.add_argument("--changed", metavar="BASE_REF",
+                      help="report only findings in files changed since "
+                           "BASE_REF (the whole-program analysis still "
+                           "covers every file)")
     lint.add_argument("--baseline", metavar="FILE",
                       default=DEFAULT_BASELINE,
                       help=f"baseline file of accepted findings "
@@ -496,12 +502,30 @@ def _cmd_describe(args: argparse.Namespace) -> int:
     return 0
 
 
+def _changed_files(base_ref: str) -> Optional[set]:
+    """Absolute paths of files changed since ``base_ref`` (via git)."""
+    import subprocess
+
+    try:
+        proc = subprocess.run(
+            ["git", "diff", "--name-only", base_ref, "--"],
+            capture_output=True, text=True, check=True,
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    from pathlib import Path
+
+    return {str(Path(line).resolve())
+            for line in proc.stdout.splitlines() if line.strip()}
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
-    from repro.lint import (Baseline, BaselineError, build_project,
-                            create_rules, render_json, render_text,
-                            rule_descriptions, run_lint)
+    from repro.lint import (Baseline, BaselineError, LintReport,
+                            build_project, create_rules, render_json,
+                            render_sarif, render_text, rule_descriptions,
+                            run_lint)
 
     if args.list_rules:
         for name, description in sorted(rule_descriptions().items()):
@@ -539,8 +563,27 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             return 2
     report = run_lint(project, rules=rules, baseline=baseline,
                       extra_findings=parse_errors)
-    rendered = (render_json(report) if args.format == "json"
-                else render_text(report))
+    if args.changed:
+        # Diff-aware reporting: the analysis above still saw the whole
+        # program (call graphs do not respect diff hunks); only the
+        # *reporting* narrows to files touched since BASE_REF.
+        changed = _changed_files(args.changed)
+        if changed is None:
+            _log.error(f"error: git diff against {args.changed!r} failed")
+            return 2
+        report = LintReport(
+            findings=[finding for finding in report.findings
+                      if str(Path(finding.path).resolve()) in changed],
+            suppressed=report.suppressed,
+            n_files=report.n_files,
+            rule_names=report.rule_names,
+        )
+    if args.format == "json":
+        rendered = render_json(report)
+    elif args.format == "sarif":
+        rendered = render_sarif(report)
+    else:
+        rendered = render_text(report)
     print(rendered)
     return 0 if report.is_clean else 1
 

@@ -17,6 +17,13 @@ from repro.lint.engine import (
     run_lint,
 )
 from repro.lint.findings import Finding, Severity
+from repro.lint.graph import (
+    CallGraph,
+    ForwardDataflow,
+    FunctionInfo,
+    ImportGraph,
+    ProgramIndex,
+)
 from repro.lint.module import LintModule, LintProject, module_name_for
 from repro.lint.registry import (
     LintRule,
@@ -25,16 +32,21 @@ from repro.lint.registry import (
     register,
     rule_descriptions,
 )
-from repro.lint.reporters import render_json, render_text
+from repro.lint.reporters import render_json, render_sarif, render_text
 
 __all__ = [
     "Baseline",
     "BaselineError",
+    "CallGraph",
     "Finding",
+    "ForwardDataflow",
+    "FunctionInfo",
+    "ImportGraph",
     "LintModule",
     "LintProject",
     "LintReport",
     "LintRule",
+    "ProgramIndex",
     "Severity",
     "all_rule_names",
     "build_project",
@@ -46,6 +58,7 @@ __all__ = [
     "module_name_for",
     "register",
     "render_json",
+    "render_sarif",
     "render_text",
     "rule_descriptions",
     "run_lint",

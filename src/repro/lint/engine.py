@@ -79,13 +79,25 @@ def run_lint(project: LintProject,
              rules: Optional[Sequence[LintRule]] = None,
              baseline: Optional[Baseline] = None,
              extra_findings: Sequence[Finding] = ()) -> LintReport:
-    """Run ``rules`` over ``project`` and filter through ``baseline``."""
+    """Run ``rules`` over ``project`` and filter through ``baseline``.
+
+    The whole-program :class:`~repro.lint.graph.ProgramIndex` is built
+    once, lazily, iff any selected rule declares ``uses_graph`` -- a
+    per-file rule run never pays for graph construction.
+    """
     active = list(rules) if rules is not None else create_rules()
+    index = None
+    if any(rule.uses_graph for rule in active):
+        from repro.lint.graph import ProgramIndex
+
+        index = ProgramIndex(project)
     findings: List[Finding] = list(extra_findings)
     for rule in active:
         for module in project:
             findings.extend(rule.check_module(module, project))
         findings.extend(rule.check_project(project))
+        if rule.uses_graph and index is not None:
+            findings.extend(rule.check_graph(project, index))
     findings.sort(key=lambda finding: finding.sort_key)
 
     suppressed = 0

@@ -1,0 +1,39 @@
+"""Whole-program analysis substrate for graph-backed lint rules.
+
+The per-file rules of :mod:`repro.lint.rules` see one AST at a time;
+the rules in this package's clients (fork-safety, signal-safety,
+units-flow, layering) need to see *across* files: which module imports
+which, which function can call which, and how tagged values flow
+through assignments and project-internal call sites. Three layers:
+
+* :mod:`repro.lint.graph.imports` -- the project import graph (module
+  -> imported project modules) plus per-module symbol tables mapping
+  local names to canonical dotted targets.
+* :mod:`repro.lint.graph.callgraph` -- a resolved call graph over every
+  function, method, and module body in the project, with conservative
+  fallbacks: unresolvable dynamic calls are recorded (never silently
+  dropped), and function references that escape as arguments are kept
+  as ``ref`` edges so reachability can follow callbacks.
+* :mod:`repro.lint.graph.dataflow` -- a small forward dataflow engine
+  over one function body (assignments, branches, loops, returns) that
+  rules parameterize with their own abstract domain.
+
+:class:`~repro.lint.graph.index.ProgramIndex` bundles all of it and is
+built once per lint run, only when a selected rule declares
+``uses_graph = True``.
+"""
+
+from repro.lint.graph.callgraph import CallGraph, FunctionInfo
+from repro.lint.graph.dataflow import ForwardDataflow, join_envs
+from repro.lint.graph.imports import ImportGraph, ModuleSymbols
+from repro.lint.graph.index import ProgramIndex
+
+__all__ = [
+    "CallGraph",
+    "ForwardDataflow",
+    "FunctionInfo",
+    "ImportGraph",
+    "ModuleSymbols",
+    "ProgramIndex",
+    "join_envs",
+]

@@ -1,0 +1,194 @@
+"""A small forward dataflow engine over one function body.
+
+Rules parameterize the walk with an abstract domain: the environment is
+a ``Dict[str, T]`` mapping local variable names to facts (the
+units-flow rule maps names to dimension tags like ``ns`` / ``bytes``).
+The engine owns control flow:
+
+* statements execute in order; assignments call
+  :meth:`ForwardDataflow.transfer_assign`;
+* ``if``/``try`` branches each start from a copy of the entry
+  environment and *join* afterwards (a name survives the join only if
+  every branch agrees on its fact);
+* loop bodies run twice so loop-carried facts propagate once around
+  (``x = wait_ns`` inside the loop reaches uses on the next iteration),
+  then join with the never-entered environment;
+* ``del x`` and binding constructs (``for`` targets, ``with ... as``)
+  kill or transfer facts through the hooks.
+
+This is a deliberately bounded analysis -- two loop passes instead of a
+fixed point with widening keeps it linear and predictable, and suffix
+facts have no infinite ascending chains to chase. Subclasses override
+the ``transfer_*``/``visit_expr`` hooks; the engine never interprets
+expressions itself.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Generic, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+def join_envs(left: Dict[str, T], right: Dict[str, T]) -> Dict[str, T]:
+    """Facts both environments agree on (branch-join semantics)."""
+    return {name: fact for name, fact in left.items()
+            if right.get(name) == fact}
+
+
+class ForwardDataflow(Generic[T]):
+    """Forward walk of one function body with branch joins.
+
+    Subclasses override the hooks; ``run`` seeds the environment (for
+    example from parameter suffixes) and returns the exit environment.
+    The current environment is ``self.env`` -- hooks read and mutate it
+    in place.
+    """
+
+    def __init__(self) -> None:
+        self.env: Dict[str, T] = {}
+
+    # -- hooks (override in subclasses) --------------------------------------
+
+    def transfer_assign(self, target: ast.expr, value: ast.expr,
+                        node: ast.stmt) -> None:
+        """One assignment target receiving ``value``."""
+
+    def transfer_augassign(self, node: ast.AugAssign) -> None:
+        """``x += value`` and friends."""
+
+    def transfer_return(self, node: ast.Return) -> None:
+        """A return statement (``node.value`` may be None)."""
+
+    def transfer_delete(self, name: str) -> None:
+        """``del name`` -- default kills the fact."""
+        self.env.pop(name, None)
+
+    def transfer_bind(self, target: ast.expr, node: ast.stmt) -> None:
+        """A binding with no tracked value (``for`` target, ``with`` as).
+
+        Defaults to killing facts for the bound names -- their new
+        values are unknown.
+        """
+        for name in _target_names(target):
+            self.env.pop(name, None)
+
+    def visit_expr(self, node: ast.expr) -> None:
+        """Every evaluated expression, in statement order."""
+
+    # -- driver --------------------------------------------------------------
+
+    def run(self, body: List[ast.stmt],
+            seed: Optional[Dict[str, T]] = None) -> Dict[str, T]:
+        self.env = dict(seed or {})
+        self._block(body)
+        return self.env
+
+    def _block(self, body: List[ast.stmt]) -> None:
+        for stmt in body:
+            self._statement(stmt)
+
+    def _statement(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            self.visit_expr(stmt.value)
+            for target in stmt.targets:
+                self._assign(target, stmt.value, stmt)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self.visit_expr(stmt.value)
+                self._assign(stmt.target, stmt.value, stmt)
+            else:
+                self.transfer_bind(stmt.target, stmt)
+        elif isinstance(stmt, ast.AugAssign):
+            self.visit_expr(stmt.value)
+            self.transfer_augassign(stmt)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.visit_expr(stmt.value)
+            self.transfer_return(stmt)
+        elif isinstance(stmt, ast.Expr):
+            self.visit_expr(stmt.value)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                for name in _target_names(target):
+                    self.transfer_delete(name)
+        elif isinstance(stmt, ast.If):
+            self.visit_expr(stmt.test)
+            entry = dict(self.env)
+            self._block(stmt.body)
+            after_body = self.env
+            self.env = dict(entry)
+            self._block(stmt.orelse)
+            self.env = join_envs(after_body, self.env)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self.visit_expr(stmt.iter)
+            entry = dict(self.env)
+            self.transfer_bind(stmt.target, stmt)
+            self._block(stmt.body)
+            self.transfer_bind(stmt.target, stmt)
+            self._block(stmt.body)  # second pass: loop-carried facts
+            self._block(stmt.orelse)
+            self.env = join_envs(entry, self.env)
+        elif isinstance(stmt, ast.While):
+            self.visit_expr(stmt.test)
+            entry = dict(self.env)
+            self._block(stmt.body)
+            self._block(stmt.body)
+            self._block(stmt.orelse)
+            self.env = join_envs(entry, self.env)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self.visit_expr(item.context_expr)
+                if item.optional_vars is not None:
+                    self._assign(item.optional_vars, item.context_expr,
+                                 stmt, binding_only=True)
+            self._block(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            entry = dict(self.env)
+            self._block(stmt.body)
+            merged = self.env
+            for handler in stmt.handlers:
+                # A handler may run after any prefix of the body: start
+                # from the entry state, the only safe approximation.
+                self.env = dict(entry)
+                self._block(handler.body)
+                merged = join_envs(merged, self.env)
+            self.env = merged
+            self._block(stmt.orelse)
+            self._block(stmt.finalbody)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+            pass  # nested scopes are separate analyses
+        elif isinstance(stmt, (ast.Raise, ast.Assert)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self.visit_expr(child)
+        else:
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self.visit_expr(child)
+
+    def _assign(self, target: ast.expr, value: ast.expr, stmt: ast.stmt,
+                binding_only: bool = False) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            # Element-wise facts are not tracked; kill the bound names.
+            self.transfer_bind(target, stmt)
+            return
+        if binding_only:
+            self.transfer_bind(target, stmt)
+            return
+        self.transfer_assign(target, value, stmt)
+
+
+def _target_names(target: ast.expr) -> List[str]:
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: List[str] = []
+        for element in target.elts:
+            names.extend(_target_names(element))
+        return names
+    if isinstance(target, ast.Starred):
+        return _target_names(target.value)
+    return []

@@ -1,0 +1,62 @@
+"""The whole-program index handed to graph-backed lint rules.
+
+One :class:`ProgramIndex` is built per lint run -- lazily, only when a
+selected rule sets ``uses_graph = True`` -- and shared by every such
+rule, so the import graph and call graph are computed once however many
+rules query them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.lint.graph.callgraph import CallGraph, FunctionInfo
+from repro.lint.graph.imports import ImportGraph
+from repro.lint.module import LintProject
+
+
+class ProgramIndex:
+    """Import graph + call graph + shared lookups over one project."""
+
+    def __init__(self, project: LintProject):
+        self.project = project
+        self.imports = ImportGraph(project)
+        self.calls = CallGraph(project, self.imports)
+
+    @property
+    def functions(self) -> Dict[str, FunctionInfo]:
+        return self.calls.functions
+
+    # -- common queries ------------------------------------------------------
+
+    def reachable(self, roots: Iterable[str],
+                  follow_refs: bool = False) -> Set[str]:
+        """Function quals reachable from ``roots`` along call edges."""
+        return self.calls.reachable(set(roots), follow_refs=follow_refs)
+
+    def resolve_in(self, function_qual: str,
+                   expr: ast.AST) -> Optional[str]:
+        """Resolve an expression in a function's naming context."""
+        return self.calls.resolve_in(function_qual, expr)
+
+    def external_call_sites(
+            self, canonical: str,
+    ) -> List[Tuple[FunctionInfo, ast.Call]]:
+        """Every call site of one external callable, project-wide.
+
+        ``canonical`` is the dotted post-alias name (``signal.signal``,
+        ``multiprocessing.Queue``); call sites come back in a stable
+        (module, lineno) order.
+        """
+        sites: List[Tuple[FunctionInfo, ast.Call]] = []
+        for info in self.calls.functions.values():
+            for name, node in info.external_calls:
+                if name == canonical:
+                    sites.append((info, node))
+        sites.sort(key=lambda pair: (pair[0].module, pair[1].lineno))
+        return sites
+
+    def function_for(self, target: str) -> Optional[FunctionInfo]:
+        """The FunctionInfo a canonical dotted target names, if any."""
+        return self.calls.function_for(target)

@@ -8,10 +8,13 @@ per-run state without leaking between invocations.
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterable, List, Optional, Type
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Type
 
 from repro.lint.findings import Finding, Severity
 from repro.lint.module import LintModule, LintProject
+
+if TYPE_CHECKING:  # pragma: no cover -- typing only, avoids an import cycle
+    from repro.lint.graph import ProgramIndex
 
 
 class LintRule:
@@ -21,17 +24,30 @@ class LintRule:
     ``--rules`` selection), ``severity``, and ``description``, and
     override :meth:`check_module` (called once per module) and/or
     :meth:`check_project` (called once per run with the whole project).
+
+    Whole-program rules additionally set ``uses_graph = True`` and
+    override :meth:`check_graph`, which receives the shared
+    :class:`~repro.lint.graph.ProgramIndex` (import graph, resolved
+    call graph, dataflow helpers). The engine builds the index at most
+    once per run, and only when a selected rule asks for it, so
+    per-file lint invocations stay cheap.
     """
 
     name: str = ""
     severity: Severity = Severity.ERROR
     description: str = ""
+    #: Whether this rule needs the whole-program :class:`ProgramIndex`.
+    uses_graph: bool = False
 
     def check_module(self, module: LintModule,
                      project: LintProject) -> Iterable[Finding]:
         return ()
 
     def check_project(self, project: LintProject) -> Iterable[Finding]:
+        return ()
+
+    def check_graph(self, project: LintProject,
+                    index: "ProgramIndex") -> Iterable[Finding]:
         return ()
 
     def finding(self, module: LintModule, node: ast.AST, message: str,

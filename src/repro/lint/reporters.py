@@ -1,11 +1,18 @@
-"""Text and JSON renderings of a lint report."""
+"""Text, JSON, and SARIF renderings of a lint report."""
 
 from __future__ import annotations
 
 import json
+from pathlib import Path
 
 from repro.lint.findings import Severity
 from repro.lint.engine import LintReport
+
+#: SARIF severity levels for our two finding severities.
+_SARIF_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+}
 
 
 def render_text(report: LintReport) -> str:
@@ -46,5 +53,65 @@ def render_json(report: LintReport) -> str:
             }
             for finding in report.findings
         ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_sarif(report: LintReport) -> str:
+    """SARIF 2.1.0 log for code-scanning upload.
+
+    Paths are emitted repo-relative when possible (SARIF consumers
+    anchor annotations at the repository root); rule metadata comes
+    from the registry so every selected rule appears in the driver
+    even when it produced no findings.
+    """
+    from repro.lint.registry import rule_descriptions
+
+    descriptions = rule_descriptions()
+    rules = [
+        {
+            "id": name,
+            "shortDescription": {"text": descriptions.get(name, name)},
+        }
+        for name in report.rule_names
+    ]
+    root = Path.cwd()
+    results = []
+    for finding in report.findings:
+        path = Path(finding.path)
+        try:
+            uri = path.resolve().relative_to(root).as_posix()
+        except ValueError:
+            uri = path.as_posix()
+        results.append({
+            "ruleId": finding.rule,
+            "level": _SARIF_LEVELS.get(finding.severity, "warning"),
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": uri,
+                        "uriBaseId": "%SRCROOT%",
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col,
+                    },
+                },
+            }],
+        })
+    payload = {
+        "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json"),
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "starnuma-lint",
+                    "rules": rules,
+                },
+            },
+            "results": results,
+        }],
     }
     return json.dumps(payload, indent=2, sort_keys=True)

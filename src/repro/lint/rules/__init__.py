@@ -3,11 +3,16 @@
 from repro.lint.rules import (  # noqa: F401
     config_drift,
     determinism,
+    fork_safety,
     frozen,
+    layering,
     obs_purity,
     purity,
+    signal_safety,
     units,
+    units_flow,
 )
 
-__all__ = ["config_drift", "determinism", "frozen", "obs_purity",
-           "purity", "units"]
+__all__ = ["config_drift", "determinism", "fork_safety", "frozen",
+           "layering", "obs_purity", "purity", "signal_safety", "units",
+           "units_flow"]

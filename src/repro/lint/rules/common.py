@@ -6,8 +6,9 @@ import ast
 from typing import Dict, Optional, Tuple
 
 #: Identifier suffix -> unit label, longest suffix first so ``_gbps``
-#: wins over ``_gb``. These are the quantity kinds the timing model mixes
-#: at its peril: nanoseconds, core cycles, GB/s rates, byte counts.
+#: wins over ``_gb`` and ``_ns`` beats ``_s``. These are the quantity
+#: kinds the timing model mixes at its peril: nanoseconds, seconds, core
+#: cycles, GB/s rates, byte counts.
 UNIT_SUFFIXES: Tuple[Tuple[str, str], ...] = (
     ("_cycles", "cycles"),
     ("_bytes", "bytes"),
@@ -15,6 +16,7 @@ UNIT_SUFFIXES: Tuple[Tuple[str, str], ...] = (
     ("_ghz", "ghz"),
     ("_ns", "ns"),
     ("_gb", "gb"),
+    ("_s", "s"),
 )
 
 

@@ -1,0 +1,174 @@
+"""Signal-safety: handlers must not allocate, lock, or block.
+
+A Python signal handler runs between two arbitrary bytecodes of the
+interrupted frame. If it acquires a lock the main thread already
+holds (the ``logging`` module lock is the classic), the process
+deadlocks; if it writes a checkpoint it can interleave with the very
+write it interrupted. The supervised runner's sanctioned pattern is
+the *deferred flag*: the handler records the signal and returns, and
+the main loop drains the flag at a safe point.
+
+This rule finds every ``signal.signal(sig, handler)`` registration in
+the project, resolves ``handler`` through the call graph (plain
+functions, ``self._on_signal`` bound methods), and walks everything
+reachable from it -- following escaped references too. Any reachable
+call matching the deny list below is flagged at its call site.
+
+Unsoundness, by design: handlers that cannot be resolved (restoring a
+saved ``previous`` handler, ``signal.SIG_IGN``/``SIG_DFL``, values
+computed at runtime) are skipped, and the deny list is a finite label
+set -- a blocking call behind an unmatched method name passes. The
+rule errs toward silence rather than noise; docs/static-analysis.md
+records the escape hatches.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Set, Tuple
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.graph import ProgramIndex
+from repro.lint.graph.callgraph import FunctionInfo
+from repro.lint.module import LintModule, LintProject
+from repro.lint.registry import LintRule, register
+
+#: Canonical external callables that are not async-signal-safe.
+UNSAFE_CALLS: Tuple[Tuple[str, str], ...] = (
+    ("logging.", "allocates and takes the logging module lock"),
+    ("print", "buffered I/O on a shared stream"),
+    ("open", "blocking file I/O"),
+    ("input", "blocking terminal read"),
+    ("time.sleep", "blocks inside the handler"),
+    ("json.dump", "checkpoint write can interleave with the "
+                  "interrupted write"),
+    ("pickle.dump", "checkpoint write can interleave with the "
+                    "interrupted write"),
+    ("subprocess.", "spawns a process from a handler"),
+    ("os.system", "spawns a process from a handler"),
+)
+
+#: Dynamic-call method labels that indicate locking/blocking/IO.
+UNSAFE_LABELS = {
+    "acquire": "acquires a lock",
+    "put": "queue put can block on the feeder lock",
+    "put_nowait": "queue put touches a shared lock",
+    "write": "I/O on a shared handle",
+    "write_text": "file write from a handler",
+    "write_bytes": "file write from a handler",
+    "flush": "I/O on a shared handle",
+    "sleep": "blocks inside the handler",
+    "wait": "blocks inside the handler",
+    "info": "allocates and takes the logging module lock",
+    "warning": "allocates and takes the logging module lock",
+    "error": "allocates and takes the logging module lock",
+    "debug": "allocates and takes the logging module lock",
+    "exception": "allocates and takes the logging module lock",
+    "critical": "allocates and takes the logging module lock",
+    "log": "allocates and takes the logging module lock",
+}
+
+#: Handler values that are explicitly safe to register.
+_SAFE_HANDLERS = frozenset({
+    "signal.SIG_IGN",
+    "signal.SIG_DFL",
+    "signal.default_int_handler",
+})
+
+
+@register
+class SignalSafetyRule(LintRule):
+    name = "signal-safety"
+    severity = Severity.ERROR
+    description = (
+        "walks the call graph from every registered signal handler and "
+        "flags reachable locking, allocating, or blocking calls"
+    )
+    uses_graph = True
+
+    def check_graph(self, project: LintProject,
+                    index: ProgramIndex) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        roots = self._handler_roots(index)
+        if not roots:
+            return findings
+        seen: Set[Tuple[str, int, int, str]] = set()
+        for root in sorted(roots):
+            for qual in sorted(index.reachable([root], follow_refs=True)):
+                info = index.functions.get(qual)
+                if info is None:
+                    continue
+                self._check_function(index, root, info, findings, seen)
+        return findings
+
+    def _handler_roots(self, index: ProgramIndex) -> Set[str]:
+        """Project functions registered as signal handlers."""
+        roots: Set[str] = set()
+        for info, node in index.external_call_sites("signal.signal"):
+            handler = _handler_expr(node)
+            if handler is None:
+                continue
+            target = index.resolve_in(info.qual, handler)
+            if target is None or target in _SAFE_HANDLERS:
+                # Saved previous handlers, lambdas, SIG_IGN/SIG_DFL:
+                # nothing we can (or should) walk.
+                continue
+            resolved = index.function_for(target)
+            if resolved is not None:
+                roots.add(resolved.qual)
+        return roots
+
+    def _check_function(self, index: ProgramIndex, root: str,
+                        info: FunctionInfo, findings: List[Finding],
+                        seen: Set[Tuple[str, int, int, str]]) -> None:
+        module = index.project.module(info.module)
+        if module is None:
+            return
+        for canonical, node in info.external_calls:
+            reason = _unsafe_call_reason(canonical)
+            if reason is not None:
+                self._flag(module, node, root, info, canonical, reason,
+                           findings, seen)
+        for label, node in info.dynamic_calls:
+            reason = UNSAFE_LABELS.get(label)
+            if reason is not None:
+                self._flag(module, node, root, info, f".{label}()", reason,
+                           findings, seen)
+
+    def _flag(self, module: LintModule, node: ast.AST, root: str,
+              info: FunctionInfo, what: str, reason: str,
+              findings: List[Finding],
+              seen: Set[Tuple[str, int, int, str]]) -> None:
+        key = (info.module, getattr(node, "lineno", 1),
+               getattr(node, "col_offset", 0), what)
+        if key in seen:
+            return
+        seen.add(key)
+        handler = root.rsplit(".", 1)[-1]
+        where = "" if info.qual == root \
+            else f" via '{info.name}'"
+        findings.append(self.finding(
+            module, node,
+            f"signal handler '{handler}' reaches {what}{where}: {reason}; "
+            f"set a flag in the handler and act on it from the main loop",
+        ))
+
+
+def _handler_expr(node: ast.Call) -> Optional[ast.expr]:
+    """The handler argument of a ``signal.signal`` call."""
+    if len(node.args) >= 2:
+        return node.args[1]
+    for keyword in node.keywords:
+        if keyword.arg == "handler":
+            return keyword.value
+    return None
+
+
+def _unsafe_call_reason(canonical: str) -> Optional[str]:
+    for pattern, reason in UNSAFE_CALLS:
+        if pattern.endswith("."):
+            if canonical.startswith(pattern):
+                return reason
+        elif canonical == pattern or canonical.startswith(pattern + "."):
+            return reason
+    return None

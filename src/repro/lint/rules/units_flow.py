@@ -1,0 +1,317 @@
+"""Interprocedural units: dimension tags flow, suffixes stay honest.
+
+The plain ``units`` rule reads suffixes off identifiers at a single
+expression. This rule *propagates* dimension tags (``ns``, ``s``,
+``cycles``, ``bytes``, ``gbps``...) through the program:
+
+* **assignments** -- ``elapsed = end_ns - start_ns`` tags ``elapsed``
+  as nanoseconds even though its name says nothing; a later
+  ``timeout_s = elapsed`` or ``elapsed + budget_s`` is flagged;
+* **returns** -- a function whose returns all carry one tag exports
+  that tag, so ``delay = retry_delay_ns(...)`` tags ``delay`` at every
+  project-internal call site;
+* **call sites** -- positional arguments are matched against the
+  callee's parameter names (``def sleep_for(wait_s)`` called with a
+  nanosecond value is flagged), which the suffix rule cannot see.
+
+To avoid double-reporting, mismatches are only flagged when at least
+one side's tag was *flow-derived* (through an untagged name or an
+inferred return); suffix-vs-suffix mismatches already belong to the
+``units`` rule. Control flow comes from the shared
+:class:`~repro.lint.graph.ForwardDataflow` engine: branch joins keep a
+tag only when both arms agree, loop bodies run twice so loop-carried
+tags propagate, and ``repro.config.units`` -- the sanctioned
+conversion module -- is exempt wholesale, as are calls into it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.graph import ForwardDataflow, ProgramIndex
+from repro.lint.graph.callgraph import FunctionInfo
+from repro.lint.module import LintModule, LintProject
+from repro.lint.registry import LintRule, register
+from repro.lint.rules.common import suffix_unit
+from repro.lint.rules.units import CONVERSION_MODULES
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+@register
+class UnitsFlowRule(LintRule):
+    name = "units-flow"
+    severity = Severity.ERROR
+    description = (
+        "propagates _ns/_s/_cycles/... dimension tags through "
+        "assignments, returns, and project call sites"
+    )
+    uses_graph = True
+
+    def check_graph(self, project: LintProject,
+                    index: ProgramIndex) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        returns = _infer_return_units(index)
+        for qual in sorted(index.functions):
+            info = index.functions[qual]
+            module = project.module(info.module)
+            if module is None or module.in_package(CONVERSION_MODULES):
+                continue
+            if not isinstance(info.node, _FUNCTION_NODES):
+                continue  # module bodies rarely chain enough to flow
+            flow = _UnitFlow(self, module, index, info, returns, findings)
+            flow.run([s for s in info.node.body
+                      if not isinstance(s, _FUNCTION_NODES)])
+        return findings
+
+
+def _infer_return_units(index: ProgramIndex) -> Dict[str, str]:
+    """Function qual -> dimension tag its returns all agree on.
+
+    Only functions whose *name* carries no suffix contribute -- a
+    suffixed name is already visible to plain ``unit_of``. Inference is
+    syntactic (one pass over return expressions); wrappers of wrappers
+    are out of scope by design.
+    """
+    table: Dict[str, str] = {}
+    for qual, info in index.functions.items():
+        if not isinstance(info.node, _FUNCTION_NODES):
+            continue
+        if suffix_unit(info.name) is not None:
+            continue
+        units: Set[Optional[str]] = set()
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Return) and node.value is not None:
+                units.add(_static_unit(node.value))
+        if len(units) == 1:
+            unit = units.pop()
+            if unit is not None:
+                table[qual] = unit
+    return table
+
+
+def _static_unit(node: ast.AST) -> Optional[str]:
+    """Suffix-only unit of an expression (no environment)."""
+    if isinstance(node, ast.Name):
+        return suffix_unit(node.id)
+    if isinstance(node, ast.Attribute):
+        return suffix_unit(node.attr)
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name):
+            return suffix_unit(func.id)
+        if isinstance(func, ast.Attribute):
+            return suffix_unit(func.attr)
+        return None
+    if isinstance(node, ast.UnaryOp):
+        return _static_unit(node.operand)
+    if isinstance(node, ast.BinOp) and isinstance(node.op,
+                                                  (ast.Add, ast.Sub)):
+        left = _static_unit(node.left)
+        right = _static_unit(node.right)
+        if left is not None and right is not None:
+            return left if left == right else None
+        return left or right
+    return None
+
+
+class _UnitFlow(ForwardDataflow[str]):
+    """Forward dataflow instance for one function body."""
+
+    def __init__(self, rule: UnitsFlowRule, module: LintModule,
+                 index: ProgramIndex, info: FunctionInfo,
+                 returns: Dict[str, str], findings: List[Finding]):
+        super().__init__()
+        self.rule = rule
+        self.module = module
+        self.index = index
+        self.info = info
+        self.returns = returns
+        self.findings = findings
+        self._reported: Set[Tuple[int, int, str]] = set()
+
+    # -- evaluation ----------------------------------------------------------
+
+    def _eval(self, node: ast.AST) -> Tuple[Optional[str], bool]:
+        """``(unit, flow_derived)`` of an expression.
+
+        ``flow_derived`` is True when the tag travelled through an
+        untagged name or an inferred return -- the knowledge the plain
+        suffix rule does not have.
+        """
+        if isinstance(node, ast.Name):
+            suffix = suffix_unit(node.id)
+            if suffix is not None:
+                return suffix, False
+            if node.id in self.env:
+                return self.env[node.id], True
+            return None, False
+        if isinstance(node, ast.Attribute):
+            return suffix_unit(node.attr), False
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, ast.UnaryOp):
+            return self._eval(node.operand)
+        if isinstance(node, ast.IfExp):
+            body = self._eval(node.body)
+            orelse = self._eval(node.orelse)
+            if body[0] == orelse[0]:
+                return body[0], body[1] or orelse[1]
+            return None, False
+        if isinstance(node, ast.BinOp):
+            if isinstance(node.op, (ast.Add, ast.Sub)):
+                left_u, left_f = self._eval(node.left)
+                right_u, right_f = self._eval(node.right)
+                if left_u is not None and right_u is not None:
+                    if left_u != right_u:
+                        return None, False  # mismatch; flagged elsewhere
+                    return left_u, left_f or right_f
+                if left_u is not None:
+                    return left_u, left_f
+                return right_u, right_f
+            return None, False  # * and / convert dimensions
+        return None, False
+
+    def _eval_call(self, node: ast.Call) -> Tuple[Optional[str], bool]:
+        target = self.index.resolve_in(self.info.qual, node.func)
+        if target is not None:
+            if target.startswith(tuple(m + "." for m in CONVERSION_MODULES)):
+                return None, False  # sanctioned conversions erase tags
+            resolved = self.index.function_for(target)
+            if resolved is not None and resolved.qual in self.returns:
+                return self.returns[resolved.qual], True
+        func = node.func
+        if isinstance(func, ast.Name):
+            return suffix_unit(func.id), False
+        if isinstance(func, ast.Attribute):
+            return suffix_unit(func.attr), False
+        return None, False
+
+    # -- reporting -----------------------------------------------------------
+
+    def _flag(self, node: ast.AST, message: str) -> None:
+        key = (getattr(node, "lineno", 1),
+               getattr(node, "col_offset", 0), message)
+        if key in self._reported:
+            return  # loop bodies run twice; report once
+        self._reported.add(key)
+        self.findings.append(self.rule.finding(self.module, node, message))
+
+    def _check_pair(self, node: ast.AST, left: ast.AST, right: ast.AST,
+                    context: str) -> None:
+        left_u, left_f = self._eval(left)
+        right_u, right_f = self._eval(right)
+        if left_u and right_u and left_u != right_u \
+                and (left_f or right_f):
+            self._flag(node, f"{context} mixes {left_u} and {right_u} "
+                             f"(tag inferred through dataflow); convert "
+                             f"explicitly via repro.config.units")
+
+    # -- dataflow hooks ------------------------------------------------------
+
+    def visit_expr(self, node: ast.expr) -> None:
+        for child in ast.walk(node):
+            if isinstance(child, ast.BinOp) \
+                    and isinstance(child.op, (ast.Add, ast.Sub)):
+                op = "+" if isinstance(child.op, ast.Add) else "-"
+                self._check_pair(child, child.left, child.right, f"'{op}'")
+            elif isinstance(child, ast.Compare):
+                operands = [child.left] + list(child.comparators)
+                for op, left, right in zip(child.ops, operands,
+                                           operands[1:]):
+                    if isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE,
+                                       ast.Eq, ast.NotEq)):
+                        self._check_pair(child, left, right, "comparison")
+            elif isinstance(child, ast.Call):
+                self._check_call_args(child)
+
+    def _check_call_args(self, node: ast.Call) -> None:
+        target = self.index.resolve_in(self.info.qual, node.func)
+        if target is None:
+            return
+        if target.startswith(tuple(m + "." for m in CONVERSION_MODULES)):
+            return
+        callee = self.index.function_for(target)
+        if callee is not None:
+            params = list(callee.params)
+            if callee.cls is not None and params \
+                    and params[0] in ("self", "cls"):
+                params = params[1:]
+            for param, arg in zip(params, node.args):
+                expected = suffix_unit(param)
+                actual, _ = self._eval(arg)
+                if expected and actual and expected != actual:
+                    self._flag(arg, f"argument for '{param}' ({expected}) "
+                                    f"of {callee.name}() carries {actual}; "
+                                    f"convert explicitly via "
+                                    f"repro.config.units")
+        for keyword in node.keywords:
+            if keyword.arg is None:
+                continue
+            expected = suffix_unit(keyword.arg)
+            actual, flow = self._eval(keyword.value)
+            if expected and actual and expected != actual and flow:
+                self._flag(keyword.value,
+                           f"keyword '{keyword.arg}' ({expected}) receives "
+                           f"a flow-inferred {actual} value; convert "
+                           f"explicitly via repro.config.units")
+
+    def transfer_assign(self, target: ast.expr, value: ast.expr,
+                        node: ast.stmt) -> None:
+        unit, flow = self._eval(value)
+        if isinstance(target, ast.Name):
+            expected = suffix_unit(target.id)
+            if expected is not None:
+                if unit and unit != expected and flow:
+                    self._flag(node, f"assignment binds a flow-inferred "
+                                     f"{unit} value to '{target.id}' "
+                                     f"({expected}); convert explicitly "
+                                     f"via repro.config.units")
+                self.env.pop(target.id, None)
+            elif unit is not None:
+                self.env[target.id] = unit
+            else:
+                self.env.pop(target.id, None)
+        elif isinstance(target, ast.Attribute):
+            expected = suffix_unit(target.attr)
+            if expected and unit and unit != expected and flow:
+                self._flag(node, f"assignment binds a flow-inferred {unit} "
+                                 f"value to '{target.attr}' ({expected}); "
+                                 f"convert explicitly via "
+                                 f"repro.config.units")
+        else:
+            for name in _names_in_target(target):
+                self.env.pop(name, None)
+
+    def transfer_augassign(self, node: ast.AugAssign) -> None:
+        if not isinstance(node.op, (ast.Add, ast.Sub)):
+            if isinstance(node.target, ast.Name):
+                self.env.pop(node.target.id, None)
+            return
+        self._check_pair(node, node.target, node.value,
+                         "augmented assignment")
+
+    def transfer_return(self, node: ast.Return) -> None:
+        if node.value is None:
+            return
+        expected = suffix_unit(self.info.name)
+        actual, flow = self._eval(node.value)
+        if expected and actual and expected != actual and flow:
+            self._flag(node, f"function '{self.info.name}' ({expected}) "
+                             f"returns a flow-inferred {actual} value; "
+                             f"convert explicitly via repro.config.units")
+
+
+def _names_in_target(target: ast.expr) -> List[str]:
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: List[str] = []
+        for element in target.elts:
+            names.extend(_names_in_target(element))
+        return names
+    if isinstance(target, ast.Starred):
+        return _names_in_target(target.value)
+    return []

@@ -49,7 +49,8 @@ class _Span:
 
     __slots__ = ("_obs", "name", "attrs", "_t0")
 
-    def __init__(self, obs: "Obs", name: str, attrs: Dict[str, object]):
+    def __init__(self, obs: "Obs", name: str,
+                 attrs: Dict[str, object]) -> None:
         self._obs = obs
         self.name = name
         self.attrs = attrs
@@ -183,7 +184,7 @@ class Obs:
 
     # -- write side (model code) -------------------------------------------
 
-    def span(self, name: str, **attrs: object):
+    def span(self, name: str, **attrs: object) -> "_Span | _NullSpan":
         """A timed region; ``with OBS.span("sim.phase", phase=3): ...``"""
         if not self.enabled:
             return _NULL_SPAN

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import logging
 import sys
+from typing import TextIO
 
 LOGGER_NAME = "starnuma"
 
@@ -22,11 +23,11 @@ class _DynamicStderrHandler(logging.StreamHandler):
         super().__init__(sys.stderr)
 
     @property
-    def stream(self):  # type: ignore[override]
+    def stream(self) -> "TextIO":  # type: ignore[override]
         return sys.stderr
 
     @stream.setter
-    def stream(self, value) -> None:
+    def stream(self, value: object) -> None:
         pass
 
 

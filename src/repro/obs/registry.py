@@ -22,7 +22,7 @@ class Counter:
 
     __slots__ = ("name", "value")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0.0
 
@@ -42,7 +42,7 @@ class Gauge:
 
     __slots__ = ("name", "value", "n_samples")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0.0
         self.n_samples = 0
@@ -66,7 +66,7 @@ class Histogram:
 
     __slots__ = ("name", "edges", "bucket_counts", "count", "total")
 
-    def __init__(self, name: str, edges: Sequence[float]):
+    def __init__(self, name: str, edges: Sequence[float]) -> None:
         ordered = tuple(float(edge) for edge in edges)
         if not ordered:
             raise ValueError(f"histogram {name}: needs at least one edge")

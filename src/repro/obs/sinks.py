@@ -33,7 +33,8 @@ class NullSink(Sink):
 class MemorySink(Sink):
     """Keeps records in a list -- the test and capture backend."""
 
-    def __init__(self, records: Optional[List[Dict[str, object]]] = None):
+    def __init__(self,
+                 records: Optional[List[Dict[str, object]]] = None) -> None:
         self.records: List[Dict[str, object]] = (
             records if records is not None else []
         )
@@ -58,7 +59,7 @@ class JsonlSink(Sink):
     must not leave half a line in a buffer both processes would flush.
     """
 
-    def __init__(self, path: Union[str, Path]):
+    def __init__(self, path: Union[str, Path]) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._handle = open(self.path, "w", encoding="utf-8")

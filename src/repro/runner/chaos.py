@@ -118,7 +118,8 @@ class ChaosInjector:
     """
 
     def __init__(self, config: ChaosConfig,
-                 run_task: Callable[[str], Optional[Dict[str, object]]]):
+                 run_task: Callable[[str], Optional[Dict[str, object]]],
+                 ) -> None:
         self.config = config
         self.run_task = run_task
         self._attempts: Counter = Counter()
@@ -172,8 +173,8 @@ class TornWriteCheckpoint(SweepCheckpoint):
     leftover temp file.
     """
 
-    def __init__(self, path, params: Dict[str, object], *,
-                 seed: int, torn_rate: float):
+    def __init__(self, path: "str | Path", params: Dict[str, object], *,
+                 seed: int, torn_rate: float) -> None:
         super().__init__(path, params)
         self._seed = seed
         self._torn_rate = torn_rate

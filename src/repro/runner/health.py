@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 #: Slot value meaning "no tick recorded" (cleared at assignment).
 NEVER_TICKED = 0.0
@@ -42,11 +42,13 @@ class HeartbeatBoard:
     of a double at worst mis-ages one poll cycle.
     """
 
-    def __init__(self, slots) -> None:
+    def __init__(self, slots: Any) -> None:
+        # Either a fork-shared ctypes double array or a plain list --
+        # both support index get/set, which is all the board needs.
         self._slots = slots
 
     @classmethod
-    def shared(cls, n_slots: int, mp_context) -> "HeartbeatBoard":
+    def shared(cls, n_slots: int, mp_context: Any) -> "HeartbeatBoard":
         return cls(mp_context.Array("d", [NEVER_TICKED] * n_slots,
                                     lock=False))
 

@@ -44,7 +44,11 @@ import signal
 import threading
 import time
 from multiprocessing import connection as mp_connection
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import (TYPE_CHECKING, Any, Callable, Dict, List, Optional,
+                    Tuple)
+
+if TYPE_CHECKING:  # pragma: no cover -- typing only, avoids a cycle
+    from repro.runner.sweep import SweepRunner
 
 from repro.obs import OBS
 from repro.runner.health import HealthReport, HeartbeatBoard, SupervisionPolicy
@@ -63,7 +67,8 @@ class SweepDrained(RuntimeError):
     ``--resume`` finishes the remaining tasks.
     """
 
-    def __init__(self, signal_name: str, completed: int, remaining: int):
+    def __init__(self, signal_name: str, completed: int,
+                 remaining: int) -> None:
         self.signal_name = signal_name
         self.completed = completed
         self.remaining = remaining
@@ -94,6 +99,19 @@ def in_worker() -> bool:
 def task_incarnation() -> int:
     """How many workers the current task has already killed (0 first)."""
     return _TASK_INCARNATION
+
+
+def _set_task_incarnation(incarnation: int) -> None:
+    """Sole writer of :data:`_TASK_INCARNATION`.
+
+    Both the forked worker loop and the parent's circuit-breaker
+    fallback run task attempts, and each must publish the incarnation
+    for :func:`task_incarnation` readers. Rebinding the global from
+    both sides of the fork is exactly the divergence the fork-safety
+    lint flags, so every write goes through this one chokepoint.
+    """
+    global _TASK_INCARNATION
+    _TASK_INCARNATION = incarnation
 
 
 def tick_heartbeat() -> None:
@@ -129,9 +147,9 @@ def _ticking_sleep(base_sleep: Callable[[float], None],
 
 
 def _worker_main(slot: int, board: HeartbeatBoard,
-                 task_queue, result_conn) -> None:
+                 task_queue: Any, result_conn: Any) -> None:
     """One worker: receive (task_id, incarnation), run, ship the result."""
-    global _WORKER_BOARD, _WORKER_SLOT, _TASK_INCARNATION
+    global _WORKER_BOARD, _WORKER_SLOT
     # The parent coordinates interrupts: it drains gracefully on SIGINT
     # while workers finish their in-flight task undisturbed.
     signal.signal(signal.SIGINT, signal.SIG_IGN)
@@ -150,7 +168,7 @@ def _worker_main(slot: int, board: HeartbeatBoard,
         if item is None:
             return
         task_id, incarnation = item
-        _TASK_INCARNATION = incarnation
+        _set_task_incarnation(incarnation)
         tick()
         events: List[str] = []
         obs_records: List[Dict[str, object]] = []
@@ -161,7 +179,7 @@ def _worker_main(slot: int, board: HeartbeatBoard,
                 runner.transient_types, sleep, events.append,
                 heartbeat=tick,
             )
-        _TASK_INCARNATION = 0
+        _set_task_incarnation(0)
         # This worker is the pipe's only writer, so a SIGKILL here can
         # at worst tear *this* pipe -- the parent discards it with the
         # dead worker; the survivors' pipes share nothing with it.
@@ -174,7 +192,7 @@ def _worker_main(slot: int, board: HeartbeatBoard,
 class _Worker:
     """Parent-side record of one worker process and its assignment."""
 
-    def __init__(self, slot: int, ctx, board: HeartbeatBoard) -> None:
+    def __init__(self, slot: int, ctx: Any, board: HeartbeatBoard) -> None:
         self.slot = slot
         self.task: Optional[str] = None
         self.task_queue = ctx.SimpleQueue()
@@ -220,7 +238,7 @@ class _Worker:
 class SupervisedPool:
     """Runs one pending task list for a :class:`SweepRunner`."""
 
-    def __init__(self, runner, ctx) -> None:
+    def __init__(self, runner: "SweepRunner", ctx: Any) -> None:
         from repro.runner.sweep import RunFailure, RunOutcome
         self._RunFailure = RunFailure
         self._RunOutcome = RunOutcome
@@ -271,10 +289,10 @@ class SupervisedPool:
             self._restore_signal_handlers(previous_handlers)
         return self.by_id
 
-    def _install_signal_handlers(self):
+    def _install_signal_handlers(self) -> Dict[int, Any]:
         if threading.current_thread() is not threading.main_thread():
             return {}
-        previous = {}
+        previous: Dict[int, Any] = {}
         for signum in (signal.SIGINT, getattr(signal, "SIGTERM", None)):
             if signum is None:
                 continue
@@ -284,14 +302,14 @@ class SupervisedPool:
                 pass
         return previous
 
-    def _restore_signal_handlers(self, previous) -> None:
+    def _restore_signal_handlers(self, previous: Dict[int, Any]) -> None:
         for signum, handler in previous.items():
             try:
                 signal.signal(signum, handler)
             except (ValueError, OSError):
                 pass
 
-    def _on_signal(self, signum, frame) -> None:
+    def _on_signal(self, signum: int, frame: Any) -> None:
         if self._drain_signal is not None:
             raise KeyboardInterrupt  # second signal: abort immediately
         self._drain_signal = signal.Signals(signum).name
@@ -494,7 +512,6 @@ class SupervisedPool:
 
     def _run_rest_sequentially(self) -> None:
         """Breaker fallback: finish the sweep in the parent process."""
-        global _TASK_INCARNATION
         from repro.runner.sweep import _attempt_task
 
         runner = self.runner
@@ -504,7 +521,7 @@ class SupervisedPool:
             if self._drain_signal is not None:
                 self._flush()
                 self._drain()
-            _TASK_INCARNATION = self._strikes.get(task_id, 0)
+            _set_task_incarnation(self._strikes.get(task_id, 0))
             try:
                 outcome = _attempt_task(
                     task_id, runner.run_task, runner.timeout_s,
@@ -513,7 +530,7 @@ class SupervisedPool:
                     runner.sleep, runner.on_event,
                 )
             finally:
-                _TASK_INCARNATION = 0
+                _set_task_incarnation(0)
             self._results[task_id] = (outcome, [], [])
             self._flush()
 
@@ -549,7 +566,8 @@ class SupervisedPool:
                            remaining=len(self._order) - self._flushed)
 
 
-def run_supervised(runner, pending: List[str], ctx) -> Dict[str, object]:
+def run_supervised(runner: "SweepRunner", pending: List[str],
+                   ctx: Any) -> Dict[str, object]:
     """Run ``pending`` under supervision; returns {task_id: RunOutcome}.
 
     Parks ``runner`` in the module global that forked workers inherit

@@ -36,7 +36,8 @@ import traceback as traceback_module
 from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type
+from typing import (Callable, Dict, Iterator, List, Optional, Sequence,
+                    Tuple, Type, Union)
 
 from repro.obs import OBS
 from repro.runner.health import HealthReport, SupervisionPolicy
@@ -111,7 +112,7 @@ class RunOutcome:
 class SweepError(RuntimeError):
     """Raised at sweep end when one or more tasks failed (strict mode)."""
 
-    def __init__(self, failures: Sequence[RunFailure]):
+    def __init__(self, failures: Sequence[RunFailure]) -> None:
         self.failures = list(failures)
         lines = ", ".join(
             f"{failure.task_id} ({failure.error_type}: {failure.message})"
@@ -130,7 +131,8 @@ class SweepCheckpoint:
     refused rather than silently mixing incompatible results.
     """
 
-    def __init__(self, path, params: Dict[str, object]):
+    def __init__(self, path: Union[str, Path],
+                 params: Dict[str, object]) -> None:
         self.path = Path(path)
         self.params = params
         self.completed: Dict[str, Dict[str, object]] = {}
@@ -254,7 +256,7 @@ class SweepCheckpoint:
 
 
 @contextmanager
-def _deadline(seconds: Optional[float]):
+def _deadline(seconds: Optional[float]) -> Iterator[None]:
     """Raise :class:`RunTimeoutError` if the block outlives ``seconds``.
 
     SIGALRM-based, so it only arms on POSIX main threads; elsewhere the
@@ -269,7 +271,7 @@ def _deadline(seconds: Optional[float]):
         yield
         return
 
-    def _on_alarm(signum, frame):
+    def _on_alarm(signum: int, frame: object) -> None:
         raise RunTimeoutError(f"run exceeded {seconds:.1f}s timeout")
 
     previous = signal.signal(signal.SIGALRM, _on_alarm)
@@ -399,7 +401,7 @@ class SweepRunner:
                  sleep: Callable[[float], None] = time.sleep,
                  on_event: Optional[Callable[[str], None]] = None,
                  jobs: int = 1,
-                 policy: Optional[SupervisionPolicy] = None):
+                 policy: Optional[SupervisionPolicy] = None) -> None:
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         if backoff_s < 0:

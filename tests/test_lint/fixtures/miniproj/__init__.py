@@ -1,0 +1,7 @@
+"""Fixture project for whole-program graph tests.
+
+Parsed, never imported: these modules deliberately contain an import
+cycle, dynamic calls, fork hazards, and a non-async-signal-safe
+handler so tests/test_lint/test_graph.py can assert golden graph
+facts and the rule tests have an on-disk flag corpus.
+"""

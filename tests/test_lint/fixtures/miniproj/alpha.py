@@ -1,0 +1,14 @@
+"""One half of a deliberate import cycle; hosts dynamic calls."""
+
+import json
+
+from miniproj import beta
+
+
+def helper(x):
+    return beta.bounce(x)
+
+
+def dynamic_dispatch(handlers, key):
+    handler = handlers[key]
+    return handler(json.dumps(key))

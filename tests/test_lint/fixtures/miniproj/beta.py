@@ -1,0 +1,27 @@
+"""Other half of the cycle; class resolution and escaping references."""
+
+from miniproj.alpha import helper
+
+
+class Engine:
+    def __init__(self, scale):
+        self.scale = scale
+
+    def run(self, value):
+        return self.step(value) + helper(value)
+
+    def step(self, value):
+        return value * self.scale
+
+
+def bounce(x):
+    return x + 1
+
+
+def make_engine():
+    return Engine(2)
+
+
+def escape():
+    callback = bounce
+    return callback

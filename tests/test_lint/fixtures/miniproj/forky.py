@@ -1,0 +1,33 @@
+"""Fork hazards: the PR-5 shared-queue deadlock, reconstructed.
+
+Every pattern here is a deliberate violation: a feeder-thread queue
+crossing the fork, a pre-fork lock reachable from worker code, and a
+module global rebound on both sides of the partition.
+"""
+
+import multiprocessing as mp
+import threading
+
+LOG_LOCK = threading.Lock()
+RESULTS = mp.Queue()
+
+_STATE = 0
+
+
+def worker_main(q):
+    global _STATE
+    _STATE = 1
+    with LOG_LOCK:
+        q.put(_STATE)
+
+
+def parent_update():
+    global _STATE
+    _STATE = 2
+
+
+def spawn():
+    proc = mp.Process(target=worker_main, args=(RESULTS,))
+    proc.start()
+    parent_update()
+    return proc

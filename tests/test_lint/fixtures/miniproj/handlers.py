@@ -1,0 +1,25 @@
+"""Signal handlers: one deferred-flag (good), one logging (bad)."""
+
+import logging
+import signal
+
+_FLAG = None
+
+
+def _good_handler(signum, frame):
+    global _FLAG
+    _FLAG = signum
+
+
+def _log_progress():
+    logging.info("interrupted")
+
+
+def _bad_handler(signum, frame):
+    _log_progress()
+
+
+def install():
+    signal.signal(signal.SIGINT, _good_handler)
+    signal.signal(signal.SIGTERM, _bad_handler)
+    signal.signal(signal.SIGHUP, signal.SIG_IGN)

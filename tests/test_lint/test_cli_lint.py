@@ -1,6 +1,7 @@
 """End-to-end tests of the ``starnuma lint`` subcommand."""
 
 import json
+import subprocess
 from pathlib import Path
 
 import pytest
@@ -37,6 +38,31 @@ RULE_VIOLATIONS = {
         "def f():\n"
         "    penalty_ns = 190.0\n"
         "    return penalty_ns\n"
+    ),
+    # -- whole-program rules: each needs the graph layer to fire ------------
+    "fork-safety": (
+        "import multiprocessing as mp\n"
+        "Q = mp.Queue()\n"
+        "def worker(q):\n"
+        "    q.put(1)\n"
+        "def spawn():\n"
+        "    mp.Process(target=worker, args=(Q,)).start()\n"
+    ),
+    "signal-safety": (
+        "import logging\n"
+        "import signal\n"
+        "def on_signal(signum, frame):\n"
+        "    logging.warning('caught')\n"
+        "def install():\n"
+        "    signal.signal(signal.SIGINT, on_signal)\n"
+    ),
+    "units-flow": (
+        "def f(end_ns, start_ns, budget_s):\n"
+        "    elapsed = end_ns - start_ns\n"
+        "    return elapsed + budget_s\n"
+    ),
+    "layering": (
+        "import repro\n"  # 'sim' may not import the '<root>' facade
     ),
 }
 
@@ -116,6 +142,29 @@ class TestOutputFormats:
         assert payload["errors"] == 1
         assert payload["findings"][0]["rule"] == "units"
 
+    def test_sarif_format(self, tmp_path, capsys):
+        write_module(tmp_path, RULE_VIOLATIONS["units"])
+        assert main(["lint", str(tmp_path), "--no-baseline",
+                     "--format", "sarif"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == "2.1.0"
+        run = payload["runs"][0]
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert "units" in rule_ids and "fork-safety" in rule_ids
+        result = run["results"][0]
+        assert result["ruleId"] == "units"
+        assert result["level"] == "error"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith("engine.py")
+        assert location["region"]["startLine"] >= 1
+
+    def test_sarif_clean_tree_has_no_results(self, tmp_path, capsys):
+        write_module(tmp_path, "x = 1\n")
+        assert main(["lint", str(tmp_path), "--no-baseline",
+                     "--format", "sarif"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["runs"][0]["results"] == []
+
     def test_rule_subset(self, tmp_path):
         write_module(tmp_path, RULE_VIOLATIONS["sim-purity"])
         assert main(["lint", str(tmp_path), "--no-baseline",
@@ -126,6 +175,51 @@ class TestOutputFormats:
         out = capsys.readouterr().out
         for rule in RULE_VIOLATIONS:
             assert rule in out
+
+
+class TestChangedMode:
+    """``--changed BASE_REF``: whole-program analysis, diff-scoped
+    reporting."""
+
+    def _git(self, tmp_path, *args):
+        subprocess.run(
+            ["git", "-c", "user.email=t@t", "-c", "user.name=t", *args],
+            cwd=tmp_path, check=True, capture_output=True,
+        )
+
+    def _repo_with_old_violation(self, tmp_path):
+        """A committed violation in a.py; engine.py starts clean."""
+        package = tmp_path / "repro" / "sim"
+        write_module(tmp_path, "x = 1\n")
+        (package / "a.py").write_text(RULE_VIOLATIONS["units"])
+        self._git(tmp_path, "init", "-q")
+        self._git(tmp_path, "add", "-A")
+        self._git(tmp_path, "commit", "-q", "-m", "seed")
+
+    def test_only_touched_files_are_reported(self, tmp_path, capsys,
+                                             monkeypatch):
+        self._repo_with_old_violation(tmp_path)
+        write_module(tmp_path, RULE_VIOLATIONS["determinism"])
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", str(tmp_path), "--no-baseline",
+                     "--changed", "HEAD", "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        rules = {f["rule"] for f in payload["findings"]}
+        assert rules == {"determinism"}  # a.py's finding filtered out
+
+    def test_no_changes_means_clean_exit(self, tmp_path, capsys,
+                                         monkeypatch):
+        self._repo_with_old_violation(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", str(tmp_path), "--no-baseline",
+                     "--changed", "HEAD"]) == 0
+
+    def test_bad_ref_is_usage_error(self, tmp_path, capsys, monkeypatch):
+        self._repo_with_old_violation(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", str(tmp_path), "--no-baseline",
+                     "--changed", "no-such-ref"]) == 2
+        assert "no-such-ref" in capsys.readouterr().err
 
 
 class TestRepoIsClean:

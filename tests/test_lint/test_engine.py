@@ -18,10 +18,12 @@ from repro.lint import (
 
 
 class TestRegistry:
-    def test_six_builtin_rules(self):
+    def test_builtin_rules(self):
         assert set(all_rule_names()) == {
             "units", "determinism", "sim-purity", "frozen-key",
             "config-drift", "obs-purity",
+            # whole-program (graph-backed) rules
+            "fork-safety", "signal-safety", "units-flow", "layering",
         }
 
     def test_unknown_rule_rejected(self):

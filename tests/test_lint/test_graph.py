@@ -1,0 +1,218 @@
+"""Golden assertions on the whole-program graph layer.
+
+Built over the on-disk fixture project (tests/test_lint/fixtures/
+miniproj), which deliberately contains an import cycle, dynamic calls,
+escaping references, and fork/handler patterns.
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+from repro.lint import build_project
+from repro.lint.graph import ForwardDataflow, ProgramIndex, join_envs
+
+FIXTURES = Path(__file__).parent / "fixtures" / "miniproj"
+
+
+@pytest.fixture(scope="module")
+def index():
+    project, errors = build_project([FIXTURES])
+    assert not errors
+    return ProgramIndex(project)
+
+
+class TestImportGraph:
+    def test_cycle_detected(self, index):
+        assert index.imports.cycles() == [
+            ["miniproj.alpha", "miniproj.beta"],
+        ]
+
+    def test_symbol_imports_resolve(self, index):
+        table = index.imports.symbols["miniproj.beta"]
+        assert table.symbols["helper"] == "miniproj.alpha.helper"
+
+    def test_module_aliases_resolve(self, index):
+        table = index.imports.symbols["miniproj.forky"]
+        assert table.modules["mp"] == "multiprocessing"
+        assert table.resolve_dotted("mp.Queue") == "multiprocessing.Queue"
+
+    def test_edges_carry_positions(self, index):
+        # ``from miniproj import beta`` executes the package __init__
+        # too, so both edges exist, each anchored at the import line.
+        edges = index.imports.edges_from("miniproj.alpha")
+        assert [(e.imported, e.lineno > 0) for e in edges] == [
+            ("miniproj", True),
+            ("miniproj.beta", True),
+        ]
+
+    def test_transitive_imports(self, index):
+        # alpha -> beta -> alpha: the closure contains both.
+        closure = index.imports.transitive_imports("miniproj.alpha")
+        assert {"miniproj.alpha", "miniproj.beta"} <= closure
+
+
+class TestCallGraph:
+    def test_self_method_and_imported_symbol(self, index):
+        run = index.functions["miniproj.beta.Engine.run"]
+        assert run.calls == {
+            "miniproj.beta.Engine.step",
+            "miniproj.alpha.helper",
+        }
+
+    def test_instantiation_reaches_init(self, index):
+        make = index.functions["miniproj.beta.make_engine"]
+        assert make.calls == {"miniproj.beta.Engine.__init__"}
+
+    def test_escaping_reference_is_a_ref_not_a_call(self, index):
+        escape = index.functions["miniproj.beta.escape"]
+        assert escape.calls == set()
+        assert escape.refs == {"miniproj.beta.bounce"}
+
+    def test_dynamic_call_conservative_fallback(self, index):
+        dispatch = index.functions["miniproj.alpha.dynamic_dispatch"]
+        assert "handler" in [label for label, _ in dispatch.dynamic_calls]
+        assert "json.dumps" in [name for name, _ in
+                                dispatch.external_calls]
+
+    def test_cross_module_attribute_call(self, index):
+        helper = index.functions["miniproj.alpha.helper"]
+        assert helper.calls == {"miniproj.beta.bounce"}
+
+    def test_module_body_records_import_time_calls(self, index):
+        body = index.calls.module_body("miniproj.forky")
+        names = {name for name, _ in body.external_calls}
+        assert {"threading.Lock", "multiprocessing.Queue"} <= names
+
+    def test_global_writes_tracked(self, index):
+        worker = index.functions["miniproj.forky.worker_main"]
+        assert worker.global_writes == {"_STATE"}
+
+    def test_process_target_becomes_a_ref(self, index):
+        spawn = index.functions["miniproj.forky.spawn"]
+        assert "miniproj.forky.worker_main" in spawn.refs
+
+
+class TestReachability:
+    def test_calls_only(self, index):
+        reach = index.reachable(["miniproj.beta.Engine.run"])
+        assert reach == {
+            "miniproj.beta.Engine.run",
+            "miniproj.beta.Engine.step",
+            "miniproj.alpha.helper",
+            "miniproj.beta.bounce",
+        }
+
+    def test_refs_extend_the_frontier(self, index):
+        no_refs = index.reachable(["miniproj.beta.escape"])
+        with_refs = index.reachable(["miniproj.beta.escape"],
+                                    follow_refs=True)
+        assert "miniproj.beta.bounce" not in no_refs
+        assert "miniproj.beta.bounce" in with_refs
+
+    def test_worker_partition_excludes_parent_code(self, index):
+        partition = index.reachable(["miniproj.forky.worker_main"],
+                                    follow_refs=True)
+        assert "miniproj.forky.worker_main" in partition
+        assert "miniproj.forky.parent_update" not in partition
+
+
+class _ConstFlow(ForwardDataflow):
+    """Test domain: propagate integer constants through names."""
+
+    def __init__(self):
+        super().__init__()
+        self.uses = []
+
+    def transfer_assign(self, target, value, node):
+        if not isinstance(target, ast.Name):
+            return
+        if isinstance(value, ast.Constant):
+            self.env[target.id] = value.value
+        elif isinstance(value, ast.Name) and value.id in self.env:
+            self.env[target.id] = self.env[value.id]
+        else:
+            self.env.pop(target.id, None)
+
+    def visit_expr(self, node):
+        for child in ast.walk(node):
+            if isinstance(child, ast.Name) and child.id in self.env:
+                self.uses.append((child.id, self.env[child.id]))
+
+
+def _body(source):
+    tree = ast.parse(source)
+    assert isinstance(tree.body[0], ast.FunctionDef)
+    return tree.body[0].body
+
+
+class TestDataflow:
+    def test_join_envs_keeps_agreement(self):
+        assert join_envs({"a": 1, "b": 2}, {"a": 1, "b": 3}) == {"a": 1}
+
+    def test_branch_join(self):
+        flow = _ConstFlow()
+        env = flow.run(_body(
+            "def f(c):\n"
+            "    if c:\n"
+            "        x = 1\n"
+            "        y = 5\n"
+            "    else:\n"
+            "        x = 1\n"
+            "        y = 6\n"
+        ))
+        assert env.get("x") == 1
+        assert "y" not in env
+
+    def test_loop_carried_fact_reaches_second_pass(self):
+        flow = _ConstFlow()
+        flow.run(_body(
+            "def f(items):\n"
+            "    x = 1\n"
+            "    for item in items:\n"
+            "        use(x)\n"
+            "        x = 2\n"
+        ))
+        # First pass sees the pre-loop value, second the loop-carried one.
+        assert ("x", 1) in flow.uses
+        assert ("x", 2) in flow.uses
+
+    def test_loop_join_with_zero_iterations(self):
+        flow = _ConstFlow()
+        env = flow.run(_body(
+            "def f(items):\n"
+            "    x = 1\n"
+            "    for item in items:\n"
+            "        x = 2\n"
+        ))
+        assert "x" not in env  # 1 (never entered) vs 2 (looped) disagree
+
+    def test_try_handler_starts_from_entry(self):
+        flow = _ConstFlow()
+        env = flow.run(_body(
+            "def f():\n"
+            "    x = 1\n"
+            "    try:\n"
+            "        x = 2\n"
+            "    except ValueError:\n"
+            "        pass\n"
+        ))
+        assert "x" not in env  # body says 2, handler path says 1
+
+    def test_delete_kills_facts(self):
+        flow = _ConstFlow()
+        env = flow.run(_body(
+            "def f():\n"
+            "    x = 1\n"
+            "    del x\n"
+        ))
+        assert env == {}
+
+    def test_seed_environment(self):
+        flow = _ConstFlow()
+        env = flow.run(_body(
+            "def f():\n"
+            "    y = x\n"
+        ), seed={"x": 7})
+        assert env.get("y") == 7

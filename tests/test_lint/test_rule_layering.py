@@ -1,0 +1,107 @@
+"""Flag / no-flag fixtures for the layering contract rule."""
+
+from pathlib import Path
+
+from repro.lint import lint_paths, lint_sources
+from repro.lint.rules.layering import CONTRACT, unit_of_module
+
+
+def findings_for(sources):
+    report = lint_sources(sources, rule_names=["layering"])
+    return report.findings
+
+
+class TestUnitMapping:
+    def test_unit_of_module(self):
+        assert unit_of_module("repro") == "<root>"
+        assert unit_of_module("repro.sim.timing") == "sim"
+        assert unit_of_module("repro.cli") == "cli"
+        assert unit_of_module("numpy.linalg") is None
+
+
+class TestFlags:
+    def test_model_importing_harness(self):
+        findings = findings_for({
+            "repro.config.schema": "from repro.runner import sweep\n",
+            "repro.runner.sweep": "X = 1\n",
+        })
+        assert len(findings) == 1
+        assert "'config' may not import 'runner'" in findings[0].message
+        assert "DESIGN.md" in findings[0].message
+
+    def test_finding_anchors_at_the_import_line(self):
+        findings = findings_for({
+            "repro.workloads.synth": (
+                "import json\n"
+                "\n"
+                "import repro.cli\n"
+            ),
+            "repro.cli": "X = 1\n",
+        })
+        assert len(findings) == 1
+        assert findings[0].line == 3
+
+    def test_unknown_unit_is_flagged(self):
+        findings = findings_for({
+            "repro.mystery.mod": "import repro.config\n",
+            "repro.config": "X = 1\n",
+        })
+        assert len(findings) == 1
+        assert "not in the module-dependency contract" \
+            in findings[0].message
+
+
+class TestNoFlags:
+    def test_allowed_edge(self):
+        assert not findings_for({
+            "repro.sim.engine": "from repro.topology import star\n",
+            "repro.topology.star": "X = 1\n",
+        })
+
+    def test_intra_unit_imports_always_allowed(self):
+        assert not findings_for({
+            "repro.runner.supervisor": "from repro.runner import sweep\n",
+            "repro.runner.sweep": "X = 1\n",
+        })
+
+    def test_stdlib_and_external_imports_ignored(self):
+        assert not findings_for({
+            "repro.config.schema": "import json\nimport os\n",
+        })
+
+    def test_sanctioned_back_edge_topology_interconnect(self):
+        assert not findings_for({
+            "repro.topology.star": (
+                "from repro.interconnect import links\n"
+            ),
+            "repro.interconnect.links": (
+                "from repro.topology import star\n"
+            ),
+        })
+
+
+class TestContractShape:
+    def test_foundation_units_import_nothing(self):
+        for unit in ("config", "workloads", "lint"):
+            assert CONTRACT[unit] == set()
+
+    def test_model_never_sees_the_harness(self):
+        harness = {"runner", "cli", "experiments", "__main__"}
+        for unit, allowed in CONTRACT.items():
+            if unit in harness or unit == "<root>":
+                continue
+            assert not (allowed & harness), (
+                f"model unit '{unit}' may import harness: "
+                f"{sorted(allowed & harness)}"
+            )
+
+    def test_every_allowed_unit_is_itself_declared(self):
+        for unit, allowed in CONTRACT.items():
+            missing = allowed - set(CONTRACT)
+            assert not missing, f"'{unit}' allows undeclared {missing}"
+
+
+class TestRealModules:
+    def test_src_tree_obeys_the_contract(self):
+        report = lint_paths([Path("src")], rule_names=["layering"])
+        assert report.is_clean

@@ -1,0 +1,140 @@
+"""Flag / no-flag fixtures for the signal-safety rule."""
+
+from pathlib import Path
+
+from repro.lint import lint_paths, lint_sources
+
+FIXTURES = Path(__file__).parent / "fixtures" / "miniproj"
+
+
+def findings_for(source, name="repro.runner.example"):
+    report = lint_sources({name: source}, rule_names=["signal-safety"])
+    return report.findings
+
+
+class TestFlags:
+    def test_handler_logs_directly(self):
+        findings = findings_for(
+            "import logging\n"
+            "import signal\n"
+            "def on_signal(signum, frame):\n"
+            "    logging.warning('caught %s', signum)\n"
+            "def install():\n"
+            "    signal.signal(signal.SIGINT, on_signal)\n"
+        )
+        assert len(findings) == 1
+        assert "logging" in findings[0].message
+        assert "on_signal" in findings[0].message
+
+    def test_transitive_reach_through_helper(self):
+        findings = findings_for(
+            "import signal\n"
+            "import time\n"
+            "def _note():\n"
+            "    time.sleep(0.1)\n"
+            "def on_signal(signum, frame):\n"
+            "    _note()\n"
+            "def install():\n"
+            "    signal.signal(signal.SIGINT, on_signal)\n"
+        )
+        assert len(findings) == 1
+        assert "time.sleep" in findings[0].message
+        assert "via '_note'" in findings[0].message
+
+    def test_bound_method_handler_acquiring_lock(self):
+        findings = findings_for(
+            "import signal\n"
+            "import threading\n"
+            "class Pool:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "    def _on_signal(self, signum, frame):\n"
+            "        self._lock.acquire()\n"
+            "    def install(self):\n"
+            "        signal.signal(signal.SIGINT, self._on_signal)\n"
+        )
+        assert len(findings) == 1
+        assert "acquires a lock" in findings[0].message
+
+    def test_checkpoint_write_from_handler(self):
+        findings = findings_for(
+            "import json\n"
+            "import signal\n"
+            "def on_signal(signum, frame):\n"
+            "    with open('ckpt.json', 'w') as fh:\n"
+            "        json.dump({}, fh)\n"
+            "def install():\n"
+            "    signal.signal(signal.SIGINT, on_signal)\n"
+        )
+        assert len(findings) >= 1
+        what = " ".join(f.message for f in findings)
+        assert "open" in what or "json.dump" in what
+
+    def test_fixture_project_flags_only_the_bad_handler(self):
+        report = lint_paths([FIXTURES], rule_names=["signal-safety"])
+        assert len(report.findings) == 1
+        assert "_bad_handler" in report.findings[0].message
+
+
+class TestNoFlags:
+    def test_deferred_flag_pattern(self):
+        # The sanctioned shape: record the signal, return, drain later.
+        assert not findings_for(
+            "import signal\n"
+            "_FLAG = None\n"
+            "def on_signal(signum, frame):\n"
+            "    global _FLAG\n"
+            "    _FLAG = signum\n"
+            "def install():\n"
+            "    signal.signal(signal.SIGINT, on_signal)\n"
+        )
+
+    def test_raise_only_handler(self):
+        # sweep._deadline's pattern: the alarm handler just raises.
+        assert not findings_for(
+            "import signal\n"
+            "def on_alarm(signum, frame):\n"
+            "    raise TimeoutError('deadline')\n"
+            "def arm():\n"
+            "    signal.signal(signal.SIGALRM, on_alarm)\n"
+        )
+
+    def test_sig_ign_and_sig_dfl(self):
+        assert not findings_for(
+            "import signal\n"
+            "def worker_setup():\n"
+            "    signal.signal(signal.SIGINT, signal.SIG_IGN)\n"
+            "    signal.signal(signal.SIGTERM, signal.SIG_DFL)\n"
+        )
+
+    def test_restoring_a_saved_handler_is_unresolvable(self):
+        # A variable handler (restore path) is skipped by design.
+        assert not findings_for(
+            "import signal\n"
+            "def restore(previous):\n"
+            "    for signum, handler in previous.items():\n"
+            "        signal.signal(signum, handler)\n"
+        )
+
+    def test_unsafe_code_not_reachable_from_handler(self):
+        assert not findings_for(
+            "import logging\n"
+            "import signal\n"
+            "def on_signal(signum, frame):\n"
+            "    pass\n"
+            "def elsewhere():\n"
+            "    logging.info('fine: not handler code')\n"
+            "def install():\n"
+            "    signal.signal(signal.SIGINT, on_signal)\n"
+        )
+
+
+class TestRealModules:
+    def test_runner_and_cli_handlers_are_safe(self):
+        """The audit satellite, pinned: supervisor's deferred-flag
+        handler and sweep's raise-only alarm handler stay clean."""
+        report = lint_paths(
+            [Path("src/repro/runner"), Path("src/repro/cli.py")],
+            rule_names=["signal-safety"],
+        )
+        assert report.is_clean

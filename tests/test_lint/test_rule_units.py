@@ -18,6 +18,17 @@ class TestFlags:
         assert findings[0].rule == "units"
         assert "ns" in findings[0].message and "cycles" in findings[0].message
 
+    def test_seconds_suffix_vs_nanoseconds(self):
+        # `_s` is a recognised suffix; `_ns` must still win the
+        # longest-match (timeout_ns is ns, not a `_s` ending in `n_s`).
+        findings = findings_for(
+            "def f(timeout_ns, budget_s):\n"
+            "    return timeout_ns + budget_s\n"
+        )
+        assert len(findings) == 1
+        assert "ns" in findings[0].message
+        assert "s" in findings[0].message
+
     def test_subtracting_bytes_from_gbps(self):
         findings = findings_for(
             "def f(rate_gbps, size_bytes):\n"

@@ -1,0 +1,124 @@
+"""Flag / no-flag fixtures for the interprocedural units-flow rule."""
+
+from pathlib import Path
+
+from repro.lint import lint_paths, lint_sources
+
+
+def findings_for(sources):
+    if isinstance(sources, str):
+        sources = {"repro.sim.example": sources}
+    report = lint_sources(sources, rule_names=["units-flow"])
+    return report.findings
+
+
+class TestFlags:
+    def test_tag_propagates_through_untagged_local(self):
+        findings = findings_for(
+            "def f(start_ns, end_ns, budget_s):\n"
+            "    elapsed = end_ns - start_ns\n"
+            "    return elapsed + budget_s\n"
+        )
+        assert len(findings) == 1
+        assert "ns" in findings[0].message
+        assert "s" in findings[0].message
+
+    def test_flow_value_bound_to_suffixed_name(self):
+        findings = findings_for(
+            "def f(end_ns, start_ns):\n"
+            "    elapsed = end_ns - start_ns\n"
+            "    timeout_s = elapsed\n"
+            "    return timeout_s\n"
+        )
+        assert len(findings) == 1
+        assert "'timeout_s'" in findings[0].message
+
+    def test_inferred_return_unit_flows_to_caller(self):
+        findings = findings_for(
+            "def retry_delay(attempt):\n"
+            "    base_ns = 100\n"
+            "    return base_ns * attempt + base_ns\n"
+            "def g(budget_s):\n"
+            "    delay = retry_delay(3)\n"
+            "    return delay + budget_s\n"
+        )
+        assert len(findings) == 1
+        assert "mixes" in findings[0].message
+
+    def test_positional_param_suffix_checked_at_call_site(self):
+        # The plain units rule cannot see this: the mismatch is between
+        # an argument expression and the *callee's* parameter name.
+        findings = findings_for(
+            "def sleep_for(wait_s):\n"
+            "    return wait_s\n"
+            "def g(delay_ns):\n"
+            "    sleep_for(delay_ns)\n"
+        )
+        assert len(findings) == 1
+        assert "'wait_s'" in findings[0].message
+        assert "ns" in findings[0].message
+
+    def test_comparison_with_flow_inferred_tag(self):
+        findings = findings_for(
+            "def f(end_ns, start_ns, limit_s):\n"
+            "    elapsed = end_ns - start_ns\n"
+            "    return elapsed > limit_s\n"
+        )
+        assert len(findings) == 1
+        assert "comparison" in findings[0].message
+
+
+class TestNoFlags:
+    def test_agreeing_dimensions_are_silent(self):
+        assert not findings_for(
+            "def f(start_ns, end_ns, budget_ns):\n"
+            "    elapsed = end_ns - start_ns\n"
+            "    return elapsed + budget_ns\n"
+        )
+
+    def test_conversion_module_call_erases_the_tag(self):
+        # Calling into the sanctioned conversion module launders the
+        # dimension, so the downstream mix is deliberate and clean.
+        assert not findings_for({
+            "repro.config.units": (
+                "def ns_to_s(value_ns):\n"
+                "    return value_ns / 1e9\n"
+            ),
+            "repro.sim.example": (
+                "from repro.config.units import ns_to_s\n"
+                "def f(end_ns, start_ns, budget_s):\n"
+                "    elapsed = ns_to_s(end_ns - start_ns)\n"
+                "    return elapsed + budget_s\n"
+            ),
+        })
+
+    def test_branch_disagreement_kills_the_tag(self):
+        # The join drops tags the arms disagree on; no false positive.
+        assert not findings_for(
+            "def f(cond, a_ns, b_s, budget_s):\n"
+            "    if cond:\n"
+            "        value = a_ns\n"
+            "    else:\n"
+            "        value = b_s\n"
+            "    return value + budget_s\n"
+        )
+
+    def test_multiplication_converts_dimensions(self):
+        assert not findings_for(
+            "def f(rate_gbps, window_s, budget_bytes):\n"
+            "    moved = rate_gbps * window_s\n"
+            "    return moved + budget_bytes\n"
+        )
+
+    def test_suffix_vs_suffix_belongs_to_the_plain_rule(self):
+        # Neither side is flow-derived: the static units rule owns it.
+        assert not findings_for(
+            "def f(start_ns, budget_s):\n"
+            "    return start_ns + budget_s\n"
+        )
+
+
+class TestRealModules:
+    def test_src_tree_is_flow_clean(self):
+        report = lint_paths([Path("src")], rule_names=["units-flow"])
+        assert report.is_clean
