@@ -96,6 +96,60 @@ def _build_parser() -> argparse.ArgumentParser:
                              "processes (default 1: sequential)")
     _add_obs_arguments(export)
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the simulation-as-a-service HTTP endpoint",
+        description="Expose the experiments over HTTP: POST scenario "
+                    "submissions (same schema and bounds as 'starnuma "
+                    "run'), stream progress over SSE, fetch result "
+                    "JSON. Admission control, deadlines, a "
+                    "content-addressed result cache with single-flight "
+                    "dedup, and a crash-safe job journal are built in. "
+                    "See docs/serve.md.",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8787,
+                       help="TCP port (default 8787; 0 picks a free one)")
+    serve.add_argument("--uds", metavar="PATH",
+                       help="serve on a Unix domain socket instead of TCP")
+    serve.add_argument("--journal", metavar="PATH",
+                       default="serve-journal.jsonl",
+                       help="crash-safe job journal file "
+                            "(default serve-journal.jsonl)")
+    serve.add_argument("--cache-dir", metavar="DIR",
+                       help="persist results on disk, content-addressed "
+                            "(default: memory only)")
+    serve.add_argument("--resume", action="store_true",
+                       help="replay the journal: re-adopt jobs that were "
+                            "running when the last server died, never "
+                            "re-run completed or quarantined ones")
+    serve.add_argument("--workers", type=int, default=2, metavar="N",
+                       help="concurrent job worker processes (default 2)")
+    serve.add_argument("--queue", type=int, default=16, metavar="N",
+                       help="bounded submission queue; beyond it new "
+                            "jobs are shed with 429 (default 16)")
+    serve.add_argument("--per-client", type=int, default=4, metavar="N",
+                       help="max jobs in flight per client identity "
+                            "(default 4)")
+    serve.add_argument("--default-deadline", type=float, default=300.0,
+                       metavar="SECONDS",
+                       help="deadline for submissions that name none "
+                            "(default 300)")
+    serve.add_argument("--max-deadline", type=float, default=3600.0,
+                       metavar="SECONDS",
+                       help="ceiling on requested deadlines "
+                            "(default 3600)")
+    serve.add_argument("--heartbeat-timeout", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="kill a job worker silent longer than this "
+                            "(default 30)")
+    serve.add_argument("--drain-grace", type=float, default=5.0,
+                       metavar="SECONDS",
+                       help="grace for in-flight jobs on SIGTERM before "
+                            "workers are killed resumably (default 5)")
+    _add_obs_arguments(serve)
+
     chaos = sub.add_parser(
         "chaos",
         help="soak the supervised runner against injected faults",
@@ -104,8 +158,21 @@ def _build_parser() -> argparse.ArgumentParser:
                     "checkpoint writes, then verify: no hangs, no lost "
                     "or duplicated results, poisoned tasks quarantined, "
                     "and all surviving results byte-identical to the "
-                    "fault-free expectation. See docs/runner.md.",
+                    "fault-free expectation. With --serve, soak the "
+                    "HTTP service instead: client disconnects, "
+                    "slow-loris, SIGKILL between journal writes, "
+                    "resume, overload, and drain. See docs/runner.md "
+                    "and docs/serve.md.",
     )
+    chaos.add_argument("--serve", action="store_true",
+                       help="soak the simulation service instead of the "
+                            "bare runner (see docs/serve.md)")
+    chaos.add_argument("--scenarios", type=int, default=8, metavar="N",
+                       help="steady scenarios in the service soak "
+                            "(default 8; --serve only)")
+    chaos.add_argument("--burst", type=int, default=12, metavar="N",
+                       help="overload burst size in the service soak "
+                            "(default 12; --serve only)")
     chaos.add_argument("--tasks", type=int, default=200, metavar="N",
                        help="synthetic tasks to sweep (default 200)")
     chaos.add_argument("--jobs", type=int, default=4, metavar="N",
@@ -215,17 +282,22 @@ def _cmd_list() -> int:
 
 
 def _validate_common(args: argparse.Namespace) -> Optional[str]:
-    """One-line complaint for invalid run/export parameters, else None."""
-    if args.seed < 0:
-        return f"--seed must be >= 0 (got {args.seed})"
-    if args.phases < 1:
-        return f"--phases must be >= 1 (got {args.phases})"
-    if not 0 <= args.warmup < args.phases:
-        return (f"--warmup must satisfy 0 <= warmup < phases "
-                f"(got warmup={args.warmup}, phases={args.phases})")
-    for workload in args.workloads or []:
-        if workload not in WORKLOADS:
-            return f"unknown workload {workload!r}"
+    """One-line complaint for invalid run/export parameters, else None.
+
+    The bounds themselves live in
+    :func:`repro.serve.scenario.validate_run_params` -- the single
+    source of truth shared with ``POST /v1/jobs`` submissions.
+    """
+    from repro.serve.scenario import validate_run_params
+
+    message = validate_run_params(args.seed, args.phases, args.warmup,
+                                  args.workloads, WORKLOADS)
+    if message is not None:
+        # The shared messages name bare parameters; these are flags here.
+        for name in ("seed", "phases", "warmup"):
+            if message.startswith(name):
+                return "--" + message
+        return message
     if getattr(args, "jobs", 1) < 1:
         return f"--jobs must be >= 1 (got {args.jobs})"
     return None
@@ -282,6 +354,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         except CheckpointMismatchError as exc:
             _log.error(f"error: {exc}")
             return 2
+        if checkpoint.corrupt_quarantined is not None:
+            _log.warning(
+                f"checkpoint was corrupt; quarantined it to "
+                f"{checkpoint.corrupt_quarantined} and starting fresh")
 
     if args.jobs == 1:
 
@@ -373,7 +449,105 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_run_scenario(scenario):
+    """Run one service submission (executes inside a job worker)."""
+    from repro.experiments.export import _flatten, result_to_dict
+
+    context = ExperimentContext(
+        seed=scenario.seed, n_phases=scenario.phases,
+        warmup_phases=scenario.warmup,
+        workloads=list(scenario.workloads) if scenario.workloads else None,
+    )
+    outcome = _run_experiment(scenario.experiment, context)
+    return {
+        "experiment": scenario.experiment,
+        "results": [result_to_dict(result)
+                    for result in _flatten(outcome)],
+    }
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import Catalog, ServeApp, ServePolicy
+    from repro.serve.app import serve_forever
+
+    policy = ServePolicy(
+        max_workers=args.workers, max_queue=args.queue,
+        max_inflight_per_client=args.per_client,
+        default_deadline_s=args.default_deadline,
+        max_deadline_s=args.max_deadline,
+        heartbeat_timeout_s=args.heartbeat_timeout,
+        drain_grace_s=args.drain_grace,
+    )
+    complaint = policy.validate()
+    if complaint is not None:
+        _log.error(f"error: {complaint}")
+        return 2
+    try:
+        app = ServeApp(
+            run_scenario=_serve_run_scenario,
+            catalog=Catalog.of(EXPERIMENTS, WORKLOADS),
+            journal_path=args.journal, cache_dir=args.cache_dir,
+            resume=args.resume, policy=policy,
+            host=args.host, port=args.port, uds=args.uds,
+        )
+    except Exception as exc:  # noqa: BLE001 -- bad journal, bad socket
+        _log.error(f"error: {exc}")
+        return 2
+    if app.adopted is not None:
+        _log.info(f"resumed from {args.journal}: "
+                  f"{app.adopted.get('completed', 0)} completed, "
+                  f"{app.adopted.get('requeued', 0)} re-queued, "
+                  f"{app.adopted.get('quarantined', 0)} quarantined")
+    _log.info("serving; SIGTERM drains gracefully, "
+              "SIGKILL is safe (journaled)")
+    serve_forever(app)
+    print(f"serve: drained cleanly; journal at {args.journal}")
+    return 0
+
+
+def _cmd_serve_chaos(args: argparse.Namespace) -> int:
+    from repro.serve.chaos import ServeChaosConfig, run_serve_chaos
+
+    config = ServeChaosConfig(
+        seed=args.seed, n_scenarios=args.scenarios, burst=args.burst,
+        max_wall_s=args.max_wall if args.max_wall is not None else 120.0,
+    )
+    complaint = config.validate()
+    if complaint is not None:
+        _log.error(f"error: {complaint}")
+        return 2
+    report = run_serve_chaos(config, out_dir=args.out,
+                             on_event=_log.info)
+    counts = report.counts
+    print(f"serve chaos soak: {report.n_scenarios} scenarios, "
+          f"seed {report.seed}, SIGKILL after "
+          f"{report.kill_after_appends} journal appends")
+    print(f"  wall time     {report.wall_s:.1f}s")
+    print(f"  verified      {counts.get('completed_verified', 0)} "
+          f"byte-identical results")
+    print(f"  cache/dedup   {counts.get('cached_repeats', 0)} cached "
+          f"repeats, {counts.get('phase1_coalesced', 0)} coalesced")
+    print(f"  overload      {counts.get('sheds', 0)} shed with 429")
+    print(f"  faults        {counts.get('sigkills', 0)} SIGKILL, "
+          f"{counts.get('sse_disconnects', 0)} mid-stream disconnects")
+    print(f"  resume        adopted {report.adopted}")
+    if args.out:
+        print(f"  artifacts     {args.out}/serve-chaos-report.json")
+    if report.passed:
+        print("serve chaos soak PASSED: zero lost, duplicated, or torn "
+              "results; resume, quarantine, and shedding all held")
+        return 0
+    for problem in report.problems:
+        print(f"  problem: {problem}")
+    print(f"serve chaos soak FAILED with {len(report.problems)} "
+          f"problem(s)")
+    return 1
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
+    if args.serve:
+        return _cmd_serve_chaos(args)
+
     from repro.runner import ChaosConfig, run_chaos
 
     config = ChaosConfig(seed=args.seed, crash=args.crash, hang=args.hang,
@@ -601,6 +775,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_lint(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     return _cmd_run(args)
 
 
@@ -608,8 +784,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     setup_logging(verbose=args.verbose, quiet=args.quiet)
     try:
-        if args.command in ("run", "export", "chaos"):
-            if args.command != "chaos":
+        if args.command in ("run", "export", "chaos", "serve"):
+            if args.command not in ("chaos", "serve"):
                 message = _validate_common(args)
                 if message is not None:
                     _log.error(f"error: {message}")

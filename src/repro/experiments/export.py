@@ -129,6 +129,10 @@ def export_all(out_dir: str, context: Optional[ExperimentContext] = None,
                                  sweep_params(context, selected))
     if resume:
         checkpoint.load()
+        if checkpoint.corrupt_quarantined is not None and on_event:
+            on_event(f"checkpoint was corrupt; quarantined it to "
+                     f"{checkpoint.corrupt_quarantined} and starting "
+                     f"fresh")
     else:
         checkpoint.reset()
 

@@ -67,8 +67,12 @@ CONTRACT: Dict[str, Set[str]] = {
     "runner": {"obs"},
     "experiments": {"config", "faults", "metrics", "obs", "replication",
                     "runner", "sim", "topology", "trace", "workloads"},
+    # -- service: generic job machinery over the runner; the CLI
+    #    injects the experiment catalog and scenario runner, so serve
+    #    never imports sim/experiments/migration directly ---------------------
+    "serve": {"config", "obs", "runner"},
     "cli": {"config", "experiments", "lint", "metrics", "obs", "runner",
-            "topology", "workloads"},
+            "serve", "topology", "workloads"},
     "__main__": {"cli"},
     # -- the package facade re-exports the public surface --------------------
     "<root>": {"config", "experiments", "sim", "topology", "workloads"},

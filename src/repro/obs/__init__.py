@@ -32,6 +32,7 @@ from repro.obs.events import (
 )
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.sinks import JsonlSink, MemorySink, NullSink, Sink
+from repro.obs.stream import CallbackSink, TeeSink
 from repro.obs.summary import read_trace, render_summary, summarize_trace
 
 __all__ = [
@@ -51,6 +52,8 @@ __all__ = [
     "NullSink",
     "MemorySink",
     "JsonlSink",
+    "CallbackSink",
+    "TeeSink",
     "read_trace",
     "render_summary",
     "summarize_trace",

@@ -122,6 +122,33 @@ class Obs:
         self.trace_path = None
 
     @contextmanager
+    def redirect(self, sink: Sink) -> Iterator[None]:
+        """Run a block against ``sink`` and an isolated registry.
+
+        The block's spans and events go to ``sink`` *as they happen*
+        (streaming -- this is how a serve worker bridges span records
+        to SSE subscribers mid-job); metric deltas accumulated inside
+        the block are flushed to ``sink`` as ``metric`` records on
+        exit. The previous sink and registry are restored afterwards.
+        No-op (still yields) when the pipeline is disabled.
+        """
+        if not self.enabled:
+            yield
+            return
+        previous_sink = self._sink
+        previous_registry = self._registry
+        self._sink = sink
+        self._registry = MetricsRegistry()
+        try:
+            yield
+        finally:
+            isolated_registry = self._registry
+            self._sink = previous_sink
+            self._registry = previous_registry
+            for record in isolated_registry.flush_records():
+                sink.emit(record)
+
+    @contextmanager
     def capture(self,
                 records: List[Dict[str, object]]) -> Iterator[None]:
         """Run a block against an isolated sink *and* registry.
@@ -135,19 +162,8 @@ class Obs:
         replays with :meth:`absorb`. No-op (still yields) when the
         pipeline is disabled.
         """
-        if not self.enabled:
+        with self.redirect(MemorySink(records)):
             yield
-            return
-        previous_sink = self._sink
-        previous_registry = self._registry
-        self._sink = MemorySink(records)
-        self._registry = MetricsRegistry()
-        try:
-            yield
-        finally:
-            records.extend(self._registry.flush_records())
-            self._sink = previous_sink
-            self._registry = previous_registry
 
     def emit_raw(self, record: Dict[str, object]) -> None:
         """Forward an already-formed record (worker-replay path)."""

@@ -1,0 +1,64 @@
+"""Streaming sinks: push each obs record to a callback as it happens.
+
+The JSONL and memory sinks buffer records for *later* inspection; a
+long-lived service wants them *now* -- ``starnuma serve`` streams span
+and event records to attached SSE clients while a job is still
+running. :class:`CallbackSink` is that bridge: every record emitted by
+the pipeline is handed to a callback, synchronously, in emission order.
+
+A callback that raises must not take the instrumented computation down
+with it (telemetry stays inert); failures are counted on the sink and
+the record is dropped. :class:`TeeSink` fans one pipeline out to
+several sinks -- e.g. a run that both writes its JSONL trace and
+streams to subscribers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+from repro.obs.sinks import Sink
+
+
+class CallbackSink(Sink):
+    """Forwards every record to ``callback(record)`` at emission time.
+
+    The callback must be fast (it runs inside the instrumented code
+    path) and must not mutate the record (downstream sinks may see the
+    same dict). Exceptions raised by the callback are swallowed and
+    counted in :attr:`dropped` so instrumentation can never crash the
+    computation it observes.
+    """
+
+    def __init__(self, callback: Callable[[Dict[str, object]], None]) -> None:
+        self._callback = callback
+        #: Records lost to a raising callback (observable by tests).
+        self.dropped = 0
+
+    def emit(self, record: Dict[str, object]) -> None:
+        try:
+            self._callback(record)
+        except Exception:
+            self.dropped += 1
+
+
+class TeeSink(Sink):
+    """Replicates each record to every child sink, in order.
+
+    ``close()`` closes only the sinks the tee *owns* (passed via
+    ``owned``); borrowed sinks -- e.g. the process-global JSONL trace a
+    service keeps across jobs -- stay open.
+    """
+
+    def __init__(self, sinks: Sequence[Sink],
+                 owned: Sequence[Sink] = ()) -> None:
+        self._sinks = list(sinks)
+        self._owned = list(owned)
+
+    def emit(self, record: Dict[str, object]) -> None:
+        for sink in self._sinks:
+            sink.emit(record)
+
+    def close(self) -> None:
+        for sink in self._owned:
+            sink.close()

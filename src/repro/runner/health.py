@@ -81,9 +81,10 @@ class SupervisionPolicy:
 
     ``heartbeat_timeout_s`` of ``None`` derives a deadline from the
     runner's per-attempt budget (``timeout_s`` plus the worst backoff
-    plus slack); when the runner has no ``timeout_s`` either, hang
-    detection is disabled -- without any budget hint a slow task is
-    indistinguishable from a hung one.
+    plus slack); when the runner is untimed (``timeout_s`` of ``None``
+    or ``<= 0``, which :func:`repro.runner.sweep._deadline` treats as
+    "no per-attempt limit"), hang detection is disabled -- without any
+    budget hint a slow task is indistinguishable from a hung one.
     """
 
     #: Kill a busy worker whose heartbeat is older than this.
@@ -122,10 +123,19 @@ class SupervisionPolicy:
 
     def effective_heartbeat_s(self, timeout_s: Optional[float],
                               max_backoff_s: float) -> Optional[float]:
-        """The deadline actually enforced, deriving from the runner."""
+        """The deadline actually enforced, deriving from the runner.
+
+        An *untimed* runner (``timeout_s`` unset, zero, or negative --
+        all of which disarm the per-attempt SIGALRM deadline) must not
+        inherit the derived ``timeout_s + max_backoff_s + 5`` window:
+        with ``timeout_s=0`` that formula silently becomes a
+        ``5 + max_backoff_s`` second kill window, executing perfectly
+        healthy long tasks. Untimed tasks use ``heartbeat_timeout_s``
+        alone, or no hang detection at all.
+        """
         if self.heartbeat_timeout_s is not None:
             return self.heartbeat_timeout_s
-        if timeout_s is None:
+        if timeout_s is None or timeout_s <= 0:
             return None
         return timeout_s + max_backoff_s + 5.0
 

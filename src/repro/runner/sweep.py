@@ -42,7 +42,16 @@ from typing import (Callable, Dict, Iterator, List, Optional, Sequence,
 from repro.obs import OBS
 from repro.runner.health import HealthReport, SupervisionPolicy
 
-CHECKPOINT_VERSION = 1
+#: Schema of the checkpoint JSON layout. Written as ``"schema"``;
+#: version 1 files (written before the key was renamed from
+#: ``"version"``) are still accepted because their layout is identical.
+CHECKPOINT_SCHEMA_VERSION = 2
+
+#: Schemas this code knows how to load.
+_SUPPORTED_CHECKPOINT_SCHEMAS = (1, 2)
+
+#: Backwards-compatible alias (pre-schema-rename name).
+CHECKPOINT_VERSION = CHECKPOINT_SCHEMA_VERSION
 
 
 class TransientRunError(RuntimeError):
@@ -138,6 +147,9 @@ class SweepCheckpoint:
         self.completed: Dict[str, Dict[str, object]] = {}
         self.failures: List[Dict[str, object]] = []
         self.quarantined: Dict[str, Dict[str, object]] = {}
+        #: Where a corrupt/truncated checkpoint was quarantined by
+        #: :meth:`load` (``<path>.corrupt``), for the caller to report.
+        self.corrupt_quarantined: Optional[Path] = None
 
     def exists(self) -> bool:
         return self.path.exists()
@@ -147,21 +159,30 @@ class SweepCheckpoint:
 
         A stale ``.tmp`` file (a write torn by a crash before the
         atomic replace) is removed and otherwise ignored -- the main
-        checkpoint file is always a complete earlier state.
+        checkpoint file is always a complete earlier state. A corrupt
+        or truncated checkpoint (invalid JSON, or not a JSON object) is
+        *quarantined* -- renamed to ``<path>.corrupt`` and recorded in
+        :attr:`corrupt_quarantined` -- and the sweep starts fresh
+        instead of dying on a traceback; an unknown ``schema`` is
+        refused with a one-line :class:`CheckpointMismatchError`.
         """
         self._clean_stale_tmp()
         if not self.path.exists():
             return False
         try:
             data = json.loads(self.path.read_text())
-        except json.JSONDecodeError as exc:
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            data = None
+        if not isinstance(data, dict):
+            self.corrupt_quarantined = self._quarantine_corrupt()
+            return False
+        schema = data.get("schema", data.get("version"))
+        if schema not in _SUPPORTED_CHECKPOINT_SCHEMAS:
             raise CheckpointMismatchError(
-                f"corrupt checkpoint {self.path}: {exc}"
-            ) from None
-        if data.get("version") != CHECKPOINT_VERSION:
-            raise CheckpointMismatchError(
-                f"checkpoint {self.path} has version {data.get('version')}, "
-                f"expected {CHECKPOINT_VERSION}"
+                f"checkpoint {self.path} has schema {schema!r}; this "
+                f"version reads schemas "
+                f"{list(_SUPPORTED_CHECKPOINT_SCHEMAS)} -- refusing to "
+                f"guess at an unknown layout"
             )
         if data.get("params") != self.params:
             raise CheckpointMismatchError(
@@ -216,12 +237,25 @@ class SweepCheckpoint:
         except OSError:
             pass  # unreadable leftovers never block a resume
 
+    def _quarantine_corrupt(self) -> Optional[Path]:
+        """Move a broken checkpoint aside; never let it block a resume."""
+        quarantine = self.path.with_suffix(self.path.suffix + ".corrupt")
+        try:
+            os.replace(self.path, quarantine)
+        except OSError:
+            try:  # rename failed (odd mount?); removal also unblocks
+                self.path.unlink()
+            except OSError:
+                pass
+            return None
+        return quarantine
+
     def _temporary_path(self) -> Path:
         return self.path.with_suffix(self.path.suffix + ".tmp")
 
     def _payload(self) -> Dict[str, object]:
         return {
-            "version": CHECKPOINT_VERSION,
+            "schema": CHECKPOINT_SCHEMA_VERSION,
             "params": self.params,
             "completed": self.completed,
             "failures": self.failures,

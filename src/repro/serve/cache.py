@@ -1,0 +1,147 @@
+"""Content-addressed result cache and single-flight coalescing.
+
+The cache maps a scenario's :func:`~repro.serve.scenario.cache_key`
+(sha256 of the manifest-v2 fingerprint: config, git, seed...) to its
+result JSON. Repeat submissions are answered from here in microseconds
+without touching the worker pool. Entries live in memory and,
+optionally, in a directory of ``<key>.json`` files written with the
+same fsync-then-rename discipline as the sweep checkpoint, so a
+SIGKILLed server never leaves a torn cache entry under a final name.
+
+:class:`SingleFlight` is the companion table for results that do not
+exist *yet*: the first submission of a key becomes the leader and
+runs; concurrent identical submissions attach to the leader's job
+instead of spawning duplicate work (obs counter
+``serve.singleflight.coalesced``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.obs import OBS
+
+
+class ResultCache:
+    """Memory-first, optionally disk-backed, content-addressed store."""
+
+    def __init__(self, directory: Optional[Union[str, Path]] = None,
+                 max_memory_entries: int = 4096) -> None:
+        if max_memory_entries < 1:
+            raise ValueError(
+                f"max_memory_entries must be >= 1, "
+                f"got {max_memory_entries}")
+        self._memory: Dict[str, Dict[str, object]] = {}
+        self._max_memory = max_memory_entries
+        self._directory = Path(directory) if directory is not None else None
+        if self._directory is not None:
+            self._directory.mkdir(parents=True, exist_ok=True)
+        #: Lifetime lookup totals (also mirrored to obs counters).
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _path(self, key: str) -> Optional[Path]:
+        if self._directory is None:
+            return None
+        return self._directory / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        """The cached result for ``key``, or None (counts hit/miss)."""
+        entry = self._memory.get(key)
+        if entry is None:
+            entry = self._load_disk(key)
+        if entry is None:
+            self.misses += 1
+            OBS.counter("serve.cache.miss")
+            return None
+        self.hits += 1
+        OBS.counter("serve.cache.hit")
+        return entry
+
+    def contains(self, key: str) -> bool:
+        """Presence probe without touching the hit/miss counters."""
+        if key in self._memory:
+            return True
+        path = self._path(key)
+        return path is not None and path.exists()
+
+    def put(self, key: str, result: Dict[str, object]) -> None:
+        """Store a result under its content address (crash-safe)."""
+        if len(self._memory) >= self._max_memory \
+                and key not in self._memory:
+            # Bounded memory: evict an arbitrary (oldest-inserted)
+            # entry; the disk copy, when configured, still serves it.
+            self._memory.pop(next(iter(self._memory)))
+        self._memory[key] = result
+        path = self._path(key)
+        if path is None:
+            return
+        temporary = path.with_suffix(".json.tmp")
+        with open(temporary, "w") as handle:
+            handle.write(json.dumps(result, sort_keys=True))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temporary, path)
+        self.stores += 1
+        OBS.counter("serve.cache.store")
+
+    def _load_disk(self, key: str) -> Optional[Dict[str, object]]:
+        path = self._path(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None  # a torn entry is impossible post-rename; a
+            # hand-damaged one simply misses
+        if not isinstance(data, dict):
+            return None
+        self._memory[key] = data
+        return data
+
+    @property
+    def entries(self) -> int:
+        """In-memory entry count (the disk set may be larger)."""
+        return len(self._memory)
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+
+class SingleFlight:
+    """Which job currently leads each in-flight cache key."""
+
+    def __init__(self) -> None:
+        self._leaders: Dict[str, str] = {}
+        #: Total submissions coalesced onto an existing leader.
+        self.coalesced = 0
+
+    def leader_of(self, key: str) -> Optional[str]:
+        return self._leaders.get(key)
+
+    def acquire(self, key: str, job_id: str) -> bool:
+        """Claim leadership of ``key``; False if someone already leads."""
+        if key in self._leaders:
+            return False
+        self._leaders[key] = job_id
+        return True
+
+    def coalesce(self, key: str) -> Optional[str]:
+        """Attach to the leader of ``key`` (counted), or None."""
+        leader = self._leaders.get(key)
+        if leader is not None:
+            self.coalesced += 1
+            OBS.counter("serve.singleflight.coalesced")
+        return leader
+
+    def release(self, key: str, job_id: str) -> None:
+        """Drop leadership (job finished, failed, or was cancelled)."""
+        if self._leaders.get(key) == job_id:
+            del self._leaders[key]
+
+    def __len__(self) -> int:
+        return len(self._leaders)

@@ -1,0 +1,799 @@
+"""Service-layer chaos: prove the API holds its invariants under fire.
+
+The sweep-level harness (:mod:`repro.runner.chaos`) attacks the worker
+pool; this one attacks the *service*. A real ``ServeApp`` runs in a
+forked child on a Unix domain socket with a synthetic catalog, and the
+driver injects the faults a hostile network delivers:
+
+* clients that disconnect mid-SSE-stream;
+* slow-loris connections that trickle headers forever;
+* scenarios whose worker crashes on every attempt (poison);
+* scenarios that overrun their deadline;
+* ``kill -9`` of the whole server **between journal writes** (a
+  counting journal wrapper SIGKILLs the process after the Nth fsynced
+  append -- the worst possible torn state), followed by
+  ``serve --resume``;
+* an overload burst against a full queue;
+* a final SIGTERM drain with work still in flight.
+
+The report fails if any scenario's result is lost, duplicated, or not
+byte-identical to the fault-free expectation; if a completed job is
+ever re-run after resume; if a poison job escapes quarantine or is
+re-charged; if overload is not shed with 429 promptly; or if the
+journal fails to replay. All injection points are seeded and
+deterministic (:func:`~repro.runner.chaos.chaos_fraction`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import multiprocessing
+import os
+import signal
+import socket
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.obs import OBS
+from repro.obs.sinks import JsonlSink
+from repro.runner.chaos import CRASH_EXIT_CODE, chaos_fraction
+from repro.serve.app import ServeApp
+from repro.serve.journal import JobJournal, JournalError, replay_journal
+from repro.serve.policy import ServePolicy
+from repro.serve.protocol import ReadLimits
+from repro.serve.scenario import Catalog, Scenario, cache_key
+
+#: The synthetic deployment the chaos server exposes.
+CHAOS_EXPERIMENTS = ("steady", "poison", "slow")
+CHAOS_WORKLOADS = ("alpha", "beta", "gamma")
+
+
+def serve_chaos_payload(scenario: Scenario) -> Dict[str, object]:
+    """The fault-free result of one chaos scenario (computable offline)."""
+    return {
+        "experiment": scenario.experiment,
+        "seed": scenario.seed,
+        "phases": scenario.phases,
+        "value": round(chaos_fraction("serve-payload", scenario.experiment,
+                                      scenario.seed, scenario.phases), 12),
+    }
+
+
+def _make_chaos_runner(task_sleep_s: float,
+                       slow_sleep_s: float) -> Callable[[Scenario],
+                                                        Dict[str, object]]:
+    """The scenario runner the chaos server injects (runs in workers)."""
+
+    def run(scenario: Scenario) -> Dict[str, object]:
+        if scenario.experiment == "poison":
+            os._exit(CRASH_EXIT_CODE)  # crashes the worker every attempt
+        with OBS.span("serve.chaos.work", experiment=scenario.experiment,
+                      seed=scenario.seed):
+            if scenario.experiment == "slow":
+                time.sleep(slow_sleep_s)
+            else:
+                time.sleep(task_sleep_s
+                           * (0.5 + chaos_fraction("work", scenario.seed)))
+        return serve_chaos_payload(scenario)
+
+    return run
+
+
+@dataclass(frozen=True)
+class ServeChaosConfig:
+    """Shape of one seeded service soak."""
+
+    seed: int = 1
+    #: Steady scenarios submitted in phase 1 (before the SIGKILL).
+    n_scenarios: int = 8
+    #: How many of those are immediately re-submitted (single-flight).
+    duplicates: int = 3
+    #: Overload burst size in phase 2 (against queue=4, workers=2).
+    burst: int = 12
+    #: SIGKILL the server after this many journal appends; derived
+    #: from the seed when None.
+    kill_after_appends: Optional[int] = None
+    #: Per-steady-scenario work duration scale.
+    task_sleep_s: float = 0.15
+    #: How long the deadline-overrun scenario tries to sleep.
+    slow_sleep_s: float = 3.0
+    #: The deadline given to that scenario (must be << slow_sleep_s).
+    slow_deadline_s: float = 1.0
+    #: Soak budget; exceeding it is itself a failure.
+    max_wall_s: float = 120.0
+
+    def validate(self) -> Optional[str]:
+        """One-line complaint for an invalid configuration, else None."""
+        if self.n_scenarios < 2:
+            return f"n_scenarios must be >= 2, got {self.n_scenarios}"
+        if not 0 <= self.duplicates <= self.n_scenarios:
+            return (f"duplicates must be in [0, n_scenarios], "
+                    f"got {self.duplicates}")
+        if self.burst < 1:
+            return f"burst must be >= 1, got {self.burst}"
+        if self.kill_after_appends is not None \
+                and self.kill_after_appends < 1:
+            return (f"kill_after_appends must be >= 1, "
+                    f"got {self.kill_after_appends}")
+        if self.slow_deadline_s >= self.slow_sleep_s:
+            return (f"slow_deadline_s ({self.slow_deadline_s}) must be "
+                    f"< slow_sleep_s ({self.slow_sleep_s})")
+        if self.max_wall_s <= 0:
+            return f"max_wall_s must be > 0, got {self.max_wall_s}"
+        return None
+
+
+@dataclass
+class ServeChaosReport:
+    """What one service soak did, and whether it held the line."""
+
+    seed: int
+    n_scenarios: int
+    wall_s: float
+    kill_after_appends: int
+    counts: Dict[str, int] = field(default_factory=dict)
+    adopted: Dict[str, int] = field(default_factory=dict)
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.problems
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "n_scenarios": self.n_scenarios,
+            "wall_s": round(self.wall_s, 3),
+            "kill_after_appends": self.kill_after_appends,
+            "counts": dict(self.counts),
+            "adopted": dict(self.adopted),
+            "problems": list(self.problems),
+            "passed": self.passed,
+        }
+
+
+# -- the server child --------------------------------------------------------
+
+
+class _KillingJournal(JobJournal):
+    """A journal that SIGKILLs its own process after the Nth append.
+
+    The append (flush + fsync) completes first, so the kill lands
+    exactly *between* journal writes -- the torn state ``--resume``
+    must recover from.
+    """
+
+    def __init__(self, path: Union[str, Path], kill_after: int) -> None:
+        super().__init__(path)
+        self._kill_after = kill_after
+        self._appends = 0
+
+    def append(self, op: str, job_id: str, **fields: object) -> None:
+        super().append(op, job_id, **fields)
+        self._appends += 1
+        if self._appends >= self._kill_after:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _chaos_policy() -> ServePolicy:
+    return ServePolicy(
+        max_workers=2, max_queue=4, max_inflight_per_client=64,
+        default_deadline_s=60.0, linger_s=30.0, poll_interval_s=0.02,
+        heartbeat_timeout_s=5.0, max_job_strikes=2, breaker_threshold=50,
+        drain_grace_s=10.0, deadline_slack_s=1.0, job_max_retries=0,
+        job_backoff_s=0.01,
+    )
+
+
+def _chaos_limits() -> ReadLimits:
+    # A short header budget so the slow-loris probe resolves quickly.
+    return ReadLimits(header_timeout_s=0.75, body_timeout_s=2.0)
+
+
+def _server_main(uds: str, journal_path: str, cache_dir: str,
+                 resume: bool, kill_after: Optional[int],
+                 obs_path: Optional[str], task_sleep_s: float,
+                 slow_sleep_s: float) -> None:
+    """Entry point of the forked chaos server process."""
+    catalog = Catalog.of(CHAOS_EXPERIMENTS, CHAOS_WORKLOADS)
+    app = ServeApp(
+        run_scenario=_make_chaos_runner(task_sleep_s, slow_sleep_s),
+        catalog=catalog, journal_path=journal_path, cache_dir=cache_dir,
+        resume=resume, uds=uds, policy=_chaos_policy(),
+        limits=_chaos_limits(), sse_keepalive_s=0.25,
+    )
+    if kill_after is not None:
+        app.journal.close()
+        journal = _KillingJournal(journal_path, kill_after)
+        app.journal = journal
+        app.manager.journal = journal
+    if OBS.enabled and obs_path is not None:
+        # The child inherited the parent's armed pipeline (and its
+        # JSONL handle); stream this process's records to its own file.
+        with OBS.redirect(JsonlSink(obs_path)):
+            asyncio.run(app.run())
+    else:
+        asyncio.run(app.run())
+
+
+class _ServerHandle:
+    """The driver's grip on one chaos server process."""
+
+    def __init__(self, base: Path, *, resume: bool,
+                 kill_after: Optional[int], config: ServeChaosConfig,
+                 tag: str) -> None:
+        self.uds = str(base / "serve.sock")
+        context = multiprocessing.get_context("fork")
+        self.process = context.Process(
+            target=_server_main,
+            args=(self.uds, str(base / "journal.jsonl"),
+                  str(base / "cache"), resume, kill_after,
+                  str(base / f"serve-obs-{tag}.jsonl"),
+                  config.task_sleep_s, config.slow_sleep_s),
+            # Not daemonic: the server forks its own job workers.
+            daemon=False,
+        )
+        self.process.start()
+
+    def wait_ready(self, timeout_s: float = 15.0) -> bool:
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            status, _headers, _body = _request(self.uds, "GET", "/healthz",
+                                               timeout_s=2.0)
+            if status == 200:
+                return True
+            if not self.process.is_alive():
+                return False
+            time.sleep(0.05)
+        return False
+
+    def wait_dead(self, timeout_s: float) -> bool:
+        self.process.join(timeout_s)
+        return not self.process.is_alive()
+
+    def sigterm(self) -> None:
+        if self.process.is_alive() and self.process.pid is not None:
+            os.kill(self.process.pid, signal.SIGTERM)
+
+    def sigkill(self) -> None:
+        if self.process.is_alive():
+            self.process.kill()
+            self.process.join(5.0)
+
+
+# -- the driver's hand-rolled UDS HTTP client --------------------------------
+
+
+def _request(uds: str, method: str, path: str,
+             body: Optional[Dict[str, object]] = None,
+             client_id: str = "chaos-driver", timeout_s: float = 10.0,
+             ) -> Tuple[Optional[int], Dict[str, str],
+                        Optional[Dict[str, object]]]:
+    """One request over the socket; (None, {}, None) if the server is
+    unreachable or dies mid-exchange (the soak keeps going)."""
+    payload = b""
+    head = f"{method} {path} HTTP/1.1\r\nHost: serve\r\n" \
+           f"X-Client-Id: {client_id}\r\n"
+    if body is not None:
+        payload = json.dumps(body).encode("utf-8")
+        head += f"Content-Type: application/json\r\n" \
+                f"Content-Length: {len(payload)}\r\n"
+    head += "\r\n"
+    raw = b""
+    try:
+        with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+            sock.settimeout(timeout_s)
+            sock.connect(uds)
+            sock.sendall(head.encode("latin-1") + payload)
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                raw += chunk
+    except OSError:
+        return None, {}, None
+    return _parse_response(raw)
+
+
+def _parse_response(raw: bytes) -> Tuple[Optional[int], Dict[str, str],
+                                         Optional[Dict[str, object]]]:
+    if not raw or b"\r\n\r\n" not in raw:
+        return None, {}, None
+    head, _, rest = raw.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ", 2)
+    try:
+        status = int(parts[1])
+    except (IndexError, ValueError):
+        return None, {}, None
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        name, separator, value = line.partition(":")
+        if separator:
+            headers[name.strip().lower()] = value.strip()
+    try:
+        parsed = json.loads(rest.decode("utf-8")) if rest.strip() else None
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        parsed = None
+    return status, headers, parsed if isinstance(parsed, dict) else None
+
+
+def _read_sse(uds: str, job_id: str, *,
+              disconnect_after: Optional[int] = None,
+              timeout_s: float = 30.0,
+              ) -> List[Tuple[str, Dict[str, object]]]:
+    """Attach to a job's stream; return (event, data) frames seen.
+
+    With ``disconnect_after``, hang up mid-stream after that many
+    frames -- the client-disconnect injection. Otherwise read until
+    the server closes after its ``result`` frame.
+    """
+    request = (f"GET /v1/jobs/{job_id}/events HTTP/1.1\r\n"
+               f"Host: serve\r\nX-Client-Id: chaos-sse\r\n\r\n")
+    frames: List[Tuple[str, Dict[str, object]]] = []
+    buffer = b""
+    try:
+        with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+            sock.settimeout(timeout_s)
+            sock.connect(uds)
+            sock.sendall(request.encode("latin-1"))
+            preamble_seen = False
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                buffer += chunk
+                if not preamble_seen:
+                    if b"\r\n\r\n" not in buffer:
+                        continue
+                    _, _, buffer = buffer.partition(b"\r\n\r\n")
+                    preamble_seen = True
+                while b"\n\n" in buffer:
+                    frame, _, buffer = buffer.partition(b"\n\n")
+                    parsed = _parse_sse_frame(frame)
+                    if parsed is not None:
+                        frames.append(parsed)
+                    if disconnect_after is not None \
+                            and len(frames) >= disconnect_after:
+                        return frames  # hang up mid-stream
+                if frames and frames[-1][0] == "result":
+                    return frames
+    except OSError:
+        pass
+    return frames
+
+
+def _parse_sse_frame(frame: bytes,
+                     ) -> Optional[Tuple[str, Dict[str, object]]]:
+    event, data = "message", None
+    for line in frame.decode("utf-8", "replace").splitlines():
+        if line.startswith("event: "):
+            event = line[len("event: "):]
+        elif line.startswith("data: "):
+            try:
+                loaded = json.loads(line[len("data: "):])
+            except json.JSONDecodeError:
+                continue
+            if isinstance(loaded, dict):
+                data = loaded
+    if data is None:
+        return None  # comment/keepalive frame
+    return event, data
+
+
+def _slowloris_probe(uds: str, timeout_s: float = 5.0) -> Optional[int]:
+    """Trickle half a request and report how the server disposes of us."""
+    try:
+        with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+            sock.settimeout(timeout_s)
+            sock.connect(uds)
+            sock.sendall(b"POST /v1/jobs HTTP/1.1\r\nHost: serve\r\n")
+            # ... and never finish the headers.
+            raw = b""
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                raw += chunk
+    except OSError:
+        return None
+    status, _headers, _body = _parse_response(raw)
+    return status
+
+
+# -- the soak ----------------------------------------------------------------
+
+
+def _steady(config: ServeChaosConfig, index: int) -> Scenario:
+    return Scenario(experiment="steady",
+                    seed=config.seed * 1000 + index, phases=6, warmup=2)
+
+
+def _burst_scenario(config: ServeChaosConfig, index: int) -> Scenario:
+    return Scenario(experiment="steady",
+                    seed=config.seed * 1000 + 500 + index,
+                    phases=6, warmup=2)
+
+
+def _submit_with_retry(uds: str, body: Dict[str, object],
+                       timeout_s: float = 30.0, client_id: str
+                       = "chaos-driver",
+                       ) -> Tuple[Optional[int], Dict[str, str],
+                                  Optional[Dict[str, object]]]:
+    """Submit, honouring 429/503 backpressure until ``timeout_s``."""
+    deadline = time.monotonic() + timeout_s
+    while True:
+        status, headers, parsed = _request(uds, "POST", "/v1/jobs", body,
+                                           client_id=client_id)
+        if status not in (429, 503) or time.monotonic() > deadline:
+            return status, headers, parsed
+        retry_after = headers.get("retry-after", "1")
+        try:
+            pause = min(float(retry_after), 1.0)
+        except ValueError:
+            pause = 0.2
+        time.sleep(max(0.05, pause))
+
+
+def _wait_terminal(uds: str, job_id: str, timeout_s: float,
+                   ) -> Optional[Dict[str, object]]:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        status, _headers, body = _request(uds, "GET", f"/v1/jobs/{job_id}")
+        if status == 200 and body is not None \
+                and body.get("state") in ("completed", "failed",
+                                          "cancelled", "quarantined"):
+            return body
+        time.sleep(0.05)
+    return None
+
+
+def run_serve_chaos(config: Optional[ServeChaosConfig] = None, *,
+                    out_dir: Optional[str] = None,
+                    on_event: Optional[Callable[[str], None]] = None,
+                    ) -> ServeChaosReport:
+    """One seeded service soak; returns a report of every invariant."""
+    config = config or ServeChaosConfig()
+    complaint = config.validate()
+    if complaint is not None:
+        raise ValueError(complaint)
+    emit = on_event or (lambda message: None)
+    base = Path(out_dir) if out_dir is not None \
+        else Path(tempfile.mkdtemp(prefix="starnuma-serve-chaos-"))
+    base.mkdir(parents=True, exist_ok=True)
+    journal_path = base / "journal.jsonl"
+
+    kill_after = config.kill_after_appends
+    if kill_after is None:
+        kill_after = 4 + int(chaos_fraction("serve-kill-after",
+                                            config.seed) * 8)
+
+    steady = [_steady(config, index)
+              for index in range(config.n_scenarios)]
+    poison = Scenario(experiment="poison", seed=config.seed, phases=6,
+                      warmup=2)
+    slow = Scenario(experiment="slow", seed=config.seed, phases=6,
+                    warmup=2)
+    expected = {cache_key(scenario, git="chaos"): json.dumps(
+        serve_chaos_payload(scenario), sort_keys=True)
+        for scenario in steady}
+
+    problems: List[str] = []
+    counts: Dict[str, int] = {
+        "phase1_submitted": 0, "phase1_coalesced": 0, "sigkills": 0,
+        "completed_verified": 0, "cached_repeats": 0, "sheds": 0,
+        "sse_frames": 0, "sse_disconnects": 0, "journal_records": 0,
+    }
+    adopted: Dict[str, int] = {}
+    started = time.monotonic()
+    # The servers and the driver must agree on the git component of
+    # every cache key, whatever CI environment variables say.
+    previous_git = {name: os.environ.get(name)
+                    for name in ("STARNUMA_GIT_DESCRIBE", "GITHUB_SHA")}
+    os.environ["STARNUMA_GIT_DESCRIBE"] = "chaos"
+    os.environ.pop("GITHUB_SHA", None)
+
+    try:
+        _soak(config, base, journal_path, kill_after, steady, poison,
+              slow, expected, problems, counts, adopted, emit)
+    finally:
+        for name, value in previous_git.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+
+    wall_s = time.monotonic() - started
+    if wall_s > config.max_wall_s:
+        problems.append(f"soak took {wall_s:.1f}s "
+                        f"(budget {config.max_wall_s:.1f}s)")
+    report = ServeChaosReport(
+        seed=config.seed, n_scenarios=config.n_scenarios, wall_s=wall_s,
+        kill_after_appends=kill_after, counts=counts, adopted=adopted,
+        problems=problems,
+    )
+    (base / "serve-chaos-report.json").write_text(
+        json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n")
+    return report
+
+
+def _soak(config: ServeChaosConfig, base: Path, journal_path: Path,
+          kill_after: int, steady: List[Scenario], poison: Scenario,
+          slow: Scenario, expected: Dict[str, str],
+          problems: List[str], counts: Dict[str, int],
+          adopted: Dict[str, int], emit: Callable[[str], None]) -> None:
+    # ---- phase 1: submit under fire until the SIGKILL lands ----------------
+    emit(f"phase 1: fresh server, SIGKILL after {kill_after} "
+         f"journal appends")
+    server = _ServerHandle(base, resume=False, kill_after=kill_after,
+                           config=config, tag="phase1")
+    if not server.wait_ready():
+        problems.append("phase 1 server never became ready")
+        server.sigkill()
+        return
+    uds = server.uds
+
+    _request(uds, "POST", "/v1/jobs", dict(poison.to_dict(),
+                                           deadline_s=30))
+    first_job: Optional[str] = None
+    for index, scenario in enumerate(steady):
+        status, _headers, body = _request(uds, "POST", "/v1/jobs",
+                                          scenario.to_dict())
+        if status is None:
+            break  # the SIGKILL landed; phase 2 picks everything up
+        if status in (200, 201) and body is not None:
+            counts["phase1_submitted"] += 1
+            if first_job is None:
+                first_job = str(body.get("job"))
+            if index < config.duplicates:
+                dup_status, _dup_headers, dup_body = _request(
+                    uds, "POST", "/v1/jobs", scenario.to_dict())
+                if dup_status == 200 and dup_body is not None \
+                        and dup_body.get("disposition") in ("coalesced",
+                                                            "cached"):
+                    counts["phase1_coalesced"] += 1
+        elif status not in (429, 503):
+            problems.append(
+                f"phase 1 submission returned unexpected {status}")
+    if first_job is not None:
+        # A client that attaches to the stream and vanishes mid-job.
+        frames = _read_sse(uds, first_job, disconnect_after=1,
+                           timeout_s=5.0)
+        counts["sse_disconnects"] += 1
+        counts["sse_frames"] += len(frames)
+    loris = _slowloris_probe(uds)
+    if loris not in (408, None):
+        problems.append(f"slow-loris got {loris}, expected 408 "
+                        f"or disconnect")
+    if not server.wait_dead(timeout_s=30.0):
+        # The batch finished under the kill threshold; land the
+        # SIGKILL ourselves so resume still faces a cold stop.
+        server.sigkill()
+    counts["sigkills"] += 1
+    emit("phase 1 server is down (SIGKILL)")
+
+    # ---- the journal must replay, torn tail and all ------------------------
+    try:
+        replayed = replay_journal(journal_path)
+        counts["journal_records"] = replayed.records
+    except JournalError as exc:
+        problems.append(f"journal replay after SIGKILL failed: {exc}")
+        return
+
+    # ---- phase 2: resume, finish everything, verify byte-for-byte ----------
+    emit("phase 2: serve --resume")
+    server = _ServerHandle(base, resume=True, kill_after=None,
+                           config=config, tag="phase2")
+    if not server.wait_ready():
+        problems.append("resumed server never became ready")
+        server.sigkill()
+        return
+    uds = server.uds
+    _status, _headers, stats = _request(uds, "GET", "/v1/stats")
+    if stats is not None and isinstance(stats.get("adopted"), dict):
+        adopted.update({key: int(value) for key, value
+                        in stats["adopted"].items()})
+
+    # Every steady scenario must complete exactly once with the
+    # fault-free payload, whether it was journaled, half-run, or new.
+    job_ids: Dict[str, str] = {}
+    for scenario in steady:
+        status, _headers, body = _submit_with_retry(uds,
+                                                    scenario.to_dict())
+        if status in (200, 201) and body is not None:
+            job_ids[cache_key(scenario, git="chaos")] = str(body["job"])
+        else:
+            problems.append(
+                f"phase 2 resubmit of steady seed={scenario.seed} "
+                f"got {status}")
+    for key, job_id in job_ids.items():
+        body = _wait_terminal(uds, job_id, timeout_s=60.0)
+        if body is None:
+            problems.append(f"job {job_id} never reached a terminal "
+                            f"state after resume")
+            continue
+        if body.get("state") != "completed":
+            problems.append(f"job {job_id} ended {body.get('state')!r}, "
+                            f"expected completed")
+            continue
+        got = json.dumps(body.get("result"), sort_keys=True)
+        if got != expected[key]:
+            problems.append(f"job {job_id}: result diverged from the "
+                            f"fault-free expectation")
+        else:
+            counts["completed_verified"] += 1
+
+    # Repeats of completed work must be served from cache, running
+    # nothing: the manager's started counter must not move.
+    _status, _headers, stats_before = _request(uds, "GET", "/v1/stats")
+    for scenario in steady:
+        status, _headers, body = _request(uds, "POST", "/v1/jobs",
+                                          scenario.to_dict())
+        if status == 200 and body is not None \
+                and body.get("disposition") == "cached":
+            counts["cached_repeats"] += 1
+        else:
+            problems.append(
+                f"repeat of completed seed={scenario.seed} was not "
+                f"served from cache (status {status})")
+    _status, _headers, stats_after = _request(uds, "GET", "/v1/stats")
+    if stats_before is not None and stats_after is not None \
+            and stats_after.get("started") != stats_before.get("started"):
+        problems.append(
+            f"cache repeats started new work: started went "
+            f"{stats_before.get('started')} -> "
+            f"{stats_after.get('started')}")
+
+    # Single-flight on a brand-new scenario: second submission while
+    # the first still runs must coalesce, not double-run.
+    fresh = Scenario(experiment="steady",
+                     seed=config.seed * 1000 + 900, phases=6, warmup=2)
+    status_a, _h, body_a = _request(uds, "POST", "/v1/jobs",
+                                    fresh.to_dict())
+    status_b, _h, body_b = _request(uds, "POST", "/v1/jobs",
+                                    fresh.to_dict())
+    if status_a != 201:
+        problems.append(f"fresh scenario submission got {status_a}")
+    if status_b != 200 or body_b is None \
+            or body_b.get("disposition") not in ("coalesced", "cached"):
+        problems.append("concurrent identical submission was not "
+                        "coalesced or cached")
+    if body_a is not None:
+        follower = _read_sse(uds, str(body_a["job"]), timeout_s=30.0)
+        counts["sse_frames"] += len(follower)
+        if not follower or follower[-1][0] != "result":
+            problems.append("SSE stream did not end with a result frame")
+        elif follower[-1][1].get("state") != "completed":
+            problems.append("SSE result frame was not 'completed'")
+
+    # Poison must end quarantined and stay that way.
+    status, _headers, body = _submit_with_retry(
+        uds, dict(poison.to_dict(), deadline_s=30))
+    if status in (200, 201) and body is not None:
+        terminal = _wait_terminal(uds, str(body["job"]), timeout_s=60.0)
+        if terminal is None or terminal.get("state") != "quarantined":
+            problems.append(
+                f"poison job ended "
+                f"{terminal.get('state') if terminal else 'nowhere'!r}, "
+                f"expected quarantined")
+    elif status != 409:
+        problems.append(f"poison resubmission got {status}")
+    status, _headers, _body = _request(uds, "POST", "/v1/jobs",
+                                       dict(poison.to_dict(),
+                                            deadline_s=30))
+    if status != 409:
+        problems.append(f"quarantined poison was re-admitted "
+                        f"(status {status}); quarantine must be sticky")
+
+    # Deadline overrun must fail, not hang.
+    status, _headers, body = _submit_with_retry(
+        uds, dict(slow.to_dict(), deadline_s=config.slow_deadline_s))
+    if status == 201 and body is not None:
+        terminal = _wait_terminal(uds, str(body["job"]),
+                                  timeout_s=config.slow_sleep_s + 20.0)
+        if terminal is None or terminal.get("state") != "failed":
+            problems.append("deadline-overrun job did not fail")
+    else:
+        problems.append(f"slow scenario submission got {status}")
+
+    # Overload burst: with queue=4 and workers=2, a rapid burst of
+    # distinct scenarios must shed promptly with 429 + Retry-After.
+    shed_latency = 0.0
+    burst_jobs: List[str] = []
+    for index in range(config.burst):
+        scenario = _burst_scenario(config, index)
+        t0 = time.monotonic()
+        status, headers, body = _request(uds, "POST", "/v1/jobs",
+                                         scenario.to_dict(),
+                                         client_id="chaos-burst")
+        elapsed = time.monotonic() - t0
+        if status == 429:
+            counts["sheds"] += 1
+            shed_latency = max(shed_latency, elapsed)
+            if "retry-after" not in headers:
+                problems.append("429 shed carried no Retry-After")
+        elif status == 201 and body is not None:
+            burst_jobs.append(str(body["job"]))
+    if counts["sheds"] == 0:
+        problems.append(
+            f"burst of {config.burst} against queue=4/workers=2 "
+            f"was never shed with 429")
+    elif shed_latency > 1.0:
+        problems.append(f"shed responses took up to {shed_latency:.2f}s; "
+                        f"load shedding must be immediate")
+    for job_id in burst_jobs:
+        body = _wait_terminal(uds, job_id, timeout_s=60.0)
+        if body is None or body.get("state") != "completed":
+            problems.append(f"burst job {job_id} did not complete")
+
+    # Oversized body is refused before buffering.
+    status = _oversize_probe(uds)
+    if status != 413:
+        problems.append(f"oversized body got {status}, expected 413")
+
+    # ---- phase 3: SIGTERM drain with work in flight ------------------------
+    emit("phase 3: SIGTERM drain")
+    parked = Scenario(experiment="steady",
+                      seed=config.seed * 1000 + 950, phases=6, warmup=2)
+    _request(uds, "POST", "/v1/jobs", parked.to_dict())
+    server.sigterm()
+    shed_503 = False
+    deadline = time.monotonic() + 5.0
+    while time.monotonic() < deadline:
+        status, _headers, _body = _request(
+            uds, "POST", "/v1/jobs",
+            _burst_scenario(config, 990).to_dict(), timeout_s=2.0)
+        if status == 503:
+            shed_503 = True
+            break
+        if status is None:
+            break  # already fully down; acceptably fast drain
+        time.sleep(0.05)
+    if not server.wait_dead(timeout_s=_chaos_policy().drain_grace_s
+                            + 15.0):
+        problems.append("server did not exit after SIGTERM drain")
+        server.sigkill()
+    elif server.process.exitcode != 0:
+        problems.append(f"drained server exited "
+                        f"{server.process.exitcode}, expected 0")
+    if not shed_503:
+        emit("note: drain finished before a 503 could be observed")
+
+    # The final journal must still replay cleanly end-to-end.
+    try:
+        final = replay_journal(journal_path)
+        counts["journal_records"] = final.records
+        for record in final.jobs.values():
+            if record.state not in ("completed", "failed", "cancelled",
+                                    "quarantined", "submitted", "started"):
+                problems.append(f"journal replayed impossible state "
+                                f"{record.state!r}")
+    except JournalError as exc:
+        problems.append(f"final journal replay failed: {exc}")
+
+
+def _oversize_probe(uds: str) -> Optional[int]:
+    """Declare a huge body; the server must refuse before reading it."""
+    limits = _chaos_limits()
+    head = (f"POST /v1/jobs HTTP/1.1\r\nHost: serve\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {limits.max_body_bytes * 64}\r\n\r\n")
+    try:
+        with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+            sock.settimeout(5.0)
+            sock.connect(uds)
+            sock.sendall(head.encode("latin-1"))
+            raw = b""
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                raw += chunk
+    except OSError:
+        return None
+    status, _headers, _body = _parse_response(raw)
+    return status

@@ -1,0 +1,226 @@
+"""The crash-safe job journal: fsynced write-ahead state records.
+
+Every job state transition is appended as one JSON line and fsynced
+before the transition takes effect anywhere a client could observe it
+(the same discipline as the sweep checkpoint, in append-only form).
+``serve --resume`` replays the journal after a SIGKILL and recovers
+exactly what was durable:
+
+* ``submitted``/``started`` jobs are re-adopted and run again (their
+  work was lost with the process -- at-least-once execution, with the
+  result cache collapsing any duplicate completion to one answer);
+* ``completed`` jobs are never re-run -- the record carries the result
+  payload, so even a cold cache serves them;
+* ``quarantined`` jobs are never re-run and never re-charged: a poison
+  job that killed its workers stays quarantined across restarts;
+* ``cancelled`` jobs stay cancelled.
+
+A SIGKILL can tear the *last* line mid-write; :func:`replay_journal`
+tolerates exactly that (the torn tail is reported, not fatal) while a
+torn record anywhere else -- impossible under append-only writes --
+fails loudly. Unknown journal schemas are refused with a one-line
+:class:`JournalError`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+JOURNAL_SCHEMA_VERSION = 1
+
+#: Legal ops, in the order a job may experience them.
+OPS = ("submitted", "started", "completed", "failed", "cancelled",
+       "quarantined")
+
+#: Ops that end a job (nothing may follow except a fresh ``submitted``).
+TERMINAL_OPS = frozenset({"completed", "failed", "cancelled",
+                          "quarantined"})
+
+
+class JournalError(RuntimeError):
+    """A journal this version cannot safely interpret."""
+
+
+@dataclass
+class JobRecord:
+    """The replayed state of one job."""
+
+    job_id: str
+    state: str
+    key: str = ""
+    scenario: Optional[Dict[str, object]] = None
+    result: Optional[Dict[str, object]] = None
+    error: Optional[str] = None
+    strikes: int = 0
+    starts: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "job_id": self.job_id,
+            "state": self.state,
+            "key": self.key,
+            "scenario": self.scenario,
+            "result": self.result,
+            "error": self.error,
+            "strikes": self.strikes,
+            "starts": self.starts,
+        }
+
+
+@dataclass
+class JournalState:
+    """Everything :func:`replay_journal` recovered."""
+
+    jobs: Dict[str, JobRecord] = field(default_factory=dict)
+    records: int = 0
+    #: True when the final line was torn by a crash mid-write.
+    torn_tail: bool = False
+
+    def to_re_adopt(self) -> List[JobRecord]:
+        """Jobs whose work was lost with the process (re-run these)."""
+        return [record for record in self.jobs.values()
+                if record.state in ("submitted", "started")]
+
+    def snapshot(self) -> Dict[str, object]:
+        """A deterministic dict of the whole state (for replay tests)."""
+        return {
+            "records": self.records,
+            "torn_tail": self.torn_tail,
+            "jobs": {job_id: record.to_dict()
+                     for job_id, record in sorted(self.jobs.items())},
+        }
+
+
+class JobJournal:
+    """Append-only writer; every record is flushed and fsynced."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self._seq = 0
+
+    def append(self, op: str, job_id: str, **fields: object) -> None:
+        """Durably record one transition before acting on it."""
+        if op not in OPS:
+            raise ValueError(f"unknown journal op {op!r}")
+        self._seq += 1
+        record: Dict[str, object] = {
+            "schema": JOURNAL_SCHEMA_VERSION,
+            "seq": self._seq,
+            "op": op,
+            "job": job_id,
+        }
+        record.update(fields)
+        self._handle.write(json.dumps(record, sort_keys=True,
+                                      separators=(",", ":")))
+        self._handle.write("\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "JobJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def _apply(state: JournalState, record: Dict[str, object]) -> None:
+    job_id = str(record.get("job"))
+    op = str(record.get("op"))
+    existing = state.jobs.get(job_id)
+    if op == "submitted":
+        # A fresh submission resets a previously failed/cancelled job;
+        # quarantine is sticky -- poison is never re-charged.
+        if existing is not None and existing.state == "quarantined":
+            return
+        state.jobs[job_id] = JobRecord(
+            job_id=job_id, state="submitted",
+            key=str(record.get("key", "")),
+            scenario=record.get("scenario")  # type: ignore[arg-type]
+            if isinstance(record.get("scenario"), dict) else None,
+            strikes=existing.strikes if existing is not None else 0,
+            starts=existing.starts if existing is not None else 0,
+        )
+        return
+    if existing is None:
+        # A transition for a job we never saw submitted: only possible
+        # if an operator truncated the head; keep what we can.
+        existing = JobRecord(job_id=job_id, state="submitted",
+                             key=str(record.get("key", "")))
+        state.jobs[job_id] = existing
+    if existing.state == "quarantined":
+        return  # sticky, whatever a torn-order record claims
+    if op == "started":
+        existing.state = "started"
+        existing.starts += 1
+        existing.strikes = int(record.get("strikes", existing.strikes))  # type: ignore[call-overload]
+    elif op == "completed":
+        existing.state = "completed"
+        result = record.get("result")
+        existing.result = result if isinstance(result, dict) else None
+    elif op == "failed":
+        existing.state = "failed"
+        existing.error = str(record.get("error", "failed"))
+    elif op == "cancelled":
+        existing.state = "cancelled"
+        existing.error = str(record.get("error", "cancelled"))
+    elif op == "quarantined":
+        existing.state = "quarantined"
+        existing.error = str(record.get("error", "quarantined"))
+        existing.strikes = int(record.get("strikes", existing.strikes))  # type: ignore[call-overload]
+
+
+def replay_journal(path: Union[str, Path]) -> JournalState:
+    """Reconstruct job state from a journal file (read-only).
+
+    A missing file is an empty state. A torn *final* line (crash
+    mid-append) is tolerated and reported via ``torn_tail``; any other
+    malformed line, or a record with an unknown schema, raises
+    :class:`JournalError` with a one-line message.
+    """
+    state = JournalState()
+    journal_path = Path(path)
+    if not journal_path.exists():
+        return state
+    raw = journal_path.read_bytes()
+    if not raw:
+        return state
+    lines = raw.split(b"\n")
+    # A well-formed journal ends with a newline, so the final split
+    # element is empty; anything else is a torn tail.
+    tail = lines.pop()
+    if tail:
+        state.torn_tail = True
+    for index, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            if index == len(lines) and not state.torn_tail:
+                state.torn_tail = True
+                continue
+            raise JournalError(
+                f"{journal_path}: malformed journal record on line "
+                f"{index} (not at the tail; refusing to guess)") from None
+        if not isinstance(record, dict):
+            raise JournalError(
+                f"{journal_path}: line {index} is not a JSON object")
+        schema = record.get("schema")
+        if schema != JOURNAL_SCHEMA_VERSION:
+            raise JournalError(
+                f"{journal_path}: journal schema {schema!r} on line "
+                f"{index}; this version reads schema "
+                f"{JOURNAL_SCHEMA_VERSION} only")
+        _apply(state, record)
+        state.records += 1
+    return state

@@ -1,0 +1,75 @@
+"""The service's knobs, validated once at startup.
+
+One frozen dataclass so every layer (admission, jobs, app, chaos)
+reads the same numbers, and a bad flag dies with a one-line error
+before the socket ever opens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class ServePolicy:
+    """How the service behaves under load, faults, and shutdown."""
+
+    #: Concurrent job worker processes.
+    max_workers: int = 2
+    #: Bounded submission queue: jobs admitted but not yet running.
+    max_queue: int = 16
+    #: Per-client cap on jobs queued or running at once.
+    max_inflight_per_client: int = 4
+    #: Advisory Retry-After seconds sent with 429/503 shedding.
+    retry_after_s: float = 1.0
+    #: Deadline applied when a submission names none.
+    default_deadline_s: float = 300.0
+    #: Ceiling on any requested deadline.
+    max_deadline_s: float = 3600.0
+    #: How long a job survives with no interested client before the
+    #: server cancels its work (covers submit-then-vanish clients).
+    linger_s: float = 10.0
+    #: Parent poll cadence for worker pipes, health, and deadlines.
+    poll_interval_s: float = 0.05
+    #: Kill a job worker whose heartbeat is older than this.
+    heartbeat_timeout_s: float = 30.0
+    #: Worker losses (crash or hang) one job survives before it is
+    #: quarantined as poisoned (mirrors the sweep supervisor).
+    max_job_strikes: int = 2
+    #: Consecutive worker losses before the service stops admitting.
+    breaker_threshold: int = 5
+    #: Grace given to in-flight jobs on SIGTERM before workers are
+    #: killed and the (journaled, resumable) server exits.
+    drain_grace_s: float = 5.0
+    #: Per-subscriber SSE backlog bound (records; oldest dropped).
+    sse_backlog: int = 256
+    #: Extra slack past a job's deadline before the parent kills the
+    #: worker (the worker-side SIGALRM should fire first).
+    deadline_slack_s: float = 2.0
+    #: Retry budget for transient errors inside one job worker.
+    job_max_retries: int = 2
+    #: Base backoff between in-worker retries.
+    job_backoff_s: float = 0.1
+
+    def validate(self) -> Optional[str]:
+        """One-line complaint for an invalid policy, else None."""
+        positive = (
+            "max_workers", "max_queue", "max_inflight_per_client",
+            "retry_after_s", "default_deadline_s", "max_deadline_s",
+            "poll_interval_s", "heartbeat_timeout_s", "max_job_strikes",
+            "breaker_threshold", "sse_backlog",
+        )
+        for name in positive:
+            value = getattr(self, name)
+            if value <= 0:
+                return f"{name} must be > 0 (got {value})"
+        for name in ("linger_s", "drain_grace_s", "deadline_slack_s",
+                     "job_max_retries", "job_backoff_s"):
+            value = getattr(self, name)
+            if value < 0:
+                return f"{name} must be >= 0 (got {value})"
+        if self.default_deadline_s > self.max_deadline_s:
+            return (f"default_deadline_s ({self.default_deadline_s}) "
+                    f"exceeds max_deadline_s ({self.max_deadline_s})")
+        return None

@@ -1,0 +1,239 @@
+"""Hand-rolled HTTP/1.1 over asyncio streams -- no new runtime deps.
+
+The service speaks just enough HTTP for its API: request-line +
+headers + optional ``Content-Length`` body in, status + headers + body
+out, plus SSE streaming. Robustness lives in the *limits*: header and
+body reads are bounded in both bytes and wall-clock time, so a
+slow-loris submitter is disconnected with 408 instead of pinning a
+connection forever, and an oversized body is refused with 413 before
+it is buffered -- server RSS stays bounded no matter what clients do.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Tuple
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+#: Reason phrases for every status the service emits.
+REASONS = {
+    200: "OK",
+    201: "Created",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    409: "Conflict",
+    410: "Gone",
+    411: "Length Required",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+}
+
+
+@dataclass(frozen=True)
+class ReadLimits:
+    """Byte and wall-clock bounds on reading one request."""
+
+    #: Maximum bytes of request line + headers.
+    max_header_bytes: int = 16384
+    #: Maximum bytes of request body (scenario JSONs are tiny).
+    max_body_bytes: int = 65536
+    #: Wall-clock budget for the header block to arrive complete.
+    header_timeout_s: float = 5.0
+    #: Wall-clock budget for the declared body to arrive complete.
+    body_timeout_s: float = 10.0
+
+
+class HttpError(Exception):
+    """A request-level failure mapped straight to a response."""
+
+    def __init__(self, status: int, detail: str,
+                 retry_after_s: Optional[float] = None) -> None:
+        self.status = status
+        self.detail = detail
+        self.retry_after_s = retry_after_s
+        super().__init__(f"{status} {REASONS.get(status, '')}: {detail}")
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request."""
+
+    method: str
+    target: str
+    path: str
+    query: Dict[str, str]
+    headers: Dict[str, str]
+    body: bytes = b""
+    client: str = "?"
+
+    def header(self, name: str, default: str = "") -> str:
+        return self.headers.get(name.lower(), default)
+
+    def json(self) -> Dict[str, object]:
+        """The body as a JSON object; :class:`HttpError` 400 otherwise."""
+        if not self.body:
+            raise HttpError(400, "request body is empty; expected JSON")
+        try:
+            data = json.loads(self.body.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise HttpError(400, f"request body is not valid JSON: {exc}") \
+                from None
+        if not isinstance(data, dict):
+            raise HttpError(400, "request body must be a JSON object")
+        return data
+
+
+@dataclass
+class Response:
+    """One response, rendered by :func:`write_response`."""
+
+    status: int
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: Tuple[Tuple[str, str], ...] = field(default_factory=tuple)
+
+    @classmethod
+    def json(cls, status: int, payload: Dict[str, object],
+             headers: Tuple[Tuple[str, str], ...] = ()) -> "Response":
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+        return cls(status=status, body=body, headers=headers)
+
+    @classmethod
+    def error(cls, exc: HttpError) -> "Response":
+        headers: Tuple[Tuple[str, str], ...] = ()
+        if exc.retry_after_s is not None:
+            headers = (("Retry-After",
+                        str(max(1, int(round(exc.retry_after_s))))),)
+        return cls.json(exc.status,
+                        {"error": REASONS.get(exc.status, "error"),
+                         "detail": exc.detail},
+                        headers=headers)
+
+
+async def read_request(reader: asyncio.StreamReader,
+                       limits: ReadLimits,
+                       client: str = "?") -> Optional[HttpRequest]:
+    """Read one request; None on a clean EOF before any bytes arrive.
+
+    Raises :class:`HttpError` for oversized headers/bodies (431/413),
+    slow arrivals (408), missing lengths on bodied methods (411), and
+    malformed syntax (400). The caller maps those to responses.
+    """
+    try:
+        raw_header = await asyncio.wait_for(
+            reader.readuntil(b"\r\n\r\n"), timeout=limits.header_timeout_s)
+    except asyncio.TimeoutError:
+        raise HttpError(
+            408, "request headers did not arrive within "
+                 f"{limits.header_timeout_s:.0f}s") from None
+    except asyncio.LimitOverrunError:
+        raise HttpError(431, "request headers exceed "
+                             f"{limits.max_header_bytes} bytes") from None
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF between requests
+        raise HttpError(400, "connection closed mid-headers") from None
+    if len(raw_header) > limits.max_header_bytes:
+        raise HttpError(431, "request headers exceed "
+                             f"{limits.max_header_bytes} bytes")
+
+    try:
+        header_text = raw_header.decode("latin-1")
+    except UnicodeDecodeError:  # pragma: no cover -- latin-1 never fails
+        raise HttpError(400, "undecodable request headers") from None
+    lines = header_text.split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed request line: {lines[0]!r}")
+    method, target, _version = parts
+
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, separator, value = line.partition(":")
+        if not separator:
+            raise HttpError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise HttpError(501, "chunked request bodies are not supported; "
+                             "send Content-Length")
+
+    body = b""
+    declared = headers.get("content-length")
+    if declared is not None:
+        try:
+            length = int(declared)
+        except ValueError:
+            raise HttpError(400,
+                            f"bad Content-Length: {declared!r}") from None
+        if length < 0:
+            raise HttpError(400, f"bad Content-Length: {declared!r}")
+        if length > limits.max_body_bytes:
+            # Refuse *before* buffering: bounded RSS under overload.
+            raise HttpError(413, f"request body of {length} bytes exceeds "
+                                 f"the {limits.max_body_bytes} byte limit")
+        if length:
+            try:
+                body = await asyncio.wait_for(
+                    reader.readexactly(length),
+                    timeout=limits.body_timeout_s)
+            except asyncio.TimeoutError:
+                raise HttpError(
+                    408, "request body did not arrive within "
+                         f"{limits.body_timeout_s:.0f}s") from None
+            except asyncio.IncompleteReadError:
+                raise HttpError(400, "connection closed mid-body") \
+                    from None
+    elif method in ("POST", "PUT", "PATCH"):
+        raise HttpError(411, f"{method} requires Content-Length")
+
+    split = urlsplit(target)
+    path = unquote(split.path)
+    query = {key: value for key, value in parse_qsl(split.query)}
+    return HttpRequest(method=method, target=target, path=path,
+                       query=query, headers=headers, body=body,
+                       client=client)
+
+
+def render_response(response: Response, *,
+                    keep_alive: bool = False) -> bytes:
+    """Serialize one response (status line, headers, body)."""
+    reason = REASONS.get(response.status, "Unknown")
+    lines = [f"HTTP/1.1 {response.status} {reason}"]
+    lines.append(f"Content-Type: {response.content_type}")
+    lines.append(f"Content-Length: {len(response.body)}")
+    lines.append("Connection: " + ("keep-alive" if keep_alive else "close"))
+    for name, value in response.headers:
+        lines.append(f"{name}: {value}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + response.body
+
+
+async def write_response(writer: asyncio.StreamWriter, response: Response,
+                         *, keep_alive: bool = False) -> None:
+    writer.write(render_response(response, keep_alive=keep_alive))
+    await writer.drain()
+
+
+def sse_preamble(extra_headers: Iterable[Tuple[str, str]] = ()) -> bytes:
+    """The response head that opens an SSE stream (no Content-Length)."""
+    lines = [
+        "HTTP/1.1 200 OK",
+        "Content-Type: text/event-stream",
+        "Cache-Control: no-store",
+        "Connection: close",
+    ]
+    for name, value in extra_headers:
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")

@@ -1,0 +1,171 @@
+"""Scenario submissions: the schema ``starnuma run`` and serve share.
+
+A submission names an experiment, a seed, a phase horizon, and an
+optional workload subset -- exactly the knobs of ``starnuma run`` --
+and is validated by the same bounds (:func:`validate_run_params` is
+called by both the CLI and the service). The *catalog* of legal
+experiment and workload names is injected by the caller: the layering
+contract keeps ``repro.serve`` off the simulator, so the CLI wires in
+:data:`repro.experiments.EXPERIMENTS` and the chaos harness wires in a
+synthetic catalog.
+
+A scenario's :func:`fingerprint` mirrors the export manifest-v2 fields
+(schema, seed, phases, warmup, workloads, experiment, git revision);
+:func:`cache_key` hashes the canonical JSON of that fingerprint into
+the content address used by the result cache, the single-flight table,
+and the job journal.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Tuple
+
+#: Version of the submission/fingerprint layout.
+SUBMISSION_SCHEMA_VERSION = 1
+
+#: Environment variables consulted (in order) for the source revision;
+#: mirrors the export manifest -- the service never shells out to git.
+_GIT_ENV_VARS = ("STARNUMA_GIT_DESCRIBE", "GITHUB_SHA")
+
+#: Body keys a submission may carry (anything else is a client bug).
+_ALLOWED_KEYS = frozenset({
+    "experiment", "seed", "phases", "warmup", "workloads", "deadline_s",
+})
+
+
+class ScenarioError(ValueError):
+    """A submission that fails validation; message is one line."""
+
+
+@dataclass(frozen=True)
+class Catalog:
+    """The names a deployment accepts (injected, never imported)."""
+
+    experiments: FrozenSet[str]
+    workloads: FrozenSet[str]
+
+    @classmethod
+    def of(cls, experiments: Iterable[str],
+           workloads: Iterable[str]) -> "Catalog":
+        return cls(experiments=frozenset(experiments),
+                   workloads=frozenset(workloads))
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One validated simulation request."""
+
+    experiment: str
+    seed: int = 1
+    phases: int = 12
+    warmup: int = 4
+    workloads: Optional[Tuple[str, ...]] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "experiment": self.experiment,
+            "seed": self.seed,
+            "phases": self.phases,
+            "warmup": self.warmup,
+            "workloads": list(self.workloads) if self.workloads else None,
+        }
+
+
+def validate_run_params(seed: int, phases: int, warmup: int,
+                        workloads: Optional[Sequence[str]],
+                        known_workloads: Iterable[str]) -> Optional[str]:
+    """One-line complaint for invalid run parameters, else None.
+
+    The single source of truth for the bounds ``starnuma run``,
+    ``starnuma export``, and ``POST /v1/jobs`` all enforce.
+    """
+    if seed < 0:
+        return f"seed must be >= 0 (got {seed})"
+    if phases < 1:
+        return f"phases must be >= 1 (got {phases})"
+    if not 0 <= warmup < phases:
+        return (f"warmup must satisfy 0 <= warmup < phases "
+                f"(got warmup={warmup}, phases={phases})")
+    known = set(known_workloads)
+    for workload in workloads or []:
+        if workload not in known:
+            return f"unknown workload {workload!r}"
+    return None
+
+
+def _require_int(payload: Dict[str, object], key: str,
+                 default: int) -> int:
+    value = payload.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ScenarioError(f"{key} must be an integer (got {value!r})")
+    return value
+
+
+def parse_scenario(payload: Dict[str, object],
+                   catalog: Catalog) -> Scenario:
+    """Validate one submission body into a :class:`Scenario`.
+
+    Raises :class:`ScenarioError` with a one-line message on any
+    violation -- unknown keys, unknown experiment/workload names, or
+    out-of-bounds parameters (same bounds as ``starnuma run``).
+    """
+    unknown = sorted(set(payload) - _ALLOWED_KEYS)
+    if unknown:
+        raise ScenarioError(
+            f"unknown submission key(s): {', '.join(unknown)} "
+            f"(allowed: {', '.join(sorted(_ALLOWED_KEYS))})")
+    experiment = payload.get("experiment")
+    if not isinstance(experiment, str) or not experiment:
+        raise ScenarioError("experiment is required and must be a string")
+    if experiment not in catalog.experiments:
+        raise ScenarioError(f"unknown experiment {experiment!r}")
+    seed = _require_int(payload, "seed", 1)
+    phases = _require_int(payload, "phases", 12)
+    warmup = _require_int(payload, "warmup", 4)
+    raw_workloads = payload.get("workloads")
+    workloads: Optional[Tuple[str, ...]] = None
+    if raw_workloads is not None:
+        if not isinstance(raw_workloads, (list, tuple)) \
+                or not all(isinstance(name, str) for name in raw_workloads):
+            raise ScenarioError("workloads must be a list of names")
+        workloads = tuple(raw_workloads)
+    complaint = validate_run_params(seed, phases, warmup, workloads,
+                                    catalog.workloads)
+    if complaint is not None:
+        raise ScenarioError(complaint)
+    return Scenario(experiment=experiment, seed=seed, phases=phases,
+                    warmup=warmup, workloads=workloads)
+
+
+def _git_describe() -> Optional[str]:
+    for variable in _GIT_ENV_VARS:
+        value = os.environ.get(variable)
+        if value:
+            return value
+    return None
+
+
+def fingerprint(scenario: Scenario,
+                git: Optional[str] = None) -> Dict[str, object]:
+    """The content identity of one scenario (manifest-v2 mirror)."""
+    return {
+        "schema": SUBMISSION_SCHEMA_VERSION,
+        "experiment": scenario.experiment,
+        "seed": scenario.seed,
+        "n_phases": scenario.phases,
+        "warmup_phases": scenario.warmup,
+        "workloads": list(scenario.workloads) if scenario.workloads
+        else None,
+        "git": git if git is not None else _git_describe(),
+    }
+
+
+def cache_key(scenario: Scenario, git: Optional[str] = None) -> str:
+    """sha256 hex of the canonical fingerprint JSON."""
+    canonical = json.dumps(fingerprint(scenario, git=git), sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()

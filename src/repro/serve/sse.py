@@ -1,0 +1,127 @@
+"""Server-Sent Events: formatting and the per-job progress hub.
+
+Each running job owns a :class:`ProgressHub`. The job's worker streams
+obs span/event records home over its pipe; the manager publishes them
+here; every attached SSE subscriber (the submitting leader and any
+coalesced followers) reads its own bounded queue. Bounded is the
+point: a subscriber that stops reading gets its *oldest* records
+dropped (counted, observable) instead of growing server RSS without
+limit. A short replay buffer lets followers who attach mid-run see
+recent progress instead of joining blind.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from repro.obs import OBS
+
+
+def format_sse(data: Dict[str, object], *, event: Optional[str] = None,
+               event_id: Optional[str] = None) -> bytes:
+    """One SSE frame: optional event name/id, JSON data, blank line."""
+    lines: List[str] = []
+    if event is not None:
+        lines.append(f"event: {event}")
+    if event_id is not None:
+        lines.append(f"id: {event_id}")
+    payload = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    lines.append(f"data: {payload}")
+    return ("\n".join(lines) + "\n\n").encode("utf-8")
+
+
+class Subscription:
+    """One subscriber's bounded view of a hub."""
+
+    def __init__(self, hub: "ProgressHub", backlog: int) -> None:
+        self._hub = hub
+        self._queue: Deque[Dict[str, object]] = deque(maxlen=backlog)
+        self._wakeup = asyncio.Event()
+        #: Records this subscriber lost to its backlog bound.
+        self.dropped = 0
+
+    def _publish(self, record: Dict[str, object]) -> None:
+        if len(self._queue) == self._queue.maxlen:
+            self.dropped += 1
+            OBS.counter("serve.sse.dropped")
+        self._queue.append(record)
+        self._wakeup.set()
+
+    async def next_record(self,
+                          timeout_s: Optional[float] = None,
+                          ) -> Optional[Dict[str, object]]:
+        """The next record; None once the hub is closed and drained.
+
+        With ``timeout_s``, an idle wait returns a ``keepalive``
+        record instead of blocking forever (SSE comment heartbeat).
+        """
+        while True:
+            if self._queue:
+                return self._queue.popleft()
+            if self._hub.closed:
+                return None
+            self._wakeup.clear()
+            if self._queue or self._hub.closed:
+                continue  # published/closed between check and clear
+            try:
+                if timeout_s is None:
+                    await self._wakeup.wait()
+                else:
+                    await asyncio.wait_for(self._wakeup.wait(), timeout_s)
+            except asyncio.TimeoutError:
+                return {"kind": "keepalive"}
+
+    def unsubscribe(self) -> None:
+        self._hub._drop(self)
+
+
+class ProgressHub:
+    """Fans one job's progress records out to live subscribers."""
+
+    def __init__(self, *, backlog: int = 256, replay: int = 32) -> None:
+        if backlog < 1:
+            raise ValueError(f"backlog must be >= 1, got {backlog}")
+        self._backlog = backlog
+        self._replay: Deque[Dict[str, object]] = deque(maxlen=max(0,
+                                                                  replay))
+        self._subscribers: List[Subscription] = []
+        self.closed = False
+
+    def publish(self, record: Dict[str, object]) -> None:
+        """Deliver one record to every subscriber (and the replay)."""
+        if self.closed:
+            return
+        self._replay.append(record)
+        for subscription in self._subscribers:
+            subscription._publish(record)
+
+    def subscribe(self) -> Subscription:
+        """Attach; recent records are replayed into the new queue."""
+        subscription = Subscription(self, self._backlog)
+        for record in self._replay:
+            subscription._publish(record)
+        self._subscribers.append(subscription)
+        return subscription
+
+    def _drop(self, subscription: Subscription) -> None:
+        try:
+            self._subscribers.remove(subscription)
+        except ValueError:
+            pass
+
+    def close(self, final: Optional[Dict[str, object]] = None) -> None:
+        """Publish an optional final record, then wake everyone to EOF."""
+        if self.closed:
+            return
+        if final is not None:
+            self.publish(final)
+        self.closed = True
+        for subscription in self._subscribers:
+            subscription._wakeup.set()
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self._subscribers)

@@ -201,6 +201,18 @@ class TestHeartbeatPrimitives:
         pinned = SupervisionPolicy(heartbeat_timeout_s=2.0)
         assert pinned.effective_heartbeat_s(10.0, 30.0) == 2.0
 
+    def test_untimed_tasks_never_inherit_a_derived_deadline(self):
+        # Regression: timeout_s=0 (or negative) disarms the runner's
+        # per-attempt deadline, so the derived "timeout + backoff + 5"
+        # window must not apply -- it would kill healthy long tasks
+        # after ~5s. Untimed tasks use heartbeat_timeout_s alone.
+        policy = SupervisionPolicy()
+        assert policy.effective_heartbeat_s(0.0, 30.0) is None
+        assert policy.effective_heartbeat_s(-1.0, 30.0) is None
+        pinned = SupervisionPolicy(heartbeat_timeout_s=7.0)
+        assert pinned.effective_heartbeat_s(0.0, 30.0) == 7.0
+        assert pinned.effective_heartbeat_s(None, 30.0) == 7.0
+
     def test_policy_rejects_nonsense(self):
         with pytest.raises(ValueError):
             SupervisionPolicy(heartbeat_timeout_s=0.0)

@@ -172,11 +172,50 @@ class TestCheckpoint:
         with pytest.raises(CheckpointMismatchError, match="parameters"):
             SweepCheckpoint(path, {"seed": 2}).load()
 
-    def test_corrupt_checkpoint_refused(self, tmp_path):
+    def test_corrupt_checkpoint_quarantined(self, tmp_path):
+        # A corrupt checkpoint must not block a resume: it is moved
+        # aside with a .corrupt suffix and the sweep starts fresh.
         path = tmp_path / "checkpoint.json"
         path.write_text("{ not json")
-        with pytest.raises(CheckpointMismatchError, match="corrupt"):
+        checkpoint = SweepCheckpoint(path, {})
+        assert not checkpoint.load()
+        quarantined = path.with_suffix(path.suffix + ".corrupt")
+        assert checkpoint.corrupt_quarantined == quarantined
+        assert quarantined.exists()
+        assert not path.exists()
+        assert quarantined.read_text() == "{ not json"
+
+    def test_truncated_checkpoint_quarantined(self, tmp_path):
+        path = tmp_path / "checkpoint.json"
+        path.write_bytes(b'{"schema": 2, "params": {},')  # torn write
+        checkpoint = SweepCheckpoint(path, {})
+        assert not checkpoint.load()
+        assert checkpoint.corrupt_quarantined is not None
+
+    def test_unknown_schema_refused_one_line(self, tmp_path):
+        path = tmp_path / "checkpoint.json"
+        path.write_text(json.dumps({"schema": 99, "params": {}}))
+        with pytest.raises(CheckpointMismatchError, match="schema 99"):
             SweepCheckpoint(path, {}).load()
+
+    def test_legacy_version_1_checkpoint_still_loads(self, tmp_path):
+        path = tmp_path / "checkpoint.json"
+        path.write_text(json.dumps({
+            "version": 1, "params": {"seed": 1},
+            "completed": {"a": {"payload": {"x": 1}}},
+            "quarantined": {},
+        }))
+        checkpoint = SweepCheckpoint(path, {"seed": 1})
+        assert checkpoint.load()
+        assert checkpoint.payload_of("a") == {"x": 1}
+
+    def test_fresh_checkpoint_writes_schema_field(self, tmp_path):
+        path = tmp_path / "checkpoint.json"
+        checkpoint = SweepCheckpoint(path, {"seed": 1})
+        checkpoint.reset()
+        checkpoint.mark_completed("a", None)
+        data = json.loads(path.read_text())
+        assert data["schema"] == 2
 
     def test_load_returns_false_when_absent(self, tmp_path):
         assert not SweepCheckpoint(tmp_path / "nope.json", {}).load()

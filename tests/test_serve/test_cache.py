@@ -1,0 +1,65 @@
+"""Content-addressed result cache and single-flight table."""
+
+import json
+
+from repro.serve import ResultCache, SingleFlight
+
+KEY = "k" * 64
+
+
+class TestResultCache:
+    def test_memory_roundtrip_counts_hits_and_misses(self):
+        cache = ResultCache()
+        assert cache.get(KEY) is None
+        cache.put(KEY, {"rows": [1]})
+        assert cache.get(KEY) == {"rows": [1]}
+        assert (cache.hits, cache.misses, cache.entries) == (1, 1, 1)
+
+    def test_contains_does_not_touch_counters(self):
+        cache = ResultCache()
+        cache.put(KEY, {"x": 1})
+        assert cache.contains(KEY)
+        assert not cache.contains("absent" * 8)
+        assert (cache.hits, cache.misses) == (0, 0)
+
+    def test_disk_backed_entries_survive_a_new_instance(self, tmp_path):
+        first = ResultCache(directory=tmp_path)
+        first.put(KEY, {"rows": [[1, 2]]})
+        # Crash-safe write: the final name holds complete JSON and no
+        # temp file is left behind.
+        assert not list(tmp_path.glob("*.tmp"))
+        on_disk = json.loads((tmp_path / f"{KEY}.json").read_text())
+        assert on_disk == {"rows": [[1, 2]]}
+        second = ResultCache(directory=tmp_path)
+        assert second.get(KEY) == {"rows": [[1, 2]]}
+        assert second.hits == 1
+
+    def test_damaged_disk_entry_is_a_miss_not_a_crash(self, tmp_path):
+        cache = ResultCache(directory=tmp_path)
+        (tmp_path / f"{KEY}.json").write_text("{ torn")
+        assert cache.get(KEY) is None
+
+    def test_memory_stays_bounded(self):
+        cache = ResultCache(max_memory_entries=2)
+        for index in range(5):
+            cache.put(f"key-{index}", {"i": index})
+        assert cache.entries == 2
+
+
+class TestSingleFlight:
+    def test_first_acquire_leads_rest_coalesce(self):
+        flight = SingleFlight()
+        assert flight.acquire(KEY, "job-1")
+        assert not flight.acquire(KEY, "job-2")
+        assert flight.coalesce(KEY) == "job-1"
+        assert flight.coalesce(KEY) == "job-1"
+        assert flight.coalesced == 2
+
+    def test_release_is_owner_checked(self):
+        flight = SingleFlight()
+        flight.acquire(KEY, "job-1")
+        flight.release(KEY, "somebody-else")
+        assert flight.leader_of(KEY) == "job-1"
+        flight.release(KEY, "job-1")
+        assert flight.leader_of(KEY) is None
+        assert flight.coalesce(KEY) is None

@@ -1,0 +1,103 @@
+"""The fsynced job journal: append, replay, torn tails, stickiness."""
+
+import json
+
+import pytest
+
+from repro.serve import JobJournal, JournalError, replay_journal
+
+JOB = "a" * 16
+KEY = "a" * 64
+
+
+def journal_at(tmp_path):
+    return JobJournal(tmp_path / "journal.jsonl")
+
+
+class TestReplay:
+    def test_missing_journal_is_empty_state(self, tmp_path):
+        state = replay_journal(tmp_path / "absent.jsonl")
+        assert state.jobs == {}
+        assert not state.torn_tail
+
+    def test_lifecycle_replay(self, tmp_path):
+        with journal_at(tmp_path) as journal:
+            journal.append("submitted", JOB, key=KEY,
+                           scenario={"experiment": "fig2"})
+            journal.append("started", JOB, key=KEY, strikes=0)
+            journal.append("completed", JOB, key=KEY,
+                           result={"rows": [1]})
+            state = replay_journal(journal.path)
+        record = state.jobs[JOB]
+        assert record.state == "completed"
+        assert record.result == {"rows": [1]}
+        assert record.starts == 1
+        assert state.records == 3
+        assert not state.to_re_adopt()
+
+    def test_started_jobs_are_re_adopted(self, tmp_path):
+        with journal_at(tmp_path) as journal:
+            journal.append("submitted", JOB, key=KEY)
+            journal.append("started", JOB, key=KEY)
+            state = replay_journal(journal.path)
+        assert [record.job_id for record in state.to_re_adopt()] == [JOB]
+
+    def test_quarantine_is_sticky_across_resubmission(self, tmp_path):
+        with journal_at(tmp_path) as journal:
+            journal.append("submitted", JOB, key=KEY)
+            journal.append("quarantined", JOB, key=KEY,
+                           error="poisoned", strikes=2)
+            journal.append("submitted", JOB, key=KEY)  # must not revive
+            state = replay_journal(journal.path)
+        assert state.jobs[JOB].state == "quarantined"
+        assert not state.to_re_adopt()
+
+    def test_failed_job_resets_on_fresh_submission(self, tmp_path):
+        with journal_at(tmp_path) as journal:
+            journal.append("submitted", JOB, key=KEY)
+            journal.append("failed", JOB, key=KEY, error="deadline")
+            journal.append("submitted", JOB, key=KEY)
+            state = replay_journal(journal.path)
+        assert state.jobs[JOB].state == "submitted"
+
+
+class TestTornTails:
+    def test_torn_final_line_is_tolerated_and_reported(self, tmp_path):
+        with journal_at(tmp_path) as journal:
+            journal.append("submitted", JOB, key=KEY)
+            path = journal.path
+        with open(path, "a") as handle:
+            handle.write('{"schema":1,"seq":2,"op":"comp')  # no newline
+        state = replay_journal(path)
+        assert state.torn_tail
+        assert state.jobs[JOB].state == "submitted"
+
+    def test_torn_middle_record_fails_loudly(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        good = json.dumps({"schema": 1, "seq": 2, "op": "started",
+                           "job": JOB})
+        path.write_text('{"schema":1,"broken\n' + good + "\n")
+        with pytest.raises(JournalError, match="line 1"):
+            replay_journal(path)
+
+    def test_unknown_schema_is_refused_one_line(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_text(json.dumps({"schema": 9, "seq": 1,
+                                    "op": "submitted", "job": JOB}) + "\n")
+        with pytest.raises(JournalError, match="schema 9"):
+            replay_journal(path)
+
+
+class TestWriter:
+    def test_unknown_op_is_rejected(self, tmp_path):
+        with journal_at(tmp_path) as journal, \
+                pytest.raises(ValueError, match="unknown journal op"):
+            journal.append("exploded", JOB)
+
+    def test_each_record_is_one_complete_line(self, tmp_path):
+        with journal_at(tmp_path) as journal:
+            journal.append("submitted", JOB, key=KEY)
+            journal.append("started", JOB, key=KEY)
+            lines = journal.path.read_text().splitlines()
+        assert len(lines) == 2
+        assert [json.loads(line)["seq"] for line in lines] == [1, 2]

@@ -1,0 +1,131 @@
+"""The hand-rolled HTTP layer: parsing, limits, and rendering."""
+
+import asyncio
+
+import pytest
+
+from repro.serve import HttpError, ReadLimits
+from repro.serve.protocol import (
+    Response,
+    read_request,
+    render_response,
+    sse_preamble,
+)
+
+LIMITS = ReadLimits(max_header_bytes=512, max_body_bytes=256,
+                    header_timeout_s=0.2, body_timeout_s=0.2)
+
+
+def parse(raw: bytes, limits: ReadLimits = LIMITS, *, eof: bool = True):
+    """Feed raw bytes to read_request via an in-memory reader."""
+    async def go():
+        reader = asyncio.StreamReader(limit=limits.max_header_bytes)
+        reader.feed_data(raw)
+        if eof:
+            reader.feed_eof()
+        return await read_request(reader, limits)
+    return asyncio.run(go())
+
+
+class TestParsing:
+    def test_get_with_query(self):
+        request = parse(b"GET /v1/jobs/abc?x=1&y=two HTTP/1.1\r\n"
+                        b"Host: h\r\nX-Client-Id: me\r\n\r\n")
+        assert request.method == "GET"
+        assert request.path == "/v1/jobs/abc"
+        assert request.query == {"x": "1", "y": "two"}
+        assert request.header("x-client-id") == "me"
+
+    def test_post_with_body(self):
+        request = parse(b"POST /v1/jobs HTTP/1.1\r\n"
+                        b"Content-Length: 17\r\n\r\n"
+                        b'{"experiment":1}\n')
+        assert request.body == b'{"experiment":1}\n'
+        assert request.json() == {"experiment": 1}
+
+    def test_clean_eof_returns_none(self):
+        assert parse(b"") is None
+
+
+class TestLimits:
+    def test_post_without_length_is_411(self):
+        with pytest.raises(HttpError) as info:
+            parse(b"POST /v1/jobs HTTP/1.1\r\n\r\n")
+        assert info.value.status == 411
+
+    def test_oversized_body_refused_before_buffering(self):
+        with pytest.raises(HttpError) as info:
+            parse(b"POST /v1/jobs HTTP/1.1\r\n"
+                  b"Content-Length: 99999\r\n\r\n")
+        assert info.value.status == 413
+
+    def test_oversized_headers_are_431(self):
+        with pytest.raises(HttpError) as info:
+            parse(b"GET / HTTP/1.1\r\n"
+                  b"X-Pad: " + b"a" * 2048 + b"\r\n\r\n")
+        assert info.value.status == 431
+
+    def test_slow_loris_headers_are_408(self):
+        # Half a request line and then silence: the read times out.
+        with pytest.raises(HttpError) as info:
+            parse(b"GET / HT", eof=False)
+        assert info.value.status == 408
+
+    def test_slow_body_is_408(self):
+        with pytest.raises(HttpError) as info:
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\nA: b\r\n\r\nhi",
+                  eof=False)
+        assert info.value.status == 408
+
+    def test_chunked_bodies_are_501(self):
+        with pytest.raises(HttpError) as info:
+            parse(b"POST / HTTP/1.1\r\n"
+                  b"Transfer-Encoding: chunked\r\n\r\n")
+        assert info.value.status == 501
+
+    @pytest.mark.parametrize("raw", [
+        b"NOT-HTTP\r\n\r\n",
+        b"GET /\r\n\r\n",
+        b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n",
+        b"POST / HTTP/1.1\r\nContent-Length: nah\r\n\r\n",
+        b"POST / HTTP/1.1\r\nContent-Length: -5\r\n\r\n",
+    ])
+    def test_malformed_requests_are_400(self, raw):
+        with pytest.raises(HttpError) as info:
+            parse(raw)
+        assert info.value.status == 400
+
+
+class TestBodies:
+    def test_non_json_body_maps_to_400(self):
+        request = parse(b"POST / HTTP/1.1\r\nContent-Length: 3\r\n\r\n{{{")
+        with pytest.raises(HttpError) as info:
+            request.json()
+        assert info.value.status == 400
+
+    def test_non_object_json_maps_to_400(self):
+        request = parse(b"POST / HTTP/1.1\r\nContent-Length: 3\r\n\r\n[1]")
+        with pytest.raises(HttpError) as info:
+            request.json()
+        assert info.value.status == 400
+
+
+class TestRendering:
+    def test_response_has_length_and_close(self):
+        raw = render_response(Response.json(200, {"ok": True}))
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert b"HTTP/1.1 200 OK" in head
+        assert f"Content-Length: {len(body)}".encode() in head
+        assert b"Connection: close" in head
+
+    def test_error_response_carries_retry_after(self):
+        response = Response.error(HttpError(429, "full",
+                                            retry_after_s=0.4))
+        raw = render_response(response)
+        assert b"Retry-After: 1" in raw  # rounded up, never 0
+        assert b'"detail": "full"' in raw
+
+    def test_sse_preamble_is_unframed(self):
+        head = sse_preamble()
+        assert b"text/event-stream" in head
+        assert b"Content-Length" not in head

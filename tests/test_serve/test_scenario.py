@@ -1,0 +1,84 @@
+"""Submission parsing, validation, and content addressing."""
+
+import pytest
+
+from repro.serve import (
+    Catalog,
+    Scenario,
+    ScenarioError,
+    cache_key,
+    fingerprint,
+    parse_scenario,
+    validate_run_params,
+)
+
+CATALOG = Catalog.of(["fig2", "fig8"], ["graph500", "memcached"])
+
+
+class TestParse:
+    def test_minimal_submission_gets_defaults(self):
+        scenario = parse_scenario({"experiment": "fig2"}, CATALOG)
+        assert scenario == Scenario(experiment="fig2", seed=1,
+                                    phases=12, warmup=4, workloads=None)
+
+    def test_full_submission(self):
+        scenario = parse_scenario({
+            "experiment": "fig8", "seed": 7, "phases": 6, "warmup": 2,
+            "workloads": ["graph500"],
+        }, CATALOG)
+        assert scenario.seed == 7
+        assert scenario.workloads == ("graph500",)
+
+    def test_deadline_key_is_allowed_but_not_part_of_the_scenario(self):
+        scenario = parse_scenario(
+            {"experiment": "fig2", "deadline_s": 9}, CATALOG)
+        assert not hasattr(scenario, "deadline_s")
+
+    @pytest.mark.parametrize("payload, fragment", [
+        ({}, "experiment is required"),
+        ({"experiment": "nope"}, "unknown experiment"),
+        ({"experiment": "fig2", "typo": 1}, "unknown submission key"),
+        ({"experiment": "fig2", "seed": "x"}, "seed must be an integer"),
+        ({"experiment": "fig2", "seed": True}, "seed must be an integer"),
+        ({"experiment": "fig2", "seed": -1}, "seed must be >= 0"),
+        ({"experiment": "fig2", "phases": 0}, "phases must be >= 1"),
+        ({"experiment": "fig2", "phases": 4, "warmup": 4},
+         "warmup must satisfy"),
+        ({"experiment": "fig2", "workloads": "graph500"},
+         "list of names"),
+        ({"experiment": "fig2", "workloads": ["zzz"]},
+         "unknown workload"),
+    ])
+    def test_bad_submissions_fail_with_one_line(self, payload, fragment):
+        with pytest.raises(ScenarioError, match=fragment):
+            parse_scenario(payload, CATALOG)
+
+    def test_validate_run_params_is_the_shared_bounds_check(self):
+        assert validate_run_params(1, 12, 4, None, []) is None
+        assert "seed" in validate_run_params(-1, 12, 4, None, [])
+        assert "warmup" in validate_run_params(1, 4, 4, None, [])
+
+
+class TestContentAddress:
+    def test_cache_key_is_stable_and_param_sensitive(self):
+        base = Scenario(experiment="fig2", seed=1)
+        assert cache_key(base, git="g") == cache_key(base, git="g")
+        assert cache_key(base, git="g") != \
+            cache_key(Scenario(experiment="fig2", seed=2), git="g")
+        assert cache_key(base, git="g") != cache_key(base, git="h")
+
+    def test_fingerprint_mirrors_manifest_fields(self):
+        prints = fingerprint(Scenario(experiment="fig2", seed=3,
+                                      phases=6, warmup=2), git="rev")
+        assert prints["n_phases"] == 6
+        assert prints["warmup_phases"] == 2
+        assert prints["git"] == "rev"
+        assert prints["schema"] == 1
+
+    def test_git_env_feeds_the_fingerprint(self, monkeypatch):
+        monkeypatch.setenv("STARNUMA_GIT_DESCRIBE", "v1.2")
+        scenario = Scenario(experiment="fig2")
+        assert fingerprint(scenario)["git"] == "v1.2"
+        monkeypatch.delenv("STARNUMA_GIT_DESCRIBE")
+        monkeypatch.setenv("GITHUB_SHA", "abc")
+        assert fingerprint(scenario)["git"] == "abc"

@@ -1,0 +1,80 @@
+"""SSE formatting and the bounded per-job progress hub."""
+
+import asyncio
+import json
+
+from repro.serve import ProgressHub, format_sse
+
+
+class TestFormat:
+    def test_frame_shape(self):
+        frame = format_sse({"a": 1}, event="span", event_id="7")
+        assert frame == b'event: span\nid: 7\ndata: {"a":1}\n\n'
+
+    def test_data_only_frame(self):
+        frame = format_sse({"a": 1})
+        assert frame.startswith(b"data: ")
+        assert frame.endswith(b"\n\n")
+        assert json.loads(frame[len(b"data: "):].decode()) == {"a": 1}
+
+
+class TestHub:
+    def test_publish_reaches_every_subscriber(self):
+        async def go():
+            hub = ProgressHub()
+            first, second = hub.subscribe(), hub.subscribe()
+            hub.publish({"n": 1})
+            assert await first.next_record() == {"n": 1}
+            assert await second.next_record() == {"n": 1}
+            hub.close()
+            assert await first.next_record() is None
+        asyncio.run(go())
+
+    def test_replay_catches_up_late_subscribers(self):
+        async def go():
+            hub = ProgressHub(replay=2)
+            hub.publish({"n": 1})
+            hub.publish({"n": 2})
+            hub.publish({"n": 3})
+            late = hub.subscribe()
+            assert await late.next_record() == {"n": 2}
+            assert await late.next_record() == {"n": 3}
+        asyncio.run(go())
+
+    def test_slow_subscriber_drops_oldest_not_the_server(self):
+        async def go():
+            hub = ProgressHub(backlog=2)
+            slow = hub.subscribe()
+            for n in range(5):
+                hub.publish({"n": n})
+            assert slow.dropped == 3
+            assert await slow.next_record() == {"n": 3}
+            assert await slow.next_record() == {"n": 4}
+        asyncio.run(go())
+
+    def test_idle_wait_yields_keepalive(self):
+        async def go():
+            hub = ProgressHub()
+            subscription = hub.subscribe()
+            record = await subscription.next_record(timeout_s=0.01)
+            assert record == {"kind": "keepalive"}
+        asyncio.run(go())
+
+    def test_close_with_final_record_then_eof(self):
+        async def go():
+            hub = ProgressHub()
+            subscription = hub.subscribe()
+            hub.close({"kind": "event", "name": "done"})
+            assert (await subscription.next_record())["name"] == "done"
+            assert await subscription.next_record() is None
+            hub.publish({"late": True})  # after close: dropped silently
+            assert await subscription.next_record() is None
+        asyncio.run(go())
+
+    def test_unsubscribe_detaches(self):
+        hub = ProgressHub()
+        subscription = hub.subscribe()
+        assert hub.subscriber_count == 1
+        subscription.unsubscribe()
+        subscription.unsubscribe()  # idempotent
+        assert hub.subscriber_count == 0
