@@ -1,0 +1,96 @@
+"""Compare a fresh sweep-benchmark run against the committed baseline.
+
+Usage::
+
+    python benchmarks/compare_bench.py BENCH_fig8.json bench-sweep.json
+
+Absolute timings are machine-dependent, so the gate is
+machine-normalized: within each file the batched speedup is the ratio
+of the sequential median to the batched median for the same lane
+count. A fresh run regresses when its speedup falls more than
+``--threshold`` (default 25%) below the baseline's speedup for any
+pair present in both files. Absolute times are printed for context
+but never fail the gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Tuple
+
+SEQUENTIAL = "test_bench_solve_sequential"
+BATCHED = "test_bench_solve_batched"
+
+
+def load_medians(path: str) -> Dict[str, float]:
+    with open(path) as handle:
+        data = json.load(handle)
+    return {b["name"]: float(b["stats"]["median"])
+            for b in data["benchmarks"]}
+
+
+def speedups(medians: Dict[str, float]) -> Dict[str, float]:
+    """Lane-count id -> sequential/batched median ratio."""
+    out = {}
+    for name, median in medians.items():
+        if not name.startswith(f"{SEQUENTIAL}["):
+            continue
+        case = name[len(SEQUENTIAL) + 1:-1]
+        batched = medians.get(f"{BATCHED}[{case}]")
+        if batched:
+            out[case] = median / batched
+    return out
+
+
+def compare(baseline: Dict[str, float], fresh: Dict[str, float],
+            threshold: float) -> Tuple[List[str], List[str]]:
+    lines, failures = [], []
+    for case in sorted(baseline, key=lambda c: (len(c), c)):
+        if case not in fresh:
+            lines.append(f"  {case}: missing from fresh run")
+            failures.append(case)
+            continue
+        floor = baseline[case] * (1.0 - threshold)
+        status = "ok" if fresh[case] >= floor else "REGRESSION"
+        lines.append(
+            f"  {case}: baseline {baseline[case]:.2f}x fresh "
+            f"{fresh[case]:.2f}x (floor {floor:.2f}x) {status}"
+        )
+        if fresh[case] < floor:
+            failures.append(case)
+    return lines, failures
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("fresh", help="freshly produced benchmark JSON")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed relative speedup drop (default 0.25)")
+    args = parser.parse_args(argv)
+
+    base = speedups(load_medians(args.baseline))
+    new = speedups(load_medians(args.fresh))
+    if not base:
+        print(f"no sequential/batched pairs in {args.baseline}",
+              file=sys.stderr)
+        return 2
+
+    print("batched-vs-sequential speedup (machine-normalized):")
+    lines, failures = compare(base, new, args.threshold)
+    print("\n".join(lines))
+    extra = sorted(set(new) - set(base))
+    for case in extra:
+        print(f"  {case}: fresh {new[case]:.2f}x (no baseline)")
+    if failures:
+        print(f"FAIL: speedup regression in {', '.join(failures)}",
+              file=sys.stderr)
+        return 1
+    print("PASS: no machine-normalized regression")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

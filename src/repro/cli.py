@@ -70,6 +70,13 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--jobs", type=int, default=1, metavar="N",
                      help="run up to N experiments in parallel worker "
                           "processes (default 1: sequential)")
+    run.add_argument("--batch-lanes", type=int, default=1, metavar="N",
+                     help="evaluate up to N compatible sweep points as one "
+                          "stacked fixed point (default 1: per-scenario; "
+                          "results are bit-identical either way)")
+    run.add_argument("--batch-jobs", type=int, default=1, metavar="N",
+                     help="fill batched lanes with N forked workers over "
+                          "shared memory (default 1: in-process)")
     _add_obs_arguments(run)
 
     export = sub.add_parser("export",
@@ -94,6 +101,14 @@ def _build_parser() -> argparse.ArgumentParser:
     export.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="run up to N experiments in parallel worker "
                              "processes (default 1: sequential)")
+    export.add_argument("--batch-lanes", type=int, default=1, metavar="N",
+                        help="evaluate up to N compatible sweep points as "
+                             "one stacked fixed point (default 1: "
+                             "per-scenario; outputs are byte-identical "
+                             "either way)")
+    export.add_argument("--batch-jobs", type=int, default=1, metavar="N",
+                        help="fill batched lanes with N forked workers "
+                             "over shared memory (default 1: in-process)")
     _add_obs_arguments(export)
 
     serve = sub.add_parser(
@@ -300,6 +315,10 @@ def _validate_common(args: argparse.Namespace) -> Optional[str]:
         return message
     if getattr(args, "jobs", 1) < 1:
         return f"--jobs must be >= 1 (got {args.jobs})"
+    if getattr(args, "batch_lanes", 1) < 1:
+        return f"--batch-lanes must be >= 1 (got {args.batch_lanes})"
+    if getattr(args, "batch_jobs", 1) < 1:
+        return f"--batch-jobs must be >= 1 (got {args.batch_jobs})"
     return None
 
 
@@ -328,6 +347,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         n_phases=args.phases,
         warmup_phases=args.warmup,
         workloads=args.workloads,
+        batch_lanes=args.batch_lanes,
+        batch_jobs=args.batch_jobs,
     )
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [
         args.experiment
@@ -422,6 +443,7 @@ def _cmd_export(args: argparse.Namespace) -> int:
     context = ExperimentContext(
         seed=args.seed, n_phases=args.phases, warmup_phases=args.warmup,
         workloads=args.workloads,
+        batch_lanes=args.batch_lanes, batch_jobs=args.batch_jobs,
     )
     try:
         written = export_all(

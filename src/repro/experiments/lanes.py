@@ -1,0 +1,137 @@
+"""Shared-memory fan-out for batched sweep lanes.
+
+:func:`run_lanes_shm` evaluates one batch-compatible lane group with
+``jobs`` forked workers filling the stacked arrays of
+:mod:`repro.sim.batch` in place through a single
+:class:`~repro.runner.shm.SharedArrayPack` segment -- the expensive
+per-lane work (trace classification, Step B, link charging) runs in
+parallel while the stacked ``(phases, lanes, width)`` float data never
+crosses a pipe; only the small per-lane :class:`LaneMeta` records are
+pickled back. The parent then runs the shared fixed point zero-copy
+over the same arrays via :func:`~repro.sim.batch.solve_stacks`.
+
+Fault containment: a worker that crashes or hangs forfeits its
+remaining lanes; the parent recomputes those lanes in-process (same
+``fill_lane`` code, same arrays), so a crash costs time, never
+correctness. The segment is closed and unlinked in a ``finally`` --
+workers only ever ``close()`` their mapping -- so no shm segment
+outlives the call whatever the workers do. Chaos tests hook
+:data:`_CHAOS_FILL_HOOK` before the fork to prove both properties.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.obs import OBS
+from repro.runner.shm import SharedArrayPack
+from repro.sim.batch import (
+    STACK_NAMES,
+    LaneMeta,
+    LaneSpec,
+    fill_lane,
+    lane_width,
+    run_lanes,
+    solve_stacks,
+)
+from repro.sim.results import SimulationResult
+
+#: Seconds the parent waits for one worker message before declaring the
+#: worker hung and recomputing its lanes in-process.
+WORKER_FILL_TIMEOUT_S = 300.0
+
+#: Test hook, called as ``hook(lane)`` in the worker before each lane
+#: fill. Set before the fork (the child inherits it) to inject crashes
+#: or hangs; must stay ``None`` in production.
+_CHAOS_FILL_HOOK: Optional[Callable[[int], None]] = None
+
+
+def _fill_worker(conn, specs: List[LaneSpec], lane_ids: List[int],
+                 pack: SharedArrayPack) -> None:
+    """Fill the assigned lane columns, streaming metas back as they land."""
+    try:
+        for lane in lane_ids:
+            if _CHAOS_FILL_HOOK is not None:
+                _CHAOS_FILL_HOOK(lane)
+            meta = fill_lane(specs[lane], lane, pack.arrays)
+            conn.send((lane, meta))
+    finally:
+        conn.close()
+        pack.close()
+
+
+def _assignments(n_lanes: int, jobs: int) -> List[List[int]]:
+    """Round-robin lanes over workers (lane cost is roughly uniform)."""
+    workers = min(jobs, n_lanes)
+    plan: List[List[int]] = [[] for _ in range(workers)]
+    for lane in range(n_lanes):
+        plan[lane % workers].append(lane)
+    return plan
+
+
+def run_lanes_shm(specs: Sequence[LaneSpec], kernel: str = "batched",
+                  jobs: int = 2,
+                  timeout_s: float = WORKER_FILL_TIMEOUT_S
+                  ) -> List[SimulationResult]:
+    """Batched lane-group evaluation with forked fill workers.
+
+    Bit-identical to :func:`repro.sim.batch.run_lanes` (which it falls
+    back to outright when ``jobs < 2``, the group has a single lane, or
+    the platform cannot fork).
+    """
+    specs = list(specs)
+    if (jobs < 2 or len(specs) < 2
+            or "fork" not in multiprocessing.get_all_start_methods()):
+        return run_lanes(specs, kernel)
+
+    n_phases = len(specs[0].simulator.setup.traces)
+    width = lane_width(specs)
+    shape = (n_phases, len(specs), width)
+    settings = specs[0].simulator.timing.settings
+    context = multiprocessing.get_context("fork")
+    pack = SharedArrayPack.create([(name, shape) for name in STACK_NAMES])
+    metas: Dict[int, LaneMeta] = {}
+    try:
+        with OBS.span("experiments.lanes.fill", lanes=len(specs),
+                      jobs=jobs):
+            workers = []
+            for lane_ids in _assignments(len(specs), jobs):
+                receiver, sender = context.Pipe(duplex=False)
+                process = context.Process(
+                    target=_fill_worker,
+                    args=(sender, specs, lane_ids, pack),
+                    daemon=True,
+                )
+                process.start()
+                sender.close()
+                workers.append((process, receiver, lane_ids))
+            for process, receiver, lane_ids in workers:
+                try:
+                    while len(
+                            [l for l in lane_ids if l in metas]
+                    ) < len(lane_ids):
+                        if not receiver.poll(timeout_s):
+                            raise EOFError("worker fill timed out")
+                        lane, meta = receiver.recv()
+                        metas[lane] = meta
+                except (EOFError, OSError):
+                    # Crash or hang: forfeit the worker, keep the sweep.
+                    OBS.counter("runner.shm.worker_crash")
+                    if process.is_alive():
+                        process.terminate()
+                finally:
+                    receiver.close()
+                    process.join(timeout=timeout_s)
+        missing = [lane for lane in range(len(specs)) if lane not in metas]
+        if missing:
+            # Recompute forfeited lanes in-process; identical code path,
+            # identical arrays, so results do not depend on the crash.
+            OBS.counter("runner.shm.lane_fallback", len(missing))
+            for lane in missing:
+                metas[lane] = fill_lane(specs[lane], lane, pack.arrays)
+        ordered = [metas[lane] for lane in range(len(specs))]
+        return solve_stacks(ordered, pack.arrays, settings, kernel)
+    finally:
+        pack.close()
+        pack.unlink()

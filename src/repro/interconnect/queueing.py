@@ -16,6 +16,8 @@ simply keeps the iteration monotone and finite on the way there.
 
 from __future__ import annotations
 
+from typing import Optional, Union
+
 import numpy as np
 
 from repro.config import units
@@ -88,28 +90,78 @@ def mdl_wait_ns(utilization: float, service_ns: float,
 
 def mdl_wait_ns_array(utilization: np.ndarray, service_ns: np.ndarray,
                       max_utilization: float = MAX_STABLE_UTILIZATION,
-                      burstiness: float = 1.0) -> np.ndarray:
+                      burstiness: Union[float, np.ndarray] = 1.0,
+                      out: Optional[np.ndarray] = None,
+                      scratch: Optional[np.ndarray] = None,
+                      mask: Optional[np.ndarray] = None) -> np.ndarray:
     """Whole-vector :func:`mdl_wait_ns` over per-slot arrays.
 
     Evaluates the identical expressions branch for branch -- analytic
     M/D/1 below the handover, the matching linear extension above, zero
     at or below zero utilization -- so each element agrees with the
     scalar function to the last bit.
+
+    Shapes broadcast elementwise, so a stacked ``(lanes, slots)``
+    utilization matrix against a ``(slots,)`` service vector (and an
+    optional per-lane ``(lanes, 1)`` burstiness column) evaluates every
+    sweep lane in one call; each row is bit-identical to evaluating that
+    lane's ``(slots,)`` vectors alone, because every operation is
+    elementwise.
+
+    When ``out`` is given the result is written into it and no float
+    arrays are allocated (``scratch`` provides the one intermediate
+    buffer; it is allocated once if omitted). The ``out`` path performs
+    the same IEEE operations in the same order as the allocating path,
+    so the results are bit-identical. ``out`` and ``scratch`` must have
+    the broadcast result shape and must not alias ``utilization`` or
+    ``service_ns``; ``mask`` (same shape, bool) likewise avoids the two
+    boolean temporaries of the branch selection.
     """
     if not 0.0 < max_utilization < 1.0:
         raise ValueError(
             f"max_utilization must be in (0, 1), got {max_utilization}"
         )
-    if burstiness <= 0:
+    if isinstance(burstiness, (int, float)):
+        if burstiness <= 0.0:
+            raise ValueError(
+                f"burstiness must be positive, got {burstiness}"
+            )
+    elif np.any(np.asarray(burstiness) <= 0.0):
         raise ValueError(f"burstiness must be positive, got {burstiness}")
     utilization = np.asarray(utilization, dtype=np.float64)
-    # Clamp the analytic branch's denominator away from zero before the
-    # division; np.where evaluates both branches, and the saturated
-    # elements take the linear-extension value anyway.
-    safe = np.minimum(utilization, max_utilization)
-    analytic = service_ns * safe / (2.0 * (1.0 - safe))
     base = max_utilization / (2.0 * (1.0 - max_utilization))
     slope = 1.0 / (2.0 * (1.0 - max_utilization) ** 2)
-    linear = service_ns * (base + slope * (utilization - max_utilization))
-    wait = np.where(utilization < max_utilization, analytic, linear)
-    return burstiness * np.where(utilization <= 0.0, 0.0, wait)
+    if out is None:
+        # Clamp the analytic branch's denominator away from zero before the
+        # division; np.where evaluates both branches, and the saturated
+        # elements take the linear-extension value anyway.
+        safe = np.minimum(utilization, max_utilization)
+        analytic = service_ns * safe / (2.0 * (1.0 - safe))
+        linear = service_ns * (base + slope * (utilization - max_utilization))
+        wait = np.where(utilization < max_utilization, analytic, linear)
+        return burstiness * np.where(utilization <= 0.0, 0.0, wait)
+    if scratch is None:
+        scratch = np.empty_like(out)
+    # Allocation-free variant: the ufunc chain below reproduces the
+    # expressions above operation for operation (reassociating only
+    # across exactly-commutative float multiplies/adds), so every
+    # element is bit-identical to the allocating path.
+    np.minimum(utilization, max_utilization, out=scratch)       # safe
+    np.multiply(service_ns, scratch, out=out)                   # service * safe
+    np.subtract(1.0, scratch, out=scratch)                      # 1 - safe
+    np.multiply(2.0, scratch, out=scratch)                      # 2 * (1 - safe)
+    np.divide(out, scratch, out=out)                            # analytic
+    np.subtract(utilization, max_utilization, out=scratch)
+    np.multiply(slope, scratch, out=scratch)
+    np.add(base, scratch, out=scratch)
+    np.multiply(service_ns, scratch, out=scratch)               # linear
+    if mask is None:
+        np.copyto(out, scratch, where=utilization >= max_utilization)
+        np.copyto(out, 0.0, where=utilization <= 0.0)
+    else:
+        np.greater_equal(utilization, max_utilization, out=mask)
+        np.copyto(out, scratch, where=mask)
+        np.less_equal(utilization, 0.0, out=mask)
+        np.copyto(out, 0.0, where=mask)
+    np.multiply(out, burstiness, out=out)
+    return out

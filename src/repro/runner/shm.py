@@ -1,0 +1,133 @@
+"""Shared-memory array packs for zero-copy batched-sweep handoff.
+
+One :class:`SharedArrayPack` owns a single ``multiprocessing``
+shared-memory segment carved into named float64 arrays. The batched
+sweep (:mod:`repro.experiments.lanes`) creates a pack in the parent,
+forks workers that each fill disjoint lane columns of the stacked
+arrays in place, and then solves the stacks in the parent without a
+single pickle or copy of the (phases, lanes, width) data.
+
+Lifecycle discipline (fork-safe per the whole-program lint's
+fork/signal rules):
+
+* the creating process calls :meth:`create`, and is the only process
+  that ever calls :meth:`unlink` -- in a ``finally`` block, so the
+  segment disappears even when workers crash mid-fill;
+* workers attach by name (or inherit the mapping over ``fork``), use
+  the arrays, and call :meth:`close` -- never :meth:`unlink`;
+* :meth:`close` and :meth:`unlink` are idempotent, so double cleanup
+  on error paths is harmless.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.obs import OBS
+
+#: (name, shape) description of one array in a pack.
+ArraySpec = Tuple[str, Tuple[int, ...]]
+
+
+class SharedArrayPack:
+    """Named float64 arrays backed by one shared-memory segment.
+
+    Arrays are laid out back to back in spec order; the mapping from
+    name to (offset, shape) is deterministic from the specs alone, so
+    a child process reattaches with just the segment name and the same
+    specs -- no pickled views cross the process boundary.
+    """
+
+    def __init__(self, specs: Iterable[ArraySpec],
+                 segment: shared_memory.SharedMemory,
+                 owner: bool):
+        self.specs: List[ArraySpec] = list(specs)
+        self._segment: Optional[shared_memory.SharedMemory] = segment
+        self._owner = owner
+        self._unlinked = False
+        self.arrays: Dict[str, np.ndarray] = {}
+        offset = 0
+        for name, shape in self.specs:
+            size = int(np.prod(shape)) * 8
+            self.arrays[name] = np.ndarray(
+                shape, dtype=np.float64,
+                buffer=segment.buf[offset:offset + size],
+            )
+            offset += size
+
+    @staticmethod
+    def nbytes(specs: Iterable[ArraySpec]) -> int:
+        return sum(int(np.prod(shape)) * 8 for _, shape in specs)
+
+    @classmethod
+    def create(cls, specs: Iterable[ArraySpec]) -> "SharedArrayPack":
+        """Allocate a fresh segment sized for ``specs`` (parent side)."""
+        specs = list(specs)
+        if not specs:
+            raise ValueError("a shared array pack needs at least one array")
+        seen = set()
+        for name, shape in specs:
+            if name in seen:
+                raise ValueError(f"duplicate array name {name!r}")
+            seen.add(name)
+            if not shape or any(dim < 1 for dim in shape):
+                raise ValueError(
+                    f"array {name!r} has invalid shape {shape!r}"
+                )
+        size = cls.nbytes(specs)
+        segment = shared_memory.SharedMemory(create=True, size=size)
+        OBS.counter("runner.shm.segments_created")
+        OBS.gauge("runner.shm.segment_bytes", size)
+        return cls(specs, segment, owner=True)
+
+    @classmethod
+    def attach(cls, name: str,
+               specs: Iterable[ArraySpec]) -> "SharedArrayPack":
+        """Map an existing segment by name (worker side)."""
+        segment = shared_memory.SharedMemory(name=name)
+        return cls(specs, segment, owner=False)
+
+    @property
+    def name(self) -> str:
+        if self._segment is None:
+            raise ValueError("pack is closed")
+        return self._segment.name
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.arrays[name]
+
+    def close(self) -> None:
+        """Drop this process's mapping (both sides; idempotent)."""
+        if self._segment is None:
+            return
+        # The views must die before the mapping can be released.
+        self.arrays = {}
+        self._segment.close()
+        if not self._owner:
+            self._segment = None
+
+    def unlink(self) -> None:
+        """Free the segment itself (owner only; idempotent).
+
+        Call from the creating process's ``finally`` so crashed
+        workers never leak the segment.
+        """
+        if not self._owner:
+            raise ValueError("only the creating process may unlink")
+        if self._unlinked or self._segment is None:
+            return
+        self._unlinked = True
+        self._segment.unlink()
+        self._segment = None
+        OBS.counter("runner.shm.segments_unlinked")
+
+    def __enter__(self) -> "SharedArrayPack":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+        if self._owner:
+            self.unlink()

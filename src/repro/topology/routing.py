@@ -9,6 +9,7 @@ pair and cached, since route lookup is on the hot path of the timing model.
 
 from __future__ import annotations
 
+import hashlib
 from collections import deque
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
@@ -59,6 +60,7 @@ class RouteTable:
         self._compiled: Dict[Tuple[int, int], "CompiledRoute"] = {}
         self._detour_ns: Dict[Tuple[int, int], float] = {}
         self._graph: Optional[Dict[_Node, List[Tuple[_Node, DirectedLink]]]] = None
+        self._fingerprint: Optional[str] = None
         for requester in topology.sockets():
             for location in topology.locations():
                 self._routes[(requester, location)] = self._build_route(
@@ -97,6 +99,51 @@ class RouteTable:
             )
             self._compiled[key] = compiled
         return compiled
+
+    def fingerprint(self) -> str:
+        """Content hash of everything a compiled timing kernel depends on.
+
+        Two route tables with equal fingerprints produce identical
+        compiled incidence matrices and unloaded-latency geometry: the
+        hash covers the link inventory in iteration order (which fixes
+        the dense slot assignment), per-link kinds and capacities, the
+        unloaded latency of every access class (including fault latency
+        factors), every (requester, location) route hop by hop, and the
+        detour penalties of rerouted paths. Fault states whose reroutes
+        collapse to the same surviving geometry therefore share one
+        fingerprint, which the timing layer uses to dedupe kernel
+        compilation across fault states.
+        """
+        if self._fingerprint is not None:
+            return self._fingerprint
+        topology = self.topology
+        parts: List[str] = [
+            "route-table-v1",
+            f"n_sockets={topology.n_sockets}",
+            f"has_pool={topology.has_pool}",
+        ]
+        for link_id, link in topology.links.items():
+            parts.append(
+                f"link:{link_id}:{link.kind.value}:{link.capacity_gbps!r}"
+            )
+        for access_type in AccessType:
+            parts.append(
+                f"lat:{access_type.value}:"
+                f"{topology.unloaded_latency_ns(access_type)!r}"
+            )
+        for (requester, location), route in sorted(self._routes.items()):
+            hops = ",".join(
+                f"{hop.link.link_id}:{int(hop.forward)}" for hop in route
+            )
+            detour = self._detour_ns.get((requester, location), 0.0)
+            kind = topology.classify(requester, location)
+            parts.append(
+                f"route:{requester}:{location}:{kind.value}:"
+                f"{hops}:{detour!r}"
+            )
+        digest = hashlib.sha256("\n".join(parts).encode()).hexdigest()
+        self._fingerprint = digest
+        return digest
 
     def block_transfer_route(self, requester: int, owner: int,
                              home: int) -> Route:

@@ -1,0 +1,111 @@
+"""Shared-memory lane fan-out: bit-identity, crash containment, cleanup."""
+
+import os
+
+import pytest
+
+import repro.experiments.lanes as lanes_module
+from repro.config import baseline_config, starnuma_config
+from repro.experiments.lanes import _assignments, run_lanes_shm
+from repro.sim import SimulationSetup, Simulator
+from repro.sim.batch import LaneSpec, run_lanes
+from repro.workloads import WORKLOADS
+
+
+def shm_segments():
+    try:
+        return {name for name in os.listdir("/dev/shm")
+                if name.startswith("psm_")}
+    except FileNotFoundError:  # non-Linux: skip leak accounting
+        return set()
+
+
+@pytest.fixture(scope="module")
+def specs():
+    base = baseline_config()
+    star = starnuma_config()
+    out = []
+    for name in ("sssp", "bfs"):
+        setup = SimulationSetup.create(WORKLOADS[name], base,
+                                       n_phases=3, seed=7)
+        calibration = Simulator(base, setup).calibrate()
+        for system in (base, star):
+            out.append(LaneSpec(simulator=Simulator(system, setup),
+                                calibration=calibration, warmup_phases=1))
+    return out
+
+
+def assert_bit_identical(reference, candidate):
+    for a, b in zip(reference, candidate):
+        assert [(p.ipc, p.amat_ns, p.duration_ns, p.hottest_links,
+                 p.fixed_point_iterations) for p in a.phases] \
+            == [(p.ipc, p.amat_ns, p.duration_ns, p.hottest_links,
+                 p.fixed_point_iterations) for p in b.phases]
+        assert (a.pages_migrated, a.pages_migrated_to_pool) \
+            == (b.pages_migrated, b.pages_migrated_to_pool)
+
+
+class TestAssignments:
+    def test_round_robin(self):
+        assert _assignments(5, 2) == [[0, 2, 4], [1, 3]]
+
+    def test_never_more_workers_than_lanes(self):
+        assert _assignments(2, 8) == [[0], [1]]
+
+
+class TestShmFanOut:
+    def test_bit_identical_to_in_process(self, specs):
+        before = shm_segments()
+        reference = run_lanes(specs)
+        result = run_lanes_shm(specs, jobs=2)
+        assert_bit_identical(reference, result)
+        assert shm_segments() == before
+
+    def test_single_job_falls_back_in_process(self, specs):
+        reference = run_lanes(specs)
+        assert_bit_identical(reference, run_lanes_shm(specs, jobs=1))
+
+
+class TestCrashContainment:
+    def test_worker_crash_recovers_and_unlinks(self, specs):
+        """A worker dying hard mid-fill costs time, not correctness.
+
+        Reuses the chaos-injection idiom of the supervisor tests: the
+        hook is installed before the fork, inherited by the worker, and
+        kills it with a raw ``os._exit`` on its second lane.
+        """
+        before = shm_segments()
+        reference = run_lanes(specs)
+        victims = []
+
+        def chaos(lane):
+            victims.append(lane)
+            if lane == 2:
+                os._exit(23)
+
+        lanes_module._CHAOS_FILL_HOOK = chaos
+        try:
+            result = run_lanes_shm(specs, jobs=2, timeout_s=60)
+        finally:
+            lanes_module._CHAOS_FILL_HOOK = None
+        assert_bit_identical(reference, result)
+        # The segment never outlives the call, crash or not.
+        assert shm_segments() == before
+
+    def test_hung_worker_times_out_and_recovers(self, specs):
+        import time
+
+        before = shm_segments()
+        reference = run_lanes(specs)
+
+        def chaos(lane):
+            if lane == 1:
+                time.sleep(3600)
+
+        lanes_module._CHAOS_FILL_HOOK = chaos
+        try:
+            result = run_lanes_shm(specs, jobs=2, timeout_s=2.0)
+        finally:
+            lanes_module._CHAOS_FILL_HOOK = None
+        assert_bit_identical(reference, result)
+        assert shm_segments() == before

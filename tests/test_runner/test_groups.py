@@ -1,0 +1,171 @@
+"""Lane-group scheduling: grouped units, per-member fallback, checkpoints."""
+
+import json
+
+import pytest
+
+from repro.runner import SweepCheckpoint, SweepRunner
+from repro.runner.sweep import GROUP_SEPARATOR
+
+
+def chunk_pairs(pending):
+    return [list(pending[i:i + 2]) for i in range(0, len(pending), 2)]
+
+
+def group_runner(members):
+    return {member: {"task": member} for member in members}
+
+
+class TestGroupedScheduling:
+    def test_groups_run_and_report_per_member(self):
+        calls = []
+
+        def run_group(members):
+            calls.append(list(members))
+            return group_runner(members)
+
+        runner = SweepRunner(lambda t: {"task": t},
+                             plan_groups=chunk_pairs, run_group=run_group)
+        outcomes = runner.run(["a", "b", "c"])
+        assert calls == [["a", "b"]]  # the trailing single runs solo
+        assert [o.task_id for o in outcomes] == ["a", "b", "c"]
+        assert all(o.status == "ok" for o in outcomes)
+        assert outcomes[0].payload == {"task": "a"}
+
+    def test_plan_and_run_group_must_come_together(self):
+        with pytest.raises(ValueError, match="together"):
+            SweepRunner(lambda t: None, plan_groups=chunk_pairs)
+
+    def test_plan_must_partition(self):
+        runner = SweepRunner(lambda t: None,
+                             plan_groups=lambda pending: [["a"]],
+                             run_group=group_runner)
+        with pytest.raises(ValueError, match="partition"):
+            runner.run(["a", "b"])
+
+    def test_separator_in_task_id_rejected(self):
+        runner = SweepRunner(lambda t: None,
+                             plan_groups=chunk_pairs,
+                             run_group=group_runner)
+        with pytest.raises(ValueError, match="separator"):
+            runner.run([f"a{GROUP_SEPARATOR}b"])
+
+
+class TestGroupFallback:
+    def test_failed_group_falls_back_per_member(self):
+        """A poison member only takes itself down."""
+
+        def run_group(members):
+            raise RuntimeError("whole group exploded")
+
+        solo_calls = []
+
+        def run_task(task_id):
+            solo_calls.append(task_id)
+            if task_id == "b":
+                raise ValueError("poison")
+            return {"task": task_id}
+
+        runner = SweepRunner(run_task, plan_groups=chunk_pairs,
+                             run_group=run_group)
+        outcomes = runner.run(["a", "b", "c"])
+        # Fallback members re-run individually after the singleton "c".
+        assert sorted(solo_calls) == ["a", "b", "c"]
+        assert [o.status for o in outcomes] == ["ok", "failed", "ok"]
+
+    def test_partial_group_payload_falls_back_for_missing(self):
+        def run_group(members):
+            return {m: {"task": m} for m in members if m != "b"}
+
+        solo_calls = []
+
+        def run_task(task_id):
+            solo_calls.append(task_id)
+            return {"task": task_id}
+
+        runner = SweepRunner(run_task, plan_groups=chunk_pairs,
+                             run_group=run_group)
+        outcomes = runner.run(["a", "b"])
+        assert solo_calls == ["b"]
+        assert [o.status for o in outcomes] == ["ok", "ok"]
+
+
+class TestGroupedCheckpoints:
+    def run_sweep(self, path, **kwargs):
+        checkpoint = SweepCheckpoint(path, {"fingerprint": 1})
+        checkpoint.reset()
+        runner = SweepRunner(lambda t: {"task": t}, checkpoint=checkpoint,
+                             **kwargs)
+        runner.run(["a", "b", "c", "d"])
+        return path.read_text()
+
+    def test_checkpoint_byte_identical_to_sequential(self, tmp_path):
+        sequential = self.run_sweep(tmp_path / "seq.json")
+        grouped = self.run_sweep(tmp_path / "grp.json",
+                                 plan_groups=chunk_pairs,
+                                 run_group=group_runner)
+        assert grouped == sequential
+
+    def test_resume_skips_completed_members(self, tmp_path):
+        path = tmp_path / "resume.json"
+        self.run_sweep(path, plan_groups=chunk_pairs,
+                       run_group=group_runner)
+        checkpoint = SweepCheckpoint(path, {"fingerprint": 1})
+        assert checkpoint.load()
+        group_calls = []
+
+        def run_group(members):
+            group_calls.append(list(members))
+            return group_runner(members)
+
+        runner = SweepRunner(lambda t: {"task": t}, checkpoint=checkpoint,
+                             plan_groups=chunk_pairs, run_group=run_group)
+        outcomes = runner.run(["a", "b", "c", "d"])
+        assert group_calls == []  # everything was cached
+        assert all(o.status == "cached" for o in outcomes)
+
+    def test_failed_group_checkpoint_matches_sequential(self, tmp_path):
+        """Fallback members land in the checkpoint as if never grouped."""
+
+        def run_task(task_id):
+            if task_id == "b":
+                raise ValueError("poison")
+            return {"task": task_id}
+
+        def exploding_group(members):
+            raise RuntimeError("boom")
+
+        sequential = SweepCheckpoint(tmp_path / "seq.json",
+                                     {"fingerprint": 1})
+        sequential.reset()
+        SweepRunner(run_task, checkpoint=sequential).run(["a", "b", "c"])
+
+        grouped = SweepCheckpoint(tmp_path / "grp.json", {"fingerprint": 1})
+        grouped.reset()
+        SweepRunner(run_task, checkpoint=grouped,
+                    plan_groups=chunk_pairs,
+                    run_group=exploding_group).run(["a", "b", "c"])
+
+        sequential_data = json.loads((tmp_path / "seq.json").read_text())
+        grouped_data = json.loads((tmp_path / "grp.json").read_text())
+        assert grouped_data["completed"] == sequential_data["completed"]
+        # Tracebacks embed the dispatch frame; everything else matches.
+        strip = [{k: v for k, v in f.items() if k != "traceback"}
+                 for f in grouped_data["failures"]]
+        strip_seq = [{k: v for k, v in f.items() if k != "traceback"}
+                     for f in sequential_data["failures"]]
+        assert strip == strip_seq
+
+
+class TestGroupedParallel:
+    def test_groups_under_jobs(self, tmp_path):
+        checkpoint = SweepCheckpoint(tmp_path / "par.json",
+                                     {"fingerprint": 1})
+        checkpoint.reset()
+        runner = SweepRunner(lambda t: {"task": t}, checkpoint=checkpoint,
+                             jobs=2, plan_groups=chunk_pairs,
+                             run_group=group_runner)
+        outcomes = runner.run(["a", "b", "c", "d"])
+        assert [o.status for o in outcomes] == ["ok"] * 4
+        data = json.loads((tmp_path / "par.json").read_text())
+        assert set(data["completed"]) == {"a", "b", "c", "d"}

@@ -1,0 +1,74 @@
+"""SharedArrayPack: layout, attach round-trip, lifecycle discipline."""
+
+import numpy as np
+import pytest
+
+from repro.runner.shm import SharedArrayPack
+
+SPECS = [("bytes", (2, 3, 4)), ("capacity", (2, 3, 4)), ("flat", (5,))]
+
+
+class TestLayout:
+    def test_nbytes(self):
+        assert SharedArrayPack.nbytes(SPECS) == (24 + 24 + 5) * 8
+
+    def test_arrays_have_requested_shapes(self):
+        with SharedArrayPack.create(SPECS) as pack:
+            assert pack["bytes"].shape == (2, 3, 4)
+            assert pack["flat"].shape == (5,)
+            assert pack["bytes"].dtype == np.float64
+
+    def test_rejects_empty_and_duplicate_specs(self):
+        with pytest.raises(ValueError, match="at least one"):
+            SharedArrayPack.create([])
+        with pytest.raises(ValueError, match="duplicate"):
+            SharedArrayPack.create([("a", (1,)), ("a", (2,))])
+        with pytest.raises(ValueError, match="shape"):
+            SharedArrayPack.create([("a", (0, 3))])
+
+
+class TestAttachRoundTrip:
+    def test_attached_pack_sees_writes(self):
+        pack = SharedArrayPack.create(SPECS)
+        try:
+            pack["bytes"][1, 2, 3] = 42.5
+            pack["flat"][:] = np.arange(5.0)
+            attached = SharedArrayPack.attach(pack.name, SPECS)
+            try:
+                assert attached["bytes"][1, 2, 3] == 42.5
+                assert np.array_equal(attached["flat"], np.arange(5.0))
+                # And the other direction: worker writes, parent reads.
+                attached["capacity"][0, 0, 0] = 7.0
+                assert pack["capacity"][0, 0, 0] == 7.0
+            finally:
+                attached.close()
+        finally:
+            pack.close()
+            pack.unlink()
+
+
+class TestLifecycle:
+    def test_close_and_unlink_are_idempotent(self):
+        pack = SharedArrayPack.create(SPECS)
+        pack.close()
+        pack.close()
+        pack.unlink()
+        pack.unlink()
+
+    def test_only_owner_may_unlink(self):
+        pack = SharedArrayPack.create(SPECS)
+        try:
+            attached = SharedArrayPack.attach(pack.name, SPECS)
+            with pytest.raises(ValueError, match="creating process"):
+                attached.unlink()
+            attached.close()
+        finally:
+            pack.close()
+            pack.unlink()
+
+    def test_context_manager_unlinks(self):
+        with SharedArrayPack.create(SPECS) as pack:
+            name = pack.name
+        # The segment is gone: attaching again must fail.
+        with pytest.raises(FileNotFoundError):
+            SharedArrayPack.attach(name, SPECS)

@@ -1,0 +1,102 @@
+"""Kernel compilation dedup: fingerprint-keyed cache across fault states."""
+
+import pytest
+
+from repro.config import baseline_config, starnuma_config
+from repro.faults import FaultEvent, FaultKind, FaultSchedule
+from repro.obs import OBS, MemorySink, shutdown
+from repro.sim import SimulationSetup, Simulator
+from repro.sim.timing import _KERNEL_CACHE, _KERNEL_CACHE_LIMIT
+from repro.topology import RouteTable, Topology
+from repro.workloads import WORKLOADS
+
+
+@pytest.fixture(scope="module")
+def world():
+    base = baseline_config()
+    setup = SimulationSetup.create(WORKLOADS["sssp"], base,
+                                   n_phases=3, seed=7)
+    calibration = Simulator(base, setup).calibrate()
+    return base, setup, calibration
+
+
+class TestFingerprint:
+    def test_stable_and_cached(self):
+        routes = RouteTable(Topology(starnuma_config()))
+        assert routes.fingerprint() == routes.fingerprint()
+
+    def test_identical_topologies_agree(self):
+        first = RouteTable(Topology(starnuma_config()))
+        second = RouteTable(Topology(starnuma_config()))
+        assert first.fingerprint() == second.fingerprint()
+
+    def test_different_topologies_differ(self):
+        base = RouteTable(Topology(baseline_config()))
+        star = RouteTable(Topology(starnuma_config()))
+        assert base.fingerprint() != star.fingerprint()
+
+    def test_pool_degrade_changes_fingerprint(self):
+        """A degraded pool reroutes nothing but changes latencies."""
+        from repro.faults import FaultState, faulted_topology
+
+        clean = Topology(starnuma_config())
+        state = FaultState(pool_latency_factor=2.0)
+        degraded = faulted_topology(clean, state)
+        assert (RouteTable(clean).fingerprint()
+                != RouteTable(degraded).fingerprint())
+
+
+class TestCompileCache:
+    def test_identical_tables_share_a_kernel(self, world):
+        base, setup, _ = world
+        first = Simulator(base, setup)
+        second = Simulator(base, setup)
+        assert (first.timing._vector_kernel()
+                is second.timing._vector_kernel())
+
+    def test_cache_hit_counter(self, world):
+        base, setup, calibration = world
+        _KERNEL_CACHE.clear()
+        records = []
+        OBS.configure(MemorySink(records))
+        try:
+            Simulator(base, setup).run(calibration=calibration,
+                                       warmup_phases=1)
+            Simulator(base, setup).run(calibration=calibration,
+                                       warmup_phases=1)
+        finally:
+            shutdown()
+        metrics = {r["name"]: r for r in records if r["kind"] == "metric"}
+        assert metrics["sim.kernel.compiled"]["value"] == 1
+        assert metrics["sim.kernel.compile_cache_hit"]["value"] >= 1
+
+    def test_faulted_states_compile_once_per_distinct_table(self, world):
+        """Fault phases with identical rerouted tables share one kernel."""
+        base, setup, calibration = world
+        star = starnuma_config()
+        star_setup = SimulationSetup.create(WORKLOADS["sssp"], base,
+                                            n_phases=3, seed=7)
+        faults = [
+            FaultEvent(FaultKind.POOL_DEGRADE, phase=1,
+                       capacity_factor=0.5, latency_factor=2.0),
+        ]
+        _KERNEL_CACHE.clear()
+        records = []
+        OBS.configure(MemorySink(records))
+        try:
+            # Two simulators with the same fault schedule: the second's
+            # faulted-state kernel must come from the cache.
+            for _ in range(2):
+                Simulator(star, star_setup,
+                          faults=FaultSchedule(list(faults))).run(
+                    calibration=calibration, warmup_phases=1)
+        finally:
+            shutdown()
+        metrics = {r["name"]: r for r in records if r["kind"] == "metric"}
+        # One clean kernel + one degraded kernel, compiled exactly once.
+        assert metrics["sim.kernel.compiled"]["value"] == 2
+        assert metrics["sim.kernel.compile_cache_hit"]["value"] >= 2
+
+    def test_cache_is_bounded(self):
+        assert _KERNEL_CACHE_LIMIT >= 1
+        assert len(_KERNEL_CACHE) <= _KERNEL_CACHE_LIMIT
