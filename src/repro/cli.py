@@ -28,8 +28,11 @@ _log = get_logger()
 
 def _add_obs_arguments(command: argparse.ArgumentParser) -> None:
     command.add_argument("--obs-trace", metavar="PATH",
-                         help="write an instrumentation trace (JSONL) "
-                              "to PATH; summarize it later with "
+                         help="write an instrumentation trace to PATH; "
+                              "a .sqlite/.db suffix streams into the "
+                              "results store (query it with 'starnuma "
+                              "query'), anything else writes JSONL; "
+                              "summarize either with "
                               "'starnuma obs summary PATH'")
     command.add_argument("--obs-level", choices=["basic", "detail"],
                          default="basic",
@@ -225,15 +228,19 @@ def _build_parser() -> argparse.ArgumentParser:
     obs = sub.add_parser(
         "obs",
         help="inspect an instrumentation trace",
-        description="Summarize or validate a JSONL trace written by "
-                    "'run --obs-trace' / 'export --obs-trace'. See "
-                    "docs/observability.md.",
+        description="Summarize or validate a trace written by "
+                    "'run --obs-trace' / 'export --obs-trace' -- a "
+                    "JSONL file or a sqlite store. See "
+                    "docs/observability.md and docs/store.md.",
     )
     obs_sub = obs.add_subparsers(dest="obs_command", required=True)
     summary = obs_sub.add_parser("summary",
                                  help="phase timeline and metric tables")
     summary.add_argument("trace", metavar="PATH",
-                         help="JSONL trace file")
+                         help="JSONL trace file or sqlite store")
+    summary.add_argument("--trace-id", metavar="REF", default=None,
+                         help="with a sqlite store: summarize only this "
+                              "trace (id or label; default: all traces)")
     summary.add_argument("--width", type=int, default=40,
                          help="bar width of the phase timeline "
                               "(default 40)")
@@ -241,6 +248,88 @@ def _build_parser() -> argparse.ArgumentParser:
                                   help="check a trace against the schema")
     validate.add_argument("trace", metavar="PATH",
                           help="JSONL trace file")
+
+    store = sub.add_parser(
+        "store",
+        help="maintain a results & trace database",
+        description="Backfill existing artifacts -- JSONL obs traces "
+                    "and 'starnuma export' directories -- into one "
+                    "embedded sqlite store, then answer questions with "
+                    "'starnuma query'. See docs/store.md.",
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    ingest = store_sub.add_parser(
+        "ingest", help="backfill traces / export dirs into the store")
+    ingest.add_argument("paths", nargs="+", metavar="PATH",
+                        help="JSONL trace files and/or export directories")
+    ingest.add_argument("--db", metavar="DB", required=True,
+                        help="store file (created if missing)")
+    ingest.add_argument("--label", metavar="NAME",
+                        help="label for the ingested sweep/trace "
+                             "(single PATH only; default: its name)")
+    ingest.add_argument("--batch-size", type=int, metavar="N",
+                        default=None,
+                        help="rows buffered per flush transaction "
+                             "(default 256)")
+    info = store_sub.add_parser("info",
+                                help="schema versions and table counts")
+    info.add_argument("--db", metavar="DB", required=True,
+                      help="store file")
+
+    query = sub.add_parser(
+        "query",
+        help="answer questions from a results & trace store",
+        description="Read-side queries over a store built by "
+                    "'--obs-trace foo.sqlite' or 'starnuma store "
+                    "ingest': exact result tables, degradation curves, "
+                    "cross-sweep diffs, top-N regressions, per-phase "
+                    "timelines. See docs/store.md.",
+    )
+    query.add_argument("--db", metavar="DB", required=True,
+                       help="store file")
+    query.add_argument("--format", choices=["table", "json"],
+                       default="table",
+                       help="output format (default table)")
+    query_sub = query.add_subparsers(dest="query_command", required=True)
+    query_sub.add_parser("sweeps", help="list ingested sweeps")
+    query_sub.add_parser("traces", help="list stored obs traces")
+    table = query_sub.add_parser(
+        "table", help="one result table, exactly as exported")
+    table.add_argument("experiment", help="experiment id (e.g. fig8a)")
+    table.add_argument("--sweep", metavar="REF",
+                       help="sweep id or label (default: the only sweep)")
+    curve = query_sub.add_parser(
+        "curve", help="fault-study degradation curve")
+    curve.add_argument("--sweep", metavar="REF")
+    curve.add_argument("--experiment", default="fault-study")
+    curve.add_argument("--metric", default="speedup_over_baseline")
+    curve.add_argument("--workload", metavar="NAME",
+                       help="narrow to one workload's curve")
+    diff = query_sub.add_parser(
+        "diff", help="per-scenario metric diff between two sweeps")
+    diff.add_argument("--a", required=True, metavar="REF",
+                      help="baseline sweep (id or label)")
+    diff.add_argument("--b", required=True, metavar="REF",
+                      help="candidate sweep (id or label)")
+    diff.add_argument("--experiment", required=True)
+    diff.add_argument("--metric", required=True)
+    regressions = query_sub.add_parser(
+        "regressions", help="top-N relative drops from sweep A to B")
+    regressions.add_argument("--a", required=True, metavar="REF")
+    regressions.add_argument("--b", required=True, metavar="REF")
+    regressions.add_argument("--top", type=int, default=10, metavar="N")
+    regressions.add_argument("--experiment", default=None)
+    regressions.add_argument("--metric", default=None)
+    timeline = query_sub.add_parser(
+        "timeline", help="per-phase sim.phase span totals")
+    timeline.add_argument("--trace", metavar="REF", default=None,
+                          help="trace id or label (default: all traces)")
+    migrations = query_sub.add_parser(
+        "migrations", help="migration-decision provenance rows")
+    migrations.add_argument("--trace", metavar="REF", default=None)
+    migrations.add_argument("--event", metavar="NAME", default=None,
+                            help="narrow to one migration.* event name")
+    migrations.add_argument("--limit", type=int, default=50, metavar="N")
 
     describe = sub.add_parser("describe",
                               help="print a system configuration")
@@ -623,11 +712,17 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
 
 def _cmd_obs(args: argparse.Namespace) -> int:
-    from repro.obs import read_trace, render_summary, summarize_trace, \
+    from repro.obs import iter_trace, render_summary, summarize_records, \
         validate_trace
+    from repro.obs.storefmt import is_sqlite_path
 
     try:
         if args.obs_command == "validate":
+            if is_sqlite_path(args.trace):
+                _log.error(f"error: {args.trace} is a sqlite store; "
+                           f"validate applies to JSONL traces (inspect "
+                           f"a store with 'starnuma store info')")
+                return 2
             problems = validate_trace(args.trace)
             if problems:
                 for line_number, problem in problems:
@@ -639,11 +734,151 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         if args.width < 1:
             _log.error(f"error: --width must be >= 1 (got {args.width})")
             return 2
-        records = read_trace(args.trace)
+        if is_sqlite_path(args.trace):
+            # Store-backed summary: grouped index lookups, no re-fold of
+            # the raw record log (see docs/store.md).
+            from repro.store import (QueryError, StoreSchemaError,
+                                     open_store, summarize_store)
+
+            try:
+                conn = open_store(args.trace, readonly=True)
+            except StoreSchemaError as exc:
+                _log.error(f"error: {exc}")
+                return 2
+            try:
+                summary = summarize_store(conn, trace=args.trace_id)
+            except QueryError as exc:
+                _log.error(f"error: {exc}")
+                return 2
+            finally:
+                conn.close()
+        else:
+            summary = summarize_records(iter_trace(args.trace))
     except FileNotFoundError:
         _log.error(f"error: no such trace: {args.trace}")
         return 2
-    print(render_summary(summarize_trace(records), width=args.width))
+    print(render_summary(summary, width=args.width))
+    return 0
+
+
+def _render_query(headers, rows, output_format: str) -> str:
+    """Render one (headers, rows) query result as table or JSON."""
+    if output_format == "json":
+        import json
+
+        return json.dumps(
+            {"headers": list(headers),
+             "rows": [list(row) for row in rows]},
+            indent=2,
+        )
+    from repro.metrics.report import format_table
+
+    if not rows:
+        return "(no rows)"
+    rendered = [
+        tuple("" if cell is None else cell for cell in row) for row in rows
+    ]
+    return format_table(tuple(headers), rendered)
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from repro.obs.storefmt import DEFAULT_BATCH_SIZE, schema_versions
+    from repro.store import (StoreIngestError, StoreSchemaError,
+                             StoreWriter, index_traces, ingest_path,
+                             open_store)
+    from pathlib import Path
+
+    try:
+        if args.store_command == "info":
+            conn = open_store(args.db, readonly=True)
+            try:
+                for key, value in sorted(schema_versions(conn).items()):
+                    print(f"{key:14s} {value}")
+                for tbl in ("sweeps", "runs", "run_rows", "run_metrics",
+                            "traces", "obs_records", "phase_metrics",
+                            "migration_decisions"):
+                    exists = conn.execute(
+                        "SELECT 1 FROM sqlite_master WHERE type = 'table' "
+                        "AND name = ?", (tbl,)).fetchone()
+                    count = conn.execute(
+                        f"SELECT COUNT(*) FROM {tbl}"
+                    ).fetchone()[0] if exists else 0
+                    print(f"{tbl:20s} {count} rows")
+            finally:
+                conn.close()
+            return 0
+
+        if args.label is not None and len(args.paths) > 1:
+            _log.error("error: --label applies to a single PATH")
+            return 2
+        if args.batch_size is not None and args.batch_size < 1:
+            _log.error(f"error: --batch-size must be >= 1 "
+                       f"(got {args.batch_size})")
+            return 2
+        batch_size = args.batch_size or DEFAULT_BATCH_SIZE
+        with StoreWriter(args.db, batch_size=batch_size) as writer:
+            for path in args.paths:
+                kind, row_id = ingest_path(writer, Path(path),
+                                           label=args.label)
+                print(f"ingested {path} -> {kind} {row_id}")
+            writer.flush()
+            indexed = index_traces(writer.connection)
+        if indexed:
+            print(f"indexed {len(indexed)} live-sink trace(s)")
+        return 0
+    except FileNotFoundError as exc:
+        _log.error(f"error: {exc}")
+        return 2
+    except (StoreIngestError, StoreSchemaError) as exc:
+        _log.error(f"error: {exc}")
+        return 2
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    import repro.store as store
+    from repro.store import QueryError, StoreSchemaError, open_store
+
+    try:
+        conn = open_store(args.db, readonly=True)
+    except (FileNotFoundError, StoreSchemaError) as exc:
+        _log.error(f"error: {exc}")
+        return 2
+    try:
+        if args.query_command == "sweeps":
+            headers, rows = store.list_sweeps(conn)
+        elif args.query_command == "traces":
+            headers, rows = store.list_traces(conn)
+        elif args.query_command == "table":
+            result = store.run_table(conn, args.sweep, args.experiment)
+            if args.format == "json":
+                import json
+
+                print(json.dumps(result, indent=2))
+                return 0
+            headers = tuple(result["headers"])
+            rows = [tuple(row) for row in result["rows"]]
+        elif args.query_command == "curve":
+            headers, rows = store.degradation_curve(
+                conn, args.sweep, experiment=args.experiment,
+                metric=args.metric, workload=args.workload)
+        elif args.query_command == "diff":
+            headers, rows = store.cross_sweep_diff(
+                conn, args.a, args.b, args.experiment, args.metric)
+        elif args.query_command == "regressions":
+            headers, rows = store.top_regressions(
+                conn, args.a, args.b, top=args.top,
+                experiment=args.experiment, metric=args.metric)
+        elif args.query_command == "timeline":
+            headers, rows = store.phase_timeline(conn, args.trace)
+        else:
+            headers, rows = store.migration_provenance(
+                conn, args.trace, name=args.event, limit=args.limit)
+    except QueryError as exc:
+        _log.error(f"error: {exc}")
+        return 2
+    finally:
+        conn.close()
+    print(_render_query(headers, rows, args.format))
     return 0
 
 
@@ -791,6 +1026,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_export(args)
     if args.command == "obs":
         return _cmd_obs(args)
+    if args.command == "store":
+        return _cmd_store(args)
+    if args.command == "query":
+        return _cmd_query(args)
     if args.command == "describe":
         return _cmd_describe(args)
     if args.command == "lint":

@@ -63,6 +63,9 @@ CONTRACT: Dict[str, Set[str]] = {
                  "workloads"},
     # -- observability: metrics only, so any layer may emit -----------------
     "obs": {"metrics"},
+    # -- persistence: reads obs traces and exported results; the sim
+    #    never imports it, so headline numbers need no database ---------------
+    "store": {"config", "obs"},
     # -- harness: may see the model, never the other way around -------------
     "runner": {"obs"},
     "experiments": {"config", "faults", "metrics", "obs", "replication",
@@ -72,7 +75,7 @@ CONTRACT: Dict[str, Set[str]] = {
     #    never imports sim/experiments/migration directly ---------------------
     "serve": {"config", "obs", "runner"},
     "cli": {"config", "experiments", "lint", "metrics", "obs", "runner",
-            "serve", "topology", "workloads"},
+            "serve", "store", "topology", "workloads"},
     "__main__": {"cli"},
     # -- the package facade re-exports the public surface --------------------
     "<root>": {"config", "experiments", "sim", "topology", "workloads"},

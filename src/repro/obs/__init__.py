@@ -31,9 +31,15 @@ from repro.obs.events import (
     validate_trace,
 )
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
-from repro.obs.sinks import JsonlSink, MemorySink, NullSink, Sink
+from repro.obs.sinks import JsonlSink, MemorySink, NullSink, Sink, SqliteSink
 from repro.obs.stream import CallbackSink, TeeSink
-from repro.obs.summary import read_trace, render_summary, summarize_trace
+from repro.obs.summary import (
+    iter_trace,
+    read_trace,
+    render_summary,
+    summarize_records,
+    summarize_trace,
+)
 
 __all__ = [
     "OBS",
@@ -52,9 +58,12 @@ __all__ = [
     "NullSink",
     "MemorySink",
     "JsonlSink",
+    "SqliteSink",
     "CallbackSink",
     "TeeSink",
+    "iter_trace",
     "read_trace",
     "render_summary",
+    "summarize_records",
     "summarize_trace",
 ]

@@ -21,7 +21,9 @@ from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.obs.events import LEVEL_NAMES, SCHEMA_VERSION
 from repro.obs.registry import MetricsRegistry
-from repro.obs.sinks import JsonlSink, MemorySink, NullSink, Sink
+from repro.obs.sinks import (JsonlSink, MemorySink, NullSink, Sink,
+                             SqliteSink)
+from repro.obs.storefmt import is_sqlite_path
 
 _LEVEL_RANK = {name: rank for rank, name in enumerate(LEVEL_NAMES, start=1)}
 
@@ -100,7 +102,8 @@ class Obs:
         self._registry = MetricsRegistry()
         self._t0_ns = time.monotonic_ns()
         self.trace_path = (str(sink.path)
-                           if isinstance(sink, JsonlSink) else None)
+                           if isinstance(sink, (JsonlSink, SqliteSink))
+                           else None)
         self.enabled = True
         self._sink.emit({
             "kind": "meta",
@@ -257,9 +260,20 @@ OBS = Obs()
 
 def configure(trace_path: Optional[str] = None, level: str = "basic",
               sink: Optional[Sink] = None) -> Obs:
-    """Arm the global pipeline (``sink`` wins over ``trace_path``)."""
+    """Arm the global pipeline (``sink`` wins over ``trace_path``).
+
+    A ``trace_path`` with a sqlite suffix (``.sqlite``/``.sqlite3``/
+    ``.db``) -- or one that already holds a sqlite store -- streams
+    into the embedded results store through :class:`SqliteSink`;
+    anything else gets the classic JSONL trace.
+    """
     if sink is None:
-        sink = JsonlSink(trace_path) if trace_path else MemorySink()
+        if not trace_path:
+            sink = MemorySink()
+        elif is_sqlite_path(trace_path):
+            sink = SqliteSink(trace_path)
+        else:
+            sink = JsonlSink(trace_path)
     OBS.configure(sink, level=level)
     return OBS
 

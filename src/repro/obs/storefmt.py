@@ -1,0 +1,333 @@
+"""The sqlite layout shared by the obs sink and the results store.
+
+The embedded results & trace database (``docs/store.md``) is one sqlite
+file with two writers: :class:`~repro.obs.sinks.SqliteSink` streams live
+telemetry into it during a run, and :mod:`repro.store` ingests finished
+JSON exports and JSONL traces into the same file. The layering contract
+(DESIGN.md §8) points the dependency arrow ``store -> obs``, never the
+other way, so everything both halves must agree on lives here on the
+obs side: the schema-version ledger (``store_meta``), the trace
+registry (``traces``), the raw record log (``obs_records``), the
+record<->row codec, and the buffered batch writer. ``repro.store``
+stacks the results tables on top (see :mod:`repro.store.schema`).
+
+Databases are opened in WAL mode with a busy timeout, so concurrent
+writers (two sweep processes appending traces, or a sink and an ingest)
+serialize on the write lock instead of surfacing ``database is locked``
+to callers. Row content carries no wall-clock state: every timestamp is
+the emitting record's monotonic ``t_ns``, so re-ingesting the same
+trace produces byte-identical rows.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import urllib.parse
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+#: Version of the obs half of the store schema (``store_meta`` key
+#: ``obs_schema``). Bump on any change to the tables declared here.
+OBS_STORE_SCHEMA_VERSION = 1
+
+#: Default rows buffered in memory before a batch writer flushes them
+#: in one transaction.
+DEFAULT_BATCH_SIZE = 256
+
+#: Default busy timeout: how long a writer waits on the WAL write lock
+#: before sqlite gives up (never surfaced in normal operation).
+DEFAULT_BUSY_TIMEOUT_S = 10.0
+
+#: Path suffixes the CLI treats as "this trace is a sqlite store".
+SQLITE_SUFFIXES = (".sqlite", ".sqlite3", ".db")
+
+#: The 16-byte magic prefix of every sqlite database file.
+SQLITE_MAGIC = b"SQLite format 3\x00"
+
+CORE_DDL: Tuple[str, ...] = (
+    """
+    CREATE TABLE IF NOT EXISTS store_meta (
+        key   TEXT PRIMARY KEY,
+        value TEXT NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS traces (
+        trace_id       INTEGER PRIMARY KEY AUTOINCREMENT,
+        label          TEXT,
+        source         TEXT NOT NULL,
+        level          TEXT,
+        schema_version INTEGER,
+        clock          TEXT,
+        n_records      INTEGER NOT NULL DEFAULT 0
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS obs_records (
+        trace_id    INTEGER NOT NULL,
+        seq         INTEGER NOT NULL,
+        kind        TEXT NOT NULL,
+        name        TEXT,
+        t_ns        INTEGER,
+        dur_ns      INTEGER,
+        metric_type TEXT,
+        value       REAL,
+        attrs       TEXT,
+        payload     TEXT,
+        PRIMARY KEY (trace_id, seq)
+    )
+    """,
+    """
+    CREATE INDEX IF NOT EXISTS idx_obs_records_kind_name
+        ON obs_records (trace_id, kind, name)
+    """,
+)
+
+INSERT_OBS_RECORD = (
+    "INSERT INTO obs_records (trace_id, seq, kind, name, t_ns, dur_ns, "
+    "metric_type, value, attrs, payload) "
+    "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)"
+)
+
+#: Column order every record-reading SELECT must use with
+#: :func:`row_to_record`.
+OBS_RECORD_COLUMNS = ("kind", "name", "t_ns", "dur_ns", "metric_type",
+                      "value", "attrs", "payload")
+
+SELECT_OBS_RECORDS = (
+    "SELECT " + ", ".join(OBS_RECORD_COLUMNS)
+    + " FROM obs_records WHERE trace_id = ? ORDER BY seq"
+)
+
+
+class StoreSchemaError(ValueError):
+    """The database's recorded schema is not one this code reads."""
+
+
+def is_sqlite_path(path: Union[str, Path]) -> bool:
+    """True when ``path`` is (or will be) a sqlite store.
+
+    An existing file answers by its magic bytes; a missing one by its
+    suffix, so ``--obs-trace trace.sqlite`` creates a store and
+    ``--obs-trace trace.jsonl`` a JSONL trace.
+    """
+    target = Path(path)
+    try:
+        with open(target, "rb") as handle:
+            return handle.read(len(SQLITE_MAGIC)) == SQLITE_MAGIC
+    except OSError:
+        return target.suffix.lower() in SQLITE_SUFFIXES
+
+
+def connect(path: Union[str, Path], *, readonly: bool = False,
+            busy_timeout_s: float = DEFAULT_BUSY_TIMEOUT_S,
+            ) -> sqlite3.Connection:
+    """Open a store database: WAL mode, busy timeout armed.
+
+    ``readonly`` opens with sqlite's ``mode=ro`` so queries can never
+    create or mutate a store by accident.
+    """
+    target = Path(path)
+    if readonly:
+        if not target.is_file():
+            raise FileNotFoundError(f"no such store: {target}")
+        uri = "file:" + urllib.parse.quote(str(target)) + "?mode=ro"
+        conn = sqlite3.connect(uri, uri=True, timeout=busy_timeout_s)
+    else:
+        if target.parent != Path(""):
+            target.parent.mkdir(parents=True, exist_ok=True)
+        conn = sqlite3.connect(str(target), timeout=busy_timeout_s)
+        # WAL lets a reader summarize a store mid-run and lets two
+        # sweep processes append traces without blocking each other.
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=NORMAL")
+    conn.execute(f"PRAGMA busy_timeout={int(busy_timeout_s * 1000.0)}")
+    return conn
+
+
+def ensure_core_schema(conn: sqlite3.Connection) -> None:
+    """Create the obs-side tables; verify the recorded schema version."""
+    with conn:
+        for statement in CORE_DDL:
+            conn.execute(statement)
+        conn.execute(
+            "INSERT OR IGNORE INTO store_meta (key, value) VALUES (?, ?)",
+            ("obs_schema", str(OBS_STORE_SCHEMA_VERSION)),
+        )
+    row = conn.execute(
+        "SELECT value FROM store_meta WHERE key = 'obs_schema'"
+    ).fetchone()
+    if row is None or str(row[0]) != str(OBS_STORE_SCHEMA_VERSION):
+        recorded = None if row is None else row[0]
+        raise StoreSchemaError(
+            f"store records obs_schema {recorded!r}; this version reads "
+            f"{OBS_STORE_SCHEMA_VERSION} -- refusing to guess at an "
+            f"unknown layout"
+        )
+
+
+def schema_versions(conn: sqlite3.Connection) -> Dict[str, str]:
+    """Every ``store_meta`` schema ledger entry, keyed by name."""
+    return {
+        str(key): str(value)
+        for key, value in conn.execute(
+            "SELECT key, value FROM store_meta ORDER BY key"
+        )
+    }
+
+
+def begin_trace(conn: sqlite3.Connection, *, source: str,
+                label: Optional[str] = None,
+                meta: Optional[Dict[str, object]] = None) -> int:
+    """Register a new trace; returns its ``trace_id``.
+
+    The insert commits immediately so concurrent writers each claim a
+    distinct id up front (their record rows then never collide).
+    """
+    level = schema_version = clock = None
+    if meta is not None:
+        level = meta.get("level")
+        schema_version = meta.get("schema")
+        clock = meta.get("clock")
+    with conn:
+        cursor = conn.execute(
+            "INSERT INTO traces (label, source, level, schema_version, "
+            "clock) VALUES (?, ?, ?, ?, ?)",
+            (label, source, level, schema_version, clock),
+        )
+    row_id = cursor.lastrowid
+    assert row_id is not None
+    return int(row_id)
+
+
+def set_trace_meta(conn: sqlite3.Connection, trace_id: int,
+                   meta: Dict[str, object]) -> None:
+    """Adopt a trace's ``meta`` header record (level/schema/clock)."""
+    with conn:
+        conn.execute(
+            "UPDATE traces SET level = ?, schema_version = ?, clock = ? "
+            "WHERE trace_id = ?",
+            (meta.get("level"), meta.get("schema"), meta.get("clock"),
+             trace_id),
+        )
+
+
+def finish_trace(conn: sqlite3.Connection, trace_id: int,
+                 n_records: int) -> None:
+    """Record a trace's final record count (meta included)."""
+    with conn:
+        conn.execute(
+            "UPDATE traces SET n_records = ? WHERE trace_id = ?",
+            (n_records, trace_id),
+        )
+
+
+def trace_meta_record(level: Optional[str], schema_version: Optional[int],
+                      clock: Optional[str]) -> Dict[str, object]:
+    """Rebuild the ``meta`` header record from a ``traces`` row."""
+    return {"kind": "meta", "schema": schema_version, "level": level,
+            "clock": clock}
+
+
+def _compact(value: object) -> str:
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def record_to_row(trace_id: int, seq: int,
+                  record: Dict[str, object]) -> Tuple[object, ...]:
+    """Encode one obs record (span/event/metric) as an ``obs_records`` row.
+
+    ``meta`` records live in ``traces``, not here -- encode everything
+    the schema knows into typed columns and stash any remaining fields
+    in ``payload`` so :func:`row_to_record` round-trips exactly.
+    """
+    kind = str(record.get("kind", ""))
+    name = record.get("name")
+    if kind == "metric":
+        metric_type = record.get("type")
+        value = (record.get("value")
+                 if metric_type in ("counter", "gauge") else None)
+        rest = {key: val for key, val in record.items()
+                if key not in ("kind", "type", "name", "value")}
+        payload = _compact(rest) if rest else None
+        return (trace_id, seq, kind, name, None, None, metric_type,
+                value, None, payload)
+    attrs = record.get("attrs")
+    attrs_json = _compact(attrs) if attrs is not None else None
+    rest = {key: val for key, val in record.items()
+            if key not in ("kind", "name", "t_ns", "dur_ns", "attrs")}
+    payload = _compact(rest) if rest else None
+    return (trace_id, seq, kind, name, record.get("t_ns"),
+            record.get("dur_ns"), None, None, attrs_json, payload)
+
+
+def row_to_record(row: Sequence[object]) -> Dict[str, object]:
+    """Decode one :data:`OBS_RECORD_COLUMNS`-ordered row back to a record."""
+    kind, name, t_ns, dur_ns, metric_type, value, attrs, payload = row
+    if kind == "metric":
+        record: Dict[str, object] = {"kind": "metric",
+                                     "type": metric_type, "name": name}
+        if value is not None:
+            record["value"] = value
+        if payload:
+            record.update(json.loads(str(payload)))
+        return record
+    record = {"kind": kind, "name": name}
+    if t_ns is not None:
+        record["t_ns"] = t_ns
+    if kind == "span" and dur_ns is not None:
+        record["dur_ns"] = dur_ns
+    if attrs is not None:
+        record["attrs"] = json.loads(str(attrs))
+    if payload:
+        record.update(json.loads(str(payload)))
+    return record
+
+
+def read_trace_records(conn: sqlite3.Connection,
+                       trace_id: int) -> List[Dict[str, object]]:
+    """Every record of one trace, decoded, in emission order."""
+    return [row_to_record(row)
+            for row in conn.execute(SELECT_OBS_RECORDS, (trace_id,))]
+
+
+class BufferedTableWriter:
+    """Appends rows in memory; flushes them as one transaction.
+
+    The pyotter-style batch writer: ``append`` is an in-memory list
+    push until ``batch_size`` rows accumulate, then one ``executemany``
+    inside a single transaction lands the whole batch. ``flush`` and
+    ``close`` drain explicitly; dropping the writer without closing
+    loses only unflushed rows, never corrupts the store.
+    """
+
+    def __init__(self, conn: sqlite3.Connection, insert_sql: str,
+                 batch_size: int = DEFAULT_BATCH_SIZE) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self._conn = conn
+        self._insert_sql = insert_sql
+        self._batch_size = batch_size
+        self._rows: List[Tuple[object, ...]] = []
+        self.rows_written = 0
+
+    def append(self, row: Tuple[object, ...]) -> None:
+        self._rows.append(row)
+        if len(self._rows) >= self._batch_size:
+            self.flush()
+
+    def extend(self, rows: Iterable[Tuple[object, ...]]) -> None:
+        for row in rows:
+            self.append(row)
+
+    def flush(self) -> None:
+        if not self._rows:
+            return
+        with self._conn:
+            self._conn.executemany(self._insert_sql, self._rows)
+        self.rows_written += len(self._rows)
+        self._rows.clear()
+
+    def close(self) -> None:
+        self.flush()

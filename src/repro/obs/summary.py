@@ -10,7 +10,7 @@ from __future__ import annotations
 import json
 from collections import OrderedDict
 from pathlib import Path
-from typing import Dict, List, Tuple, Union
+from typing import Dict, Iterable, Iterator, List, Tuple, Union
 
 from repro.metrics.ascii_chart import bar_chart
 from repro.metrics.report import format_table
@@ -19,24 +19,47 @@ from repro.metrics.report import format_table
 PHASE_SPAN = "sim.phase"
 
 
+def iter_trace(path: Union[str, Path]) -> Iterator[Dict[str, object]]:
+    """Yield the records of a JSONL trace one line at a time.
+
+    This is the streaming entry point ``starnuma obs summary`` folds
+    through: memory stays bounded by the summary state, not the trace
+    size, so a multi-gigabyte sweep trace summarizes in constant space.
+    Invalid JSON raises, exactly as :func:`read_trace` would.
+    """
+    with open(Path(path), encoding="utf-8") as handle:
+        for line in handle:
+            if line.strip():
+                yield json.loads(line)
+
+
 def read_trace(path: Union[str, Path]) -> List[Dict[str, object]]:
-    """Parse every record of a JSONL trace (invalid lines raise)."""
-    records: List[Dict[str, object]] = []
-    for line in Path(path).read_text(encoding="utf-8").splitlines():
-        if line.strip():
-            records.append(json.loads(line))
-    return records
+    """Parse every record of a JSONL trace (invalid lines raise).
+
+    Materializes the whole trace; prefer :func:`iter_trace` plus
+    :func:`summarize_records` when only the summary is needed.
+    """
+    return list(iter_trace(path))
 
 
-def summarize_trace(records: List[Dict[str, object]]) -> Dict[str, object]:
-    """Fold a trace into the structures :func:`render_summary` prints."""
+def summarize_records(
+        records: Iterable[Dict[str, object]]) -> Dict[str, object]:
+    """Fold records into the structures :func:`render_summary` prints.
+
+    Accepts any iterable -- a list, :func:`iter_trace`, or a store
+    cursor -- and holds only the folded state (per-name span/event
+    aggregates, the phase timeline, and metric summary records), never
+    the records themselves.
+    """
     meta: Dict[str, object] = {}
     spans: "OrderedDict[str, Dict[str, float]]" = OrderedDict()
     phase_ns: "OrderedDict[object, float]" = OrderedDict()
     events: "OrderedDict[str, int]" = OrderedDict()
     metrics: List[Dict[str, object]] = []
+    n_records = 0
 
     for record in records:
+        n_records += 1
         kind = record.get("kind")
         if kind == "meta":
             meta = record
@@ -60,12 +83,17 @@ def summarize_trace(records: List[Dict[str, object]]) -> Dict[str, object]:
 
     return {
         "meta": meta,
-        "n_records": len(records),
+        "n_records": n_records,
         "spans": spans,
         "phase_ns": phase_ns,
         "events": events,
         "metrics": metrics,
     }
+
+
+def summarize_trace(records: List[Dict[str, object]]) -> Dict[str, object]:
+    """Fold a materialized trace (compatibility alias)."""
+    return summarize_records(records)
 
 
 def _format_ms(ns: float) -> float:

@@ -348,6 +348,11 @@ class ServeApp:
             "misses": self.cache.misses,
             "entries": self.cache.entries,
         }
+        # Snapshot, not flush: reading the registry resets nothing, so
+        # polling /v1/stats never perturbs the metrics it reports.
+        payload["obs"] = {
+            "metrics": OBS.metrics_snapshot(),
+        }
         payload["address"] = self.address
         if self.adopted is not None:
             payload["adopted"] = dict(self.adopted)

@@ -1,0 +1,81 @@
+"""``repro.store``: the embedded results & trace database.
+
+One sqlite file (WAL mode, busy timeout) replaces the loose-JSON
+sprawl of export directories and JSONL obs traces with a queryable
+substrate:
+
+* **schema** (:mod:`repro.store.schema`) -- schema-versioned tables
+  for sweeps, runs (result tables), long-form run metrics, per-phase
+  metrics, migration-decision provenance, and raw obs records. The
+  obs-side half (trace registry + record log + buffered batch writer)
+  lives in :mod:`repro.obs.storefmt` so the layering arrow stays
+  ``store -> obs``.
+* **writer** (:mod:`repro.store.writer`) -- :class:`StoreWriter`, the
+  buffered write-side lifecycle (``append N rows in memory, flush in
+  one transaction; flush()/close()``), fork-safe like the obs sink.
+* **ingest** (:mod:`repro.store.ingest`) -- backfills existing JSONL
+  traces and export/manifest directories (``starnuma store ingest``).
+* **query** (:mod:`repro.store.query`) -- the read-side API behind
+  ``starnuma query``: exact result tables, top-N regressions between
+  sweeps, cross-sweep scenario diffs, degradation curves, per-phase
+  timelines, and the store-backed ``starnuma obs summary`` fold.
+
+The layering contract (DESIGN.md §8) allows ``store`` to import only
+``config`` and ``obs``; the simulator never imports it, so headline
+numbers stay computable without a database anywhere near the model.
+"""
+
+from repro.obs.storefmt import StoreSchemaError, is_sqlite_path
+from repro.store.ingest import (
+    StoreIngestError,
+    ingest_export_dir,
+    ingest_path,
+    ingest_trace,
+    index_traces,
+)
+from repro.store.query import (
+    QueryError,
+    cross_sweep_diff,
+    degradation_curve,
+    list_runs,
+    list_sweeps,
+    list_traces,
+    metric_values,
+    migration_provenance,
+    phase_timeline,
+    run_table,
+    summarize_store,
+    top_regressions,
+)
+from repro.store.schema import (
+    STORE_SCHEMA_VERSION,
+    ensure_schema,
+    open_store,
+)
+from repro.store.writer import StoreWriter
+
+__all__ = [
+    "STORE_SCHEMA_VERSION",
+    "StoreIngestError",
+    "StoreSchemaError",
+    "StoreWriter",
+    "QueryError",
+    "cross_sweep_diff",
+    "degradation_curve",
+    "ensure_schema",
+    "index_traces",
+    "ingest_export_dir",
+    "ingest_path",
+    "ingest_trace",
+    "is_sqlite_path",
+    "list_runs",
+    "list_sweeps",
+    "list_traces",
+    "metric_values",
+    "migration_provenance",
+    "open_store",
+    "phase_timeline",
+    "run_table",
+    "summarize_store",
+    "top_regressions",
+]

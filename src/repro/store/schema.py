@@ -1,0 +1,193 @@
+"""The results half of the store schema, stacked on the obs half.
+
+:mod:`repro.obs.storefmt` owns the tables the live obs sink also
+writes (``store_meta``, ``traces``, ``obs_records``); this module adds
+the results tables and the derived index tables:
+
+``sweeps``
+    One ingested export directory (or live result set): the manifest's
+    identity fields plus its full JSON. ``label`` is unique -- queries
+    name sweeps by label or id.
+``runs`` / ``run_rows``
+    One experiment result table per row of ``runs`` (headers + notes),
+    with every result row stored verbatim as a JSON cell list in
+    ``run_rows`` -- ``starnuma query table`` reproduces the exported
+    JSON byte-for-value from these.
+``run_metrics``
+    The same rows exploded long-form: one (scenario, metric, value)
+    row per numeric cell, which is what cross-sweep joins (diffs,
+    top-N regressions) select on.
+``phase_metrics``
+    The materialized per-phase fold of ``sim.phase`` spans -- the
+    index the summary/timeline queries hit instead of re-folding raw
+    records.
+``migration_decisions``
+    Per-decision migration provenance (``migration.*`` events)
+    extracted from the record log with its discriminating columns
+    typed out.
+
+Everything is schema-versioned through the ``store_meta`` ledger
+(``obs_schema`` for the obs half, ``store_schema`` for this half); a
+mismatch refuses with one line rather than guessing at a layout.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from pathlib import Path
+from typing import Tuple, Union
+
+from repro.obs.storefmt import (
+    DEFAULT_BUSY_TIMEOUT_S,
+    StoreSchemaError,
+    connect,
+    ensure_core_schema,
+)
+
+#: Version of the results half of the schema (``store_meta`` key
+#: ``store_schema``).
+STORE_SCHEMA_VERSION = 1
+
+STORE_DDL: Tuple[str, ...] = (
+    """
+    CREATE TABLE IF NOT EXISTS sweeps (
+        sweep_id       INTEGER PRIMARY KEY AUTOINCREMENT,
+        label          TEXT NOT NULL UNIQUE,
+        source         TEXT NOT NULL,
+        schema_version INTEGER,
+        seed           INTEGER,
+        n_phases       INTEGER,
+        warmup_phases  INTEGER,
+        git            TEXT,
+        manifest       TEXT
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS runs (
+        run_id     INTEGER PRIMARY KEY AUTOINCREMENT,
+        sweep_id   INTEGER NOT NULL,
+        experiment TEXT NOT NULL,
+        notes      TEXT,
+        headers    TEXT NOT NULL,
+        n_rows     INTEGER NOT NULL DEFAULT 0,
+        UNIQUE (sweep_id, experiment)
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS run_rows (
+        run_id    INTEGER NOT NULL,
+        row_index INTEGER NOT NULL,
+        scenario  TEXT NOT NULL,
+        data      TEXT NOT NULL,
+        PRIMARY KEY (run_id, row_index)
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS run_metrics (
+        run_id    INTEGER NOT NULL,
+        row_index INTEGER NOT NULL,
+        scenario  TEXT NOT NULL,
+        metric    TEXT NOT NULL,
+        value     REAL NOT NULL
+    )
+    """,
+    """
+    CREATE INDEX IF NOT EXISTS idx_run_metrics_lookup
+        ON run_metrics (run_id, metric, scenario)
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS phase_metrics (
+        trace_id     INTEGER NOT NULL,
+        phase        TEXT NOT NULL,
+        span_count   INTEGER NOT NULL,
+        total_dur_ns INTEGER NOT NULL,
+        PRIMARY KEY (trace_id, phase)
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS migration_decisions (
+        trace_id    INTEGER NOT NULL,
+        seq         INTEGER NOT NULL,
+        t_ns        INTEGER,
+        name        TEXT NOT NULL,
+        policy      TEXT,
+        phase       INTEGER,
+        region      INTEGER,
+        pages       INTEGER,
+        source      TEXT,
+        destination TEXT,
+        rule        TEXT,
+        attrs       TEXT,
+        PRIMARY KEY (trace_id, seq)
+    )
+    """,
+    """
+    CREATE INDEX IF NOT EXISTS idx_migration_decisions_name
+        ON migration_decisions (trace_id, name)
+    """,
+)
+
+INSERT_RUN_ROW = (
+    "INSERT INTO run_rows (run_id, row_index, scenario, data) "
+    "VALUES (?, ?, ?, ?)"
+)
+INSERT_RUN_METRIC = (
+    "INSERT INTO run_metrics (run_id, row_index, scenario, metric, value) "
+    "VALUES (?, ?, ?, ?, ?)"
+)
+INSERT_PHASE_METRIC = (
+    "INSERT INTO phase_metrics (trace_id, phase, span_count, total_dur_ns) "
+    "VALUES (?, ?, ?, ?)"
+)
+INSERT_MIGRATION_DECISION = (
+    "INSERT INTO migration_decisions (trace_id, seq, t_ns, name, policy, "
+    "phase, region, pages, source, destination, rule, attrs) "
+    "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)"
+)
+
+
+def ensure_schema(conn: sqlite3.Connection) -> None:
+    """Create both schema halves; verify their recorded versions."""
+    ensure_core_schema(conn)
+    with conn:
+        for statement in STORE_DDL:
+            conn.execute(statement)
+        conn.execute(
+            "INSERT OR IGNORE INTO store_meta (key, value) VALUES (?, ?)",
+            ("store_schema", str(STORE_SCHEMA_VERSION)),
+        )
+    row = conn.execute(
+        "SELECT value FROM store_meta WHERE key = 'store_schema'"
+    ).fetchone()
+    if row is None or str(row[0]) != str(STORE_SCHEMA_VERSION):
+        recorded = None if row is None else row[0]
+        raise StoreSchemaError(
+            f"store records store_schema {recorded!r}; this version "
+            f"reads {STORE_SCHEMA_VERSION} -- refusing to guess at an "
+            f"unknown layout"
+        )
+
+
+def open_store(path: Union[str, Path], *, readonly: bool = False,
+               busy_timeout_s: float = DEFAULT_BUSY_TIMEOUT_S,
+               ) -> sqlite3.Connection:
+    """Open (creating if needed) a store with the full schema applied.
+
+    ``readonly`` skips schema creation -- the file must already be a
+    store; a bare sqlite file without the ledger is refused.
+    """
+    conn = connect(path, readonly=readonly, busy_timeout_s=busy_timeout_s)
+    if readonly:
+        ledger = conn.execute(
+            "SELECT name FROM sqlite_master WHERE type = 'table' "
+            "AND name = 'store_meta'"
+        ).fetchone()
+        if ledger is None:
+            conn.close()
+            raise StoreSchemaError(
+                f"{path} is a sqlite file but not a results store "
+                f"(no store_meta schema ledger)"
+            )
+        return conn
+    ensure_schema(conn)
+    return conn

@@ -1,0 +1,175 @@
+"""SqliteSink: live telemetry streaming into the embedded store."""
+
+import os
+import sqlite3
+
+import pytest
+
+from repro.obs import OBS, SqliteSink, configure, shutdown
+from repro.obs.storefmt import (
+    SELECT_OBS_RECORDS,
+    connect,
+    is_sqlite_path,
+    read_trace_records,
+    record_to_row,
+    row_to_record,
+)
+
+
+class TestIsSqlitePath:
+    def test_suffix_decides_for_missing_files(self, tmp_path):
+        assert is_sqlite_path(tmp_path / "t.sqlite")
+        assert is_sqlite_path(tmp_path / "t.sqlite3")
+        assert is_sqlite_path(tmp_path / "t.db")
+        assert not is_sqlite_path(tmp_path / "t.jsonl")
+
+    def test_magic_bytes_decide_for_existing_files(self, tmp_path):
+        db = tmp_path / "odd-name.trace"
+        conn = sqlite3.connect(db)
+        conn.execute("CREATE TABLE t (x)")
+        conn.commit()
+        conn.close()
+        assert is_sqlite_path(db)
+        jsonl = tmp_path / "fake.sqlite"
+        jsonl.write_text('{"kind":"meta"}\n')
+        assert not is_sqlite_path(jsonl)
+
+
+class TestRecordRoundTrip:
+    @pytest.mark.parametrize("record", [
+        {"kind": "span", "name": "sim.phase", "t_ns": 10, "dur_ns": 5,
+         "attrs": {"phase": 3}},
+        {"kind": "span", "name": "sim.run", "t_ns": 0, "dur_ns": 1},
+        {"kind": "event", "name": "migration.decision", "t_ns": 7,
+         "attrs": {"policy": "starnuma", "pages": 64}},
+        {"kind": "event", "name": "bare", "t_ns": 1},
+        {"kind": "metric", "type": "counter", "name": "c", "value": 3.0},
+        {"kind": "metric", "type": "gauge", "name": "g", "value": 1.5,
+         "samples": 4},
+        {"kind": "metric", "type": "histogram", "name": "h",
+         "edges": [1.0, 2.0], "buckets": [1, 2, 3], "count": 6,
+         "total": 9.5},
+    ])
+    def test_exact(self, record):
+        row = record_to_row(1, 1, record)
+        assert row_to_record(row[2:]) == record
+
+    def test_empty_attrs_survive(self):
+        record = {"kind": "event", "name": "e", "t_ns": 0, "attrs": {}}
+        assert row_to_record(record_to_row(1, 1, record)[2:]) == record
+
+
+class TestSqliteSink:
+    def test_records_round_trip_in_order(self, tmp_path):
+        db = tmp_path / "t.sqlite"
+        sink = SqliteSink(db, batch_size=2)
+        records = [
+            {"kind": "span", "name": "sim.phase", "t_ns": 0, "dur_ns": 9,
+             "attrs": {"phase": 0}},
+            {"kind": "event", "name": "migration.decision", "t_ns": 1,
+             "attrs": {"pages": 8}},
+            {"kind": "metric", "type": "counter", "name": "c",
+             "value": 2.0},
+        ]
+        for record in records:
+            sink.emit(record)
+        sink.close()
+        conn = connect(db, readonly=True)
+        assert read_trace_records(conn, sink.trace_id) == records
+        conn.close()
+
+    def test_meta_lands_in_trace_registry(self, tmp_path):
+        db = tmp_path / "t.sqlite"
+        sink = SqliteSink(db)
+        sink.emit({"kind": "meta", "schema": 1, "level": "detail",
+                   "clock": "monotonic_ns"})
+        sink.emit({"kind": "event", "name": "e", "t_ns": 0})
+        sink.close()
+        conn = connect(db, readonly=True)
+        level, schema, n = conn.execute(
+            "SELECT level, schema_version, n_records FROM traces "
+            "WHERE trace_id = ?", (sink.trace_id,)).fetchone()
+        conn.close()
+        assert (level, schema) == ("detail", 1)
+        assert n == 2  # meta counts toward the trace's record total
+
+    def test_second_session_appends_a_new_trace(self, tmp_path):
+        db = tmp_path / "t.sqlite"
+        first = SqliteSink(db)
+        first.emit({"kind": "event", "name": "a", "t_ns": 0})
+        first.close()
+        second = SqliteSink(db)
+        second.emit({"kind": "event", "name": "b", "t_ns": 0})
+        second.close()
+        assert first.trace_id != second.trace_id
+        conn = connect(db, readonly=True)
+        assert conn.execute(
+            "SELECT COUNT(*) FROM traces").fetchone()[0] == 2
+        names = [row_to_record(row)["name"] for row in
+                 conn.execute(SELECT_OBS_RECORDS, (first.trace_id,))]
+        conn.close()
+        assert names == ["a"]  # the first trace was never truncated
+
+    def test_buffered_rows_land_on_close(self, tmp_path):
+        db = tmp_path / "t.sqlite"
+        sink = SqliteSink(db, batch_size=1000)
+        sink.emit({"kind": "event", "name": "e", "t_ns": 0})
+        reader = connect(db, readonly=True)
+        assert reader.execute(
+            "SELECT COUNT(*) FROM obs_records").fetchone()[0] == 0
+        sink.flush()
+        assert reader.execute(
+            "SELECT COUNT(*) FROM obs_records").fetchone()[0] == 1
+        sink.close()
+        reader.close()
+
+    def test_emit_after_close_raises(self, tmp_path):
+        sink = SqliteSink(tmp_path / "t.sqlite")
+        sink.close()
+        sink.close()  # idempotent
+        with pytest.raises(ValueError, match="closed"):
+            sink.emit({"kind": "event", "name": "e"})
+
+    def test_forked_child_emit_raises_and_close_is_noop(self, tmp_path):
+        sink = SqliteSink(tmp_path / "t.sqlite")
+        sink.emit({"kind": "event", "name": "parent", "t_ns": 0})
+        pid = os.fork()
+        if pid == 0:
+            # Child: emit must refuse, close must be inert.
+            try:
+                try:
+                    sink.emit({"kind": "event", "name": "child"})
+                except RuntimeError:
+                    sink.close()
+                    os._exit(0)
+                os._exit(1)
+            finally:
+                os._exit(2)
+        _, status = os.waitpid(pid, 0)
+        assert os.waitstatus_to_exitcode(status) == 0
+        sink.emit({"kind": "event", "name": "parent-after", "t_ns": 1})
+        sink.close()
+        conn = connect(tmp_path / "t.sqlite", readonly=True)
+        assert conn.execute(
+            "SELECT COUNT(*) FROM obs_records").fetchone()[0] == 2
+        conn.close()
+
+
+class TestConfigureDispatch:
+    def test_sqlite_suffix_selects_sqlite_sink(self, tmp_path):
+        db = tmp_path / "trace.sqlite"
+        configure(trace_path=str(db), level="basic")
+        assert isinstance(OBS._sink, SqliteSink)
+        OBS.event("e")
+        shutdown()
+        conn = connect(db, readonly=True)
+        assert conn.execute(
+            "SELECT COUNT(*) FROM obs_records").fetchone()[0] >= 1
+        conn.close()
+
+    def test_jsonl_suffix_still_selects_jsonl(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        configure(trace_path=str(trace), level="basic")
+        OBS.event("e")
+        shutdown()
+        assert '"kind":"event"' in trace.read_text()

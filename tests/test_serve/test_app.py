@@ -7,11 +7,58 @@ HTTP/SSE bytes -- the same path ``starnuma serve`` clients exercise.
 
 import asyncio
 
+from repro.obs import OBS, MemorySink, shutdown
 from repro.serve import JobJournal, Scenario, cache_key, replay_journal
 
 from .conftest import Harness, fast_policy
 
 ECHO = {"experiment": "echo", "seed": 1}
+
+
+class TestStatsObsSnapshot:
+    def test_stats_carries_the_metric_registry_snapshot(self, tmp_path):
+        """GET /v1/stats exposes counters/gauges/histogram summaries."""
+        shutdown()
+        OBS.configure(MemorySink(), level="basic")
+        try:
+            OBS.counter("serve.test.counter", 3)
+            OBS.gauge("serve.test.gauge", 1.5)
+            OBS.observe("serve.test.hist", 2.0)
+
+            async def go():
+                async with Harness(tmp_path) as harness:
+                    status, _, stats = await harness.request(
+                        "GET", "/v1/stats")
+                    assert status == 200
+                    metrics = {record["name"]: record
+                               for record in stats["obs"]["metrics"]}
+                    counter = metrics["serve.test.counter"]
+                    assert counter["kind"] == "metric"
+                    assert counter["type"] == "counter"
+                    assert counter["value"] == 3
+                    assert metrics["serve.test.gauge"]["value"] == 1.5
+                    histogram = metrics["serve.test.hist"]
+                    assert histogram["type"] == "histogram"
+                    assert histogram["count"] == 1
+                    # Snapshot, not flush: polling resets nothing.
+                    status, _, again = await harness.request(
+                        "GET", "/v1/stats")
+                    assert again["obs"]["metrics"] == \
+                        stats["obs"]["metrics"]
+            asyncio.run(go())
+        finally:
+            shutdown()
+
+    def test_disarmed_pipeline_reports_empty_registry(self, tmp_path):
+        shutdown()
+
+        async def go():
+            async with Harness(tmp_path) as harness:
+                status, _, stats = await harness.request(
+                    "GET", "/v1/stats")
+                assert status == 200
+                assert stats["obs"] == {"metrics": []}
+        asyncio.run(go())
 
 
 class TestSubmitAndResult:

@@ -1,0 +1,70 @@
+"""Shared fixtures: real (small) exports, synthetic traces, built stores.
+
+The golden fixtures run the actual experiments once per session with a
+tiny context -- the store tests then check that query answers reproduce
+the exported JSON numbers byte-for-value, which is the acceptance bar
+for ``starnuma query``.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import ExperimentContext
+from repro.experiments.export import export_all
+
+#: Small-but-real context: two workloads, few phases, so the session
+#: pays for each sweep once (a couple of seconds, not a full repro).
+_WORKLOADS = ["bfs", "cc"]
+
+
+def write_trace(path, records):
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True,
+                                    separators=(",", ":")) + "\n")
+
+
+def synthetic_records(n_phases=3, decisions_per_phase=2):
+    records = [{"kind": "meta", "schema": 1, "level": "basic",
+                "clock": "monotonic_ns"}]
+    t_ns = 0
+    for phase in range(n_phases):
+        for index in range(decisions_per_phase):
+            t_ns += 10
+            records.append({"kind": "event", "name": "migration.decision",
+                            "t_ns": t_ns,
+                            "attrs": {"phase": phase, "pages": 64,
+                                      "policy": "starnuma",
+                                      "region": index}})
+        t_ns += 1000
+        records.append({"kind": "span", "name": "sim.phase",
+                        "t_ns": t_ns, "dur_ns": 1000 + phase,
+                        "attrs": {"phase": phase}})
+    records.append({"kind": "metric", "type": "counter",
+                    "name": "migration.pages", "value": 128.0})
+    return records
+
+
+def _export(directory, seed, experiments):
+    context = ExperimentContext(seed=seed, n_phases=4, warmup_phases=1,
+                                workloads=list(_WORKLOADS))
+    export_all(str(directory), context, experiments)
+    return directory
+
+
+@pytest.fixture(scope="session")
+def fault_export(tmp_path_factory):
+    """A real fault-study export directory (seed 1)."""
+    out = tmp_path_factory.mktemp("fault-export")
+    return _export(out, seed=1, experiments=["fault-study"])
+
+
+@pytest.fixture(scope="session")
+def fig8_exports(tmp_path_factory):
+    """Two real fig8 exports differing only in seed -- the diff golden."""
+    a = _export(tmp_path_factory.mktemp("fig8-a"), seed=1,
+                experiments=["fig8"])
+    b = _export(tmp_path_factory.mktemp("fig8-b"), seed=2,
+                experiments=["fig8"])
+    return a, b

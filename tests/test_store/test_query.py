@@ -1,0 +1,203 @@
+"""Query goldens: store answers must reproduce the exported JSON numbers.
+
+The acceptance bar of ``starnuma query``: the fault-study degradation
+curve and the fig8 cross-sweep diff computed *from the store alone*
+must match what the exported JSON files say, byte-for-value.
+"""
+
+import json
+
+import pytest
+
+from repro.store import (
+    QueryError,
+    StoreWriter,
+    cross_sweep_diff,
+    degradation_curve,
+    ingest_export_dir,
+    list_sweeps,
+    list_traces,
+    open_store,
+    phase_timeline,
+    run_table,
+    summarize_store,
+    top_regressions,
+)
+from repro.store.ingest import ingest_trace
+from repro.obs.summary import iter_trace, summarize_records
+
+from tests.test_store.conftest import synthetic_records, write_trace
+
+
+@pytest.fixture(scope="session")
+def fault_store(tmp_path_factory, fault_export):
+    db = tmp_path_factory.mktemp("fault-db") / "s.sqlite"
+    with StoreWriter(db) as writer:
+        ingest_export_dir(writer, fault_export, label="golden")
+    return db
+
+
+@pytest.fixture(scope="session")
+def fig8_store(tmp_path_factory, fig8_exports):
+    db = tmp_path_factory.mktemp("fig8-db") / "s.sqlite"
+    a, b = fig8_exports
+    with StoreWriter(db) as writer:
+        ingest_export_dir(writer, a, label="seed1")
+        ingest_export_dir(writer, b, label="seed2")
+    return db
+
+
+class TestRunTableGolden:
+    def test_reproduces_exported_json_byte_for_value(self, fault_store,
+                                                     fault_export):
+        exported = json.loads(
+            (fault_export / "fault-study.json").read_text())
+        conn = open_store(fault_store, readonly=True)
+        stored = run_table(conn, "golden", "fault-study")
+        conn.close()
+        assert stored == exported
+
+    def test_unknown_experiment_is_one_line(self, fault_store):
+        conn = open_store(fault_store, readonly=True)
+        with pytest.raises(QueryError, match="no experiment 'nope'"):
+            run_table(conn, None, "nope")
+        conn.close()
+
+
+class TestDegradationCurveGolden:
+    def test_matches_export_columns(self, fault_store, fault_export):
+        exported = json.loads(
+            (fault_export / "fault-study.json").read_text())
+        headers = exported["headers"]
+        col = {name: headers.index(name) for name in
+               ("workload", "severity", "scenario",
+                "speedup_over_baseline")}
+        expected = [
+            (row[col["workload"]], row[col["severity"]],
+             row[col["scenario"]], row[col["speedup_over_baseline"]])
+            for row in exported["rows"]
+        ]
+        conn = open_store(fault_store, readonly=True)
+        curve_headers, rows = degradation_curve(conn, "golden")
+        conn.close()
+        assert curve_headers == ("workload", "severity", "scenario",
+                                 "speedup_over_baseline")
+        assert rows == expected
+
+    def test_workload_filter_narrows_to_one_curve(self, fault_store):
+        conn = open_store(fault_store, readonly=True)
+        _, rows = degradation_curve(conn, "golden", workload="bfs")
+        with pytest.raises(QueryError, match="no rows for workload"):
+            degradation_curve(conn, "golden", workload="nope")
+        conn.close()
+        assert rows
+        assert {row[0] for row in rows} == {"bfs"}
+        # Severity rungs stay in emission order: the degradation ladder.
+        severities = [row[1] for row in rows]
+        assert severities == sorted(severities)
+
+
+class TestCrossSweepDiffGolden:
+    def test_matches_values_computed_from_the_two_exports(
+            self, fig8_store, fig8_exports):
+        export_a, export_b = fig8_exports
+        table_a = json.loads((export_a / "fig8a.json").read_text())
+        table_b = json.loads((export_b / "fig8a.json").read_text())
+        col = table_a["headers"].index("speedup_t16")
+        expected = {
+            row[0]: (row[col], brow[col])
+            for row, brow in zip(table_a["rows"], table_b["rows"])
+        }
+        conn = open_store(fig8_store, readonly=True)
+        headers, rows = cross_sweep_diff(conn, "seed1", "seed2",
+                                         "fig8a", "speedup_t16")
+        conn.close()
+        assert headers == ("scenario", "a", "b", "delta", "ratio")
+        assert len(rows) == len(expected)
+        for scenario, a, b, delta, ratio in rows:
+            golden_a, golden_b = expected[scenario]
+            assert a == golden_a
+            assert b == golden_b
+            assert delta == pytest.approx(golden_b - golden_a)
+            assert ratio == pytest.approx(golden_b / golden_a)
+
+    def test_regressions_rank_by_relative_drop(self, fig8_store):
+        conn = open_store(fig8_store, readonly=True)
+        headers, rows = top_regressions(conn, "seed1", "seed2", top=5)
+        conn.close()
+        assert headers[-1] == "drop"
+        drops = [row[-1] for row in rows]
+        assert drops == sorted(drops, reverse=True)
+        assert len(rows) == 5
+
+    def test_top_must_be_positive(self, fig8_store):
+        conn = open_store(fig8_store, readonly=True)
+        with pytest.raises(QueryError, match="top must be"):
+            top_regressions(conn, "seed1", "seed2", top=0)
+        conn.close()
+
+
+class TestSweepResolution:
+    def test_ambiguous_default_names_the_candidates(self, fig8_store):
+        conn = open_store(fig8_store, readonly=True)
+        with pytest.raises(QueryError, match="seed1, seed2"):
+            run_table(conn, None, "fig8a")
+        with pytest.raises(QueryError, match="no such sweep"):
+            run_table(conn, "seed3", "fig8a")
+        conn.close()
+
+    def test_listings(self, fig8_store):
+        conn = open_store(fig8_store, readonly=True)
+        _, sweeps = list_sweeps(conn)
+        _, traces = list_traces(conn)
+        conn.close()
+        assert [row[1] for row in sweeps] == ["seed1", "seed2"]
+        assert traces == []
+
+
+class TestStoreSummaryGolden:
+    def test_matches_streaming_jsonl_fold(self, tmp_path):
+        """Store-backed summary == the JSONL fold, field for field."""
+        trace_path = tmp_path / "t.jsonl"
+        write_trace(trace_path, synthetic_records(n_phases=4,
+                                                  decisions_per_phase=3))
+        db = tmp_path / "s.sqlite"
+        with StoreWriter(db) as writer:
+            ingest_trace(writer, trace_path)
+        jsonl_summary = summarize_records(iter_trace(trace_path))
+        conn = open_store(db, readonly=True)
+        store_summary = summarize_store(conn)
+        conn.close()
+        assert store_summary["meta"] == jsonl_summary["meta"]
+        assert store_summary["n_records"] == jsonl_summary["n_records"]
+        assert dict(store_summary["spans"]) == dict(jsonl_summary["spans"])
+        assert dict(store_summary["phase_ns"]) == \
+            dict(jsonl_summary["phase_ns"])
+        assert dict(store_summary["events"]) == \
+            dict(jsonl_summary["events"])
+        assert store_summary["metrics"] == jsonl_summary["metrics"]
+
+    def test_phase_timeline_uses_materialized_index(self, tmp_path):
+        trace_path = tmp_path / "t.jsonl"
+        write_trace(trace_path, synthetic_records(n_phases=2))
+        db = tmp_path / "s.sqlite"
+        with StoreWriter(db) as writer:
+            ingest_trace(writer, trace_path)
+        conn = open_store(db)
+        # Poison the raw log: if the timeline still answers correctly,
+        # it came from phase_metrics, not a re-fold of obs_records.
+        with conn:
+            conn.execute("DELETE FROM obs_records")
+        headers, rows = phase_timeline(conn)
+        conn.close()
+        assert headers == ("phase", "spans", "total_ms")
+        assert [row[0] for row in rows] == ["0", "1"]
+
+    def test_empty_store_refuses_with_one_line(self, tmp_path):
+        db = tmp_path / "s.sqlite"
+        with StoreWriter(db):
+            pass
+        conn = open_store(db, readonly=True)
+        with pytest.raises(QueryError, match="no obs traces"):
+            summarize_store(conn)
+        conn.close()
